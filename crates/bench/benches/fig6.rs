@@ -1,0 +1,30 @@
+//! Fig. 6 — Remained ranks in LeNet's clipped layers as the tolerable
+//! clipping error ε grows, with the accuracy each point retains.
+//!
+//! Each ε point is a rank-clipping run from the cached trained baseline.
+
+use group_scissor::report::text_table;
+use group_scissor::ModelKind;
+use scissor_bench::{eps_grid, eps_sweep_point, Preset};
+
+fn main() {
+    let preset = Preset::from_env();
+    println!("== Fig. 6: remained ranks vs ε and accuracy (LeNet) ==\n");
+    let mut rows = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for eps in eps_grid(preset) {
+        let p = eps_sweep_point(ModelKind::LeNet, preset, eps);
+        names = p.layer_names.clone();
+        let mut row = vec![format!("{eps:.3}")];
+        row.extend(p.ranks.iter().map(usize::to_string));
+        row.push(format!("{:.2}%", 100.0 * p.accuracy));
+        rows.push(row);
+    }
+    let mut headers = vec!["ε".to_string()];
+    headers.extend(names.iter().map(|n| format!("rank {n}")));
+    headers.push("accuracy".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", text_table(&header_refs, &rows));
+    println!("paper shape: each layer's rank decreases monotonically in ε while accuracy");
+    println!("is maintained until ε gets aggressive (conv1 20→~4, conv2 50→~6 in the paper).");
+}

@@ -1,0 +1,25 @@
+//! Table 2 — Experiment parameters.
+//!
+//! Prints the crossbar technology parameters used by every experiment,
+//! matching the paper's Table 2 exactly (they are the library defaults).
+
+use group_scissor::report::text_table;
+use scissor_ncs::CrossbarSpec;
+
+fn main() {
+    let spec = CrossbarSpec::default();
+    println!("== Table 2: Experiment Parameters ==");
+    let rows = vec![
+        vec!["memristor cell area".to_string(), format!("{}F^2", spec.cell_area_f2())],
+        vec![
+            "maximum crossbar size".to_string(),
+            format!("{}x{}", spec.max_rows(), spec.max_cols()),
+        ],
+        vec![
+            "wire length between two memristors".to_string(),
+            format!("{}F", spec.wire_pitch_f()),
+        ],
+    ];
+    println!("{}", text_table(&["parameter", "value"], &rows));
+    println!("paper: 4F^2, 64x64, 2F — matches by construction (library defaults)");
+}

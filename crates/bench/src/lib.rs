@@ -1,0 +1,567 @@
+//! Shared infrastructure for the table/figure reproduction harness.
+//!
+//! Every table and figure of the paper has a `harness = false` bench target
+//! in `benches/`; expensive artifacts (trained baselines, full pipeline
+//! runs, sweep points) are cached as JSON under `target/gs-cache/` so the
+//! targets compose without re-training. Delete the cache directory to force
+//! fresh runs.
+//!
+//! Environment knobs:
+//!
+//! * `GS_PRESET=fast|full` — config preset (default `fast`);
+//! * `GS_FRESH=1` — ignore caches.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use group_scissor::{
+    area_report_at_ranks, run_pipeline_on, train_baseline, GroupScissorConfig, ModelKind,
+    PipelineOutcome,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scissor_data::Dataset;
+use scissor_linalg::Matrix;
+use scissor_lra::{factorize_layer, rank_clip, ClipRecord, LraMethod};
+use scissor_ncs::CrossbarSpec;
+use scissor_nn::Network;
+use scissor_prune::DeletionRecord;
+
+/// Which configuration scale to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Minutes-scale configs (default).
+    Fast,
+    /// Closer-to-paper training budgets (CPU hours).
+    Full,
+}
+
+impl Preset {
+    /// Reads the preset from `GS_PRESET` (default fast).
+    pub fn from_env() -> Self {
+        match std::env::var("GS_PRESET").as_deref() {
+            Ok("full") => Preset::Full,
+            _ => Preset::Fast,
+        }
+    }
+
+    /// Cache-key fragment.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Preset::Fast => "fast",
+            Preset::Full => "full",
+        }
+    }
+
+    /// The pipeline configuration for `model` under this preset.
+    pub fn config(&self, model: ModelKind) -> GroupScissorConfig {
+        let mut cfg = match self {
+            Preset::Fast => GroupScissorConfig::fast(model),
+            Preset::Full => GroupScissorConfig::full(model),
+        };
+        if *self == Preset::Fast {
+            // Rank clipping converges by *clip count* (each clip is one
+            // ε-cut of the spectrum; the paper runs ~60). Give the fast
+            // preset a comparable number of clips with short recovery
+            // windows — the synthetic tasks recover quickly.
+            match model {
+                ModelKind::LeNet => {
+                    cfg.clip_every = 25;
+                    cfg.clip_iters = 1500;
+                }
+                ModelKind::ConvNet => {
+                    cfg.clip_every = 30;
+                    cfg.clip_iters = 900;
+                }
+            }
+            cfg.baseline.iters = 400;
+            cfg.deletion.iters = 400;
+            cfg.deletion.finetune_iters = 150;
+            cfg.deletion.record_every = 50;
+        }
+        cfg
+    }
+}
+
+/// Cache directory (`target/gs-cache`), created on demand.
+pub fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/gs-cache");
+    fs::create_dir_all(&dir).expect("create cache dir");
+    dir
+}
+
+/// Loads a cached JSON artifact unless `GS_FRESH=1`.
+pub fn load_json<T: DeserializeOwned>(name: &str) -> Option<T> {
+    if std::env::var("GS_FRESH").as_deref() == Ok("1") {
+        return None;
+    }
+    let path = cache_dir().join(name);
+    let data = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&data).ok()
+}
+
+/// Saves a JSON artifact into the cache.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = cache_dir().join(name);
+    let data = serde_json::to_string(value).expect("serialize artifact");
+    fs::write(path, data).expect("write artifact");
+}
+
+/// Serializable routing summary (mirror of `RoutingAnalysis` output).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingSummary {
+    /// Matrix/parameter name.
+    pub name: String,
+    /// MBC size chosen by §4.2 selection.
+    pub mbc: String,
+    /// Total routing wires before deletion.
+    pub total_wires: usize,
+    /// Wires remaining after deletion.
+    pub active_wires: usize,
+    /// Fully-zero (removable) crossbars.
+    pub removable_crossbars: usize,
+    /// Crossbars in the array.
+    pub crossbar_count: usize,
+    /// Compacted-cell ratio (paper's closing observation).
+    pub compaction_ratio: f64,
+}
+
+impl RoutingSummary {
+    /// Remained-wire fraction.
+    pub fn wire_fraction(&self) -> f64 {
+        if self.total_wires == 0 {
+            0.0
+        } else {
+            self.active_wires as f64 / self.total_wires as f64
+        }
+    }
+
+    /// Remained routing-area fraction (Eq. 8).
+    pub fn area_fraction(&self) -> f64 {
+        let f = self.wire_fraction();
+        f * f
+    }
+}
+
+/// Serializable end-to-end pipeline summary — everything the table/figure
+/// targets need, without re-running training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineSummary {
+    /// Model name.
+    pub model: String,
+    /// "Original" accuracy.
+    pub baseline_accuracy: f64,
+    /// Post-hoc Direct-LRA accuracy at the clipped ranks.
+    pub direct_lra_accuracy: f64,
+    /// Accuracy after rank clipping.
+    pub clip_accuracy: f64,
+    /// Accuracy right after deletion, before fine-tuning.
+    pub deletion_pre_ft_accuracy: f64,
+    /// Accuracy after deletion + fine-tuning.
+    pub deletion_accuracy: f64,
+    /// Clipped layer names.
+    pub layer_names: Vec<String>,
+    /// Full ranks (`M`) per clipped layer.
+    pub full_ranks: Vec<usize>,
+    /// Final clipped ranks per layer.
+    pub final_ranks: Vec<usize>,
+    /// Fig. 3 trace.
+    pub clip_trace: Vec<ClipRecord>,
+    /// Fig. 5 trace.
+    pub deletion_trace: Vec<DeletionRecord>,
+    /// Names of group-lasso-regularized matrices, aligned with
+    /// `deletion_trace` columns and `routing`.
+    pub deletion_entries: Vec<String>,
+    /// Per-matrix routing results (Table 3).
+    pub routing: Vec<RoutingSummary>,
+    /// Whole-network crossbar-area ratio after clipping.
+    pub crossbar_area_ratio: f64,
+    /// Per-layer crossbar-area ratios (Fig. 7 series).
+    pub layer_area_ratios: Vec<(String, f64)>,
+    /// State dict of the *baseline* network (for sweep targets).
+    pub baseline_state: Vec<(String, Matrix)>,
+    /// State dict of the clipped+deleted network (for Fig. 9).
+    pub final_state: Vec<(String, Matrix)>,
+}
+
+impl PipelineSummary {
+    fn from_outcome(outcome: &PipelineOutcome, spec: &CrossbarSpec) -> Self {
+        let baseline_state = outcome.baseline_state.clone();
+        let final_state = outcome.final_state.clone();
+        let routing = outcome
+            .deletion
+            .routing
+            .iter()
+            .map(|r| {
+                // Recover the tiling to report the MBC size.
+                let entry = outcome
+                    .deletion
+                    .entry_names
+                    .iter()
+                    .position(|n| n == r.name())
+                    .expect("routing aligns with entries");
+                let _ = entry;
+                let shape = final_state
+                    .iter()
+                    .find(|(n, _)| n == r.name())
+                    .map(|(_, m)| m.shape())
+                    .expect("deleted param in state");
+                let mbc = scissor_ncs::Tiling::plan(shape.0, shape.1, spec)
+                    .map(|t| t.mbc_size().to_string())
+                    .unwrap_or_else(|_| "-".into());
+                RoutingSummary {
+                    name: r.name().to_string(),
+                    mbc,
+                    total_wires: r.total_wires(),
+                    active_wires: r.active_wires(),
+                    removable_crossbars: r.removable_crossbars(),
+                    crossbar_count: r.crossbar_count(),
+                    compaction_ratio: r.compaction_ratio(),
+                }
+            })
+            .collect();
+        PipelineSummary {
+            model: outcome.model.name().to_string(),
+            baseline_accuracy: outcome.baseline.final_accuracy,
+            direct_lra_accuracy: outcome.direct_lra_accuracy,
+            clip_accuracy: outcome.clip.final_accuracy,
+            deletion_pre_ft_accuracy: outcome.deletion.accuracy_after_deletion,
+            deletion_accuracy: outcome.deletion.final_accuracy,
+            layer_names: outcome.clip.layer_names.clone(),
+            full_ranks: outcome.clip.full_ranks.clone(),
+            final_ranks: outcome.clip.final_ranks.clone(),
+            clip_trace: outcome.clip.trace.clone(),
+            deletion_trace: outcome.deletion.trace.clone(),
+            deletion_entries: outcome.deletion.entry_names.clone(),
+            routing,
+            crossbar_area_ratio: outcome.area.total_ratio(),
+            layer_area_ratios: outcome
+                .area
+                .layer_ratios()
+                .into_iter()
+                .map(|(n, r)| (n.to_string(), r))
+                .collect(),
+            baseline_state,
+            final_state,
+        }
+    }
+
+    /// Mean remained-wire fraction across regularized matrices.
+    pub fn mean_wire_fraction(&self) -> f64 {
+        if self.routing.is_empty() {
+            return 0.0;
+        }
+        self.routing.iter().map(RoutingSummary::wire_fraction).sum::<f64>()
+            / self.routing.len() as f64
+    }
+
+    /// Mean remained routing-area fraction.
+    pub fn mean_area_fraction(&self) -> f64 {
+        if self.routing.is_empty() {
+            return 0.0;
+        }
+        self.routing.iter().map(RoutingSummary::area_fraction).sum::<f64>()
+            / self.routing.len() as f64
+    }
+}
+
+/// Runs (or loads from cache) the end-to-end pipeline for `model`.
+pub fn pipeline_summary(model: ModelKind, preset: Preset) -> PipelineSummary {
+    let key = format!("pipeline_{}_{}.json", model.name().to_lowercase(), preset.tag());
+    if let Some(summary) = load_json::<PipelineSummary>(&key) {
+        eprintln!("[gs-bench] loaded cached {key}");
+        return summary;
+    }
+    eprintln!("[gs-bench] running {} pipeline ({})…", model.name(), preset.tag());
+    let cfg = preset.config(model);
+    let (train, test) = cfg.datasets();
+    let outcome = run_pipeline_on(&cfg, &train, &test).expect("pipeline run");
+    let summary = PipelineSummary::from_outcome(&outcome, &cfg.spec);
+    save_json(&key, &summary);
+    summary
+}
+
+/// Rebuilds a rank-clipped network skeleton for `model` at `ranks` and
+/// loads `state` into it (used by sweep targets that continue from cached
+/// checkpoints).
+pub fn rebuild_clipped(
+    model: ModelKind,
+    ranks: &[(String, usize)],
+    state: &[(String, Matrix)],
+    init_seed: u64,
+) -> Network {
+    let mut rng = StdRng::seed_from_u64(init_seed);
+    let mut net = model.build(&mut rng);
+    for (layer, k) in ranks {
+        factorize_layer(&mut net, layer, *k, LraMethod::Pca).expect("factorize skeleton");
+    }
+    net.load_state_dict(state).expect("state matches skeleton");
+    net
+}
+
+/// Cached baseline (trained dense network) for sweep targets:
+/// returns `(state_dict, baseline_accuracy)`.
+pub fn baseline_checkpoint(model: ModelKind, preset: Preset) -> (Vec<(String, Matrix)>, f64) {
+    #[derive(Serialize, Deserialize)]
+    struct Checkpoint {
+        state: Vec<(String, Matrix)>,
+        accuracy: f64,
+    }
+    let key = format!("baseline_{}_{}.json", model.name().to_lowercase(), preset.tag());
+    if let Some(cp) = load_json::<Checkpoint>(&key) {
+        eprintln!("[gs-bench] loaded cached {key}");
+        return (cp.state, cp.accuracy);
+    }
+    eprintln!("[gs-bench] training {} baseline ({})…", model.name(), preset.tag());
+    let cfg = preset.config(model);
+    let (train, test) = cfg.datasets();
+    let mut rng = StdRng::seed_from_u64(cfg.init_seed);
+    let mut net = model.build(&mut rng);
+    let out = train_baseline(&mut net, &train, &test, &cfg.baseline);
+    let cp = Checkpoint { state: net.state_dict(), accuracy: out.final_accuracy };
+    save_json(&key, &cp);
+    (cp.state, cp.accuracy)
+}
+
+/// One ε-sweep point: rank clipping from the cached baseline at `eps`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpsSweepPoint {
+    /// The tolerable clipping error used.
+    pub eps: f64,
+    /// Clipped layer names.
+    pub layer_names: Vec<String>,
+    /// Final ranks.
+    pub ranks: Vec<usize>,
+    /// Accuracy after clipping.
+    pub accuracy: f64,
+    /// Whole-network crossbar-area ratio.
+    pub area_ratio: f64,
+    /// Per-layer area ratios.
+    pub layer_area_ratios: Vec<(String, f64)>,
+}
+
+/// Runs (or loads) one ε point of the Fig. 6 / Fig. 7 sweeps.
+pub fn eps_sweep_point(model: ModelKind, preset: Preset, eps: f64) -> EpsSweepPoint {
+    let key = format!(
+        "eps_{}_{}_{}.json",
+        model.name().to_lowercase(),
+        preset.tag(),
+        format!("{eps:.4}").replace('.', "p")
+    );
+    if let Some(p) = load_json::<EpsSweepPoint>(&key) {
+        eprintln!("[gs-bench] loaded cached {key}");
+        return p;
+    }
+    eprintln!("[gs-bench] ε-sweep {} at ε={eps} ({})…", model.name(), preset.tag());
+    let cfg = preset.config(model);
+    let (train, test) = cfg.datasets();
+    let (state, _) = baseline_checkpoint(model, preset);
+    let mut rng = StdRng::seed_from_u64(cfg.init_seed);
+    let mut net = model.build(&mut rng);
+    net.load_state_dict(&state).expect("baseline state");
+    let mut clip_cfg = cfg.clip_config();
+    clip_cfg.eps = eps;
+    // Sweep points use a reduced budget: a quarter of the pipeline's clips.
+    clip_cfg.max_iters = (clip_cfg.max_iters / 4).max(4 * clip_cfg.clip_every);
+    let out = rank_clip(&mut net, &train, &test, &clip_cfg).expect("sweep clip");
+    let area = area_report_at_ranks(model, &out.final_rank_map(), &cfg.spec);
+    let point = EpsSweepPoint {
+        eps,
+        layer_names: out.layer_names.clone(),
+        ranks: out.final_ranks.clone(),
+        accuracy: out.final_accuracy,
+        area_ratio: area.total_ratio(),
+        layer_area_ratios: area
+            .layer_ratios()
+            .into_iter()
+            .map(|(n, r)| (n.to_string(), r))
+            .collect(),
+    };
+    save_json(&key, &point);
+    point
+}
+
+/// The ε grid used by Fig. 6 / Fig. 7.
+pub fn eps_grid(preset: Preset) -> Vec<f64> {
+    match preset {
+        Preset::Fast => vec![0.02, 0.12],
+        Preset::Full => vec![0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2],
+    }
+}
+
+/// Dataset pair for a model under a preset (convenience).
+pub fn datasets(model: ModelKind, preset: Preset) -> (Dataset, Dataset) {
+    preset.config(model).datasets()
+}
+
+/// Cached rank-clipped checkpoint: ranks + state + accuracy (the starting
+/// point of group deletion, used by the λ-sweep of Fig. 8).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClippedCheckpoint {
+    /// `(layer, K)` pairs after clipping.
+    pub ranks: Vec<(String, usize)>,
+    /// Full state dict of the clipped network.
+    pub state: Vec<(String, Matrix)>,
+    /// Accuracy after clipping.
+    pub accuracy: f64,
+}
+
+/// Runs (or loads) rank clipping from the cached baseline and returns the
+/// clipped checkpoint.
+pub fn clipped_checkpoint(model: ModelKind, preset: Preset) -> ClippedCheckpoint {
+    let key = format!("clipped_{}_{}.json", model.name().to_lowercase(), preset.tag());
+    if let Some(cp) = load_json::<ClippedCheckpoint>(&key) {
+        eprintln!("[gs-bench] loaded cached {key}");
+        return cp;
+    }
+    eprintln!("[gs-bench] rank-clipping {} ({})…", model.name(), preset.tag());
+    let cfg = preset.config(model);
+    let (train, test) = cfg.datasets();
+    let (state, _) = baseline_checkpoint(model, preset);
+    let mut rng = StdRng::seed_from_u64(cfg.init_seed);
+    let mut net = model.build(&mut rng);
+    net.load_state_dict(&state).expect("baseline state");
+    let mut clip_cfg = cfg.clip_config();
+    clip_cfg.max_iters = clip_cfg.max_iters / 3;
+    let out = rank_clip(&mut net, &train, &test, &clip_cfg).expect("clip");
+    let cp = ClippedCheckpoint {
+        ranks: out.final_rank_map(),
+        state: net.state_dict(),
+        accuracy: out.final_accuracy,
+    };
+    save_json(&key, &cp);
+    cp
+}
+
+/// One λ-sweep point of Fig. 8: group deletion at strength `lambda`
+/// starting from the clipped checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LambdaSweepPoint {
+    /// Group-lasso strength λ.
+    pub lambda: f32,
+    /// Accuracy after deletion + fine-tuning.
+    pub accuracy: f64,
+    /// Per-matrix `(name, remained wire fraction)`.
+    pub wires: Vec<(String, f64)>,
+}
+
+impl LambdaSweepPoint {
+    /// Mean remained-wire fraction.
+    pub fn mean_wire_fraction(&self) -> f64 {
+        if self.wires.is_empty() {
+            return 0.0;
+        }
+        self.wires.iter().map(|(_, f)| f).sum::<f64>() / self.wires.len() as f64
+    }
+
+    /// Mean remained routing-area fraction (Eq. 8 quadratic).
+    pub fn mean_area_fraction(&self) -> f64 {
+        if self.wires.is_empty() {
+            return 0.0;
+        }
+        self.wires.iter().map(|(_, f)| f * f).sum::<f64>() / self.wires.len() as f64
+    }
+}
+
+/// Runs (or loads) one λ point of the Fig. 8 sweep.
+pub fn lambda_sweep_point(model: ModelKind, preset: Preset, lambda: f32) -> LambdaSweepPoint {
+    let key = format!(
+        "lambda_{}_{}_{}.json",
+        model.name().to_lowercase(),
+        preset.tag(),
+        format!("{lambda:.5}").replace('.', "p")
+    );
+    if let Some(p) = load_json::<LambdaSweepPoint>(&key) {
+        eprintln!("[gs-bench] loaded cached {key}");
+        return p;
+    }
+    eprintln!("[gs-bench] λ-sweep {} at λ={lambda} ({})…", model.name(), preset.tag());
+    let cfg = preset.config(model);
+    let (train, test) = cfg.datasets();
+    let cp = clipped_checkpoint(model, preset);
+    let mut net = rebuild_clipped(model, &cp.ranks, &cp.state, cfg.init_seed);
+    let reg = scissor_prune::GroupLassoRegularizer::auto_register(&net, &cfg.spec, lambda)
+        .expect("register");
+    let mut del_cfg = cfg.deletion.clone();
+    // Sweep points use a reduced budget.
+    del_cfg.iters = (del_cfg.iters * 3 / 8).max(100);
+    del_cfg.finetune_iters = (del_cfg.finetune_iters / 2).max(50);
+    del_cfg.record_every = del_cfg.iters;
+    let out = scissor_prune::group_connection_deletion(&mut net, &train, &test, &reg, &del_cfg)
+        .expect("deletion");
+    let point = LambdaSweepPoint {
+        lambda,
+        accuracy: out.final_accuracy,
+        wires: out
+            .routing
+            .iter()
+            .map(|r| (r.name().to_string(), r.remained_wire_fraction()))
+            .collect(),
+    };
+    save_json(&key, &point);
+    point
+}
+
+/// The λ grid used by Fig. 8.
+pub fn lambda_grid(preset: Preset) -> Vec<f32> {
+    match preset {
+        Preset::Fast => vec![0.004, 0.02],
+        Preset::Full => vec![0.001, 0.003, 0.01, 0.02, 0.05],
+    }
+}
+
+/// Rank clipping with an explicit LRA back-end (the §3.1 PCA-vs-SVD
+/// comparison). Returns `(ranks, accuracy, crossbar area ratio)`.
+pub fn method_clip_point(
+    model: ModelKind,
+    preset: Preset,
+    method: LraMethod,
+) -> (Vec<(String, usize)>, f64, f64) {
+    #[derive(Serialize, Deserialize)]
+    struct Point {
+        ranks: Vec<(String, usize)>,
+        accuracy: f64,
+        area_ratio: f64,
+    }
+    let tag = match method {
+        LraMethod::Pca => "pca",
+        LraMethod::Svd => "svd",
+    };
+    let key = format!("method_{}_{}_{}.json", model.name().to_lowercase(), preset.tag(), tag);
+    if let Some(p) = load_json::<Point>(&key) {
+        eprintln!("[gs-bench] loaded cached {key}");
+        return (p.ranks, p.accuracy, p.area_ratio);
+    }
+    let cfg = preset.config(model);
+    if method == LraMethod::Pca {
+        // The PCA run is exactly the clipped checkpoint — reuse it.
+        let cp = clipped_checkpoint(model, preset);
+        let area = area_report_at_ranks(model, &cp.ranks, &cfg.spec);
+        let p = Point { ranks: cp.ranks, accuracy: cp.accuracy, area_ratio: area.total_ratio() };
+        save_json(&key, &p);
+        return (p.ranks, p.accuracy, p.area_ratio);
+    }
+    eprintln!("[gs-bench] {tag} clip on {} ({})…", model.name(), preset.tag());
+    let (train, test) = cfg.datasets();
+    let (state, _) = baseline_checkpoint(model, preset);
+    let mut rng = StdRng::seed_from_u64(cfg.init_seed);
+    let mut net = model.build(&mut rng);
+    net.load_state_dict(&state).expect("baseline state");
+    let mut clip_cfg = cfg.clip_config();
+    clip_cfg.method = method;
+    clip_cfg.max_iters = clip_cfg.max_iters / 3;
+    let out = rank_clip(&mut net, &train, &test, &clip_cfg).expect("clip");
+    let area = area_report_at_ranks(model, &out.final_rank_map(), &cfg.spec);
+    let p = Point {
+        ranks: out.final_rank_map(),
+        accuracy: out.final_accuracy,
+        area_ratio: area.total_ratio(),
+    };
+    save_json(&key, &p);
+    (p.ranks, p.accuracy, p.area_ratio)
+}

@@ -1,0 +1,86 @@
+//! Error type for the pipeline crate.
+
+use std::error::Error;
+use std::fmt;
+
+use scissor_lra::LraError;
+use scissor_ncs::NcsError;
+use scissor_nn::NnError;
+use scissor_prune::PruneError;
+
+/// Errors produced by the Group Scissor pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Rank-clipping failure.
+    Lra(LraError),
+    /// Group-deletion failure.
+    Prune(PruneError),
+    /// Hardware-model failure.
+    Ncs(NcsError),
+    /// Network manipulation failure.
+    Nn(NnError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Lra(e) => write!(f, "rank clipping failed: {e}"),
+            PipelineError::Prune(e) => write!(f, "group deletion failed: {e}"),
+            PipelineError::Ncs(e) => write!(f, "hardware model failed: {e}"),
+            PipelineError::Nn(e) => write!(f, "network manipulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Lra(e) => Some(e),
+            PipelineError::Prune(e) => Some(e),
+            PipelineError::Ncs(e) => Some(e),
+            PipelineError::Nn(e) => Some(e),
+        }
+    }
+}
+
+impl From<LraError> for PipelineError {
+    fn from(e: LraError) -> Self {
+        PipelineError::Lra(e)
+    }
+}
+
+impl From<PruneError> for PipelineError {
+    fn from(e: PruneError) -> Self {
+        PipelineError::Prune(e)
+    }
+}
+
+impl From<NcsError> for PipelineError {
+    fn from(e: NcsError) -> Self {
+        PipelineError::Ncs(e)
+    }
+}
+
+impl From<NnError> for PipelineError {
+    fn from(e: NnError) -> Self {
+        PipelineError::Nn(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, PipelineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_sources() {
+        let e = PipelineError::from(LraError::UnknownLayer { name: "x".into() });
+        assert!(e.to_string().contains("rank clipping failed"));
+        assert!(e.source().is_some());
+        let e = PipelineError::from(NcsError::EmptyMatrix { shape: (0, 0) });
+        assert!(e.to_string().contains("hardware model failed"));
+    }
+}

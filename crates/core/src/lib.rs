@@ -1,0 +1,58 @@
+//! # group-scissor
+//!
+//! End-to-end implementation of **Group Scissor: Scaling Neuromorphic
+//! Computing Design to Large Neural Networks** (Wang, Wen, Liu, Chiarulli,
+//! Li — DAC 2017, [arXiv:1702.03443]).
+//!
+//! The framework scales memristor-crossbar neuromorphic systems (NCS) to
+//! big neural networks in two steps:
+//!
+//! 1. **Rank clipping** ([`scissor_lra`]) integrates low-rank approximation
+//!    into training, shrinking each layer's weight matrix `W ≈ U·Vᵀ` to its
+//!    optimal rank without accuracy loss — crossbar area drops to 13.62 %
+//!    (LeNet) / 51.81 % (ConvNet).
+//! 2. **Group connection deletion** ([`scissor_prune`]) applies
+//!    crossbar-aligned group-lasso regularization so whole crossbar rows
+//!    and columns become zero, deleting their inter-crossbar routing wires
+//!    — routing area drops to 8.1 % / 52.06 %.
+//!
+//! This crate ties the substrates together: the [`ModelKind`] zoo (LeNet,
+//! ConvNet at the paper's exact shapes), baseline training, the
+//! [`run_pipeline`] orchestration, and report formatting for the
+//! table/figure reproduction harness.
+//!
+//! [arXiv:1702.03443]: https://arxiv.org/abs/1702.03443
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use group_scissor::{run_pipeline, GroupScissorConfig, ModelKind};
+//!
+//! # fn main() -> Result<(), group_scissor::PipelineError> {
+//! let cfg = GroupScissorConfig::fast(ModelKind::LeNet);
+//! let outcome = run_pipeline(&cfg)?;
+//! println!(
+//!     "crossbar area: {:.2}%  routing area: {:.2}%",
+//!     100.0 * outcome.crossbar_area_ratio(),
+//!     100.0 * outcome.routing_area_ratio(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod pipeline;
+mod train;
+mod zoo;
+
+pub mod report;
+
+pub use error::{PipelineError, Result};
+pub use pipeline::{
+    area_report_at_ranks, run_pipeline, run_pipeline_on, GroupScissorConfig, PipelineOutcome,
+};
+pub use train::{train_baseline, TrainConfig, TrainOutcome, TrainRecord};
+pub use zoo::ModelKind;

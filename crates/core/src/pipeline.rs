@@ -1,0 +1,277 @@
+//! The end-to-end Group Scissor pipeline:
+//! baseline training → rank clipping → group connection deletion →
+//! hardware reports.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use scissor_data::{Dataset, SynthOptions};
+use scissor_lra::{direct_lra, rank_clip, LraMethod, RankClipConfig, RankClipOutcome};
+use scissor_ncs::{AreaReport, CrossbarSpec, LayerPlan};
+use scissor_nn::Sgd;
+use scissor_prune::{
+    group_connection_deletion, DeletionConfig, DeletionOutcome, GroupLassoRegularizer,
+};
+
+use crate::error::{PipelineError, Result};
+use crate::train::{train_baseline, TrainConfig, TrainOutcome};
+use crate::zoo::ModelKind;
+
+/// Complete configuration of a Group Scissor run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupScissorConfig {
+    /// Which network/dataset pair to run.
+    pub model: ModelKind,
+    /// Training-set size (synthetic samples).
+    pub train_samples: usize,
+    /// Test-set size.
+    pub test_samples: usize,
+    /// Dataset generation seed (test set uses `data_seed + 1`).
+    pub data_seed: u64,
+    /// Synthetic-data options.
+    pub data_opts: SynthOptions,
+    /// Model initialization seed.
+    pub init_seed: u64,
+    /// Baseline ("Original") training schedule.
+    pub baseline: TrainConfig,
+    /// Rank clipping: tolerable error ε.
+    pub eps: f64,
+    /// Rank clipping: iterations between clips (`S`).
+    pub clip_every: usize,
+    /// Rank clipping: total iterations (`I`).
+    pub clip_iters: usize,
+    /// Rank clipping: LRA back-end.
+    pub method: LraMethod,
+    /// Group lasso strength λ.
+    pub lambda: f32,
+    /// Group deletion schedule.
+    pub deletion: DeletionConfig,
+    /// Crossbar technology (Table 2 defaults).
+    pub spec: CrossbarSpec,
+}
+
+impl GroupScissorConfig {
+    /// A CPU-friendly configuration that exercises every stage in minutes.
+    pub fn fast(model: ModelKind) -> Self {
+        let (train_samples, baseline_iters, clip_iters) = match model {
+            ModelKind::LeNet => (1500, 250, 300),
+            ModelKind::ConvNet => (1200, 300, 300),
+        };
+        let mut deletion = DeletionConfig::new();
+        deletion.iters = 300;
+        deletion.finetune_iters = 120;
+        deletion.record_every = 50;
+        deletion.threshold = 2e-2;
+        deletion.sgd = Sgd::with_momentum(0.01);
+        deletion.finetune_sgd = Sgd::with_momentum(0.005);
+        Self {
+            model,
+            train_samples,
+            test_samples: 500,
+            data_seed: 1,
+            data_opts: SynthOptions::default(),
+            init_seed: 7,
+            baseline: TrainConfig::new(baseline_iters),
+            eps: 0.03,
+            clip_every: 50,
+            clip_iters,
+            method: LraMethod::Pca,
+            lambda: 0.01,
+            deletion,
+            spec: CrossbarSpec::default(),
+        }
+    }
+
+    /// A heavier configuration closer to paper-scale training (still CPU
+    /// hours, not GPU days).
+    pub fn full(model: ModelKind) -> Self {
+        let mut cfg = Self::fast(model);
+        cfg.train_samples = match model {
+            ModelKind::LeNet => 6000,
+            ModelKind::ConvNet => 5000,
+        };
+        cfg.test_samples = 1000;
+        cfg.baseline = TrainConfig::new(1200);
+        cfg.clip_iters = 1500;
+        cfg.clip_every = 100;
+        cfg.deletion.iters = 1200;
+        cfg.deletion.finetune_iters = 400;
+        cfg.deletion.record_every = 100;
+        cfg
+    }
+
+    /// Generates the train/test datasets for this configuration.
+    pub fn datasets(&self) -> (Dataset, Dataset) {
+        let train = self.model.dataset(self.train_samples, self.data_seed, self.data_opts);
+        let test = self.model.dataset(self.test_samples, self.data_seed + 1, self.data_opts);
+        (train, test)
+    }
+
+    /// Builds the rank-clipping configuration for this run.
+    pub fn clip_config(&self) -> RankClipConfig {
+        let mut cfg = RankClipConfig::new(self.eps, self.model.clip_layers());
+        cfg.clip_every = self.clip_every;
+        cfg.max_iters = self.clip_iters;
+        cfg.batch_size = self.baseline.batch_size;
+        cfg.sgd = self.baseline.sgd;
+        cfg.method = self.method;
+        cfg.seed = self.baseline.seed + 101;
+        cfg.eval_batch = self.baseline.eval_batch;
+        cfg
+    }
+}
+
+/// Everything a Group Scissor run produces.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// Configuration used.
+    pub model: ModelKind,
+    /// Baseline training result ("Original" row of Table 1).
+    pub baseline: TrainOutcome,
+    /// Accuracy of post-hoc Direct LRA at the clipped ranks (no retrain).
+    pub direct_lra_accuracy: f64,
+    /// Rank-clipping result (Fig. 3 trace, Table 1 ranks).
+    pub clip: RankClipOutcome,
+    /// Crossbar-area report at the clipped ranks (Fig. 7 / headline).
+    pub area: AreaReport,
+    /// Group-deletion result (Fig. 5 trace, Table 3 wires).
+    pub deletion: DeletionOutcome,
+    /// State dict snapshot of the trained dense baseline.
+    pub baseline_state: Vec<(String, scissor_linalg::Matrix)>,
+    /// State dict of the final clipped + deleted network.
+    pub final_state: Vec<(String, scissor_linalg::Matrix)>,
+}
+
+impl PipelineOutcome {
+    /// Whole-network crossbar-area ratio after rank clipping.
+    pub fn crossbar_area_ratio(&self) -> f64 {
+        self.area.total_ratio()
+    }
+
+    /// Mean layer-wise routing-area ratio after deletion.
+    pub fn routing_area_ratio(&self) -> f64 {
+        self.deletion.mean_area_fraction()
+    }
+}
+
+/// Builds the [`AreaReport`] for a model at the given per-layer ranks;
+/// unlisted layers (e.g. the classifier) are planned dense.
+pub fn area_report_at_ranks(
+    model: ModelKind,
+    ranks: &[(String, usize)],
+    spec: &CrossbarSpec,
+) -> AreaReport {
+    let plans: Vec<LayerPlan> = model
+        .layer_shapes()
+        .into_iter()
+        .map(|(name, n, m)| match ranks.iter().find(|(l, _)| l == name) {
+            Some((_, k)) => LayerPlan::low_rank(name, n, m, *k),
+            None => LayerPlan::dense(name, n, m),
+        })
+        .collect();
+    AreaReport::new(plans, spec)
+}
+
+/// Runs the full two-step pipeline on freshly generated data.
+///
+/// # Errors
+///
+/// Propagates failures from rank clipping, deletion or hardware analysis.
+pub fn run_pipeline(cfg: &GroupScissorConfig) -> Result<PipelineOutcome> {
+    let (train, test) = cfg.datasets();
+    run_pipeline_on(cfg, &train, &test)
+}
+
+/// Runs the full pipeline on caller-provided datasets.
+///
+/// # Errors
+///
+/// Propagates failures from rank clipping, deletion or hardware analysis.
+pub fn run_pipeline_on(
+    cfg: &GroupScissorConfig,
+    train: &Dataset,
+    test: &Dataset,
+) -> Result<PipelineOutcome> {
+    // Stage 0: baseline ("Original").
+    let mut rng = StdRng::seed_from_u64(cfg.init_seed);
+    let mut net = cfg.model.build(&mut rng);
+    let baseline = train_baseline(&mut net, train, test, &cfg.baseline);
+    let baseline_state = net.state_dict();
+
+    // Stage 1: rank clipping (Algorithm 2) on the trained network.
+    let clip = rank_clip(&mut net, train, test, &cfg.clip_config())?;
+
+    // Direct LRA baseline: same ranks, no clip-train interleaving.
+    let direct_lra_accuracy = {
+        let mut rng = StdRng::seed_from_u64(cfg.init_seed);
+        let mut dnet = cfg.model.build(&mut rng);
+        dnet.load_state_dict(&baseline_state).map_err(PipelineError::from)?;
+        direct_lra(&mut dnet, &clip.final_rank_map(), cfg.method)?;
+        dnet.evaluate(test.images(), test.labels(), cfg.baseline.eval_batch)
+    };
+
+    // Crossbar-area report at the clipped ranks.
+    let area = area_report_at_ranks(cfg.model, &clip.final_rank_map(), &cfg.spec);
+
+    // Stage 2: group connection deletion on the rank-clipped network.
+    let reg = GroupLassoRegularizer::auto_register(&net, &cfg.spec, cfg.lambda)?;
+    let deletion = group_connection_deletion(&mut net, train, test, &reg, &cfg.deletion)?;
+
+    let final_state = net.state_dict();
+    Ok(PipelineOutcome {
+        model: cfg.model,
+        baseline,
+        direct_lra_accuracy,
+        clip,
+        area,
+        deletion,
+        baseline_state,
+        final_state,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_report_at_paper_ranks_reproduces_headlines() {
+        let spec = CrossbarSpec::default();
+        let lenet_ranks: Vec<(String, usize)> = ModelKind::LeNet
+            .paper_clipped_ranks()
+            .into_iter()
+            .map(|(n, k)| (n.to_string(), k))
+            .collect();
+        let report = area_report_at_ranks(ModelKind::LeNet, &lenet_ranks, &spec);
+        assert!((report.total_ratio() - 0.1362).abs() < 5e-5);
+
+        let convnet_ranks: Vec<(String, usize)> = ModelKind::ConvNet
+            .paper_clipped_ranks()
+            .into_iter()
+            .map(|(n, k)| (n.to_string(), k))
+            .collect();
+        let report = area_report_at_ranks(ModelKind::ConvNet, &convnet_ranks, &spec);
+        assert!((report.total_ratio() - 0.5181).abs() < 5e-5);
+    }
+
+    #[test]
+    fn fast_config_is_consistent() {
+        let cfg = GroupScissorConfig::fast(ModelKind::LeNet);
+        let clip = cfg.clip_config();
+        assert_eq!(clip.layers, vec!["conv1", "conv2", "fc1"]);
+        assert!(clip.max_iters > 0);
+        let (train, test) = {
+            let mut c = cfg.clone();
+            c.train_samples = 20;
+            c.test_samples = 10;
+            c.datasets()
+        };
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 10);
+        assert_eq!(train.sample_shape(), (1, 28, 28));
+    }
+
+    // The full pipeline is exercised end-to-end (with reduced budgets) by
+    // the workspace integration tests in `tests/pipeline.rs`.
+}

@@ -1,0 +1,163 @@
+//! Table/figure formatting shared by the bench harness and examples.
+
+use std::fmt::Write as _;
+
+/// Formats a ratio as a percentage with two decimals (`0.1362` → `13.62%`).
+pub fn pct(ratio: f64) -> String {
+    format!("{:.2}%", 100.0 * ratio)
+}
+
+/// Renders a GitHub-flavored markdown table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width must match headers");
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Renders an aligned plain-text table for terminal output.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match headers");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let _ = writeln!(out, "{}", fmt_row(headers.to_vec(), &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for row in rows {
+        let _ = writeln!(out, "{}", fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Renders an ASCII line chart of one or more named series sharing x
+/// values — a terminal stand-in for the paper's figures.
+///
+/// Each series is scaled to the same y-axis; points are marked with the
+/// series' symbol (`1`–`9` then letters).
+pub fn ascii_chart(
+    title: &str,
+    x: &[f64],
+    series: &[(&str, Vec<f64>)],
+    height: usize,
+) -> String {
+    let mut out = format!("{title}\n");
+    if x.is_empty() || series.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let ymin = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let ymax = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(ymin + 1e-9);
+    let width = x.len().min(70);
+    let h = height.max(4);
+    let mut grid = vec![vec![' '; width]; h];
+    let symbols: Vec<char> = "123456789abcdef".chars().collect();
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let sym = symbols[si % symbols.len()];
+        for (i, &y) in ys.iter().enumerate().take(width) {
+            let xi = if x.len() <= width { i } else { i * width / x.len() };
+            let frac = (y - ymin) / (ymax - ymin);
+            let row = ((1.0 - frac) * (h - 1) as f64).round() as usize;
+            grid[row.min(h - 1)][xi] = sym;
+        }
+    }
+    let _ = writeln!(out, "{ymax:>8.3} ┐");
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "         │{line}");
+    }
+    let _ = writeln!(out, "{ymin:>8.3} ┴{}", "─".repeat(width));
+    let _ = writeln!(out, "          x: {:.0} … {:.0}", x[0], x[x.len() - 1]);
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "          [{}] {name}", symbols[si % symbols.len()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1362), "13.62%");
+        assert_eq!(pct(1.0), "100.00%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["layer", "rank"],
+            &[vec!["conv1".into(), "5".into()], vec!["fc1".into(), "36".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("layer"));
+        assert!(lines[1].contains("---"));
+        assert!(lines[3].contains("fc1"));
+    }
+
+    #[test]
+    fn text_table_aligns() {
+        let t = text_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match headers")]
+    fn mismatched_rows_panic() {
+        let _ = markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn ascii_chart_renders_series() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let up: Vec<f64> = x.iter().map(|v| v / 20.0).collect();
+        let down: Vec<f64> = x.iter().map(|v| 1.0 - v / 20.0).collect();
+        let chart = ascii_chart("test", &x, &[("up", up), ("down", down)], 8);
+        assert!(chart.contains('1'));
+        assert!(chart.contains('2'));
+        assert!(chart.contains("[1] up"));
+        let empty = ascii_chart("none", &[], &[], 5);
+        assert!(empty.contains("no data"));
+    }
+}

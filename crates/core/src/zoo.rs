@@ -1,0 +1,200 @@
+//! The paper's two evaluation networks (Table 1), built exactly to the
+//! shapes that Table 1 / Table 3 imply.
+//!
+//! * **LeNet** (MNIST): conv1 5×5×20 → pool2 → conv2 5×5×50 → pool2 →
+//!   fc1 800→500 → relu → fc2 500→10. Weight matrices: 25×20, 500×50,
+//!   800×500, 500×10.
+//! * **ConvNet** (CIFAR-10, the Caffe "quick" model): conv1 5×5×32 pad 2 →
+//!   pool(3,2,ceil) → relu → conv2 5×5×32 pad 2 → relu → pool → conv3
+//!   5×5×64 pad 2 → relu → pool → fc1 1024→10. Weight matrices: 75×32,
+//!   800×32, 800×64, 1024×10.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use scissor_data::{synth_cifar, synth_mnist, Dataset, SynthOptions};
+use scissor_nn::{Network, NetworkBuilder};
+
+/// Which evaluation network to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// LeNet on (synth-)MNIST.
+    LeNet,
+    /// The CIFAR-10 "quick" ConvNet on (synth-)CIFAR.
+    ConvNet,
+}
+
+impl ModelKind {
+    /// Input tensor shape `(c, h, w)`.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        match self {
+            ModelKind::LeNet => (1, 28, 28),
+            ModelKind::ConvNet => (3, 32, 32),
+        }
+    }
+
+    /// Builds the Xavier-initialized network.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Network {
+        match self {
+            ModelKind::LeNet => NetworkBuilder::new(self.input_shape())
+                .conv("conv1", 20, 5, 1, 0, rng)
+                .maxpool(2, 2)
+                .conv("conv2", 50, 5, 1, 0, rng)
+                .maxpool(2, 2)
+                .linear("fc1", 500, rng)
+                .relu()
+                .linear("fc2", 10, rng)
+                .build(),
+            ModelKind::ConvNet => NetworkBuilder::new(self.input_shape())
+                .conv("conv1", 32, 5, 1, 2, rng)
+                .maxpool_ceil(3, 2)
+                .relu()
+                .conv("conv2", 32, 5, 1, 2, rng)
+                .relu()
+                .maxpool_ceil(3, 2)
+                .conv("conv3", 64, 5, 1, 2, rng)
+                .relu()
+                .maxpool_ceil(3, 2)
+                .linear("fc1", 10, rng)
+                .build(),
+        }
+    }
+
+    /// Layers rank clipping targets — everything except the final
+    /// classifier, whose rank already equals the class count (§4.1).
+    pub fn clip_layers(&self) -> Vec<String> {
+        match self {
+            ModelKind::LeNet => vec!["conv1".into(), "conv2".into(), "fc1".into()],
+            ModelKind::ConvNet => vec!["conv1".into(), "conv2".into(), "conv3".into()],
+        }
+    }
+
+    /// The final classifier layer (kept dense).
+    pub fn classifier_layer(&self) -> &'static str {
+        match self {
+            ModelKind::LeNet => "fc2",
+            ModelKind::ConvNet => "fc1",
+        }
+    }
+
+    /// `(name, fan_in, fan_out)` of every weight layer, in network order —
+    /// the shapes behind Table 1 and Table 3.
+    pub fn layer_shapes(&self) -> Vec<(&'static str, usize, usize)> {
+        match self {
+            ModelKind::LeNet => {
+                vec![("conv1", 25, 20), ("conv2", 500, 50), ("fc1", 800, 500), ("fc2", 500, 10)]
+            }
+            ModelKind::ConvNet => {
+                vec![("conv1", 75, 32), ("conv2", 800, 32), ("conv3", 800, 64), ("fc1", 1024, 10)]
+            }
+        }
+    }
+
+    /// The per-layer ranks the paper reports for rank clipping without
+    /// accuracy loss (Table 1) — used to lock analytic reproductions.
+    pub fn paper_clipped_ranks(&self) -> Vec<(&'static str, usize)> {
+        match self {
+            ModelKind::LeNet => vec![("conv1", 5), ("conv2", 12), ("fc1", 36)],
+            ModelKind::ConvNet => vec![("conv1", 12), ("conv2", 19), ("conv3", 22)],
+        }
+    }
+
+    /// Generates the matching synthetic dataset (see DESIGN.md §3).
+    pub fn dataset(&self, n: usize, seed: u64, opts: SynthOptions) -> Dataset {
+        match self {
+            ModelKind::LeNet => synth_mnist(n, seed, opts),
+            ModelKind::ConvNet => synth_cifar(n, seed, opts),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::LeNet => "LeNet",
+            ModelKind::ConvNet => "ConvNet",
+        }
+    }
+
+    /// The dataset the paper pairs with this model.
+    pub fn dataset_name(&self) -> &'static str {
+        match self {
+            ModelKind::LeNet => "MNIST (synthetic stand-in)",
+            ModelKind::ConvNet => "CIFAR-10 (synthetic stand-in)",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scissor_nn::Layer as _;
+
+    #[test]
+    fn lenet_weight_shapes_match_table1() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ModelKind::LeNet.build(&mut rng);
+        for (name, fan_in, fan_out) in ModelKind::LeNet.layer_shapes() {
+            let w = net.layer(name).unwrap().weight_matrix().unwrap();
+            assert_eq!(w.shape(), (fan_in, fan_out), "layer {name}");
+        }
+        assert_eq!(net.output_shape(), (10, 1, 1));
+    }
+
+    #[test]
+    fn convnet_weight_shapes_match_table3() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ModelKind::ConvNet.build(&mut rng);
+        for (name, fan_in, fan_out) in ModelKind::ConvNet.layer_shapes() {
+            let w = net.layer(name).unwrap().weight_matrix().unwrap();
+            assert_eq!(w.shape(), (fan_in, fan_out), "layer {name}");
+        }
+        // The spatial pyramid must be 32 → 16 → 8 → 4 so fc1 sees 1024.
+        assert_eq!(net.output_shape(), (10, 1, 1));
+    }
+
+    #[test]
+    fn clip_layers_exclude_classifier() {
+        for kind in [ModelKind::LeNet, ModelKind::ConvNet] {
+            let clip = kind.clip_layers();
+            assert!(!clip.contains(&kind.classifier_layer().to_string()));
+            assert_eq!(clip.len(), kind.layer_shapes().len() - 1);
+        }
+    }
+
+    #[test]
+    fn paper_ranks_are_beneficial_under_eq2() {
+        for kind in [ModelKind::LeNet, ModelKind::ConvNet] {
+            let shapes = kind.layer_shapes();
+            for (name, k) in kind.paper_clipped_ranks() {
+                let (_, n, m) = *shapes.iter().find(|(l, _, _)| *l == name).unwrap();
+                assert!(
+                    k <= scissor_linalg::max_beneficial_rank(n, m),
+                    "{kind}/{name}: paper rank {k} must satisfy Eq. (2)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn datasets_have_matching_shapes() {
+        let d = ModelKind::LeNet.dataset(10, 1, SynthOptions::default());
+        assert_eq!(d.sample_shape(), ModelKind::LeNet.input_shape());
+        let d = ModelKind::ConvNet.dataset(10, 1, SynthOptions::default());
+        assert_eq!(d.sample_shape(), ModelKind::ConvNet.input_shape());
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(ModelKind::LeNet.to_string(), "LeNet");
+        assert_eq!(ModelKind::ConvNet.name(), "ConvNet");
+        assert!(ModelKind::ConvNet.dataset_name().contains("CIFAR"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Labeled image dataset container and batching.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use scissor_nn::Tensor4;
+
+/// A labeled image classification dataset.
+///
+/// Images are stored as one NCHW tensor; `labels[i]` is the class of sample
+/// `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor4,
+    labels: Vec<usize>,
+    class_count: usize,
+}
+
+impl Dataset {
+    /// Bundles images and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the image batch dimension or
+    /// any label is `>= class_count`.
+    pub fn new(images: Tensor4, labels: Vec<usize>, class_count: usize) -> Self {
+        assert_eq!(images.batch(), labels.len(), "images/labels length mismatch");
+        assert!(
+            labels.iter().all(|&l| l < class_count),
+            "label out of range for {class_count} classes"
+        );
+        Self { images, labels, class_count }
+    }
+
+    /// The image tensor, `(len, c, h, w)`.
+    pub fn images(&self) -> &Tensor4 {
+        &self.images
+    }
+
+    /// Per-sample class labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-sample shape `(c, h, w)`.
+    pub fn sample_shape(&self) -> (usize, usize, usize) {
+        let (_, c, h, w) = self.images.shape();
+        (c, h, w)
+    }
+
+    /// Extracts the samples at `indices` (clones pixel data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let images = self.images.gather(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset { images, labels, class_count: self.class_count }
+    }
+
+    /// Splits into `(first n, rest)` without shuffling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point beyond dataset");
+        let head: Vec<usize> = (0..n).collect();
+        let tail: Vec<usize> = (n..self.len()).collect();
+        (self.subset(&head), self.subset(&tail))
+    }
+
+    /// Produces one epoch of shuffled mini-batch index lists.
+    ///
+    /// The final batch may be smaller than `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn shuffled_batches<R: Rng + ?Sized>(
+        &self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        order.chunks(batch_size).map(<[usize]>::to_vec).collect()
+    }
+
+    /// Materializes the batch at `indices` as `(images, labels)`.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor4, Vec<usize>) {
+        let images = self.images.gather(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        (images, labels)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.class_count];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor4::from_vec(n, 1, 1, 1, (0..n).map(|i| i as f32).collect());
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3)
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let d = toy(7);
+        assert_eq!(d.len(), 7);
+        assert!(!d.is_empty());
+        assert_eq!(d.sample_shape(), (1, 1, 1));
+        assert_eq!(d.class_count(), 3);
+        assert_eq!(d.class_histogram(), vec![3, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn labels_validated() {
+        let images = Tensor4::zeros(1, 1, 1, 1);
+        let _ = Dataset::new(images, vec![5], 3);
+    }
+
+    #[test]
+    fn subset_and_split() {
+        let d = toy(10);
+        let s = d.subset(&[9, 0, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.images().sample(0)[0], 9.0);
+        assert_eq!(s.labels()[1], 0);
+        let (a, b) = d.split_at(6);
+        assert_eq!(a.len(), 6);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.images().sample(0)[0], 6.0);
+    }
+
+    #[test]
+    fn shuffled_batches_cover_every_sample_once() {
+        let d = toy(23);
+        let mut rng = StdRng::seed_from_u64(5);
+        let batches = d.shuffled_batches(5, &mut rng);
+        assert_eq!(batches.len(), 5);
+        assert_eq!(batches.last().unwrap().len(), 3);
+        let mut seen: Vec<usize> = batches.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_materializes_pairs() {
+        let d = toy(5);
+        let (images, labels) = d.batch(&[4, 1]);
+        assert_eq!(images.batch(), 2);
+        assert_eq!(images.sample(0)[0], 4.0);
+        assert_eq!(labels, vec![1, 1]);
+    }
+}

@@ -1,0 +1,205 @@
+//! IDX file-format parsing (the format of the real MNIST distribution).
+//!
+//! When real MNIST files are present on disk the reproduction can run on
+//! them instead of synth-MNIST; this module parses the classic
+//! `train-images-idx3-ubyte` / `train-labels-idx1-ubyte` files.
+
+use std::fs;
+use std::path::Path;
+
+use scissor_nn::Tensor4;
+
+use crate::dataset::Dataset;
+
+/// Errors from IDX parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IdxError {
+    /// The magic number did not match the expected IDX type.
+    BadMagic {
+        /// Magic value found in the header.
+        found: u32,
+    },
+    /// The buffer is shorter than its header promises.
+    Truncated,
+    /// Image and label files disagree on the sample count.
+    CountMismatch {
+        /// Number of images.
+        images: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// Underlying I/O failure (message only, to stay `Clone`/`Eq`).
+    Io(String),
+}
+
+impl std::fmt::Display for IdxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdxError::BadMagic { found } => write!(f, "bad idx magic number {found:#010x}"),
+            IdxError::Truncated => write!(f, "idx buffer shorter than header promises"),
+            IdxError::CountMismatch { images, labels } => {
+                write!(f, "{images} images but {labels} labels")
+            }
+            IdxError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IdxError {}
+
+fn read_u32(buf: &[u8], at: usize) -> Result<u32, IdxError> {
+    let bytes: [u8; 4] = buf.get(at..at + 4).ok_or(IdxError::Truncated)?.try_into().expect("sliced 4");
+    Ok(u32::from_be_bytes(bytes))
+}
+
+/// Parses an IDX3 (images) buffer into `(count, rows, cols, pixels 0–1)`.
+///
+/// # Errors
+///
+/// Returns [`IdxError::BadMagic`] for non-IDX3 data and
+/// [`IdxError::Truncated`] when the pixel payload is short.
+pub fn parse_idx3(buf: &[u8]) -> Result<(usize, usize, usize, Vec<f32>), IdxError> {
+    let magic = read_u32(buf, 0)?;
+    if magic != 0x0000_0803 {
+        return Err(IdxError::BadMagic { found: magic });
+    }
+    let count = read_u32(buf, 4)? as usize;
+    let rows = read_u32(buf, 8)? as usize;
+    let cols = read_u32(buf, 12)? as usize;
+    let need = 16 + count * rows * cols;
+    if buf.len() < need {
+        return Err(IdxError::Truncated);
+    }
+    let pixels = buf[16..need].iter().map(|&b| b as f32 / 255.0).collect();
+    Ok((count, rows, cols, pixels))
+}
+
+/// Parses an IDX1 (labels) buffer.
+///
+/// # Errors
+///
+/// Returns [`IdxError::BadMagic`] for non-IDX1 data and
+/// [`IdxError::Truncated`] when the label payload is short.
+pub fn parse_idx1(buf: &[u8]) -> Result<Vec<usize>, IdxError> {
+    let magic = read_u32(buf, 0)?;
+    if magic != 0x0000_0801 {
+        return Err(IdxError::BadMagic { found: magic });
+    }
+    let count = read_u32(buf, 4)? as usize;
+    let need = 8 + count;
+    if buf.len() < need {
+        return Err(IdxError::Truncated);
+    }
+    Ok(buf[8..need].iter().map(|&b| b as usize).collect())
+}
+
+/// Combines parsed image and label buffers into a [`Dataset`].
+///
+/// # Errors
+///
+/// Returns [`IdxError::CountMismatch`] when the files disagree.
+pub fn dataset_from_idx(images: &[u8], labels: &[u8]) -> Result<Dataset, IdxError> {
+    let (count, rows, cols, pixels) = parse_idx3(images)?;
+    let labels = parse_idx1(labels)?;
+    if labels.len() != count {
+        return Err(IdxError::CountMismatch { images: count, labels: labels.len() });
+    }
+    let tensor = Tensor4::from_vec(count, 1, rows, cols, pixels);
+    let classes = labels.iter().copied().max().map_or(1, |m| m + 1);
+    Ok(Dataset::new(tensor, labels, classes.max(10)))
+}
+
+/// Loads MNIST from a directory holding the four standard files; returns
+/// `None` when the files are absent (callers then fall back to synth-MNIST).
+///
+/// # Errors
+///
+/// Returns an error only when the files exist but are malformed.
+pub fn load_mnist_dir(dir: &Path) -> Result<Option<(Dataset, Dataset)>, IdxError> {
+    let paths = [
+        dir.join("train-images-idx3-ubyte"),
+        dir.join("train-labels-idx1-ubyte"),
+        dir.join("t10k-images-idx3-ubyte"),
+        dir.join("t10k-labels-idx1-ubyte"),
+    ];
+    if !paths.iter().all(|p| p.exists()) {
+        return Ok(None);
+    }
+    let read = |p: &Path| fs::read(p).map_err(|e| IdxError::Io(e.to_string()));
+    let train = dataset_from_idx(&read(&paths[0])?, &read(&paths[1])?)?;
+    let test = dataset_from_idx(&read(&paths[2])?, &read(&paths[3])?)?;
+    Ok(Some((train, test)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx3(count: usize, rows: usize, cols: usize, pixels: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0x0000_0803_u32.to_be_bytes());
+        buf.extend_from_slice(&(count as u32).to_be_bytes());
+        buf.extend_from_slice(&(rows as u32).to_be_bytes());
+        buf.extend_from_slice(&(cols as u32).to_be_bytes());
+        buf.extend_from_slice(pixels);
+        buf
+    }
+
+    fn idx1(labels: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0x0000_0801_u32.to_be_bytes());
+        buf.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        buf.extend_from_slice(labels);
+        buf
+    }
+
+    #[test]
+    fn parses_well_formed_files() {
+        let images = idx3(2, 2, 2, &[0, 255, 128, 0, 255, 255, 0, 0]);
+        let labels = idx1(&[3, 7]);
+        let d = dataset_from_idx(&images, &labels).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.sample_shape(), (1, 2, 2));
+        assert_eq!(d.labels(), &[3, 7]);
+        assert!((d.images().sample(0)[1] - 1.0).abs() < 1e-6);
+        assert!((d.images().sample(0)[2] - 128.0 / 255.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut images = idx3(1, 1, 1, &[0]);
+        images[3] = 0x99;
+        assert!(matches!(parse_idx3(&images), Err(IdxError::BadMagic { .. })));
+        let mut labels = idx1(&[1]);
+        labels[3] = 0x03; // idx3 magic in an idx1 slot
+        assert!(matches!(parse_idx1(&labels), Err(IdxError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn rejects_truncated_payloads() {
+        let mut images = idx3(2, 2, 2, &[0; 8]);
+        images.truncate(20);
+        assert_eq!(parse_idx3(&images), Err(IdxError::Truncated));
+        let mut labels = idx1(&[1, 2, 3]);
+        labels.truncate(9);
+        assert_eq!(parse_idx1(&labels), Err(IdxError::Truncated));
+        assert_eq!(parse_idx3(&[1, 2]), Err(IdxError::Truncated));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let images = idx3(2, 1, 1, &[0, 1]);
+        let labels = idx1(&[5]);
+        assert!(matches!(
+            dataset_from_idx(&images, &labels),
+            Err(IdxError::CountMismatch { images: 2, labels: 1 })
+        ));
+    }
+
+    #[test]
+    fn missing_directory_yields_none() {
+        let result = load_mnist_dir(Path::new("/definitely/not/here")).unwrap();
+        assert!(result.is_none());
+    }
+}

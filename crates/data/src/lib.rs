@@ -1,0 +1,36 @@
+//! # scissor-data
+//!
+//! Datasets for the [Group Scissor (DAC 2017)] reproduction: a labeled
+//! image [`Dataset`] container with shuffled mini-batching, procedural
+//! [`synth_mnist`]/[`synth_cifar`] generators standing in for the paper's
+//! MNIST and CIFAR-10 (see DESIGN.md §3 for why the substitution preserves
+//! the experiments' meaning), and an [`idx`] parser so real MNIST files are
+//! used automatically when present.
+//!
+//! [Group Scissor (DAC 2017)]: https://arxiv.org/abs/1702.03443
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use scissor_data::{synth_mnist, SynthOptions};
+//!
+//! let data = synth_mnist(100, 42, SynthOptions::default());
+//! let (train, test) = data.split_at(80);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let batches = train.shuffled_batches(16, &mut rng);
+//! assert_eq!(batches.len(), 5);
+//! let (images, labels) = train.batch(&batches[0]);
+//! assert_eq!(images.batch(), labels.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod synth;
+
+pub mod idx;
+
+pub use dataset::Dataset;
+pub use synth::{synth_cifar, synth_mnist, SynthOptions};

@@ -1,0 +1,63 @@
+//! Property-based tests for dataset generation and batching.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scissor_data::{synth_cifar, synth_mnist, SynthOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synth_mnist_pixels_in_range_and_labels_cycle(n in 0usize..60, seed in 0u64..500) {
+        let d = synth_mnist(n, seed, SynthOptions::default());
+        prop_assert_eq!(d.len(), n);
+        prop_assert!(d.images().as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        for (i, &l) in d.labels().iter().enumerate() {
+            prop_assert_eq!(l, i % 10);
+        }
+    }
+
+    #[test]
+    fn synth_cifar_pixels_in_range(n in 0usize..30, seed in 0u64..500) {
+        let d = synth_cifar(n, seed, SynthOptions::default());
+        prop_assert_eq!(d.sample_shape(), (3, 32, 32));
+        prop_assert!(d.images().as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn batches_partition_dataset(n in 1usize..120, batch in 1usize..40, seed in 0u64..500) {
+        let d = synth_mnist(n, 3, SynthOptions::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batches = d.shuffled_batches(batch, &mut rng);
+        let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // All but the last batch are full.
+        for b in &batches[..batches.len().saturating_sub(1)] {
+            prop_assert_eq!(b.len(), batch.min(n));
+        }
+    }
+
+    #[test]
+    fn subset_preserves_pairing(n in 2usize..60, seed in 0u64..500) {
+        let d = synth_mnist(n, 5, SynthOptions::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = d.shuffled_batches((n / 2).max(1), &mut rng).remove(0);
+        let s = d.subset(&idx);
+        for (si, &di) in idx.iter().enumerate() {
+            prop_assert_eq!(s.labels()[si], d.labels()[di]);
+            prop_assert_eq!(s.images().sample(si), d.images().sample(di));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_makes_class_templates_deterministic_per_sample(seed in 0u64..200) {
+        // With jitter 0 and noise 0, two samples of the same class are
+        // pixel-identical.
+        let opts = SynthOptions { noise: 0.0, jitter: 0.0 };
+        let d = synth_mnist(20, seed, opts);
+        prop_assert_eq!(d.images().sample(0), d.images().sample(10));
+        prop_assert_eq!(d.images().sample(3), d.images().sample(13));
+    }
+}

@@ -1,0 +1,298 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA (the paper's Algorithm 1) needs the full spectrum of an `M × M`
+//! covariance/Gram matrix where `M ≤ 1024` for every layer of LeNet and
+//! ConvNet — squarely in the regime where Jacobi iteration is simple, robust
+//! and accurate. All arithmetic is `f64`; the public API converts from/to the
+//! workspace's `f32` [`Matrix`].
+
+use crate::error::{LinalgError, Result};
+use crate::Matrix;
+
+/// Maximum number of full Jacobi sweeps before reporting non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+/// Result of a symmetric eigendecomposition: `A = V · diag(λ) · Vᵀ`.
+///
+/// Eigenvalues are sorted in descending order; `vectors` holds the matching
+/// eigenvectors as columns.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, same order as `values`.
+    pub vectors: Matrix,
+}
+
+impl SymEig {
+    /// Reconstructs `V · diag(λ) · Vᵀ` (mainly useful in tests).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.vectors.rows();
+        let k = self.values.len();
+        let mut scaled = self.vectors.clone();
+        for j in 0..k {
+            let lam = self.values[j] as f32;
+            for i in 0..n {
+                scaled[(i, j)] *= lam;
+            }
+        }
+        scaled.matmul_nt(&self.vectors)
+    }
+}
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// Symmetry is enforced by averaging `A` with `Aᵀ`; callers passing an
+/// asymmetric matrix get the decomposition of `(A + Aᵀ)/2`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] for non-square input and
+/// [`LinalgError::NoConvergence`] if the off-diagonal mass has not vanished
+/// after the sweep budget (does not happen for well-scaled covariance
+/// matrices).
+///
+/// # Examples
+///
+/// ```
+/// use scissor_linalg::{sym_eig, Matrix};
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let eig = sym_eig(&a)?;
+/// assert!((eig.values[0] - 3.0).abs() < 1e-9);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-9);
+/// # Ok::<(), scissor_linalg::LinalgError>(())
+/// ```
+pub fn sym_eig(a: &Matrix) -> Result<SymEig> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (a.rows(), a.rows()),
+            actual: a.shape(),
+            op: "sym_eig",
+        });
+    }
+    let n = a.rows();
+    let mut buf = vec![0.0_f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            buf[i * n + j] = 0.5 * (a[(i, j)] as f64 + a[(j, i)] as f64);
+        }
+    }
+    let (values, vectors) = sym_eig_f64(&mut buf, n)?;
+    Ok(SymEig { values, vectors: Matrix::from_f64_vec(n, n, &vectors) })
+}
+
+/// Jacobi eigendecomposition over a raw `f64` buffer (row-major `n × n`,
+/// destroyed in place). Returns `(eigenvalues desc, eigenvectors col-major as
+/// row-major n×n matrix)`.
+pub(crate) fn sym_eig_f64(a: &mut [f64], n: usize) -> Result<(Vec<f64>, Vec<f64>)> {
+    let mut v = vec![0.0_f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    if n <= 1 {
+        let values = if n == 1 { vec![a[0]] } else { vec![] };
+        return Ok((values, v));
+    }
+
+    let frob: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if frob == 0.0 {
+        return Ok((vec![0.0; n], v));
+    }
+    let tol = 1e-14 * frob;
+
+    for sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[p * n + q] * a[p * n + q];
+            }
+        }
+        if off.sqrt() <= tol {
+            return Ok(finish(a, v, n));
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                // Classic Jacobi rotation: choose t = tan θ that annihilates a_pq.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q of A (symmetric two-sided rotation).
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate the rotation into V (columns are eigenvectors).
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // One final tolerance check at a looser bound: Jacobi converges
+    // quadratically, so landing here with tiny residual off-diagonals is
+    // still a usable answer.
+    let mut off = 0.0_f64;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            off += a[p * n + q] * a[p * n + q];
+        }
+    }
+    if off.sqrt() <= 1e-8 * frob {
+        return Ok(finish(a, v, n));
+    }
+    Err(LinalgError::NoConvergence { solver: "jacobi eigensolver", sweeps: MAX_SWEEPS })
+}
+
+fn finish(a: &[f64], v: Vec<f64>, n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[j * n + j].partial_cmp(&a[i * n + i]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| a[i * n + i]).collect();
+    let mut vectors = vec![0.0_f64; n * n];
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors[row * n + new_col] = v[row * n + old_col];
+        }
+    }
+    (values, vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f32]]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = mat(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]]);
+        let e = sym_eig(&a).unwrap();
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] - 5.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_by_two_known_spectrum() {
+        let a = mat(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = sym_eig(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-9);
+        assert!((e.values[1] - 1.0).abs() < 1e-9);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-5);
+        assert!((v0[0] - v0[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = mat(&[
+            &[4.0, 1.0, -2.0, 0.5],
+            &[1.0, 3.0, 0.0, 1.5],
+            &[-2.0, 0.0, 5.0, -1.0],
+            &[0.5, 1.5, -1.0, 2.0],
+        ]);
+        let e = sym_eig(&a).unwrap();
+        let r = e.reconstruct();
+        assert!(a.relative_error(&r) < 1e-9, "relative error {}", a.relative_error(&r));
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_fn(12, 12, |i, j| {
+            let x = ((i * 7 + j * 3) % 13) as f32 - 6.0;
+            let y = ((j * 7 + i * 3) % 13) as f32 - 6.0;
+            0.5 * (x + y)
+        });
+        let e = sym_eig(&a).unwrap();
+        let vtv = e.vectors.matmul_tn(&e.vectors);
+        for i in 0..12 {
+            for j in 0..12 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-4, "V'V[{i},{j}]={}", vtv[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_fn(9, 9, |i, j| {
+            let v = ((i * j + i + j) % 5) as f32;
+            if i == j { v + 4.0 } else { v * 0.5 }
+        });
+        let sym = a.add(&a.transpose()).map(|v| v * 0.5);
+        let e = sym_eig(&sym).unwrap();
+        let trace: f64 = (0..9).map(|i| sym[(i, i)] as f64).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn psd_gram_has_nonnegative_spectrum() {
+        let w = Matrix::from_fn(20, 8, |i, j| ((i * 5 + j * 11) % 17) as f32 * 0.1 - 0.8);
+        let g = w.gram_f64();
+        let gm = Matrix::from_f64_vec(8, 8, &g);
+        let e = sym_eig(&gm).unwrap();
+        for &v in &e.values {
+            assert!(v > -1e-6, "negative eigenvalue {v} for a Gram matrix");
+        }
+        // descending
+        for pair in e.values.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            sym_eig(&Matrix::zeros(2, 3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_matrix_and_tiny_sizes() {
+        let e = sym_eig(&Matrix::zeros(4, 4)).unwrap();
+        assert!(e.values.iter().all(|&v| v == 0.0));
+        let e1 = sym_eig(&Matrix::filled(1, 1, 7.0)).unwrap();
+        assert_eq!(e1.values, vec![7.0]);
+        let e0 = sym_eig(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e0.values.is_empty());
+    }
+
+    #[test]
+    fn asymmetric_input_is_symmetrized() {
+        let a = mat(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let e = sym_eig(&a).unwrap();
+        // Spectrum of [[1,1],[1,1]] is {2, 0}.
+        assert!((e.values[0] - 2.0).abs() < 1e-9);
+        assert!(e.values[1].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,184 @@
+//! Low-rank factor pairs and the crossbar-area admissibility test of Eq. (2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{LinalgError, Result};
+use crate::Matrix;
+
+/// A rank-`K` factorization `W̃ = U · Vᵀ` of an `N × M` weight matrix.
+///
+/// `U` is `N × K` (implemented as a crossbar array with `N` inputs and `K`
+/// outputs) and `V` is `M × K` (its transpose becomes the second crossbar
+/// array with `K` inputs and `M` outputs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LowRank {
+    u: Matrix,
+    v: Matrix,
+}
+
+impl LowRank {
+    /// Bundles a factor pair after validating shape compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the inner (rank)
+    /// dimensions of `u` and `v` differ.
+    pub fn new(u: Matrix, v: Matrix) -> Result<Self> {
+        if u.cols() != v.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (v.rows(), u.cols()),
+                actual: v.shape(),
+                op: "low-rank pair",
+            });
+        }
+        Ok(Self { u, v })
+    }
+
+    /// The `N × K` left factor.
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// The `M × K` right factor.
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Mutable left factor (used by training loops that update in place).
+    pub fn u_mut(&mut self) -> &mut Matrix {
+        &mut self.u
+    }
+
+    /// Mutable right factor.
+    pub fn v_mut(&mut self) -> &mut Matrix {
+        &mut self.v
+    }
+
+    /// Consumes the pair, returning `(U, V)`.
+    pub fn into_parts(self) -> (Matrix, Matrix) {
+        (self.u, self.v)
+    }
+
+    /// The rank `K` of the factorization.
+    pub fn rank(&self) -> usize {
+        self.u.cols()
+    }
+
+    /// Shape `(N, M)` of the matrix the pair represents.
+    pub fn represented_shape(&self) -> (usize, usize) {
+        (self.u.rows(), self.v.rows())
+    }
+
+    /// Materializes `W̃ = U · Vᵀ`.
+    pub fn compose(&self) -> Matrix {
+        self.u.matmul_nt(&self.v)
+    }
+
+    /// Synapse (memristor cell) count of the factored implementation:
+    /// `N·K + K·M`.
+    pub fn synapse_count(&self) -> usize {
+        let (n, m) = self.represented_shape();
+        let k = self.rank();
+        n * k + k * m
+    }
+
+    /// Synapse count of the dense implementation: `N·M`.
+    pub fn dense_synapse_count(&self) -> usize {
+        let (n, m) = self.represented_shape();
+        n * m
+    }
+
+    /// Whether the factorization satisfies Eq. (2), `K < NM / (N + M)`,
+    /// i.e. the two skinny crossbars need fewer cells than the dense one.
+    pub fn saves_area(&self) -> bool {
+        let (n, m) = self.represented_shape();
+        let k = self.rank();
+        (k * (n + m)) < n * m
+    }
+
+    /// Factored-over-dense area ratio (`< 1.0` iff [`LowRank::saves_area`]).
+    pub fn area_ratio(&self) -> f64 {
+        let dense = self.dense_synapse_count();
+        if dense == 0 {
+            return 0.0;
+        }
+        self.synapse_count() as f64 / dense as f64
+    }
+}
+
+/// Largest rank `K` that still reduces crossbar area for an `N × M` matrix
+/// (the strict inequality of Eq. (2)); `0` when no rank saves area.
+///
+/// # Examples
+///
+/// ```
+/// // For a square 64×64 matrix, K must stay below 32.
+/// assert_eq!(scissor_linalg::max_beneficial_rank(64, 64), 31);
+/// ```
+pub fn max_beneficial_rank(n: usize, m: usize) -> usize {
+    if n + m == 0 {
+        return 0;
+    }
+    let bound = (n * m) as f64 / (n + m) as f64;
+    let k = bound.ceil() as usize;
+    // Strict inequality: back off when bound is an exact integer.
+    if k as f64 == bound { k.saturating_sub(1) } else { k - 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synapse_counts_match_hand_computation() {
+        // LeNet fc1 at the paper's clipped rank: 800×500 @ K=36.
+        let lr = LowRank::new(Matrix::zeros(800, 36), Matrix::zeros(500, 36)).unwrap();
+        assert_eq!(lr.synapse_count(), 800 * 36 + 36 * 500);
+        assert_eq!(lr.dense_synapse_count(), 400_000);
+        assert!(lr.saves_area());
+        assert!((lr.area_ratio() - 46_800.0 / 400_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_boundary_exact() {
+        // N=M=64: NM/(N+M) = 32 exactly; K=32 must NOT save area, K=31 must.
+        let at = LowRank::new(Matrix::zeros(64, 32), Matrix::zeros(64, 32)).unwrap();
+        assert!(!at.saves_area());
+        let below = LowRank::new(Matrix::zeros(64, 31), Matrix::zeros(64, 31)).unwrap();
+        assert!(below.saves_area());
+        assert_eq!(max_beneficial_rank(64, 64), 31);
+    }
+
+    #[test]
+    fn max_beneficial_rank_non_integer_bound() {
+        // N=25, M=20 (LeNet conv1): bound = 500/45 ≈ 11.11 → K ≤ 11.
+        assert_eq!(max_beneficial_rank(25, 20), 11);
+        let k11 = LowRank::new(Matrix::zeros(25, 11), Matrix::zeros(20, 11)).unwrap();
+        assert!(k11.saves_area());
+        let k12 = LowRank::new(Matrix::zeros(25, 12), Matrix::zeros(20, 12)).unwrap();
+        assert!(!k12.saves_area());
+    }
+
+    #[test]
+    fn compose_round_trips_through_factors() {
+        let u = Matrix::from_fn(6, 2, |i, j| (i + j) as f32 * 0.5);
+        let v = Matrix::from_fn(4, 2, |i, j| (i as f32) - j as f32);
+        let lr = LowRank::new(u.clone(), v.clone()).unwrap();
+        let w = lr.compose();
+        assert_eq!(w.shape(), (6, 4));
+        assert!((w[(2, 1)] - (u.row(2)[0] * v.row(1)[0] + u.row(2)[1] * v.row(1)[1])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_ranks_rejected() {
+        assert!(LowRank::new(Matrix::zeros(5, 3), Matrix::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(max_beneficial_rank(0, 0), 0);
+        assert_eq!(max_beneficial_rank(1, 1), 0); // 1/(2) = 0.5 → no rank helps
+        let lr = LowRank::new(Matrix::zeros(0, 0), Matrix::zeros(0, 0)).unwrap();
+        assert_eq!(lr.area_ratio(), 0.0);
+    }
+}

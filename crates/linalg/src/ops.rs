@@ -1,0 +1,323 @@
+//! Matrix-multiplication kernels.
+//!
+//! Three layouts cover every product the workspace needs without ever
+//! materializing a transpose:
+//!
+//! * [`Matrix::matmul`] — `C = A · B`
+//! * [`Matrix::matmul_nt`] — `C = A · Bᵀ`
+//! * [`Matrix::matmul_tn`] — `C = Aᵀ · B`
+//!
+//! All kernels are cache-aware (row-major friendly loop orders) and switch to
+//! a crossbeam scoped-thread row-parallel path once the flop count crosses
+//! [`PARALLEL_FLOP_THRESHOLD`]. Accumulation is `f32`; the matrices in this
+//! workspace are small enough (≤ a few thousand per dimension) that this is
+//! well within training noise.
+
+use crate::Matrix;
+
+/// Products smaller than this many fused multiply-adds run single-threaded;
+/// the thread-spawn overhead dominates below it.
+pub const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
+
+fn thread_count(work: usize) -> usize {
+    if work < PARALLEL_FLOP_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+/// Runs `body(row_start, out_rows_chunk)` over disjoint row chunks of `out`,
+/// in parallel when the problem is big enough.
+fn parallel_rows<F>(out: &mut Matrix, work: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let threads = thread_count(work);
+    let rows = out.rows();
+    let cols = out.cols();
+    if threads <= 1 || rows < 2 {
+        body(0, out.as_mut_slice());
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    let data = out.as_mut_slice();
+    crossbeam::scope(|scope| {
+        for (idx, chunk) in data.chunks_mut(chunk_rows * cols).enumerate() {
+            let body = &body;
+            scope.spawn(move |_| body(idx * chunk_rows, chunk));
+        }
+    })
+    .expect("matmul worker thread panicked");
+}
+
+impl Matrix {
+    /// Matrix product `C = A · B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scissor_linalg::Matrix;
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    /// let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+    /// assert_eq!(a.matmul(&b), Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    /// ```
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul dimension mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let (n, k, m) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Matrix::zeros(n, m);
+        let work = n * k * m;
+        parallel_rows(&mut out, work, |row0, chunk| {
+            let chunk_rows = chunk.len() / m.max(1);
+            for local_i in 0..chunk_rows {
+                let i = row0 + local_i;
+                let out_row = &mut chunk[local_i * m..(local_i + 1) * m];
+                let a_row = self.row(i);
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = rhs.row(p);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ip * b;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Matrix product with transposed right-hand side: `C = A · Bᵀ`.
+    ///
+    /// `B` is given untransposed (`m × k` for an `n × k` left operand), which
+    /// lets both operands stream row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            rhs.cols(),
+            "matmul_nt dimension mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            rhs.shape()
+        );
+        let (n, k, m) = (self.rows(), self.cols(), rhs.rows());
+        let mut out = Matrix::zeros(n, m);
+        let work = n * k * m;
+        parallel_rows(&mut out, work, |row0, chunk| {
+            let chunk_rows = chunk.len() / m.max(1);
+            for local_i in 0..chunk_rows {
+                let i = row0 + local_i;
+                let a_row = self.row(i);
+                let out_row = &mut chunk[local_i * m..(local_i + 1) * m];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = rhs.row(j);
+                    let mut acc = 0.0_f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// Matrix product with transposed left-hand side: `C = Aᵀ · B`.
+    ///
+    /// `A` is given untransposed (`k × n` for a `k × m` right operand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            rhs.rows(),
+            "matmul_tn dimension mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let (k, n, m) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Matrix::zeros(n, m);
+        let work = n * k * m;
+        // Row-parallel over C's rows (= A's columns): each thread scans all of
+        // A and B but only writes its own C rows, so no synchronization needed.
+        parallel_rows(&mut out, work, |row0, chunk| {
+            let chunk_rows = chunk.len() / m.max(1);
+            for p in 0..k {
+                let a_row = self.row(p);
+                let b_row = rhs.row(p);
+                for local_i in 0..chunk_rows {
+                    let a_pi = a_row[row0 + local_i];
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut chunk[local_i * m..(local_i + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a_pi * b;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Matrix–vector product `y = A · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols(), "matvec dimension mismatch");
+        (0..self.rows())
+            .map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Gram matrix `AᵀA` computed in `f64` (used by PCA / SVD front-ends).
+    ///
+    /// Returns a row-major `cols × cols` buffer.
+    pub fn gram_f64(&self) -> Vec<f64> {
+        let (n, m) = self.shape();
+        let mut g = vec![0.0_f64; m * m];
+        for i in 0..n {
+            let row = self.row(i);
+            for a in 0..m {
+                let ra = row[a] as f64;
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..m {
+                    g[a * m + b] += ra * row[b] as f64;
+                }
+            }
+        }
+        for a in 0..m {
+            for b in 0..a {
+                g[a * m + b] = g[b * m + a];
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for p in 0..a.cols() {
+                    acc += a[(i, p)] * b[(p, j)];
+                }
+                c[(i, j)] = acc;
+            }
+        }
+        c
+    }
+
+    fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = Matrix::from_fn(4, 6, |i, j| (i * 7 + j) as f32 * 0.1);
+        let b = Matrix::from_fn(6, 3, |i, j| (i as f32) - (j as f32) * 0.3);
+        assert!(close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_matches_naive_large_parallel_path() {
+        // 160*160*160 > PARALLEL_FLOP_THRESHOLD forces the threaded path.
+        let a = Matrix::from_fn(160, 160, |i, j| ((i * j) % 17) as f32 * 0.05 - 0.4);
+        let b = Matrix::from_fn(160, 160, |i, j| ((i + 3 * j) % 13) as f32 * 0.07 - 0.4);
+        assert!(close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-2));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Matrix::from_fn(5, 8, |i, j| (i + j) as f32 * 0.2);
+        let b = Matrix::from_fn(7, 8, |i, j| (i as f32 * 0.3) - j as f32 * 0.1);
+        assert!(close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Matrix::from_fn(8, 5, |i, j| (2 * i + j) as f32 * 0.1);
+        let b = Matrix::from_fn(8, 6, |i, j| (i as f32 * 0.2) + j as f32 * 0.4);
+        assert!(close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_tn_parallel_path_matches() {
+        let a = Matrix::from_fn(200, 90, |i, j| ((i * 31 + j) % 11) as f32 * 0.09 - 0.45);
+        let b = Matrix::from_fn(200, 70, |i, j| ((i + 5 * j) % 9) as f32 * 0.11 - 0.44);
+        assert!(close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-2));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f32);
+        assert!(close(&a.matmul(&Matrix::identity(6)), &a, 0.0));
+        assert!(close(&Matrix::identity(6).matmul(&a), &a, 0.0));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f32);
+        let x = vec![1.0, -1.0, 0.5];
+        let xm = Matrix::from_vec(3, 1, x.clone()).unwrap();
+        let y = a.matvec(&x);
+        let ym = a.matmul(&xm);
+        for i in 0..4 {
+            assert!((y[i] - ym[(i, 0)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let a = Matrix::from_fn(10, 4, |i, j| ((i * j + 1) % 7) as f32 - 3.0);
+        let g = a.gram_f64();
+        for i in 0..4 {
+            assert!(g[i * 4 + i] >= 0.0);
+            for j in 0..4 {
+                assert!((g[i * 4 + j] - g[j * 4 + i]).abs() < 1e-12);
+            }
+        }
+        // Diagonal entries are squared column norms.
+        for j in 0..4 {
+            let col_norm_sq: f64 = a.col(j).iter().map(|&v| (v as f64).powi(2)).sum();
+            assert!((g[j * 4 + j] - col_norm_sq).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let _ = Matrix::zeros(2, 3).matmul(&Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn empty_products() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        assert_eq!(a.matmul(&b).shape(), (0, 4));
+    }
+}

@@ -1,0 +1,256 @@
+//! Network surgery: replacing dense layers by low-rank factored layers.
+//!
+//! Used two ways:
+//!
+//! * **Direct LRA** (the paper's Table 1 baseline): factorize a trained
+//!   network's layers post-hoc at fixed ranks, *without* retraining —
+//!   accuracy collapses, motivating rank clipping;
+//! * **full-rank conversion** (Algorithm 2, line 1–3): replace each layer's
+//!   `W` by an exact `U·Vᵀ` with `K = M`, the starting point for iterative
+//!   clipping.
+
+use scissor_linalg::Matrix;
+use scissor_nn::layers::{Conv2d, Linear, LowRankConv2d, LowRankLinear};
+use scissor_nn::{Layer as _, Network};
+
+use crate::error::{LraError, Result};
+use crate::method::LraMethod;
+
+/// Describes what kind of weight a layer currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Dense convolution.
+    Conv,
+    /// Dense fully-connected.
+    Linear,
+    /// Already factored (either flavor).
+    LowRank,
+    /// No weight matrix (pool, relu, …).
+    Stateless,
+}
+
+/// Classifies a layer by name.
+///
+/// # Errors
+///
+/// Returns [`LraError::UnknownLayer`] if the layer does not exist.
+pub fn layer_kind(net: &Network, name: &str) -> Result<LayerKind> {
+    let layer = net.layer(name).ok_or_else(|| LraError::UnknownLayer { name: name.into() })?;
+    let any = layer.as_any();
+    if any.is::<Conv2d>() {
+        Ok(LayerKind::Conv)
+    } else if any.is::<Linear>() {
+        Ok(LayerKind::Linear)
+    } else if layer.low_rank_factors().is_some() {
+        Ok(LayerKind::LowRank)
+    } else {
+        Ok(LayerKind::Stateless)
+    }
+}
+
+/// The fan-out `M` of a layer's weight matrix (dense or composed low-rank).
+///
+/// # Errors
+///
+/// Returns [`LraError::UnknownLayer`] / [`LraError::NotFactorizable`].
+pub fn layer_fan_out(net: &Network, name: &str) -> Result<usize> {
+    let layer = net.layer(name).ok_or_else(|| LraError::UnknownLayer { name: name.into() })?;
+    if let Some(w) = layer.weight_matrix() {
+        return Ok(w.cols());
+    }
+    if let Some((_, v)) = layer.low_rank_factors() {
+        return Ok(v.rows());
+    }
+    Err(LraError::NotFactorizable { name: name.into() })
+}
+
+/// Current rank of a layer: `K` for low-rank layers, `M` for dense ones.
+///
+/// # Errors
+///
+/// Returns [`LraError::UnknownLayer`] / [`LraError::NotFactorizable`].
+pub fn layer_rank(net: &Network, name: &str) -> Result<usize> {
+    let layer = net.layer(name).ok_or_else(|| LraError::UnknownLayer { name: name.into() })?;
+    if let Some((u, _)) = layer.low_rank_factors() {
+        return Ok(u.cols());
+    }
+    if let Some(w) = layer.weight_matrix() {
+        return Ok(w.cols());
+    }
+    Err(LraError::NotFactorizable { name: name.into() })
+}
+
+/// Replaces the dense layer `name` with its rank-`k` factorization.
+///
+/// Works on [`Conv2d`] and [`Linear`]; a layer that is already low-rank is
+/// re-factored from its *composed* weight (used by Direct LRA on arbitrary
+/// checkpoints).
+///
+/// # Errors
+///
+/// Returns [`LraError::NotFactorizable`] for stateless layers and
+/// propagates factorization failures.
+pub fn factorize_layer(
+    net: &mut Network,
+    name: &str,
+    k: usize,
+    method: LraMethod,
+) -> Result<()> {
+    let layer = net.layer(name).ok_or_else(|| LraError::UnknownLayer { name: name.into() })?;
+    let any = layer.as_any();
+    if let Some(conv) = any.downcast_ref::<Conv2d>() {
+        let w = conv.weight_matrix().expect("dense conv has a weight");
+        let (u, v) = method.factorize(w, k)?;
+        let replacement = conv.to_low_rank(u, v);
+        net.replace_layer(name, Box::new(replacement))?;
+        return Ok(());
+    }
+    if let Some(lin) = any.downcast_ref::<Linear>() {
+        let w = lin.weight_matrix().expect("dense linear has a weight");
+        let (u, v) = method.factorize(w, k)?;
+        let replacement = lin.to_low_rank(u, v);
+        net.replace_layer(name, Box::new(replacement))?;
+        return Ok(());
+    }
+    if let Some(lr) = any.downcast_ref::<LowRankConv2d>() {
+        let w = lr.composed_weight();
+        let bias = bias_of(net, name)?;
+        let (u, v) = method.factorize(&w, k)?;
+        let geom = lr.geometry();
+        let replacement = LowRankConv2d::from_factors(name.to_string(), geom, u, v, bias);
+        net.replace_layer(name, Box::new(replacement))?;
+        return Ok(());
+    }
+    if let Some(lr) = any.downcast_ref::<LowRankLinear>() {
+        let w = lr.composed_weight();
+        let bias = bias_of(net, name)?;
+        let (u, v) = method.factorize(&w, k)?;
+        let replacement = LowRankLinear::from_factors(name.to_string(), u, v, bias);
+        net.replace_layer(name, Box::new(replacement))?;
+        return Ok(());
+    }
+    Err(LraError::NotFactorizable { name: name.into() })
+}
+
+fn bias_of(net: &Network, layer: &str) -> Result<Matrix> {
+    net.param(&format!("{layer}.bias"))
+        .map(|p| p.value().clone())
+        .ok_or_else(|| LraError::NotFactorizable { name: layer.into() })
+}
+
+/// Converts each named dense layer to an exact full-rank factorization
+/// (`K = M`) — Algorithm 2's initialization. Layers already low-rank are
+/// left untouched.
+///
+/// # Errors
+///
+/// Propagates per-layer factorization failures.
+pub fn to_full_rank(net: &mut Network, layers: &[String], method: LraMethod) -> Result<()> {
+    for name in layers {
+        if layer_kind(net, name)? == LayerKind::LowRank {
+            continue;
+        }
+        let m = layer_fan_out(net, name)?;
+        factorize_layer(net, name, m, method)?;
+    }
+    Ok(())
+}
+
+/// The Direct LRA baseline: factorizes every `(layer, rank)` pair post-hoc,
+/// without retraining (Table 1's accuracy-collapse row).
+///
+/// # Errors
+///
+/// Propagates per-layer failures.
+pub fn direct_lra(net: &mut Network, ranks: &[(String, usize)], method: LraMethod) -> Result<()> {
+    for (name, k) in ranks {
+        factorize_layer(net, name, *k, method)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scissor_nn::{NetworkBuilder, Phase, Tensor4};
+
+    fn net() -> Network {
+        let mut rng = StdRng::seed_from_u64(3);
+        NetworkBuilder::new((1, 8, 8))
+            .conv("conv1", 6, 3, 1, 0, &mut rng)
+            .maxpool(2, 2)
+            .linear("fc1", 12, &mut rng)
+            .relu()
+            .linear("fc2", 4, &mut rng)
+            .build()
+    }
+
+    #[test]
+    fn kinds_are_classified() {
+        let n = net();
+        assert_eq!(layer_kind(&n, "conv1").unwrap(), LayerKind::Conv);
+        assert_eq!(layer_kind(&n, "fc1").unwrap(), LayerKind::Linear);
+        assert_eq!(layer_kind(&n, "pool1").unwrap(), LayerKind::Stateless);
+        assert!(layer_kind(&n, "nope").is_err());
+    }
+
+    #[test]
+    fn full_rank_conversion_preserves_outputs() {
+        let mut n = net();
+        let x = Tensor4::from_vec(2, 1, 8, 8, (0..128).map(|i| (i % 11) as f32 * 0.1).collect());
+        let before = n.forward(&x, Phase::Eval);
+        to_full_rank(&mut n, &["conv1".into(), "fc1".into()], LraMethod::Pca).unwrap();
+        assert_eq!(layer_kind(&n, "conv1").unwrap(), LayerKind::LowRank);
+        assert_eq!(layer_rank(&n, "conv1").unwrap(), 6);
+        let after = n.forward(&x, Phase::Eval);
+        let diff = before
+            .as_slice()
+            .iter()
+            .zip(after.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-3, "full-rank factorization must be (near-)exact, diff={diff}");
+    }
+
+    #[test]
+    fn direct_lra_truncates_ranks() {
+        let mut n = net();
+        direct_lra(
+            &mut n,
+            &[("conv1".to_string(), 2), ("fc1".to_string(), 3)],
+            LraMethod::Pca,
+        )
+        .unwrap();
+        assert_eq!(layer_rank(&n, "conv1").unwrap(), 2);
+        assert_eq!(layer_rank(&n, "fc1").unwrap(), 3);
+        // fc2 untouched.
+        assert_eq!(layer_kind(&n, "fc2").unwrap(), LayerKind::Linear);
+    }
+
+    #[test]
+    fn refactorizing_a_low_rank_layer_works() {
+        let mut n = net();
+        factorize_layer(&mut n, "fc1", 5, LraMethod::Pca).unwrap();
+        factorize_layer(&mut n, "fc1", 2, LraMethod::Svd).unwrap();
+        assert_eq!(layer_rank(&n, "fc1").unwrap(), 2);
+    }
+
+    #[test]
+    fn stateless_layer_is_rejected() {
+        let mut n = net();
+        assert!(matches!(
+            factorize_layer(&mut n, "pool1", 2, LraMethod::Pca),
+            Err(LraError::NotFactorizable { .. })
+        ));
+    }
+
+    #[test]
+    fn fan_out_and_rank_queries() {
+        let n = net();
+        assert_eq!(layer_fan_out(&n, "fc2").unwrap(), 4);
+        assert_eq!(layer_rank(&n, "fc2").unwrap(), 4);
+        assert!(layer_fan_out(&n, "relu1").is_err());
+    }
+}

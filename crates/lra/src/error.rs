@@ -1,0 +1,79 @@
+//! Error type for the rank-clipping crate.
+
+use std::error::Error;
+use std::fmt;
+
+use scissor_linalg::LinalgError;
+use scissor_nn::NnError;
+
+/// Errors produced by `scissor-lra` operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LraError {
+    /// The named layer does not exist in the network.
+    UnknownLayer {
+        /// Requested layer name.
+        name: String,
+    },
+    /// The named layer is neither dense-factorizable nor low-rank.
+    NotFactorizable {
+        /// Offending layer name.
+        name: String,
+    },
+    /// A linear-algebra failure (solver non-convergence, bad rank).
+    Linalg(LinalgError),
+    /// A network-surgery failure.
+    Nn(NnError),
+}
+
+impl fmt::Display for LraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LraError::UnknownLayer { name } => write!(f, "unknown layer `{name}`"),
+            LraError::NotFactorizable { name } => {
+                write!(f, "layer `{name}` has no factorizable weight matrix")
+            }
+            LraError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            LraError::Nn(e) => write!(f, "network surgery failure: {e}"),
+        }
+    }
+}
+
+impl Error for LraError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LraError::Linalg(e) => Some(e),
+            LraError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for LraError {
+    fn from(e: LinalgError) -> Self {
+        LraError::Linalg(e)
+    }
+}
+
+impl From<NnError> for LraError {
+    fn from(e: NnError) -> Self {
+        LraError::Nn(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LraError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_sources() {
+        let e = LraError::UnknownLayer { name: "convX".into() };
+        assert!(e.to_string().contains("convX"));
+        let e = LraError::from(LinalgError::InvalidRank { requested: 5, max: 2 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("invalid rank"));
+    }
+}

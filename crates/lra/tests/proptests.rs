@@ -1,0 +1,92 @@
+//! Property-based tests for the LRA back-ends and network surgery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scissor_linalg::Matrix;
+use scissor_lra::{factorize_layer, layer_rank, LraMethod};
+use scissor_nn::{NetworkBuilder, Phase, Tensor4};
+
+fn matrix_strategy() -> impl Strategy<Value = Matrix> {
+    (2usize..20, 2usize..12).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(-1.0f32..1.0, n * m)
+            .prop_map(move |data| Matrix::from_vec(n, m, data).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clip_respects_eps_for_both_methods(w in matrix_strategy(), eps in 0.001f64..0.5) {
+        for method in [LraMethod::Pca, LraMethod::Svd] {
+            let (k, u, v) = method.clip(&w, eps).expect("clip");
+            prop_assert!(k >= 1 && k <= w.cols());
+            let err = w.relative_error(&u.matmul_nt(&v));
+            prop_assert!(err <= eps + 1e-4, "{method}: err {err} > eps {eps}");
+        }
+    }
+
+    #[test]
+    fn min_rank_monotone_in_eps(w in matrix_strategy(), e1 in 0.001f64..0.1, e2 in 0.1f64..0.9) {
+        for method in [LraMethod::Pca, LraMethod::Svd] {
+            let tight = method.min_rank_for_error(&w, e1).expect("rank");
+            let loose = method.min_rank_for_error(&w, e2).expect("rank");
+            prop_assert!(loose <= tight);
+        }
+    }
+
+    #[test]
+    fn factorize_layer_changes_rank_but_not_output_much(
+        seed in 0u64..300,
+        keep_ratio in 0.5f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = NetworkBuilder::new((1, 4, 4))
+            .linear("fc", 8, &mut rng)
+            .build();
+        let x = Tensor4::from_vec(
+            2,
+            1,
+            4,
+            4,
+            (0..32).map(|i| (((i * 7 + seed as usize) % 11) as f32 - 5.0) * 0.1).collect(),
+        );
+        let before = net.forward(&x, Phase::Eval);
+        let full = layer_rank(&net, "fc").expect("rank");
+        let k = ((full as f64 * keep_ratio).round() as usize).max(1);
+        factorize_layer(&mut net, "fc", k, LraMethod::Pca).expect("factorize");
+        prop_assert_eq!(layer_rank(&net, "fc").expect("rank"), k);
+        let after = net.forward(&x, Phase::Eval);
+        // Output difference is bounded by the spectrum tail; at high keep
+        // ratios it must stay small relative to the signal.
+        let num: f64 = before
+            .as_slice()
+            .iter()
+            .zip(after.as_slice())
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum();
+        let den: f64 = before.as_slice().iter().map(|a| (*a as f64).powi(2)).sum();
+        if k == full {
+            prop_assert!(num <= 1e-6 * (1.0 + den), "full rank must be exact");
+        }
+    }
+
+    #[test]
+    fn svd_and_pca_agree_on_exact_low_rank(true_rank in 1usize..5, seed in 0u64..300) {
+        let n = 14;
+        let m = 9;
+        let u = Matrix::from_fn(n, true_rank, |i, j| {
+            (((i * 13 + j * 7 + seed as usize) % 17) as f32 - 8.0) * 0.1
+        });
+        let v = Matrix::from_fn(m, true_rank, |i, j| {
+            (((i * 11 + j * 5 + seed as usize) % 13) as f32 - 6.0) * 0.1
+        });
+        let w = u.matmul_nt(&v);
+        prop_assume!(w.frobenius_norm() > 1e-3);
+        let k_pca = LraMethod::Pca.min_rank_for_error(&w, 1e-9).expect("pca");
+        let k_svd = LraMethod::Svd.min_rank_for_error(&w, 1e-9).expect("svd");
+        prop_assert_eq!(k_pca, k_svd);
+        prop_assert!(k_pca <= true_rank);
+    }
+}

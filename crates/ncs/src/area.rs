@@ -1,0 +1,237 @@
+//! Crossbar (synapse) area accounting — reproduces §4.1's headline numbers.
+//!
+//! A dense `N × M` layer occupies `N·M` memristor cells; its rank-`K`
+//! factored implementation occupies `N·K + K·M` cells split across the `U`
+//! and `V` crossbar arrays. Multiplying by the 4 F² cell area of Table 2
+//! yields the crossbar area; the paper reports ratios, which are
+//! cell-area-independent.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::CrossbarSpec;
+
+/// Hardware implementation choice for one layer's weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Implementation {
+    /// A dense `N × M` crossbar array.
+    Dense,
+    /// Two factored arrays `U (N×K)` and `Vᵀ (K×M)` from rank clipping.
+    LowRank {
+        /// The clipped rank `K`.
+        rank: usize,
+    },
+}
+
+/// One layer's logical shape plus its chosen implementation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerPlan {
+    /// Layer name, e.g. `"conv1"`.
+    pub name: String,
+    /// Fan-in `N` (rows of the weight matrix, crossbar inputs).
+    pub fan_in: usize,
+    /// Fan-out `M` (columns: filters or output neurons).
+    pub fan_out: usize,
+    /// Dense or rank-clipped implementation.
+    pub implementation: Implementation,
+}
+
+impl LayerPlan {
+    /// Dense layer plan.
+    pub fn dense(name: impl Into<String>, fan_in: usize, fan_out: usize) -> Self {
+        Self { name: name.into(), fan_in, fan_out, implementation: Implementation::Dense }
+    }
+
+    /// Rank-clipped layer plan.
+    pub fn low_rank(name: impl Into<String>, fan_in: usize, fan_out: usize, rank: usize) -> Self {
+        Self {
+            name: name.into(),
+            fan_in,
+            fan_out,
+            implementation: Implementation::LowRank { rank },
+        }
+    }
+
+    /// Memristor cells of the dense implementation (`N·M`).
+    pub fn dense_cells(&self) -> usize {
+        self.fan_in * self.fan_out
+    }
+
+    /// Memristor cells of the chosen implementation.
+    pub fn implemented_cells(&self) -> usize {
+        match self.implementation {
+            Implementation::Dense => self.dense_cells(),
+            Implementation::LowRank { rank } => rank * (self.fan_in + self.fan_out),
+        }
+    }
+
+    /// Implemented-over-dense cell ratio for this layer.
+    pub fn area_ratio(&self) -> f64 {
+        let dense = self.dense_cells();
+        if dense == 0 {
+            return 0.0;
+        }
+        self.implemented_cells() as f64 / dense as f64
+    }
+}
+
+/// Per-network crossbar-area report (the data behind Fig. 7 and the
+/// 13.62 % / 51.81 % headline reductions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    layers: Vec<LayerPlan>,
+    cell_area_f2: f64,
+}
+
+impl AreaReport {
+    /// Builds a report over a network's layer plans using `spec`'s cell area.
+    pub fn new(layers: Vec<LayerPlan>, spec: &CrossbarSpec) -> Self {
+        Self { layers, cell_area_f2: spec.cell_area_f2() }
+    }
+
+    /// The layer plans in network order.
+    pub fn layers(&self) -> &[LayerPlan] {
+        &self.layers
+    }
+
+    /// Total cells of the dense network.
+    pub fn total_dense_cells(&self) -> usize {
+        self.layers.iter().map(LayerPlan::dense_cells).sum()
+    }
+
+    /// Total cells of the implemented (possibly rank-clipped) network.
+    pub fn total_implemented_cells(&self) -> usize {
+        self.layers.iter().map(LayerPlan::implemented_cells).sum()
+    }
+
+    /// Whole-network crossbar-area ratio: implemented / dense.
+    ///
+    /// For LeNet at the paper's clipped ranks this is 13.62 %; for ConvNet,
+    /// 51.81 % (locked in by unit tests below).
+    pub fn total_ratio(&self) -> f64 {
+        let dense = self.total_dense_cells();
+        if dense == 0 {
+            return 0.0;
+        }
+        self.total_implemented_cells() as f64 / dense as f64
+    }
+
+    /// Total implemented crossbar area in `F²`.
+    pub fn total_area_f2(&self) -> f64 {
+        self.cell_area_f2 * self.total_implemented_cells() as f64
+    }
+
+    /// Per-layer `(name, ratio)` pairs, the series plotted in Fig. 7.
+    pub fn layer_ratios(&self) -> Vec<(&str, f64)> {
+        self.layers.iter().map(|l| (l.name.as_str(), l.area_ratio())).collect()
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<10} {:>12} {:>14} {:>9}", "layer", "dense cells", "mapped cells", "ratio")?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "{:<10} {:>12} {:>14} {:>8.2}%",
+                l.name,
+                l.dense_cells(),
+                l.implemented_cells(),
+                100.0 * l.area_ratio()
+            )?;
+        }
+        write!(
+            f,
+            "{:<10} {:>12} {:>14} {:>8.2}%",
+            "total",
+            self.total_dense_cells(),
+            self.total_implemented_cells(),
+            100.0 * self.total_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// LeNet layer shapes with the paper's rank-clipped ranks (Table 1).
+    fn lenet_clipped() -> Vec<LayerPlan> {
+        vec![
+            LayerPlan::low_rank("conv1", 25, 20, 5),
+            LayerPlan::low_rank("conv2", 500, 50, 12),
+            LayerPlan::low_rank("fc1", 800, 500, 36),
+            LayerPlan::dense("fc2", 500, 10),
+        ]
+    }
+
+    /// ConvNet layer shapes with the paper's rank-clipped ranks (Table 1).
+    fn convnet_clipped() -> Vec<LayerPlan> {
+        vec![
+            LayerPlan::low_rank("conv1", 75, 32, 12),
+            LayerPlan::low_rank("conv2", 800, 32, 19),
+            LayerPlan::low_rank("conv3", 800, 64, 22),
+            LayerPlan::dense("fc1", 1024, 10),
+        ]
+    }
+
+    #[test]
+    fn paper_headline_lenet_crossbar_area_13_62_percent() {
+        let report = AreaReport::new(lenet_clipped(), &CrossbarSpec::default());
+        assert_eq!(report.total_dense_cells(), 430_500);
+        assert_eq!(report.total_implemented_cells(), 58_625);
+        let pct = 100.0 * report.total_ratio();
+        assert!((pct - 13.62).abs() < 0.005, "LeNet crossbar area {pct:.4}% != 13.62%");
+    }
+
+    #[test]
+    fn paper_headline_convnet_crossbar_area_51_81_percent() {
+        let report = AreaReport::new(convnet_clipped(), &CrossbarSpec::default());
+        assert_eq!(report.total_dense_cells(), 89_440);
+        assert_eq!(report.total_implemented_cells(), 46_340);
+        let pct = 100.0 * report.total_ratio();
+        assert!((pct - 51.81).abs() < 0.005, "ConvNet crossbar area {pct:.4}% != 51.81%");
+    }
+
+    #[test]
+    fn layer_cells_match_hand_computation() {
+        let l = LayerPlan::low_rank("fc1", 800, 500, 36);
+        assert_eq!(l.dense_cells(), 400_000);
+        assert_eq!(l.implemented_cells(), 36 * 1300);
+        let d = LayerPlan::dense("fc2", 500, 10);
+        assert_eq!(d.implemented_cells(), 5_000);
+        assert_eq!(d.area_ratio(), 1.0);
+    }
+
+    #[test]
+    fn area_in_f2_uses_cell_area() {
+        let spec = CrossbarSpec::default();
+        let report = AreaReport::new(vec![LayerPlan::dense("x", 10, 10)], &spec);
+        assert_eq!(report.total_area_f2(), 400.0);
+    }
+
+    #[test]
+    fn layer_ratios_series() {
+        let report = AreaReport::new(lenet_clipped(), &CrossbarSpec::default());
+        let ratios = report.layer_ratios();
+        assert_eq!(ratios.len(), 4);
+        assert_eq!(ratios[3].1, 1.0); // dense last layer
+        // conv1: 225/500
+        assert!((ratios[0].1 - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_total_row() {
+        let report = AreaReport::new(lenet_clipped(), &CrossbarSpec::default());
+        let s = report.to_string();
+        assert!(s.contains("total"));
+        assert!(s.contains("13.62%"));
+    }
+
+    #[test]
+    fn empty_report_is_zero_ratio() {
+        let report = AreaReport::new(vec![], &CrossbarSpec::default());
+        assert_eq!(report.total_ratio(), 0.0);
+    }
+}

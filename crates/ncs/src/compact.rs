@@ -1,0 +1,283 @@
+//! Post-deletion crossbar compaction — the paper's closing observation
+//! made concrete.
+//!
+//! After group connection deletion, many crossbars contain all-zero rows
+//! and columns (deleted groups), and some are entirely empty. Fig. 9's
+//! discussion notes that *"a crossbar with some zero columns/rows can be
+//! replaced by a smaller but dense crossbar after removing those zero
+//! groups, which can further reduce the crossbar area"*. This module
+//! performs that replacement: it re-plans each crossbar of a tiled matrix
+//! as the minimal dense crossbar holding its live rows × live columns, and
+//! reports the extra synapse-area savings on top of rank clipping.
+
+use serde::{Deserialize, Serialize};
+
+use scissor_linalg::Matrix;
+
+use crate::error::Result;
+use crate::spec::CrossbarSpec;
+use crate::tiling::Tiling;
+
+/// One crossbar after compaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactedBlock {
+    /// Grid position in the original array.
+    pub grid: (usize, usize),
+    /// Original crossbar dimensions (rows, cols actually occupied).
+    pub original: (usize, usize),
+    /// Live (non-deleted) rows and columns — the compacted crossbar size.
+    pub compacted: (usize, usize),
+    /// Indices of surviving matrix rows (absolute row numbers).
+    pub live_rows: Vec<usize>,
+    /// Indices of surviving matrix columns (absolute column numbers).
+    pub live_cols: Vec<usize>,
+}
+
+impl CompactedBlock {
+    /// Whether the crossbar disappears entirely.
+    pub fn is_removed(&self) -> bool {
+        self.compacted.0 == 0 || self.compacted.1 == 0
+    }
+
+    /// Memristor cells of the compacted crossbar.
+    pub fn cells(&self) -> usize {
+        self.compacted.0 * self.compacted.1
+    }
+
+    /// Cells of the original (pre-compaction) crossbar.
+    pub fn original_cells(&self) -> usize {
+        self.original.0 * self.original.1
+    }
+
+    /// Extracts the dense weight block programmed into the compacted
+    /// crossbar (live rows × live cols of `weights`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is smaller than the recorded indices (cannot
+    /// happen for the matrix the layout was computed from).
+    pub fn extract(&self, weights: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.live_rows.len(), self.live_cols.len());
+        for (oi, &i) in self.live_rows.iter().enumerate() {
+            for (oj, &j) in self.live_cols.iter().enumerate() {
+                out[(oi, oj)] = weights[(i, j)];
+            }
+        }
+        out
+    }
+}
+
+/// The compacted layout of one tiled weight matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompactedLayout {
+    name: String,
+    blocks: Vec<CompactedBlock>,
+    original_cells: usize,
+}
+
+impl CompactedLayout {
+    /// Compacts `weights` under `tiling`: per crossbar, all-zero rows and
+    /// columns (within `zero_tol`) are dropped and the remainder re-packed
+    /// dense.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `weights` does not match the tiling's shape.
+    pub fn plan(
+        name: impl Into<String>,
+        weights: &Matrix,
+        tiling: &Tiling,
+        zero_tol: f32,
+    ) -> Result<Self> {
+        if weights.shape() != tiling.matrix_shape() {
+            return Err(crate::error::NcsError::EmptyMatrix { shape: weights.shape() });
+        }
+        let mut blocks = Vec::with_capacity(tiling.crossbar_count());
+        for b in tiling.blocks() {
+            let live_rows: Vec<usize> = (b.row_start..b.row_end)
+                .filter(|&i| {
+                    weights.row(i)[b.col_start..b.col_end].iter().any(|v| v.abs() > zero_tol)
+                })
+                .collect();
+            let live_cols: Vec<usize> = (b.col_start..b.col_end)
+                .filter(|&j| {
+                    (b.row_start..b.row_end).any(|i| weights[(i, j)].abs() > zero_tol)
+                })
+                .collect();
+            blocks.push(CompactedBlock {
+                grid: b.grid,
+                original: (b.rows(), b.cols()),
+                compacted: (live_rows.len(), live_cols.len()),
+                live_rows,
+                live_cols,
+            });
+        }
+        Ok(Self { name: name.into(), blocks, original_cells: tiling.occupied_cells() })
+    }
+
+    /// Matrix / layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All per-crossbar compaction results.
+    pub fn blocks(&self) -> &[CompactedBlock] {
+        &self.blocks
+    }
+
+    /// Crossbars removed entirely.
+    pub fn removed_crossbars(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_removed()).count()
+    }
+
+    /// Surviving crossbars.
+    pub fn surviving_crossbars(&self) -> usize {
+        self.blocks.len() - self.removed_crossbars()
+    }
+
+    /// Total memristor cells after compaction.
+    pub fn compacted_cells(&self) -> usize {
+        self.blocks.iter().map(CompactedBlock::cells).sum()
+    }
+
+    /// Compacted-over-original cell ratio (≤ 1).
+    pub fn cell_ratio(&self) -> f64 {
+        if self.original_cells == 0 {
+            return 0.0;
+        }
+        self.compacted_cells() as f64 / self.original_cells as f64
+    }
+
+    /// Compacted crossbar area in `F²`.
+    pub fn area_f2(&self, spec: &CrossbarSpec) -> f64 {
+        spec.synapse_area_f2(self.compacted_cells())
+    }
+
+    /// Reconstructs the full weight matrix from the compacted blocks —
+    /// verifying that compaction is lossless for the surviving weights.
+    pub fn reconstruct(&self, weights: &Matrix) -> Matrix {
+        let (n, k) = weights.shape();
+        let mut out = Matrix::zeros(n, k);
+        for b in &self.blocks {
+            let dense = b.extract(weights);
+            for (oi, &i) in b.live_rows.iter().enumerate() {
+                for (oj, &j) in b.live_cols.iter().enumerate() {
+                    out[(i, j)] = dense[(oi, oj)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for CompactedLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<10} crossbars {:>3} → {:<3} cells {:>7} → {:<7} ({:>6.2}%)",
+            self.name,
+            self.blocks.len(),
+            self.surviving_crossbars(),
+            self.original_cells,
+            self.compacted_cells(),
+            100.0 * self.cell_ratio(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::GroupPartition;
+
+    fn tiling(n: usize, k: usize) -> Tiling {
+        Tiling::plan(n, k, &CrossbarSpec::default()).expect("plan")
+    }
+
+    #[test]
+    fn dense_matrix_compacts_to_itself() {
+        let t = tiling(100, 30);
+        let w = Matrix::filled(100, 30, 1.0);
+        let layout = CompactedLayout::plan("w", &w, &t, 0.0).unwrap();
+        assert_eq!(layout.compacted_cells(), 3000);
+        assert_eq!(layout.cell_ratio(), 1.0);
+        assert_eq!(layout.removed_crossbars(), 0);
+        assert_eq!(layout.reconstruct(&w), w);
+    }
+
+    #[test]
+    fn zero_matrix_compacts_away() {
+        let t = tiling(100, 30);
+        let w = Matrix::zeros(100, 30);
+        let layout = CompactedLayout::plan("w", &w, &t, 0.0).unwrap();
+        assert_eq!(layout.compacted_cells(), 0);
+        assert_eq!(layout.removed_crossbars(), t.crossbar_count());
+        assert_eq!(layout.surviving_crossbars(), 0);
+    }
+
+    #[test]
+    fn group_deleted_matrix_shrinks_but_preserves_weights() {
+        let t = tiling(100, 30); // two 50×30 crossbars
+        let p = GroupPartition::from_tiling(&t);
+        let mut w = Matrix::from_fn(100, 30, |i, j| ((i + j) % 7) as f32 * 0.1 + 0.1);
+        // Delete the first 20 row groups and 10 col groups of block 0.
+        for g in p.row_groups().iter().take(20) {
+            g.zero(&mut w);
+        }
+        for g in p.col_groups().iter().take(10) {
+            g.zero(&mut w);
+        }
+        let layout = CompactedLayout::plan("w", &w, &t, 0.0).unwrap();
+        // Block (0,0): 50-20=30 live rows, 30-10=20 live cols.
+        let b0 = &layout.blocks()[0];
+        assert_eq!(b0.compacted, (30, 20));
+        assert_eq!(b0.cells(), 600);
+        // Block (1,0) untouched.
+        assert_eq!(layout.blocks()[1].compacted, (50, 30));
+        // Reconstruction returns exactly the deleted matrix.
+        assert_eq!(layout.reconstruct(&w), w);
+        // Cell accounting.
+        assert_eq!(layout.compacted_cells(), 600 + 1500);
+        assert!(layout.cell_ratio() < 1.0);
+    }
+
+    #[test]
+    fn extract_produces_dense_blocks() {
+        let t = tiling(4, 4);
+        let mut w = Matrix::zeros(4, 4);
+        w[(1, 1)] = 5.0;
+        w[(1, 3)] = 6.0;
+        w[(3, 1)] = 7.0;
+        let layout = CompactedLayout::plan("w", &w, &t, 0.0).unwrap();
+        let b = &layout.blocks()[0];
+        assert_eq!(b.compacted, (2, 2)); // rows {1,3}, cols {1,3}
+        let dense = b.extract(&w);
+        assert_eq!(dense[(0, 0)], 5.0);
+        assert_eq!(dense[(0, 1)], 6.0);
+        assert_eq!(dense[(1, 0)], 7.0);
+        assert_eq!(dense[(1, 1)], 0.0); // (3,3) was zero but row 3/col 3 live
+    }
+
+    #[test]
+    fn area_uses_spec_cell_area() {
+        let t = tiling(10, 10);
+        let w = Matrix::filled(10, 10, 1.0);
+        let layout = CompactedLayout::plan("w", &w, &t, 0.0).unwrap();
+        assert_eq!(layout.area_f2(&CrossbarSpec::default()), 400.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let t = tiling(10, 10);
+        assert!(CompactedLayout::plan("w", &Matrix::zeros(9, 10), &t, 0.0).is_err());
+    }
+
+    #[test]
+    fn display_contains_ratios() {
+        let t = tiling(10, 10);
+        let layout = CompactedLayout::plan("w", &Matrix::filled(10, 10, 1.0), &t, 0.0).unwrap();
+        let s = layout.to_string();
+        assert!(s.contains("100.00%"));
+        assert!(s.contains('w'));
+    }
+}

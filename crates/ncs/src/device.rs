@@ -1,0 +1,175 @@
+//! Memristor device non-ideality model (extension beyond the paper).
+//!
+//! The paper caps crossbars at 64×64 citing IR-drop and process-variation
+//! reliability studies ([10], [11] in the paper) but does not itself model
+//! device noise. This module adds a lightweight programming model so the
+//! robustness of compressed networks can be studied: weights are mapped to
+//! conductances, perturbed by lognormal programming variation, optionally
+//! quantized to discrete levels, and subject to stuck-at faults. The
+//! `ablation` benches use it to check that rank-clipped + group-deleted
+//! networks tolerate realistic write noise.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use scissor_linalg::Matrix;
+
+/// Configuration of the memristor programming model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Standard deviation of multiplicative lognormal programming noise
+    /// (0.0 disables). Typical published values are 0.05–0.2.
+    pub write_sigma: f64,
+    /// Number of discrete conductance levels per device (0 disables
+    /// quantization). TrueNorth-style designs use small level counts.
+    pub levels: u32,
+    /// Probability that a device is stuck at zero conductance.
+    pub stuck_at_zero: f64,
+    /// Probability that a device is stuck at maximum conductance.
+    pub stuck_at_max: f64,
+}
+
+impl DeviceModel {
+    /// An ideal device: programming is exact.
+    pub fn ideal() -> Self {
+        Self { write_sigma: 0.0, levels: 0, stuck_at_zero: 0.0, stuck_at_max: 0.0 }
+    }
+
+    /// A representative noisy memristor: 10 % lognormal write variation,
+    /// 64 conductance levels, 0.1 % stuck-at faults of each polarity.
+    pub fn realistic() -> Self {
+        Self { write_sigma: 0.1, levels: 64, stuck_at_zero: 0.001, stuck_at_max: 0.001 }
+    }
+
+    /// Whether the model introduces any non-ideality.
+    pub fn is_ideal(&self) -> bool {
+        self.write_sigma == 0.0
+            && self.levels == 0
+            && self.stuck_at_zero == 0.0
+            && self.stuck_at_max == 0.0
+    }
+
+    /// Simulates programming `weights` onto a crossbar, returning the
+    /// effective weights realized by the devices.
+    ///
+    /// Weights are scaled into the conductance range `[-w_max, w_max]`
+    /// (signed weights model a differential crossbar pair), quantized if
+    /// `levels > 0`, multiplied by lognormal noise, and overwritten by
+    /// stuck-at faults. Exact zeros stay zero under noise and quantization
+    /// (a deleted connection has no device), but stuck-at-max faults can
+    /// re-activate them — which is exactly the failure mode a deleted wire
+    /// avoids, so deleted *groups* should be excluded by the caller.
+    pub fn program<R: Rng + ?Sized>(&self, weights: &Matrix, rng: &mut R) -> Matrix {
+        if self.is_ideal() {
+            return weights.clone();
+        }
+        let w_max = weights.max_abs();
+        if w_max == 0.0 {
+            return weights.clone();
+        }
+        let mut out = weights.clone();
+        out.map_inplace(|w| {
+            let mut v = w;
+            if self.levels > 1 {
+                let step = 2.0 * w_max / (self.levels - 1) as f32;
+                v = (v / step).round() * step;
+            }
+            if v != 0.0 && self.write_sigma > 0.0 {
+                // Lognormal multiplicative noise via Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+                v *= (self.write_sigma * z).exp() as f32;
+            }
+            let fault: f64 = rng.gen_range(0.0..1.0);
+            if fault < self.stuck_at_zero {
+                v = 0.0;
+            } else if fault < self.stuck_at_zero + self.stuck_at_max {
+                v = if w >= 0.0 { w_max } else { -w_max };
+            }
+            v
+        });
+        out
+    }
+}
+
+impl Default for DeviceModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_model_is_identity() {
+        let w = Matrix::from_fn(6, 6, |i, j| (i as f32 - j as f32) * 0.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(DeviceModel::ideal().program(&w, &mut rng), w);
+        assert!(DeviceModel::ideal().is_ideal());
+        assert!(!DeviceModel::realistic().is_ideal());
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let w = Matrix::filled(20, 20, 0.5);
+        let model = DeviceModel { write_sigma: 0.1, ..DeviceModel::ideal() };
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = model.program(&w, &mut rng);
+        assert_ne!(p, w, "noise must perturb");
+        let err = w.relative_error(&p);
+        assert!(err < 0.1, "10% lognormal noise should stay near the original, err={err}");
+    }
+
+    #[test]
+    fn quantization_snaps_to_levels() {
+        let w = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f32 / 15.0);
+        let model = DeviceModel { levels: 3, ..DeviceModel::ideal() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = model.program(&w, &mut rng);
+        // Max is 1.0, so 3 levels over [-1,1] → step 1.0: values in {-1,0,1}.
+        for &v in p.as_slice() {
+            assert!(
+                (v - v.round()).abs() < 1e-6,
+                "quantized value {v} not on the level grid"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_zeros_stay_zero_without_faults() {
+        let mut w = Matrix::zeros(10, 10);
+        w[(0, 0)] = 1.0;
+        let model = DeviceModel { write_sigma: 0.3, levels: 16, ..DeviceModel::ideal() };
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = model.program(&w, &mut rng);
+        for i in 0..10 {
+            for j in 0..10 {
+                if (i, j) != (0, 0) {
+                    assert_eq!(p[(i, j)], 0.0, "deleted weight must stay deleted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_at_zero_kills_devices() {
+        let w = Matrix::filled(50, 50, 1.0);
+        let model = DeviceModel { stuck_at_zero: 0.5, ..DeviceModel::ideal() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = model.program(&w, &mut rng);
+        let zeros = p.count_near_zero(0.0);
+        assert!((800..1700).contains(&zeros), "~50% of 2500 devices should be stuck: {zeros}");
+    }
+
+    #[test]
+    fn zero_matrix_is_fixed_point() {
+        let w = Matrix::zeros(5, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(DeviceModel::realistic().program(&w, &mut rng), w);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the NCS hardware-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `scissor-ncs` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NcsError {
+    /// A matrix dimension was zero where hardware mapping needs at least one
+    /// row and one column.
+    EmptyMatrix {
+        /// Shape that was provided.
+        shape: (usize, usize),
+    },
+    /// The crossbar specification is degenerate (zero-sized crossbars).
+    InvalidSpec {
+        /// Human-readable description of the invalid field.
+        reason: &'static str,
+    },
+    /// A group index was out of range for the partition.
+    InvalidGroup {
+        /// Requested group index.
+        index: usize,
+        /// Number of groups available.
+        len: usize,
+    },
+}
+
+impl fmt::Display for NcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NcsError::EmptyMatrix { shape } => {
+                write!(f, "cannot map an empty {}x{} matrix onto crossbars", shape.0, shape.1)
+            }
+            NcsError::InvalidSpec { reason } => write!(f, "invalid crossbar spec: {reason}"),
+            NcsError::InvalidGroup { index, len } => {
+                write!(f, "group index {index} out of range for {len} groups")
+            }
+        }
+    }
+}
+
+impl Error for NcsError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, NcsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NcsError::EmptyMatrix { shape: (0, 3) }.to_string().contains("0x3"));
+        assert!(NcsError::InvalidSpec { reason: "zero rows" }.to_string().contains("zero rows"));
+        assert!(NcsError::InvalidGroup { index: 5, len: 2 }.to_string().contains('5'));
+    }
+}

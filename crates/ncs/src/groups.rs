@@ -1,0 +1,318 @@
+//! Crossbar-aligned weight groups — the structures regularized by group
+//! connection deletion (paper §3.2, Fig. 4).
+//!
+//! Tiling an `N × K` matrix into `P × Q` crossbars splits the weights into
+//! **row groups** (one crossbar row: a `1 × Q` slice feeding one input wire)
+//! and **column groups** (one crossbar column: a `P × 1` slice driving one
+//! output wire). Every weight belongs to exactly one row group and one
+//! column group (the paper's Eq. 5). Deleting an all-zero group deletes the
+//! corresponding inter-crossbar routing wire.
+
+use serde::{Deserialize, Serialize};
+
+use scissor_linalg::Matrix;
+
+use crate::error::{NcsError, Result};
+use crate::tiling::Tiling;
+
+/// Whether a group is a crossbar row (input wire) or column (output wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupKind {
+    /// A `1 × Q` slice of one crossbar: shares one input routing wire.
+    Row,
+    /// A `P × 1` slice of one crossbar: shares one output routing wire.
+    Col,
+}
+
+/// One weight group: a strided slice of the weight matrix confined to a
+/// single crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// Row or column group.
+    pub kind: GroupKind,
+    /// Grid position of the owning crossbar.
+    pub block: (usize, usize),
+    /// First matrix row of the slice.
+    pub row: usize,
+    /// First matrix column of the slice.
+    pub col: usize,
+    /// Number of weights in the group.
+    pub len: usize,
+}
+
+impl Group {
+    /// Iterates over the flat row-major indices of this group's weights in
+    /// a matrix with `cols` columns.
+    #[inline]
+    pub fn indices(&self, cols: usize) -> impl Iterator<Item = usize> + '_ {
+        let stride = match self.kind {
+            GroupKind::Row => 1,
+            GroupKind::Col => cols,
+        };
+        let base = self.row * cols + self.col;
+        (0..self.len).map(move |i| base + i * stride)
+    }
+
+    /// Euclidean norm of the group's weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group lies outside `m`'s bounds (cannot happen for
+    /// groups produced by [`GroupPartition::from_tiling`] on a matching
+    /// matrix).
+    pub fn norm(&self, m: &Matrix) -> f64 {
+        let data = m.as_slice();
+        self.indices(m.cols()).map(|i| (data[i] as f64).powi(2)).sum::<f64>().sqrt()
+    }
+
+    /// Sets every weight of the group to zero.
+    pub fn zero(&self, m: &mut Matrix) {
+        let cols = m.cols();
+        let data = m.as_mut_slice();
+        for i in self.indices(cols) {
+            data[i] = 0.0;
+        }
+    }
+
+    /// Whether every weight's magnitude is at or below `tol`.
+    pub fn is_zero(&self, m: &Matrix, tol: f32) -> bool {
+        let data = m.as_slice();
+        self.indices(m.cols()).all(|i| data[i].abs() <= tol)
+    }
+}
+
+/// The complete row/column group partition of one tiled weight matrix.
+///
+/// # Examples
+///
+/// ```
+/// use scissor_ncs::{CrossbarSpec, GroupPartition, Tiling};
+///
+/// // LeNet fc1_u: 800×36 tiled as 16 crossbars of 50×36.
+/// let t = Tiling::plan(800, 36, &CrossbarSpec::default())?;
+/// let p = GroupPartition::from_tiling(&t);
+/// assert_eq!(p.row_groups().len(), 800);      // 16 blocks × 50 rows
+/// assert_eq!(p.col_groups().len(), 16 * 36);  // 16 blocks × 36 cols
+/// # Ok::<(), scissor_ncs::NcsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupPartition {
+    shape: (usize, usize),
+    row_groups: Vec<Group>,
+    col_groups: Vec<Group>,
+}
+
+impl GroupPartition {
+    /// Enumerates the groups implied by a crossbar tiling.
+    pub fn from_tiling(tiling: &Tiling) -> Self {
+        let mut row_groups = Vec::new();
+        let mut col_groups = Vec::new();
+        for b in tiling.blocks() {
+            for r in b.row_start..b.row_end {
+                row_groups.push(Group {
+                    kind: GroupKind::Row,
+                    block: b.grid,
+                    row: r,
+                    col: b.col_start,
+                    len: b.cols(),
+                });
+            }
+            for c in b.col_start..b.col_end {
+                col_groups.push(Group {
+                    kind: GroupKind::Col,
+                    block: b.grid,
+                    row: b.row_start,
+                    col: c,
+                    len: b.rows(),
+                });
+            }
+        }
+        Self { shape: tiling.matrix_shape(), row_groups, col_groups }
+    }
+
+    /// Shape of the matrix this partition describes.
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// All row groups (one per crossbar input wire).
+    pub fn row_groups(&self) -> &[Group] {
+        &self.row_groups
+    }
+
+    /// All column groups (one per crossbar output wire).
+    pub fn col_groups(&self) -> &[Group] {
+        &self.col_groups
+    }
+
+    /// Total group count (`row + col`), which equals the array's total
+    /// routing-wire count.
+    pub fn group_count(&self) -> usize {
+        self.row_groups.len() + self.col_groups.len()
+    }
+
+    /// Checks that `m` matches the partition's shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NcsError::EmptyMatrix`] describing the mismatched shape.
+    pub fn check_shape(&self, m: &Matrix) -> Result<()> {
+        if m.shape() != self.shape {
+            return Err(NcsError::EmptyMatrix { shape: m.shape() });
+        }
+        Ok(())
+    }
+
+    /// Norms of all row groups of `m`, in group order.
+    pub fn row_group_norms(&self, m: &Matrix) -> Vec<f64> {
+        self.row_groups.iter().map(|g| g.norm(m)).collect()
+    }
+
+    /// Norms of all column groups of `m`, in group order.
+    pub fn col_group_norms(&self, m: &Matrix) -> Vec<f64> {
+        self.col_groups.iter().map(|g| g.norm(m)).collect()
+    }
+
+    /// Sum of all group norms — the group-lasso penalty term of Eq. (4)
+    /// for this matrix.
+    pub fn group_lasso_penalty(&self, m: &Matrix) -> f64 {
+        self.row_group_norms(m).iter().sum::<f64>() + self.col_group_norms(m).iter().sum::<f64>()
+    }
+
+    /// Zeroes every group whose norm is at or below `threshold`; returns
+    /// `(zeroed_row_groups, zeroed_col_groups)`.
+    ///
+    /// This realizes the "delete/prune" step of §3.2: weights in deleted
+    /// groups become exact zeros so their routing wires can be removed.
+    pub fn zero_small_groups(&self, m: &mut Matrix, threshold: f64) -> (usize, usize) {
+        let mut zr = 0;
+        let mut zc = 0;
+        for g in &self.row_groups {
+            if g.norm(m) <= threshold {
+                g.zero(m);
+                zr += 1;
+            }
+        }
+        for g in &self.col_groups {
+            if g.norm(m) <= threshold {
+                g.zero(m);
+                zc += 1;
+            }
+        }
+        (zr, zc)
+    }
+
+    /// Counts groups that are entirely zero (within `tol`), as
+    /// `(zero_row_groups, zero_col_groups)`.
+    pub fn count_zero_groups(&self, m: &Matrix, tol: f32) -> (usize, usize) {
+        let zr = self.row_groups.iter().filter(|g| g.is_zero(m, tol)).count();
+        let zc = self.col_groups.iter().filter(|g| g.is_zero(m, tol)).count();
+        (zr, zc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CrossbarSpec;
+
+    fn partition(n: usize, k: usize) -> GroupPartition {
+        let t = Tiling::plan(n, k, &CrossbarSpec::default()).unwrap();
+        GroupPartition::from_tiling(&t)
+    }
+
+    #[test]
+    fn group_counts_match_wire_counts() {
+        let t = Tiling::plan(800, 36, &CrossbarSpec::default()).unwrap();
+        let p = GroupPartition::from_tiling(&t);
+        assert_eq!(p.group_count(), t.total_wires());
+        assert_eq!(p.row_groups().len(), 800);
+        assert_eq!(p.col_groups().len(), 576);
+    }
+
+    #[test]
+    fn every_weight_in_exactly_one_row_and_one_col_group() {
+        let p = partition(100, 30); // 50×30 crossbars, 2×1 grid
+        let mut row_hits = vec![0u8; 100 * 30];
+        let mut col_hits = vec![0u8; 100 * 30];
+        for g in p.row_groups() {
+            for i in g.indices(30) {
+                row_hits[i] += 1;
+            }
+        }
+        for g in p.col_groups() {
+            for i in g.indices(30) {
+                col_hits[i] += 1;
+            }
+        }
+        assert!(row_hits.iter().all(|&h| h == 1), "row groups must partition W (Eq. 5)");
+        assert!(col_hits.iter().all(|&h| h == 1), "col groups must partition W (Eq. 5)");
+    }
+
+    #[test]
+    fn norms_match_hand_computation() {
+        let p = partition(4, 4); // single crossbar
+        let mut m = Matrix::zeros(4, 4);
+        m[(1, 0)] = 3.0;
+        m[(1, 2)] = 4.0;
+        let row_norms = p.row_group_norms(&m);
+        assert!((row_norms[1] - 5.0).abs() < 1e-9);
+        assert_eq!(row_norms[0], 0.0);
+        let col_norms = p.col_group_norms(&m);
+        assert!((col_norms[0] - 3.0).abs() < 1e-9);
+        assert!((col_norms[2] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn col_groups_are_confined_to_blocks() {
+        // 100×30 → two 50×30 blocks stacked vertically: column groups in the
+        // second block start at row 50.
+        let p = partition(100, 30);
+        let second_block_cols: Vec<&Group> =
+            p.col_groups().iter().filter(|g| g.block == (1, 0)).collect();
+        assert_eq!(second_block_cols.len(), 30);
+        assert!(second_block_cols.iter().all(|g| g.row == 50 && g.len == 50));
+    }
+
+    #[test]
+    fn zero_small_groups_zeroes_and_counts() {
+        let p = partition(6, 6);
+        let mut m = Matrix::filled(6, 6, 0.001);
+        m[(0, 0)] = 5.0;
+        let (zr, zc) = p.zero_small_groups(&mut m, 0.01);
+        // All rows except row 0, all cols except col 0 are below threshold.
+        assert_eq!(zr, 5);
+        assert_eq!(zc, 5);
+        // Row 0 and col 0 survive, but their off-(0,0) entries were zeroed by
+        // crossing groups.
+        assert_eq!(m[(0, 0)], 5.0);
+        assert_eq!(m[(3, 3)], 0.0);
+        let (r0, c0) = p.count_zero_groups(&m, 0.0);
+        assert_eq!((r0, c0), (5, 5));
+    }
+
+    #[test]
+    fn penalty_is_sum_of_both_partitions() {
+        let p = partition(3, 3);
+        let m = Matrix::identity(3);
+        // Each row group and col group has norm 1 → penalty = 6.
+        assert!((p.group_lasso_penalty(&m) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_shape_catches_mismatch() {
+        let p = partition(10, 10);
+        assert!(p.check_shape(&Matrix::zeros(10, 10)).is_ok());
+        assert!(p.check_shape(&Matrix::zeros(9, 10)).is_err());
+    }
+
+    #[test]
+    fn group_indices_strides() {
+        let g = Group { kind: GroupKind::Col, block: (0, 0), row: 2, col: 1, len: 3 };
+        let idx: Vec<usize> = g.indices(5).collect();
+        assert_eq!(idx, vec![11, 16, 21]);
+        let g = Group { kind: GroupKind::Row, block: (0, 0), row: 1, col: 2, len: 3 };
+        let idx: Vec<usize> = g.indices(5).collect();
+        assert_eq!(idx, vec![7, 8, 9]);
+    }
+}

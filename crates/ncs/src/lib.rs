@@ -1,0 +1,64 @@
+//! # scissor-ncs
+//!
+//! Memristor-crossbar neuromorphic-hardware model for the
+//! [Group Scissor (DAC 2017)] reproduction:
+//!
+//! * [`CrossbarSpec`] — the technology parameters of the paper's Table 2
+//!   (4 F² cells, 64×64 maximum crossbars, 2 F wire pitch);
+//! * [`Tiling`] — maps an `N × K` weight matrix onto a crossbar array using
+//!   the MBC size-selection criteria of §4.2 (reproduces Table 3's sizes);
+//! * [`AreaReport`] — crossbar (synapse) area accounting behind Fig. 7 and
+//!   the 13.62 % / 51.81 % headline area reductions;
+//! * [`GroupPartition`] — the crossbar-aligned row/column weight groups that
+//!   group connection deletion regularizes (Fig. 4, Eq. 4–6);
+//! * [`RoutingAnalysis`] — routing-wire counting and the `Ar = α·Nw²`
+//!   routing-area model of Eq. 7–8 (reproduces the 8.1 % / 52.06 % numbers);
+//! * [`viz`] — Fig. 9-style block-map rendering (ASCII and PPM);
+//! * [`DeviceModel`] — an optional memristor write-noise/quantization/fault
+//!   model used by the robustness ablations (extension beyond the paper).
+//!
+//! [Group Scissor (DAC 2017)]: https://arxiv.org/abs/1702.03443
+//!
+//! ## Example: from weight matrix to hardware report
+//!
+//! ```
+//! use scissor_linalg::Matrix;
+//! use scissor_ncs::{CrossbarSpec, GroupPartition, RoutingAnalysis, Tiling};
+//!
+//! # fn main() -> Result<(), scissor_ncs::NcsError> {
+//! let spec = CrossbarSpec::default();
+//! // A rank-clipped factor like LeNet's fc1_u: 800 inputs × rank 36.
+//! let mut u = Matrix::from_fn(800, 36, |i, j| ((i * 31 + j * 7) % 5) as f32 - 2.0);
+//! let tiling = Tiling::plan(800, 36, &spec)?;
+//! assert_eq!(tiling.mbc_size().to_string(), "50x36");
+//!
+//! // Delete some crossbar-aligned groups, then count surviving wires.
+//! let groups = GroupPartition::from_tiling(&tiling);
+//! groups.zero_small_groups(&mut u, 3.0);
+//! let routing = RoutingAnalysis::analyze("fc1_u", &u, &tiling, 0.0)?;
+//! assert!(routing.remained_wire_fraction() <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod area;
+mod compact;
+mod device;
+mod error;
+mod groups;
+mod routing;
+mod spec;
+mod tiling;
+pub mod viz;
+
+pub use area::{AreaReport, Implementation, LayerPlan};
+pub use compact::{CompactedBlock, CompactedLayout};
+pub use device::DeviceModel;
+pub use error::{NcsError, Result};
+pub use groups::{Group, GroupKind, GroupPartition};
+pub use routing::{mean_area_fraction, mean_wire_fraction, RoutingAnalysis};
+pub use spec::CrossbarSpec;
+pub use tiling::{BlockPlacement, MbcSize, Tiling};

@@ -1,0 +1,368 @@
+//! Routing-wire counting and routing-area estimation (paper §3.3, Eq. 7–8).
+//!
+//! Each crossbar in an array needs `P` input wires and `Q` output wires.
+//! After group connection deletion, a wire is removable when its entire
+//! row/column group is zero. The paper models total routing area as
+//! `Ar = α · Nw²` (Eq. 8), so a layer retaining a fraction `f` of its wires
+//! retains a fraction `f²` of its routing area — that quadratic is exactly
+//! how 24.8 % wires becomes 6.2 % area.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use scissor_linalg::Matrix;
+
+use crate::error::Result;
+use crate::groups::GroupPartition;
+use crate::spec::CrossbarSpec;
+use crate::tiling::Tiling;
+
+/// Routing statistics for one tiled weight matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingAnalysis {
+    name: String,
+    total_row_wires: usize,
+    total_col_wires: usize,
+    active_row_wires: usize,
+    active_col_wires: usize,
+    zero_crossbars: usize,
+    crossbar_count: usize,
+    occupied_cells: usize,
+    compacted_cells: usize,
+}
+
+impl RoutingAnalysis {
+    /// Analyzes the active routing wires of `weights` under `tiling`.
+    ///
+    /// A wire is *active* iff its group contains any entry with magnitude
+    /// above `zero_tol` (use `0.0` after an exact
+    /// [`GroupPartition::zero_small_groups`] pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `weights` does not match the tiling's shape.
+    pub fn analyze(
+        name: impl Into<String>,
+        weights: &Matrix,
+        tiling: &Tiling,
+        zero_tol: f32,
+    ) -> Result<Self> {
+        let partition = GroupPartition::from_tiling(tiling);
+        partition.check_shape(weights)?;
+
+        let total_row_wires = partition.row_groups().len();
+        let total_col_wires = partition.col_groups().len();
+        let (zero_rows, zero_cols) = partition.count_zero_groups(weights, zero_tol);
+
+        // Per-crossbar statistics: fully-zero crossbars are removable, and a
+        // crossbar with z zero rows / z' zero cols can shrink to a dense
+        // (P-z)×(Q-z') crossbar (the paper's closing observation).
+        let mut zero_crossbars = 0;
+        let mut compacted_cells = 0;
+        for b in tiling.blocks() {
+            let mut live_rows = 0;
+            for r in b.row_start..b.row_end {
+                let row = &weights.row(r)[b.col_start..b.col_end];
+                if row.iter().any(|v| v.abs() > zero_tol) {
+                    live_rows += 1;
+                }
+            }
+            let mut live_cols = 0;
+            for c in b.col_start..b.col_end {
+                let mut any = false;
+                for r in b.row_start..b.row_end {
+                    if weights[(r, c)].abs() > zero_tol {
+                        any = true;
+                        break;
+                    }
+                }
+                if any {
+                    live_cols += 1;
+                }
+            }
+            if live_rows == 0 && live_cols == 0 {
+                zero_crossbars += 1;
+            }
+            compacted_cells += live_rows * live_cols;
+        }
+
+        Ok(Self {
+            name: name.into(),
+            total_row_wires,
+            total_col_wires,
+            active_row_wires: total_row_wires - zero_rows,
+            active_col_wires: total_col_wires - zero_cols,
+            zero_crossbars,
+            crossbar_count: tiling.crossbar_count(),
+            occupied_cells: tiling.occupied_cells(),
+            compacted_cells,
+        })
+    }
+
+    /// Builds an analysis directly from already-known wire counts (used when
+    /// reproducing the paper's Table 3 arithmetic without retraining).
+    pub fn from_counts(
+        name: impl Into<String>,
+        total_wires: usize,
+        active_wires: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            total_row_wires: total_wires,
+            total_col_wires: 0,
+            active_row_wires: active_wires,
+            active_col_wires: 0,
+            zero_crossbars: 0,
+            crossbar_count: 0,
+            occupied_cells: 0,
+            compacted_cells: 0,
+        }
+    }
+
+    /// Layer / matrix name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total routing wires before deletion.
+    pub fn total_wires(&self) -> usize {
+        self.total_row_wires + self.total_col_wires
+    }
+
+    /// Active crossbar *input* wires (one per live row group) — the
+    /// architecture-level activation transfers *into* the array per
+    /// inference.
+    pub fn active_input_wires(&self) -> usize {
+        self.active_row_wires
+    }
+
+    /// Active crossbar *output* wires (one per live column group) — the
+    /// partial sums collected *out of* the array per inference.
+    pub fn active_output_wires(&self) -> usize {
+        self.active_col_wires
+    }
+
+    /// Inter-crossbar communication volume per inference, in bits: every
+    /// active wire carries one activation/partial-sum of
+    /// `bits_per_value` bits. Deleting wires reduces this linearly — the
+    /// architecture-level benefit the paper's introduction points at
+    /// (reduced inter-core communication).
+    pub fn communication_bits(&self, bits_per_value: u32) -> u64 {
+        self.active_wires() as u64 * bits_per_value as u64
+    }
+
+    /// Routing wires still required after deletion.
+    pub fn active_wires(&self) -> usize {
+        self.active_row_wires + self.active_col_wires
+    }
+
+    /// Fraction of routing wires remaining (Table 3's "% wires").
+    pub fn remained_wire_fraction(&self) -> f64 {
+        let total = self.total_wires();
+        if total == 0 {
+            return 0.0;
+        }
+        self.active_wires() as f64 / total as f64
+    }
+
+    /// Fraction of routing area remaining, `f²` by Eq. (8).
+    pub fn remained_area_fraction(&self) -> f64 {
+        let f = self.remained_wire_fraction();
+        f * f
+    }
+
+    /// Absolute routing area of the active wires in `F²` (Eq. 8).
+    pub fn routing_area_f2(&self, spec: &CrossbarSpec) -> f64 {
+        spec.routing_area_f2(self.active_wires())
+    }
+
+    /// Crossbars whose weights are entirely zero — removable outright
+    /// (Fig. 9's "some blocks have no connections" observation).
+    pub fn removable_crossbars(&self) -> usize {
+        self.zero_crossbars
+    }
+
+    /// Total crossbars in the array.
+    pub fn crossbar_count(&self) -> usize {
+        self.crossbar_count
+    }
+
+    /// Cells after per-crossbar compaction (dropping all-zero rows/columns
+    /// inside each crossbar — the paper's final remark on further area
+    /// reduction).
+    pub fn compacted_cells(&self) -> usize {
+        self.compacted_cells
+    }
+
+    /// Compacted-over-original cell ratio.
+    pub fn compaction_ratio(&self) -> f64 {
+        if self.occupied_cells == 0 {
+            return 0.0;
+        }
+        self.compacted_cells as f64 / self.occupied_cells as f64
+    }
+}
+
+impl fmt::Display for RoutingAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} wires {:>5}/{:<5} ({:>6.2}%)  routing area {:>6.2}%  removable crossbars {}/{}",
+            self.name,
+            self.active_wires(),
+            self.total_wires(),
+            100.0 * self.remained_wire_fraction(),
+            100.0 * self.remained_area_fraction(),
+            self.zero_crossbars,
+            self.crossbar_count,
+        )
+    }
+}
+
+/// Mean of per-layer remained wire fractions (how the paper aggregates
+/// "layer-wise routing wires reduced to 70.03 %").
+pub fn mean_wire_fraction(layers: &[RoutingAnalysis]) -> f64 {
+    if layers.is_empty() {
+        return 0.0;
+    }
+    layers.iter().map(RoutingAnalysis::remained_wire_fraction).sum::<f64>() / layers.len() as f64
+}
+
+/// Mean of per-layer remained routing-area fractions (the paper's
+/// "routing area reduced to 8.1 % / 52.06 %" aggregation).
+pub fn mean_area_fraction(layers: &[RoutingAnalysis]) -> f64 {
+    if layers.is_empty() {
+        return 0.0;
+    }
+    layers.iter().map(RoutingAnalysis::remained_area_fraction).sum::<f64>() / layers.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CrossbarSpec;
+
+    #[test]
+    fn paper_headline_lenet_routing_area_8_1_percent() {
+        // Table 3 LeNet: remained wires 47.5%, 24.8%, 6.7%, 18.0%.
+        let layers: Vec<RoutingAnalysis> = [("conv2_u", 475), ("fc1_u", 248), ("fc1_v", 67), ("fc2_u", 180)]
+            .iter()
+            .map(|&(n, w)| RoutingAnalysis::from_counts(n, 1000, w))
+            .collect();
+        let area_pct = 100.0 * mean_area_fraction(&layers);
+        assert!((area_pct - 8.1).abs() < 0.05, "LeNet routing area {area_pct:.3}% != 8.1%");
+    }
+
+    #[test]
+    fn paper_headline_convnet_routing_area_52_06_percent() {
+        // Table 3 ConvNet: remained wires 83.3%, 40.5%, 74.4%, 81.9%.
+        let layers: Vec<RoutingAnalysis> = [("conv1_u", 833), ("conv2_u", 405), ("conv3_u", 744), ("fc1", 819)]
+            .iter()
+            .map(|&(n, w)| RoutingAnalysis::from_counts(n, 1000, w))
+            .collect();
+        let wires_pct = 100.0 * mean_wire_fraction(&layers);
+        assert!((wires_pct - 70.03).abs() < 0.05, "ConvNet wires {wires_pct:.3}% != 70.03%");
+        let area_pct = 100.0 * mean_area_fraction(&layers);
+        assert!((area_pct - 52.06).abs() < 0.05, "ConvNet routing area {area_pct:.3}% != 52.06%");
+    }
+
+    #[test]
+    fn dense_matrix_keeps_all_wires() {
+        let t = Tiling::plan(100, 30, &CrossbarSpec::default()).unwrap();
+        let w = Matrix::filled(100, 30, 0.5);
+        let a = RoutingAnalysis::analyze("dense", &w, &t, 0.0).unwrap();
+        assert_eq!(a.active_wires(), a.total_wires());
+        assert_eq!(a.remained_wire_fraction(), 1.0);
+        assert_eq!(a.remained_area_fraction(), 1.0);
+        assert_eq!(a.removable_crossbars(), 0);
+        assert_eq!(a.compacted_cells(), 3000);
+    }
+
+    #[test]
+    fn zero_matrix_deletes_everything() {
+        let t = Tiling::plan(100, 30, &CrossbarSpec::default()).unwrap();
+        let w = Matrix::zeros(100, 30);
+        let a = RoutingAnalysis::analyze("empty", &w, &t, 0.0).unwrap();
+        assert_eq!(a.active_wires(), 0);
+        assert_eq!(a.removable_crossbars(), a.crossbar_count());
+        assert_eq!(a.compacted_cells(), 0);
+        assert_eq!(a.compaction_ratio(), 0.0);
+    }
+
+    #[test]
+    fn structured_sparsity_deletes_wires_but_random_does_not() {
+        // 100×30 → two 50×30 crossbars. Zero the top crossbar entirely and
+        // half the columns of the bottom one.
+        let t = Tiling::plan(100, 30, &CrossbarSpec::default()).unwrap();
+        let mut w = Matrix::zeros(100, 30);
+        for i in 50..100 {
+            for j in 0..15 {
+                w[(i, j)] = 1.0;
+            }
+        }
+        let a = RoutingAnalysis::analyze("structured", &w, &t, 0.0).unwrap();
+        // Active: bottom crossbar's 50 rows + 15 cols.
+        assert_eq!(a.active_wires(), 65);
+        assert_eq!(a.total_wires(), 2 * 80);
+        assert_eq!(a.removable_crossbars(), 1);
+        assert_eq!(a.compacted_cells(), 50 * 15);
+
+        // Same #nonzeros sprayed "randomly" (diagonal-ish stripes touching
+        // every row and column) keeps every wire alive.
+        let mut r = Matrix::zeros(100, 30);
+        let mut placed = 0;
+        let mut i = 0;
+        while placed < 750 {
+            r[(i % 100, (i * 7) % 30)] = 1.0;
+            placed += 1;
+            i += 1;
+        }
+        let ar = RoutingAnalysis::analyze("random", &r, &t, 0.0).unwrap();
+        assert_eq!(
+            ar.active_wires(),
+            ar.total_wires(),
+            "unstructured sparsity must keep all routing wires (paper §3.2)"
+        );
+    }
+
+    #[test]
+    fn area_follows_wire_square_law() {
+        let a = RoutingAnalysis::from_counts("x", 200, 100);
+        assert_eq!(a.remained_wire_fraction(), 0.5);
+        assert_eq!(a.remained_area_fraction(), 0.25);
+        let spec = CrossbarSpec::default();
+        assert_eq!(a.routing_area_f2(&spec), spec.routing_area_f2(100));
+    }
+
+    #[test]
+    fn zero_tolerance_matters() {
+        let t = Tiling::plan(10, 10, &CrossbarSpec::default()).unwrap();
+        let w = Matrix::filled(10, 10, 1e-4);
+        let strict = RoutingAnalysis::analyze("strict", &w, &t, 0.0).unwrap();
+        assert_eq!(strict.active_wires(), 20);
+        let loose = RoutingAnalysis::analyze("loose", &w, &t, 1e-3).unwrap();
+        assert_eq!(loose.active_wires(), 0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let t = Tiling::plan(10, 10, &CrossbarSpec::default()).unwrap();
+        assert!(RoutingAnalysis::analyze("bad", &Matrix::zeros(9, 10), &t, 0.0).is_err());
+    }
+
+    #[test]
+    fn mean_fractions_empty_input() {
+        assert_eq!(mean_wire_fraction(&[]), 0.0);
+        assert_eq!(mean_area_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let t = Tiling::plan(10, 10, &CrossbarSpec::default()).unwrap();
+        let a = RoutingAnalysis::analyze("conv1", &Matrix::filled(10, 10, 1.0), &t, 0.0).unwrap();
+        let s = a.to_string();
+        assert!(s.contains("conv1"));
+        assert!(s.contains("100.00%"));
+    }
+}

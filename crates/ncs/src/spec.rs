@@ -1,0 +1,171 @@
+//! Crossbar technology specification — the paper's Table 2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NcsError, Result};
+
+/// Technology and sizing parameters for memristor-based crossbars (MBC).
+///
+/// Defaults reproduce the paper's Table 2:
+///
+/// | parameter                           | value   |
+/// |-------------------------------------|---------|
+/// | memristor cell area                 | `4 F²`  |
+/// | maximum crossbar size               | 64 × 64 |
+/// | wire length between two memristors  | `2 F`   |
+///
+/// `F` is the technology's minimum feature size. All areas in this crate are
+/// expressed in units of `F²`, so results are technology-independent ratios
+/// exactly like the paper's.
+///
+/// # Examples
+///
+/// ```
+/// use scissor_ncs::CrossbarSpec;
+///
+/// let spec = CrossbarSpec::default();
+/// assert_eq!(spec.max_rows(), 64);
+/// assert_eq!(spec.cell_area_f2(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarSpec {
+    max_rows: usize,
+    max_cols: usize,
+    cell_area_f2: f64,
+    wire_pitch_f: f64,
+    routing_alpha: f64,
+}
+
+impl CrossbarSpec {
+    /// The paper's configuration (Table 2): 64×64 MBCs, 4 F² cells, 2 F pitch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style override of the maximum crossbar dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NcsError::InvalidSpec`] if either dimension is zero.
+    pub fn with_max_size(mut self, rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(NcsError::InvalidSpec { reason: "maximum crossbar size must be nonzero" });
+        }
+        self.max_rows = rows;
+        self.max_cols = cols;
+        Ok(self)
+    }
+
+    /// Builder-style override of the per-cell area in `F²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NcsError::InvalidSpec`] if `area` is not positive.
+    pub fn with_cell_area(mut self, area: f64) -> Result<Self> {
+        if !(area > 0.0) {
+            return Err(NcsError::InvalidSpec { reason: "cell area must be positive" });
+        }
+        self.cell_area_f2 = area;
+        Ok(self)
+    }
+
+    /// Builder-style override of the routing-area scalar `α` of Eq. (8).
+    ///
+    /// `α` cancels in every *ratio* the paper reports; it only matters for
+    /// absolute `F²` figures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NcsError::InvalidSpec`] if `alpha` is not positive.
+    pub fn with_routing_alpha(mut self, alpha: f64) -> Result<Self> {
+        if !(alpha > 0.0) {
+            return Err(NcsError::InvalidSpec { reason: "routing alpha must be positive" });
+        }
+        self.routing_alpha = alpha;
+        Ok(self)
+    }
+
+    /// Maximum number of crossbar rows (inputs), 64 in the paper.
+    pub fn max_rows(&self) -> usize {
+        self.max_rows
+    }
+
+    /// Maximum number of crossbar columns (outputs), 64 in the paper.
+    pub fn max_cols(&self) -> usize {
+        self.max_cols
+    }
+
+    /// Area of one memristor cell in `F²` (4 in the paper).
+    pub fn cell_area_f2(&self) -> f64 {
+        self.cell_area_f2
+    }
+
+    /// Wire pitch (metal width + spacing) in `F` (2 in the paper).
+    pub fn wire_pitch_f(&self) -> f64 {
+        self.wire_pitch_f
+    }
+
+    /// Routing-area scalar `α` of Eq. (8): `Ar = α · Nw²`.
+    pub fn routing_alpha(&self) -> f64 {
+        self.routing_alpha
+    }
+
+    /// Synapse area of `cells` memristor cells, in `F²`.
+    pub fn synapse_area_f2(&self, cells: usize) -> f64 {
+        self.cell_area_f2 * cells as f64
+    }
+
+    /// Routing area of `wires` inter-crossbar wires, in `F²` (Eq. 8).
+    ///
+    /// The paper models average wire length as linearly proportional to the
+    /// wire count, giving `Ar = α · Nw²`.
+    pub fn routing_area_f2(&self, wires: usize) -> f64 {
+        self.routing_alpha * (wires as f64) * (wires as f64)
+    }
+}
+
+impl Default for CrossbarSpec {
+    fn default() -> Self {
+        // α's absolute value is arbitrary for ratio reporting; derive a
+        // plausible scale from Table 2's wire pitch (2 F per wire track).
+        Self { max_rows: 64, max_cols: 64, cell_area_f2: 4.0, wire_pitch_f: 2.0, routing_alpha: 2.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let s = CrossbarSpec::default();
+        assert_eq!(s.max_rows(), 64);
+        assert_eq!(s.max_cols(), 64);
+        assert_eq!(s.cell_area_f2(), 4.0);
+        assert_eq!(s.wire_pitch_f(), 2.0);
+    }
+
+    #[test]
+    fn synapse_area_is_linear_in_cells() {
+        let s = CrossbarSpec::default();
+        assert_eq!(s.synapse_area_f2(0), 0.0);
+        assert_eq!(s.synapse_area_f2(100), 400.0);
+    }
+
+    #[test]
+    fn routing_area_is_quadratic_in_wires() {
+        let s = CrossbarSpec::default();
+        let a1 = s.routing_area_f2(10);
+        let a2 = s.routing_area_f2(20);
+        assert!((a2 / a1 - 4.0).abs() < 1e-12, "doubling wires must quadruple area");
+    }
+
+    #[test]
+    fn builders_validate() {
+        assert!(CrossbarSpec::default().with_max_size(0, 4).is_err());
+        assert!(CrossbarSpec::default().with_cell_area(-1.0).is_err());
+        assert!(CrossbarSpec::default().with_routing_alpha(0.0).is_err());
+        let s = CrossbarSpec::default().with_max_size(128, 32).unwrap();
+        assert_eq!((s.max_rows(), s.max_cols()), (128, 32));
+    }
+}

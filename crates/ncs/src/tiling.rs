@@ -1,0 +1,311 @@
+//! Mapping weight matrices onto arrays of memristor crossbars (MBC).
+//!
+//! Implements the MBC selection criteria of the paper's §4.2:
+//!
+//! 1. an `N × K` matrix with `N ≤ 64` and `K ≤ 64` goes into a single
+//!    `N × K` crossbar;
+//! 2. otherwise it is tiled by an array of the largest library crossbar
+//!    `P × Q` such that `P` divides `N` and `Q` divides `K` (with `P, Q ≤ 64`).
+//!
+//! For dimensions with no divisor ≤ 64 other than 1 (e.g. primes — never the
+//! case for the paper's networks) we fall back to ceil-tiling with a padded
+//! last crossbar and flag it in the [`Tiling`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NcsError, Result};
+use crate::spec::CrossbarSpec;
+
+/// The crossbar dimensions selected for one weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MbcSize {
+    /// Crossbar rows `P` (inputs).
+    pub rows: usize,
+    /// Crossbar columns `Q` (outputs).
+    pub cols: usize,
+}
+
+impl std::fmt::Display for MbcSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Largest divisor of `n` that is ≤ `max`; `None` if only 1 qualifies and
+/// `n > max` (i.e. exact tiling is impossible with a crossbar > 1 wide).
+fn largest_divisor_leq(n: usize, max: usize) -> Option<usize> {
+    if n == 0 || max == 0 {
+        return None;
+    }
+    if n <= max {
+        return Some(n);
+    }
+    for d in (2..=max).rev() {
+        if n % d == 0 {
+            return Some(d);
+        }
+    }
+    None
+}
+
+/// One crossbar's placement inside a [`Tiling`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockPlacement {
+    /// Block-grid coordinates `(array_row, array_col)`.
+    pub grid: (usize, usize),
+    /// Matrix rows covered: `row_start..row_end`.
+    pub row_start: usize,
+    /// Exclusive end row.
+    pub row_end: usize,
+    /// Matrix columns covered: `col_start..col_end`.
+    pub col_start: usize,
+    /// Exclusive end column.
+    pub col_end: usize,
+}
+
+impl BlockPlacement {
+    /// Number of matrix rows actually occupied in this crossbar.
+    pub fn rows(&self) -> usize {
+        self.row_end - self.row_start
+    }
+
+    /// Number of matrix columns actually occupied in this crossbar.
+    pub fn cols(&self) -> usize {
+        self.col_end - self.col_start
+    }
+}
+
+/// The crossbar-array layout for one `N × K` weight matrix.
+///
+/// # Examples
+///
+/// ```
+/// use scissor_ncs::{CrossbarSpec, Tiling};
+///
+/// // LeNet fc1_u after rank clipping: 800 × 36 (Table 3 → 16 crossbars of 50×36).
+/// let t = Tiling::plan(800, 36, &CrossbarSpec::default())?;
+/// assert_eq!(t.mbc_size().to_string(), "50x36");
+/// assert_eq!(t.grid(), (16, 1));
+/// assert_eq!(t.crossbar_count(), 16);
+/// # Ok::<(), scissor_ncs::NcsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tiling {
+    matrix_rows: usize,
+    matrix_cols: usize,
+    mbc: MbcSize,
+    grid_rows: usize,
+    grid_cols: usize,
+    padded: bool,
+}
+
+impl Tiling {
+    /// Plans the crossbar array for an `n × k` matrix under `spec`,
+    /// following the paper's §4.2 selection criteria.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NcsError::EmptyMatrix`] when `n == 0` or `k == 0`.
+    pub fn plan(n: usize, k: usize, spec: &CrossbarSpec) -> Result<Tiling> {
+        if n == 0 || k == 0 {
+            return Err(NcsError::EmptyMatrix { shape: (n, k) });
+        }
+        let (p, pad_rows) = match largest_divisor_leq(n, spec.max_rows()) {
+            Some(d) if d > 1 || n == 1 => (d, false),
+            _ => (spec.max_rows(), true),
+        };
+        let (q, pad_cols) = match largest_divisor_leq(k, spec.max_cols()) {
+            Some(d) if d > 1 || k == 1 => (d, false),
+            _ => (spec.max_cols(), true),
+        };
+        Ok(Tiling {
+            matrix_rows: n,
+            matrix_cols: k,
+            mbc: MbcSize { rows: p, cols: q },
+            grid_rows: n.div_ceil(p),
+            grid_cols: k.div_ceil(q),
+            padded: pad_rows || pad_cols,
+        })
+    }
+
+    /// Shape of the tiled matrix `(N, K)`.
+    pub fn matrix_shape(&self) -> (usize, usize) {
+        (self.matrix_rows, self.matrix_cols)
+    }
+
+    /// The selected crossbar size `P × Q`.
+    pub fn mbc_size(&self) -> MbcSize {
+        self.mbc
+    }
+
+    /// The crossbar-array grid `(⌈N/P⌉, ⌈K/Q⌉)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.grid_rows, self.grid_cols)
+    }
+
+    /// Total number of crossbars in the array.
+    pub fn crossbar_count(&self) -> usize {
+        self.grid_rows * self.grid_cols
+    }
+
+    /// Whether the matrix fits in a single crossbar (§4.2 criterion 1).
+    pub fn is_single_crossbar(&self) -> bool {
+        self.crossbar_count() == 1
+    }
+
+    /// Whether the last row/column of crossbars is partially filled
+    /// (only possible via the non-paper fallback path for prime-ish dims).
+    pub fn is_padded(&self) -> bool {
+        self.padded
+    }
+
+    /// Memristor cells actually storing weights (`N·K`).
+    pub fn occupied_cells(&self) -> usize {
+        self.matrix_rows * self.matrix_cols
+    }
+
+    /// Memristor cells allocated by the array (`#crossbars · P · Q`);
+    /// equals [`Tiling::occupied_cells`] unless padded.
+    pub fn allocated_cells(&self) -> usize {
+        self.crossbar_count() * self.mbc.rows * self.mbc.cols
+    }
+
+    /// Inter-crossbar routing wires for the full array: each crossbar
+    /// receives `P` input wires and drives `Q` output wires.
+    pub fn total_wires(&self) -> usize {
+        self.crossbar_count() * (self.mbc.rows + self.mbc.cols)
+    }
+
+    /// Iterates over all crossbar placements in row-major grid order.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockPlacement> + '_ {
+        let (p, q) = (self.mbc.rows, self.mbc.cols);
+        let (n, k) = (self.matrix_rows, self.matrix_cols);
+        let cols = self.grid_cols;
+        (0..self.crossbar_count()).map(move |idx| {
+            let gi = idx / cols;
+            let gj = idx % cols;
+            BlockPlacement {
+                grid: (gi, gj),
+                row_start: gi * p,
+                row_end: ((gi + 1) * p).min(n),
+                col_start: gj * q,
+                col_end: ((gj + 1) * q).min(k),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(n: usize, k: usize) -> Tiling {
+        Tiling::plan(n, k, &CrossbarSpec::default()).expect("valid dims")
+    }
+
+    #[test]
+    fn table3_lenet_sizes() {
+        // conv2_u: 500×12 → 50×12 crossbars.
+        assert_eq!(plan(500, 12).mbc_size(), MbcSize { rows: 50, cols: 12 });
+        // fc1_u: 800×36 → 50×36.
+        assert_eq!(plan(800, 36).mbc_size(), MbcSize { rows: 50, cols: 36 });
+        // fc1_v: 36×500 → 36×50.
+        assert_eq!(plan(36, 500).mbc_size(), MbcSize { rows: 36, cols: 50 });
+        // fc_last: 500×10 → 50×10.
+        assert_eq!(plan(500, 10).mbc_size(), MbcSize { rows: 50, cols: 10 });
+    }
+
+    #[test]
+    fn table3_convnet_sizes() {
+        // conv1_u: 75×12 → 25×12 (75 > 64, largest divisor ≤ 64 is 25).
+        assert_eq!(plan(75, 12).mbc_size(), MbcSize { rows: 25, cols: 12 });
+        // conv2_u: 800×19 → 50×19.
+        assert_eq!(plan(800, 19).mbc_size(), MbcSize { rows: 50, cols: 19 });
+        // conv3_u: 800×22 → 50×22.
+        assert_eq!(plan(800, 22).mbc_size(), MbcSize { rows: 50, cols: 22 });
+        // fc_last: 1024×10 → 64×10.
+        assert_eq!(plan(1024, 10).mbc_size(), MbcSize { rows: 64, cols: 10 });
+    }
+
+    #[test]
+    fn single_crossbar_when_small() {
+        let t = plan(25, 12);
+        assert!(t.is_single_crossbar());
+        assert_eq!(t.grid(), (1, 1));
+        assert_eq!(t.total_wires(), 25 + 12);
+    }
+
+    #[test]
+    fn grid_dimensions_and_counts() {
+        let t = plan(800, 36);
+        assert_eq!(t.grid(), (16, 1));
+        assert_eq!(t.crossbar_count(), 16);
+        assert_eq!(t.total_wires(), 16 * (50 + 36));
+        assert_eq!(t.occupied_cells(), 800 * 36);
+        assert_eq!(t.allocated_cells(), 800 * 36);
+        assert!(!t.is_padded());
+    }
+
+    #[test]
+    fn blocks_partition_the_matrix_exactly() {
+        let t = plan(800, 100); // 50×50 crossbars, 16×2 grid
+        assert_eq!(t.mbc_size(), MbcSize { rows: 50, cols: 50 });
+        let mut covered = vec![false; 800 * 100];
+        for b in t.blocks() {
+            for i in b.row_start..b.row_end {
+                for j in b.col_start..b.col_end {
+                    assert!(!covered[i * 100 + j], "overlap at ({i},{j})");
+                    covered[i * 100 + j] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "blocks must cover the whole matrix");
+    }
+
+    #[test]
+    fn prime_dimension_falls_back_to_padded_tiling() {
+        let t = plan(127, 10); // 127 is prime and > 64
+        assert!(t.is_padded());
+        assert_eq!(t.mbc_size().rows, 64);
+        assert_eq!(t.grid().0, 2);
+        assert!(t.allocated_cells() > t.occupied_cells());
+        // Blocks still partition the matrix without overlap.
+        let total: usize = t.blocks().map(|b| b.rows() * b.cols()).sum();
+        assert_eq!(total, 127 * 10);
+    }
+
+    #[test]
+    fn empty_matrix_is_an_error() {
+        assert!(matches!(
+            Tiling::plan(0, 5, &CrossbarSpec::default()),
+            Err(NcsError::EmptyMatrix { .. })
+        ));
+        assert!(matches!(
+            Tiling::plan(5, 0, &CrossbarSpec::default()),
+            Err(NcsError::EmptyMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_spec_changes_selection() {
+        let spec = CrossbarSpec::default().with_max_size(256, 256).unwrap();
+        let t = Tiling::plan(1024, 10, &spec).unwrap();
+        assert_eq!(t.mbc_size(), MbcSize { rows: 256, cols: 10 });
+        assert_eq!(t.grid(), (4, 1));
+    }
+
+    #[test]
+    fn largest_divisor_edge_cases() {
+        assert_eq!(largest_divisor_leq(800, 64), Some(50));
+        assert_eq!(largest_divisor_leq(64, 64), Some(64));
+        assert_eq!(largest_divisor_leq(65, 64), Some(13));
+        assert_eq!(largest_divisor_leq(67, 64), None); // prime
+        assert_eq!(largest_divisor_leq(0, 64), None);
+        assert_eq!(largest_divisor_leq(10, 0), None);
+    }
+
+    #[test]
+    fn display_of_mbc_size() {
+        assert_eq!(MbcSize { rows: 50, cols: 36 }.to_string(), "50x36");
+    }
+}

@@ -1,0 +1,177 @@
+//! Weight-matrix visualization in the style of the paper's Fig. 9.
+//!
+//! Renders a tiled weight matrix as a block map: crossbar boundaries are
+//! drawn, zero weights appear white, and nonzero weights are shaded by the
+//! crossbar's parity (the paper alternates blue/red). Two back-ends are
+//! provided: compact ASCII art for terminals and a binary PPM writer for
+//! bitmap output.
+
+use scissor_linalg::Matrix;
+
+use crate::error::Result;
+use crate::tiling::Tiling;
+
+/// Renders an ASCII block map of `weights` under `tiling`.
+///
+/// Each character cell aggregates a `cell_rows × cell_cols` patch of the
+/// matrix: `' '` when the patch is all-zero, `'·'` when under half the patch
+/// is nonzero, `'█'` otherwise. Crossbar boundaries appear as `|` columns
+/// and `-` rows.
+///
+/// # Errors
+///
+/// Returns an error when `weights` does not match the tiling's shape.
+pub fn render_ascii(
+    weights: &Matrix,
+    tiling: &Tiling,
+    zero_tol: f32,
+    max_width: usize,
+) -> Result<String> {
+    if weights.shape() != tiling.matrix_shape() {
+        return Err(crate::error::NcsError::EmptyMatrix { shape: weights.shape() });
+    }
+    let (n, k) = weights.shape();
+    let mbc = tiling.mbc_size();
+    // Choose an aggregation factor so the rendering fits in max_width chars.
+    let budget = max_width.max(16);
+    let agg = (k.div_ceil(budget)).max(1);
+    let agg_rows = agg; // keep aspect ratio roughly square in character space
+
+    let mut out = String::new();
+    let mut r = 0;
+    while r < n {
+        if r > 0 && r % mbc.rows == 0 {
+            // Crossbar row boundary.
+            let line_len = k.div_ceil(agg) + k.div_ceil(mbc.cols);
+            out.push_str(&"-".repeat(line_len));
+            out.push('\n');
+        }
+        let mut c = 0;
+        while c < k {
+            if c > 0 && c % mbc.cols == 0 {
+                out.push('|');
+            }
+            let r_end = (r + agg_rows).min(n).min((r / mbc.rows + 1) * mbc.rows);
+            let c_end = (c + agg).min(k).min((c / mbc.cols + 1) * mbc.cols);
+            let mut nonzero = 0usize;
+            let mut total = 0usize;
+            for i in r..r_end {
+                for j in c..c_end {
+                    total += 1;
+                    if weights[(i, j)].abs() > zero_tol {
+                        nonzero += 1;
+                    }
+                }
+            }
+            out.push(if nonzero == 0 {
+                ' '
+            } else if nonzero * 2 < total {
+                '·'
+            } else {
+                '█'
+            });
+            c = c_end;
+        }
+        out.push('\n');
+        r = (r + agg_rows).min((r / mbc.rows + 1) * mbc.rows).max(r + 1);
+    }
+    Ok(out)
+}
+
+/// Renders `weights` as a binary PPM (P6) image, one pixel per weight.
+///
+/// Zero weights are white; nonzero weights are blue or red depending on the
+/// checkerboard parity of their crossbar, matching the paper's Fig. 9 color
+/// scheme.
+///
+/// # Errors
+///
+/// Returns an error when `weights` does not match the tiling's shape.
+pub fn render_ppm(weights: &Matrix, tiling: &Tiling, zero_tol: f32) -> Result<Vec<u8>> {
+    if weights.shape() != tiling.matrix_shape() {
+        return Err(crate::error::NcsError::EmptyMatrix { shape: weights.shape() });
+    }
+    let (n, k) = weights.shape();
+    let mbc = tiling.mbc_size();
+    let mut out = format!("P6\n{k} {n}\n255\n").into_bytes();
+    out.reserve(n * k * 3);
+    for i in 0..n {
+        for j in 0..k {
+            let rgb: [u8; 3] = if weights[(i, j)].abs() <= zero_tol {
+                [255, 255, 255]
+            } else if ((i / mbc.rows) + (j / mbc.cols)) % 2 == 0 {
+                [40, 80, 200] // blue crossbar
+            } else {
+                [200, 50, 50] // red crossbar
+            };
+            out.extend_from_slice(&rgb);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CrossbarSpec;
+
+    #[test]
+    fn ascii_blank_for_zero_matrix() {
+        let t = Tiling::plan(8, 8, &CrossbarSpec::default()).unwrap();
+        let s = render_ascii(&Matrix::zeros(8, 8), &t, 0.0, 80).unwrap();
+        assert!(s.chars().all(|c| c == ' ' || c == '\n'));
+        assert_eq!(s.lines().count(), 8);
+    }
+
+    #[test]
+    fn ascii_full_for_dense_matrix() {
+        let t = Tiling::plan(8, 8, &CrossbarSpec::default()).unwrap();
+        let s = render_ascii(&Matrix::filled(8, 8, 1.0), &t, 0.0, 80).unwrap();
+        assert!(s.contains('█'));
+        assert!(!s.contains(' '));
+    }
+
+    #[test]
+    fn ascii_draws_crossbar_boundaries() {
+        // 100×100 with default 64-max → 50×50 crossbars → one '|' per row
+        // and one '-' separator line.
+        let t = Tiling::plan(100, 100, &CrossbarSpec::default()).unwrap();
+        let s = render_ascii(&Matrix::filled(100, 100, 1.0), &t, 0.0, 200).unwrap();
+        assert!(s.contains('|'));
+        assert!(s.lines().any(|l| l.starts_with('-')));
+    }
+
+    #[test]
+    fn ascii_aggregates_to_width_budget() {
+        let t = Tiling::plan(64, 640, &CrossbarSpec::default()).unwrap();
+        let s = render_ascii(&Matrix::filled(64, 640, 1.0), &t, 0.0, 100).unwrap();
+        let max_line = s.lines().map(|l| l.chars().count()).max().unwrap();
+        assert!(max_line <= 140, "line too long: {max_line}");
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let t = Tiling::plan(10, 12, &CrossbarSpec::default()).unwrap();
+        let img = render_ppm(&Matrix::zeros(10, 12), &t, 0.0).unwrap();
+        assert!(img.starts_with(b"P6\n12 10\n255\n"));
+        assert_eq!(img.len(), b"P6\n12 10\n255\n".len() + 10 * 12 * 3);
+    }
+
+    #[test]
+    fn ppm_colors_zero_vs_nonzero() {
+        let t = Tiling::plan(2, 2, &CrossbarSpec::default()).unwrap();
+        let mut w = Matrix::zeros(2, 2);
+        w[(0, 0)] = 1.0;
+        let img = render_ppm(&w, &t, 0.0).unwrap();
+        let body = &img[img.len() - 12..];
+        assert_eq!(&body[0..3], &[40, 80, 200]); // nonzero, block parity 0 → blue
+        assert_eq!(&body[3..6], &[255, 255, 255]); // zero → white
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let t = Tiling::plan(4, 4, &CrossbarSpec::default()).unwrap();
+        assert!(render_ascii(&Matrix::zeros(3, 4), &t, 0.0, 80).is_err());
+        assert!(render_ppm(&Matrix::zeros(4, 3), &t, 0.0).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the crossbar hardware model.
+
+use proptest::prelude::*;
+use scissor_linalg::Matrix;
+use scissor_ncs::{CrossbarSpec, GroupPartition, RoutingAnalysis, Tiling};
+
+fn spec(max: usize) -> CrossbarSpec {
+    CrossbarSpec::default().with_max_size(max, max).expect("nonzero")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tiling_blocks_partition_matrix(n in 1usize..300, k in 1usize..300, max in 2usize..64) {
+        let t = Tiling::plan(n, k, &spec(max)).expect("plan");
+        let mut covered = vec![0u8; n * k];
+        for b in t.blocks() {
+            prop_assert!(b.rows() > 0 && b.cols() > 0);
+            prop_assert!(b.rows() <= t.mbc_size().rows);
+            prop_assert!(b.cols() <= t.mbc_size().cols);
+            for i in b.row_start..b.row_end {
+                for j in b.col_start..b.col_end {
+                    covered[i * k + j] += 1;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1), "blocks must partition exactly once");
+    }
+
+    #[test]
+    fn exact_tilings_allocate_exactly(n in 1usize..300, k in 1usize..300, max in 2usize..64) {
+        let t = Tiling::plan(n, k, &spec(max)).expect("plan");
+        if !t.is_padded() {
+            prop_assert_eq!(t.allocated_cells(), t.occupied_cells());
+        } else {
+            prop_assert!(t.allocated_cells() >= t.occupied_cells());
+        }
+        // MBC never exceeds the library bound.
+        prop_assert!(t.mbc_size().rows <= max);
+        prop_assert!(t.mbc_size().cols <= max);
+    }
+
+    #[test]
+    fn group_partition_matches_wires(n in 1usize..200, k in 1usize..200, max in 2usize..64) {
+        let t = Tiling::plan(n, k, &spec(max)).expect("plan");
+        let p = GroupPartition::from_tiling(&t);
+        if !t.is_padded() {
+            prop_assert_eq!(p.group_count(), t.total_wires());
+        }
+        // Every weight in exactly one row group and one column group (Eq. 5).
+        let mut row_hits = vec![0u8; n * k];
+        let mut col_hits = vec![0u8; n * k];
+        for g in p.row_groups() {
+            for i in g.indices(k) {
+                row_hits[i] += 1;
+            }
+        }
+        for g in p.col_groups() {
+            for i in g.indices(k) {
+                col_hits[i] += 1;
+            }
+        }
+        prop_assert!(row_hits.iter().all(|&h| h == 1));
+        prop_assert!(col_hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn zeroing_groups_never_increases_wires(
+        n in 2usize..120,
+        k in 2usize..120,
+        max in 2usize..32,
+        threshold in 0.0f64..1.0,
+    ) {
+        let t = Tiling::plan(n, k, &spec(max)).expect("plan");
+        let p = GroupPartition::from_tiling(&t);
+        let mut w = Matrix::from_fn(n, k, |i, j| (((i * 31 + j * 17) % 13) as f32 - 6.0) * 0.1);
+        let before = RoutingAnalysis::analyze("w", &w, &t, 0.0).expect("analyze");
+        p.zero_small_groups(&mut w, threshold);
+        let after = RoutingAnalysis::analyze("w", &w, &t, 0.0).expect("analyze");
+        prop_assert!(after.active_wires() <= before.active_wires());
+        // Quadratic law and bounds.
+        let f = after.remained_wire_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((after.remained_area_fraction() - f * f).abs() < 1e-12);
+        // Compaction can only shrink.
+        prop_assert!(after.compacted_cells() <= before.compacted_cells());
+        prop_assert!(after.compacted_cells() <= n * k);
+    }
+
+    #[test]
+    fn routing_analysis_consistency(n in 1usize..150, k in 1usize..150) {
+        let t = Tiling::plan(n, k, &CrossbarSpec::default()).expect("plan");
+        let w = Matrix::filled(n, k, 1.0);
+        let a = RoutingAnalysis::analyze("dense", &w, &t, 0.0).expect("analyze");
+        prop_assert_eq!(a.active_wires(), a.total_wires());
+        prop_assert_eq!(a.removable_crossbars(), 0);
+        prop_assert_eq!(a.compacted_cells(), n * k);
+        let z = RoutingAnalysis::analyze("zero", &Matrix::zeros(n, k), &t, 0.0).expect("analyze");
+        prop_assert_eq!(z.active_wires(), 0);
+        prop_assert_eq!(z.removable_crossbars(), t.crossbar_count());
+    }
+}

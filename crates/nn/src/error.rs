@@ -1,0 +1,76 @@
+//! Error type for the neural-network crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `scissor-nn` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// No layer with the given name exists in the network.
+    UnknownLayer {
+        /// The requested layer name.
+        name: String,
+    },
+    /// No parameter with the given name exists in the network.
+    UnknownParam {
+        /// The requested parameter name.
+        name: String,
+    },
+    /// A state-dict entry had the wrong shape for its target parameter.
+    StateShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape stored in the state dict.
+        stored: (usize, usize),
+        /// Shape the parameter currently has.
+        expected: (usize, usize),
+    },
+    /// Replacement layer is shape-incompatible at the given position.
+    IncompatibleReplacement {
+        /// Layer name being replaced.
+        name: String,
+        /// Explanation of the incompatibility.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::UnknownLayer { name } => write!(f, "unknown layer `{name}`"),
+            NnError::UnknownParam { name } => write!(f, "unknown parameter `{name}`"),
+            NnError::StateShapeMismatch { name, stored, expected } => write!(
+                f,
+                "state for `{name}` has shape {}x{}, parameter expects {}x{}",
+                stored.0, stored.1, expected.0, expected.1
+            ),
+            NnError::IncompatibleReplacement { name, reason } => {
+                write!(f, "cannot replace layer `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(NnError::UnknownLayer { name: "conv9".into() }.to_string().contains("conv9"));
+        assert!(NnError::UnknownParam { name: "fc1.u".into() }.to_string().contains("fc1.u"));
+        let e = NnError::StateShapeMismatch {
+            name: "w".into(),
+            stored: (2, 3),
+            expected: (4, 5),
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("4x5"));
+    }
+}

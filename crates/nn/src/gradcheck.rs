@@ -1,0 +1,248 @@
+//! Finite-difference gradient checking for layers.
+//!
+//! Every layer's backward pass is validated against central differences in
+//! the test suites. The probe loss is `L = Σ out ⊙ C` for a fixed
+//! pseudo-random coefficient tensor `C`, whose gradient w.r.t. the output is
+//! simply `C` — so `backward(C)` must produce the analytic `∂L/∂x` and
+//! parameter gradients.
+
+use crate::layer::{Layer, Phase};
+use crate::tensor::Tensor4;
+
+/// Configuration for [`check_layer`].
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckConfig {
+    /// Central-difference step.
+    pub eps: f32,
+    /// Maximum tolerated relative error (with an absolute floor of `eps²`).
+    pub tol: f64,
+    /// Upper bound on coordinates probed per tensor (spread evenly).
+    pub max_probes: usize,
+}
+
+impl Default for GradCheckConfig {
+    fn default() -> Self {
+        // f32 forward passes leave ~1e-3 of headroom with eps=1e-2.
+        Self { eps: 1e-2, tol: 2e-2, max_probes: 64 }
+    }
+}
+
+/// Result of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Worst relative error over probed input coordinates.
+    pub worst_input_error: f64,
+    /// Worst relative error over probed parameter coordinates, per param.
+    pub param_errors: Vec<(String, f64)>,
+}
+
+impl GradCheckReport {
+    /// Whether all probed gradients were within tolerance.
+    pub fn passed(&self, tol: f64) -> bool {
+        self.worst_input_error <= tol && self.param_errors.iter().all(|(_, e)| *e <= tol)
+    }
+}
+
+fn probe_loss(layer: &mut dyn Layer, input: &Tensor4, coeff: &Tensor4) -> f64 {
+    let out = layer.forward(input, Phase::Eval);
+    out.as_slice()
+        .iter()
+        .zip(coeff.as_slice())
+        .map(|(&o, &c)| o as f64 * c as f64)
+        .sum()
+}
+
+fn rel_err(analytic: f64, numeric: f64, floor: f64) -> f64 {
+    let denom = analytic.abs().max(numeric.abs()).max(floor);
+    (analytic - numeric).abs() / denom
+}
+
+/// Checks a layer's input and parameter gradients against central
+/// differences.
+///
+/// # Panics
+///
+/// Panics if the layer's forward output shape changes between calls on the
+/// same input (layers must be deterministic).
+pub fn check_layer(layer: &mut dyn Layer, input: &Tensor4, cfg: GradCheckConfig) -> GradCheckReport {
+    // Fixed pseudo-random coefficients (deterministic, layer-independent).
+    let out_probe = layer.forward(input, Phase::Eval);
+    let (b, c, h, w) = out_probe.shape();
+    let coeff = Tensor4::from_vec(
+        b,
+        c,
+        h,
+        w,
+        (0..out_probe.len()).map(|i| (((i * 31 + 7) % 11) as f32 - 5.0) * 0.13).collect(),
+    );
+
+    // Analytic gradients.
+    for p in layer.params_mut() {
+        p.zero_grad();
+    }
+    let _ = layer.forward(input, Phase::Train);
+    let dx = layer.backward(&coeff);
+    let analytic_param_grads: Vec<(String, Vec<f32>)> = layer
+        .params()
+        .iter()
+        .map(|p| (p.name().to_string(), p.grad().as_slice().to_vec()))
+        .collect();
+
+    let floor = (cfg.eps as f64) * (cfg.eps as f64);
+
+    // Numeric input gradient on a strided subset of coordinates.
+    let n_in = input.len();
+    let stride_in = (n_in / cfg.max_probes).max(1);
+    let mut worst_input_error = 0.0_f64;
+    let mut x = input.clone();
+    for idx in (0..n_in).step_by(stride_in) {
+        let orig = x.as_slice()[idx];
+        x.as_mut_slice()[idx] = orig + cfg.eps;
+        let lp = probe_loss(layer, &x, &coeff);
+        x.as_mut_slice()[idx] = orig - cfg.eps;
+        let lm = probe_loss(layer, &x, &coeff);
+        x.as_mut_slice()[idx] = orig;
+        let numeric = (lp - lm) / (2.0 * cfg.eps as f64);
+        let analytic = dx.as_slice()[idx] as f64;
+        worst_input_error = worst_input_error.max(rel_err(analytic, numeric, floor));
+    }
+
+    // Numeric parameter gradients.
+    let mut param_errors = Vec::new();
+    let param_count = analytic_param_grads.len();
+    for pi in 0..param_count {
+        let (name, analytic_grad) = &analytic_param_grads[pi];
+        let len = analytic_grad.len();
+        let stride = (len / cfg.max_probes).max(1);
+        let mut worst = 0.0_f64;
+        for idx in (0..len).step_by(stride) {
+            let orig = layer.params()[pi].value().as_slice()[idx];
+            layer.params_mut()[pi].value_mut().as_mut_slice()[idx] = orig + cfg.eps;
+            let lp = probe_loss(layer, input, &coeff);
+            layer.params_mut()[pi].value_mut().as_mut_slice()[idx] = orig - cfg.eps;
+            let lm = probe_loss(layer, input, &coeff);
+            layer.params_mut()[pi].value_mut().as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * cfg.eps as f64);
+            worst = worst.max(rel_err(analytic_grad[idx] as f64, numeric, floor));
+        }
+        param_errors.push((name.clone(), worst));
+    }
+
+    GradCheckReport { worst_input_error, param_errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, ConvGeometry, Linear, LowRankConv2d, LowRankLinear, MaxPool2d, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scissor_linalg::Matrix;
+
+    fn probe_input(b: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+        Tensor4::from_vec(
+            b,
+            c,
+            h,
+            w,
+            (0..b * c * h * w).map(|i| (((i * 17 + 3) % 19) as f32 - 9.0) * 0.11).collect(),
+        )
+    }
+
+    #[test]
+    fn conv2d_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut layer = Conv2d::new("c", 2, 3, 3, 1, 1, &mut rng);
+        let report = check_layer(&mut layer, &probe_input(2, 2, 5, 5), GradCheckConfig::default());
+        assert!(report.passed(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn conv2d_strided_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut layer = Conv2d::new("c", 1, 2, 3, 2, 0, &mut rng);
+        let report = check_layer(&mut layer, &probe_input(2, 1, 7, 7), GradCheckConfig::default());
+        assert!(report.passed(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn low_rank_conv_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let geom = ConvGeometry { in_channels: 2, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let u = crate::init::xavier_uniform(geom.fan_in(), 4, &mut rng);
+        let v = crate::init::xavier_uniform(5, 4, &mut rng);
+        let mut layer = LowRankConv2d::from_factors("l", geom, u, v, Matrix::zeros(1, 5));
+        let report = check_layer(&mut layer, &probe_input(2, 2, 4, 4), GradCheckConfig::default());
+        assert!(report.passed(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn linear_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut layer = Linear::new("fc", 12, 5, &mut rng);
+        let report = check_layer(&mut layer, &probe_input(3, 3, 2, 2), GradCheckConfig::default());
+        assert!(report.passed(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn low_rank_linear_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let u = crate::init::xavier_uniform(12, 3, &mut rng);
+        let v = crate::init::xavier_uniform(6, 3, &mut rng);
+        let mut layer = LowRankLinear::from_factors("l", u, v, Matrix::zeros(1, 6));
+        let report = check_layer(&mut layer, &probe_input(2, 3, 2, 2), GradCheckConfig::default());
+        assert!(report.passed(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn relu_gradient_checks_out_away_from_kink() {
+        let mut layer = Relu::new("r");
+        // probe_input yields values well away from 0 except exact zeros;
+        // shift to avoid the kink.
+        let mut x = probe_input(2, 2, 3, 3);
+        x.map_inplace(|v| if v.abs() < 0.05 { v + 0.2 } else { v });
+        let report = check_layer(&mut layer, &x, GradCheckConfig::default());
+        assert!(report.passed(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn maxpool_gradient_checks_out() {
+        let mut layer = MaxPool2d::new("p", 2, 2, false);
+        let report = check_layer(&mut layer, &probe_input(2, 2, 4, 4), GradCheckConfig::default());
+        assert!(report.passed(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn detects_a_broken_gradient() {
+        // A layer with a deliberately wrong backward must fail the check.
+        struct Broken {
+            inner: Linear,
+        }
+        impl Layer for Broken {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn forward(&mut self, x: &Tensor4, p: Phase) -> Tensor4 {
+                self.inner.forward(x, p)
+            }
+            fn backward(&mut self, g: &Tensor4) -> Tensor4 {
+                let mut dx = self.inner.backward(g);
+                dx.map_inplace(|v| v * 2.0); // wrong by a factor of 2
+                dx
+            }
+            fn output_shape(&self, s: (usize, usize, usize)) -> (usize, usize, usize) {
+                self.inner.output_shape(s)
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut layer = Broken { inner: Linear::new("fc", 8, 3, &mut rng) };
+        let report = check_layer(&mut layer, &probe_input(2, 2, 2, 2), GradCheckConfig::default());
+        assert!(!report.passed(2e-2), "broken gradient slipped through: {report:?}");
+    }
+}

@@ -1,0 +1,267 @@
+//! im2col / col2im transforms.
+//!
+//! Convolution is lowered to matrix multiplication exactly as in Caffe (the
+//! framework the paper used): the input tensor is unrolled so that every
+//! output position becomes a row of patch values, and the filter bank is the
+//! `(C·KH·KW) × out_channels` weight matrix — the same `N × M` matrix that
+//! gets mapped onto crossbars (Fig. 1a: one filter per crossbar column).
+
+use scissor_linalg::Matrix;
+
+use crate::tensor::Tensor4;
+
+/// Spatial output size of a convolution: `(h + 2·pad − k) / stride + 1`.
+///
+/// # Panics
+///
+/// Panics if the kernel exceeds the padded input or `stride == 0`.
+pub fn conv_output_hw(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    assert!(stride > 0, "stride must be positive");
+    assert!(h + 2 * pad >= kh && w + 2 * pad >= kw, "kernel larger than padded input");
+    ((h + 2 * pad - kh) / stride + 1, (w + 2 * pad - kw) / stride + 1)
+}
+
+/// Unrolls `input` into a `(B·OH·OW) × (C·KH·KW)` patch matrix.
+///
+/// Row `(b·OH + oh)·OW + ow` holds the receptive field of output position
+/// `(oh, ow)` in sample `b`; column `(c·KH + kh)·KW + kw` selects the patch
+/// element. Out-of-bounds (padding) positions contribute zeros.
+pub fn im2col(input: &Tensor4, kh: usize, kw: usize, stride: usize, pad: usize) -> Matrix {
+    let (b, c, h, w) = input.shape();
+    let (oh, ow) = conv_output_hw(h, w, kh, kw, stride, pad);
+    let patch = c * kh * kw;
+    let mut out = Matrix::zeros(b * oh * ow, patch);
+    let src = input.as_slice();
+    for bi in 0..b {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (bi * oh + oy) * ow + ox;
+                let dst = out.row_mut(row);
+                for ci in 0..c {
+                    let chan_base = (bi * c + ci) * h * w;
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let src_row = chan_base + iy as usize * w;
+                        let dst_base = (ci * kh + ky) * kw;
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[dst_base + kx] = src[src_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`im2col`]: scatters patch-space gradients back to input
+/// space, accumulating where patches overlap.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have the shape [`im2col`] would produce for
+/// the given geometry.
+pub fn col2im(
+    cols: &Matrix,
+    input_shape: (usize, usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor4 {
+    let (b, c, h, w) = input_shape;
+    let (oh, ow) = conv_output_hw(h, w, kh, kw, stride, pad);
+    assert_eq!(cols.shape(), (b * oh * ow, c * kh * kw), "col2im shape mismatch");
+    let mut out = Tensor4::zeros(b, c, h, w);
+    let dst = out.as_mut_slice();
+    for bi in 0..b {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = cols.row((bi * oh + oy) * ow + ox);
+                for ci in 0..c {
+                    let chan_base = (bi * c + ci) * h * w;
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_row = chan_base + iy as usize * w;
+                        let src_base = (ci * kh + ky) * kw;
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[dst_row + ix as usize] += row[src_base + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reinterprets a `(B·OH·OW) × C` matrix (conv matmul output) as an NCHW
+/// tensor `(B, C, OH, OW)`.
+pub fn rows_to_nchw(m: &Matrix, b: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+    assert_eq!(m.shape(), (b * h * w, c), "rows_to_nchw shape mismatch");
+    let mut out = Tensor4::zeros(b, c, h, w);
+    let dst = out.as_mut_slice();
+    for bi in 0..b {
+        for y in 0..h {
+            for x in 0..w {
+                let row = m.row((bi * h + y) * w + x);
+                for (ci, &v) in row.iter().enumerate() {
+                    dst[((bi * c + ci) * h + y) * w + x] = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`rows_to_nchw`]: flattens an NCHW tensor to
+/// `(B·OH·OW) × C` rows.
+pub fn nchw_to_rows(t: &Tensor4) -> Matrix {
+    let (b, c, h, w) = t.shape();
+    let mut out = Matrix::zeros(b * h * w, c);
+    let src = t.as_slice();
+    for bi in 0..b {
+        for y in 0..h {
+            for x in 0..w {
+                let dst = out.row_mut((bi * h + y) * w + x);
+                for (ci, d) in dst.iter_mut().enumerate() {
+                    *d = src[((bi * c + ci) * h + y) * w + x];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_hw_formulas() {
+        assert_eq!(conv_output_hw(28, 28, 5, 5, 1, 0), (24, 24)); // LeNet conv1
+        assert_eq!(conv_output_hw(32, 32, 5, 5, 1, 2), (32, 32)); // ConvNet conv1
+        assert_eq!(conv_output_hw(7, 9, 3, 3, 2, 0), (3, 4));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1×1 kernel, no padding: im2col is just a reshaping.
+        let t = Tensor4::from_vec(1, 2, 2, 2, (0..8).map(|i| i as f32).collect());
+        let m = im2col(&t, 1, 1, 1, 0);
+        assert_eq!(m.shape(), (4, 2));
+        // row (oh,ow)=(0,0): channels 0 and 1 at position (0,0) → 0.0, 4.0
+        assert_eq!(m.row(0), &[0.0, 4.0]);
+        assert_eq!(m.row(3), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_extracts_patches() {
+        let t = Tensor4::from_vec(1, 1, 3, 3, (0..9).map(|i| i as f32).collect());
+        let m = im2col(&t, 2, 2, 1, 0);
+        assert_eq!(m.shape(), (4, 4));
+        // top-left patch
+        assert_eq!(m.row(0), &[0.0, 1.0, 3.0, 4.0]);
+        // bottom-right patch
+        assert_eq!(m.row(3), &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_zero_pads() {
+        let t = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = im2col(&t, 3, 3, 1, 1);
+        assert_eq!(m.shape(), (4, 9));
+        // Center of the 3×3 patch at output (0,0) is input (0,0)=1; corners
+        // off-image are zero.
+        assert_eq!(m.row(0)[4], 1.0);
+        assert_eq!(m.row(0)[0], 0.0);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct_convolution() {
+        let t = Tensor4::from_vec(1, 1, 4, 4, (0..16).map(|i| i as f32).collect());
+        // One 3×3 averaging filter.
+        let w = Matrix::filled(9, 1, 1.0 / 9.0);
+        let cols = im2col(&t, 3, 3, 1, 0);
+        let y = cols.matmul(&w);
+        assert_eq!(y.shape(), (4, 1));
+        // Direct computation of the first window mean.
+        let expect: f32 = [0, 1, 2, 4, 5, 6, 8, 9, 10].iter().map(|&i| i as f32).sum::<f32>() / 9.0;
+        assert!((y[(0, 0)] - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining
+        // property that makes the conv backward pass correct.
+        let shape = (2, 2, 5, 4);
+        let x = Tensor4::from_vec(
+            shape.0,
+            shape.1,
+            shape.2,
+            shape.3,
+            (0..2 * 2 * 5 * 4).map(|i| ((i * 7 + 3) % 13) as f32 - 6.0).collect(),
+        );
+        let (kh, kw, s, p) = (3, 2, 2, 1);
+        let cols = im2col(&x, kh, kw, s, p);
+        let y = Matrix::from_fn(cols.rows(), cols.cols(), |i, j| ((i * 5 + j * 11) % 7) as f32 - 3.0);
+        let lhs: f64 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let back = col2im(&y, shape, kh, kw, s, p);
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-6, "adjoint identity violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn rows_nchw_round_trip() {
+        let t = Tensor4::from_vec(2, 3, 2, 2, (0..24).map(|i| i as f32 * 0.5).collect());
+        let m = nchw_to_rows(&t);
+        assert_eq!(m.shape(), (8, 3));
+        let back = rows_to_nchw(&m, 2, 3, 2, 2);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn batch_rows_are_grouped_by_sample() {
+        let t = Tensor4::from_vec(2, 1, 2, 2, vec![0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0]);
+        let m = im2col(&t, 1, 1, 1, 0);
+        assert_eq!(m.row(0), &[0.0]);
+        assert_eq!(m.row(4), &[10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than padded input")]
+    fn oversized_kernel_panics() {
+        let _ = conv_output_hw(2, 2, 5, 5, 1, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use scissor_linalg::Matrix;
+
+/// Xavier/Glorot uniform initialization: `U(±√(6/(fan_in+fan_out)))`.
+///
+/// Suits layers followed by saturating or linear activations.
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+    Matrix::random_uniform(fan_in, fan_out, bound, rng)
+}
+
+/// He/Kaiming uniform initialization: `U(±√(6/fan_in))`, for ReLU networks.
+pub fn he_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let bound = (6.0 / fan_in.max(1) as f64).sqrt() as f32;
+    Matrix::random_uniform(fan_in, fan_out, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bounds_and_nonconstant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(100, 50, &mut rng);
+        let bound = (6.0_f64 / 150.0).sqrt() as f32;
+        assert!(w.max_abs() <= bound);
+        assert!(w.max_abs() > bound * 0.5, "should explore the range");
+        assert!(w.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_scales_with_fan_in_only() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = he_uniform(600, 10, &mut rng);
+        let bound = (6.0_f64 / 600.0).sqrt() as f32;
+        assert!(w.max_abs() <= bound);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = xavier_uniform(10, 10, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(10, 10, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,77 @@
+//! The [`Layer`] trait — the unit of composition for networks.
+
+use std::any::Any;
+
+use scissor_linalg::Matrix;
+
+use crate::param::Param;
+use crate::tensor::Tensor4;
+
+/// Forward-pass phase; some layers behave differently in training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Training: caches are kept for the backward pass.
+    Train,
+    /// Inference: no backward state is required.
+    Eval,
+}
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters ([`Param`]) and any activation caches needed
+/// by backpropagation. The contract is the usual one: `backward` must be
+/// called after `forward(.., Phase::Train)` on the same input, and returns
+/// the gradient with respect to that input while accumulating parameter
+/// gradients internally.
+pub trait Layer: Send {
+    /// Stable layer name (`"conv1"`, `"fc2"`, `"relu3"` …).
+    fn name(&self) -> &str;
+
+    /// Computes the layer output.
+    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4;
+
+    /// Backpropagates `grad_out`, accumulating parameter gradients and
+    /// returning the gradient w.r.t. the last `forward` input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before a training-phase forward.
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4;
+
+    /// Output shape `(c, h, w)` for a given input shape.
+    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize);
+
+    /// Trainable parameters (empty for stateless layers).
+    fn params(&self) -> Vec<&Param> {
+        vec![]
+    }
+
+    /// Mutable access to trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![]
+    }
+
+    /// The dense weight matrix (`N×M`, fan-in × fan-out) for layers that
+    /// have one (Conv2d, Linear); `None` otherwise.
+    fn weight_matrix(&self) -> Option<&Matrix> {
+        None
+    }
+
+    /// The `(U, V)` factor pair for low-rank layers; `None` otherwise.
+    fn low_rank_factors(&self) -> Option<(&Matrix, &Matrix)> {
+        None
+    }
+
+    /// Replaces the `(U, V)` factors of a low-rank layer (used by rank
+    /// clipping when it shrinks the rank). Returns `false` for layers that
+    /// are not low-rank.
+    fn set_low_rank_factors(&mut self, _u: Matrix, _v: Matrix) -> bool {
+        false
+    }
+
+    /// Upcast helper for downcasting to concrete layer types.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast helper.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

@@ -1,0 +1,92 @@
+//! Element-wise activation layers.
+
+use std::any::Any;
+
+use crate::layer::{Layer, Phase};
+use crate::tensor::Tensor4;
+
+/// Rectified linear unit: `y = max(0, x)`.
+pub struct Relu {
+    name: String,
+    /// Cached pass-through mask from the last training forward.
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
+        let mut out = input.clone();
+        if phase == Phase::Train {
+            let mask = input.as_slice().iter().map(|&v| v > 0.0).collect();
+            self.mask = Some(mask);
+        } else {
+            self.mask = None;
+        }
+        out.map_inplace(|v| v.max(0.0));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let mask = self.mask.as_ref().expect("backward requires a training-phase forward");
+        assert_eq!(mask.len(), grad_out.len(), "relu mask/grad length mismatch");
+        let mut dx = grad_out.clone();
+        for (g, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        dx
+    }
+
+    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
+        input
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let x = Tensor4::from_vec(1, 1, 1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        let mut r = Relu::new("relu");
+        let y = r.forward(&x, Phase::Eval);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let x = Tensor4::from_vec(1, 1, 1, 4, vec![-1.0, 0.5, 2.0, 0.0]);
+        let mut r = Relu::new("relu");
+        r.forward(&x, Phase::Train);
+        let dx = r.backward(&Tensor4::from_vec(1, 1, 1, 4, vec![1.0, 1.0, 1.0, 1.0]));
+        // Gradient passes only where x > 0 (x == 0 blocks, matching the
+        // subgradient choice).
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn shape_is_preserved() {
+        let r = Relu::new("relu");
+        assert_eq!(r.output_shape((3, 5, 7)), (3, 5, 7));
+    }
+}

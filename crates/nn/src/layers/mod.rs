@@ -1,0 +1,11 @@
+//! Concrete layer implementations.
+
+mod activation;
+mod conv;
+mod linear;
+mod pool;
+
+pub use activation::Relu;
+pub use conv::{Conv2d, ConvGeometry, LowRankConv2d};
+pub use linear::{Linear, LowRankLinear};
+pub use pool::MaxPool2d;

@@ -1,0 +1,195 @@
+//! Max-pooling layer with Caffe-compatible ceil-mode output sizing.
+
+use std::any::Any;
+
+use crate::layer::{Layer, Phase};
+use crate::tensor::Tensor4;
+
+struct PoolCache {
+    input_shape: (usize, usize, usize, usize),
+    /// For each output element, the flat input index of its maximum.
+    argmax: Vec<usize>,
+    out_hw: (usize, usize),
+}
+
+/// 2-D max pooling.
+///
+/// `ceil_mode` selects Caffe's output-size convention
+/// `⌈(H − k)/s⌉ + 1` (needed to reproduce ConvNet's 32→16→8→4 pyramid with
+/// 3×3/stride-2 pooling); `false` selects the floor convention. In ceil
+/// mode, windows are clamped to the input and any window that would start
+/// beyond the input is dropped, exactly as Caffe does.
+pub struct MaxPool2d {
+    name: String,
+    kernel: usize,
+    stride: usize,
+    ceil_mode: bool,
+    cache: Option<PoolCache>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(name: impl Into<String>, kernel: usize, stride: usize, ceil_mode: bool) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        Self { name: name.into(), kernel, stride, ceil_mode, cache: None }
+    }
+
+    fn out_len(&self, input: usize) -> usize {
+        if input < self.kernel {
+            return if input == 0 { 0 } else { 1 };
+        }
+        let span = input - self.kernel;
+        let mut out = if self.ceil_mode {
+            span.div_ceil(self.stride) + 1
+        } else {
+            span / self.stride + 1
+        };
+        // Caffe guard: the last window must start inside the input.
+        if (out - 1) * self.stride >= input {
+            out -= 1;
+        }
+        out
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
+        let (b, c, h, w) = input.shape();
+        let (oh, ow) = (self.out_len(h), self.out_len(w));
+        let mut out = Tensor4::zeros(b, c, oh, ow);
+        let mut argmax = vec![0usize; b * c * oh * ow];
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        for bi in 0..b {
+            for ci in 0..c {
+                let chan = (bi * c + ci) * h * w;
+                for oy in 0..oh {
+                    let y0 = oy * self.stride;
+                    let y1 = (y0 + self.kernel).min(h);
+                    for ox in 0..ow {
+                        let x0 = ox * self.stride;
+                        let x1 = (x0 + self.kernel).min(w);
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = chan + y0 * w + x0;
+                        for y in y0..y1 {
+                            for x in x0..x1 {
+                                let idx = chan + y * w + x;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = ((bi * c + ci) * oh + oy) * ow + ox;
+                        dst[o] = best;
+                        argmax[o] = best_idx;
+                    }
+                }
+            }
+        }
+        if phase == Phase::Train {
+            self.cache = Some(PoolCache { input_shape: input.shape(), argmax, out_hw: (oh, ow) });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let cache = self.cache.as_ref().expect("backward requires a training-phase forward");
+        let (b, c, h, w) = cache.input_shape;
+        debug_assert_eq!(grad_out.shape().2, cache.out_hw.0);
+        let mut dx = Tensor4::zeros(b, c, h, w);
+        let dst = dx.as_mut_slice();
+        for (o, &g) in grad_out.as_slice().iter().enumerate() {
+            dst[cache.argmax[o]] += g;
+        }
+        dx
+    }
+
+    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
+        (input.0, self.out_len(input.1), self.out_len(input.2))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caffe_ceil_mode_pyramid() {
+        // The ConvNet pyramid: 32 → 16 → 8 → 4 with k=3, s=2, ceil mode.
+        let p = MaxPool2d::new("p", 3, 2, true);
+        assert_eq!(p.out_len(32), 16);
+        assert_eq!(p.out_len(16), 8);
+        assert_eq!(p.out_len(8), 4);
+        // Floor mode gives the smaller pyramid.
+        let f = MaxPool2d::new("p", 3, 2, false);
+        assert_eq!(f.out_len(32), 15);
+    }
+
+    #[test]
+    fn lenet_2x2_pooling() {
+        let p = MaxPool2d::new("p", 2, 2, false);
+        assert_eq!(p.out_len(24), 12);
+        assert_eq!(p.out_len(8), 4);
+        assert_eq!(p.output_shape((20, 24, 24)), (20, 12, 12));
+    }
+
+    #[test]
+    fn forward_takes_window_max() {
+        let x = Tensor4::from_vec(1, 1, 2, 4, vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 7.0, 2.0]);
+        let mut p = MaxPool2d::new("p", 2, 2, false);
+        let y = p.forward(&x, Phase::Eval);
+        assert_eq!(y.shape(), (1, 1, 1, 2));
+        assert_eq!(y.at(0, 0, 0, 0), 5.0);
+        assert_eq!(y.at(0, 0, 0, 1), 7.0);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 4.0, 3.0, 2.0]);
+        let mut p = MaxPool2d::new("p", 2, 2, false);
+        p.forward(&x, Phase::Train);
+        let dx = p.backward(&Tensor4::from_vec(1, 1, 1, 1, vec![10.0]));
+        assert_eq!(dx.as_slice(), &[0.0, 10.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ceil_mode_clamps_windows() {
+        // 5 wide, k=3, s=2, ceil: out = ceil(2/2)+1 = 2; second window is
+        // clamped to columns 2..5.
+        let x = Tensor4::from_vec(1, 1, 1, 5, vec![0.0, 1.0, 2.0, 3.0, 9.0]);
+        let mut p = MaxPool2d::new("p", 3, 2, true);
+        let y = p.forward(&x, Phase::Train);
+        assert_eq!(y.shape(), (1, 1, 1, 2));
+        assert_eq!(y.at(0, 0, 0, 1), 9.0);
+        let dx = p.backward(&Tensor4::from_vec(1, 1, 1, 2, vec![1.0, 1.0]));
+        assert_eq!(dx.at(0, 0, 0, 4), 1.0);
+    }
+
+    #[test]
+    fn ties_go_to_first_occurrence() {
+        let x = Tensor4::from_vec(1, 1, 1, 2, vec![3.0, 3.0]);
+        let mut p = MaxPool2d::new("p", 2, 2, false);
+        p.forward(&x, Phase::Train);
+        let dx = p.backward(&Tensor4::from_vec(1, 1, 1, 1, vec![1.0]));
+        assert_eq!(dx.as_slice(), &[1.0, 0.0]);
+    }
+}

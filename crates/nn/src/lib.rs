@@ -1,0 +1,65 @@
+//! # scissor-nn
+//!
+//! A from-scratch CPU neural-network training framework — the Caffe
+//! stand-in for the [Group Scissor (DAC 2017)] reproduction.
+//!
+//! The framework provides exactly what the paper's experiments need:
+//!
+//! * im2col-lowered convolution ([`layers::Conv2d`]) whose weight matrix is
+//!   the `fan_in × filters` crossbar matrix of the paper's Fig. 1;
+//! * **low-rank layers** ([`layers::LowRankConv2d`], [`layers::LowRankLinear`])
+//!   computing `y = (x·U)·Vᵀ` — the two-crossbar implementation produced by
+//!   rank clipping, trainable end-to-end so clipping can run *inside* the
+//!   training loop (Algorithm 2);
+//! * max pooling with Caffe's ceil-mode sizing, ReLU, softmax cross-entropy;
+//! * SGD with momentum, weight decay and Caffe LR schedules ([`Sgd`]);
+//! * a [`Network`] container addressing layers/params by stable dotted names
+//!   so compression passes can edit a network mid-training;
+//! * finite-difference [`gradcheck`] used by the test suite to validate
+//!   every backward pass.
+//!
+//! [Group Scissor (DAC 2017)]: https://arxiv.org/abs/1702.03443
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use scissor_nn::{NetworkBuilder, Sgd, Tensor4};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = NetworkBuilder::new((1, 8, 8))
+//!     .conv("conv1", 4, 3, 1, 0, &mut rng)
+//!     .relu()
+//!     .maxpool(2, 2)
+//!     .linear("fc", 3, &mut rng)
+//!     .build();
+//!
+//! let images = Tensor4::zeros(2, 1, 8, 8);
+//! let labels = [0usize, 2];
+//! let loss = net.train_step(&images, &labels, &Sgd::new(0.01), 0);
+//! assert!(loss.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod net;
+mod param;
+mod tensor;
+
+pub mod gradcheck;
+pub mod im2col;
+pub mod init;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+
+pub use error::{NnError, Result};
+pub use layer::{Layer, Phase};
+pub use loss::{accuracy, argmax_classes, LossOutput, SoftmaxCrossEntropy};
+pub use net::{Network, NetworkBuilder};
+pub use optim::{LrSchedule, Sgd};
+pub use param::Param;
+pub use tensor::Tensor4;

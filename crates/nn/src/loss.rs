@@ -1,0 +1,187 @@
+//! Softmax cross-entropy loss and classification metrics.
+
+use scissor_linalg::Matrix;
+
+use crate::tensor::Tensor4;
+
+/// Output of a loss forward pass.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch (natural log).
+    pub loss: f64,
+    /// Softmax probabilities, `batch × classes`.
+    pub probs: Matrix,
+}
+
+/// Numerically-stable softmax cross-entropy over class logits.
+///
+/// Logits may come as `(B, classes, 1, 1)` tensors or any shape whose
+/// feature length equals the class count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss (stateless).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes softmax probabilities and the mean cross-entropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size or any label is
+    /// out of range.
+    pub fn forward(&self, logits: &Tensor4, labels: &[usize]) -> LossOutput {
+        let x = logits.to_matrix();
+        let (b, classes) = x.shape();
+        assert_eq!(labels.len(), b, "labels/batch mismatch");
+        let mut probs = Matrix::zeros(b, classes);
+        let mut loss = 0.0_f64;
+        for i in 0..b {
+            let row = x.row(i);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut denom = 0.0_f64;
+            for &v in row {
+                denom += ((v - max) as f64).exp();
+            }
+            let label = labels[i];
+            assert!(label < classes, "label {label} out of range for {classes} classes");
+            for (j, &v) in row.iter().enumerate() {
+                let p = ((v - max) as f64).exp() / denom;
+                probs[(i, j)] = p as f32;
+            }
+            let p_label = (((row[label] - max) as f64).exp() / denom).max(1e-30);
+            loss -= p_label.ln();
+        }
+        LossOutput { loss: loss / b as f64, probs }
+    }
+
+    /// Gradient of the mean loss w.r.t. the logits: `(p − onehot)/B`,
+    /// shaped `(B, classes, 1, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the probability batch size.
+    pub fn backward(&self, probs: &Matrix, labels: &[usize]) -> Tensor4 {
+        let (b, classes) = probs.shape();
+        assert_eq!(labels.len(), b, "labels/batch mismatch");
+        let scale = 1.0 / b as f32;
+        let mut grad = probs.clone();
+        for (i, &label) in labels.iter().enumerate() {
+            grad[(i, label)] -= 1.0;
+        }
+        grad.scale_inplace(scale);
+        Tensor4::from_matrix(&grad, classes, 1, 1)
+    }
+}
+
+/// Predicted class per sample: argmax over the feature dimension.
+pub fn argmax_classes(logits: &Tensor4) -> Vec<usize> {
+    let m = logits.to_matrix();
+    (0..m.rows())
+        .map(|i| {
+            m.row(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+                .map(|(j, _)| j)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Fraction of samples whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor4::zeros(4, 10, 1, 1);
+        let out = SoftmaxCrossEntropy::new().forward(&logits, &[0, 3, 5, 9]);
+        assert!((out.loss - (10.0_f64).ln()).abs() < 1e-9);
+        for i in 0..4 {
+            for j in 0..10 {
+                assert!((out.probs[(i, j)] - 0.1).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor4::zeros(1, 3, 1, 1);
+        *logits.at_mut(0, 1, 0, 0) = 20.0;
+        let out = SoftmaxCrossEntropy::new().forward(&logits, &[1]);
+        assert!(out.loss < 1e-6);
+        let wrong = SoftmaxCrossEntropy::new().forward(&logits, &[0]);
+        assert!(wrong.loss > 10.0);
+    }
+
+    #[test]
+    fn backward_is_probs_minus_onehot_over_batch() {
+        let logits = Tensor4::zeros(2, 2, 1, 1);
+        let loss = SoftmaxCrossEntropy::new();
+        let out = loss.forward(&logits, &[0, 1]);
+        let g = loss.backward(&out.probs, &[0, 1]);
+        // p = 0.5 everywhere; grad = (0.5-1)/2 = -0.25 on labels, +0.25 off.
+        assert!((g.at(0, 0, 0, 0) + 0.25).abs() < 1e-6);
+        assert!((g.at(0, 1, 0, 0) - 0.25).abs() < 1e-6);
+        assert!((g.at(1, 1, 0, 0) + 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let loss = SoftmaxCrossEntropy::new();
+        let base = vec![0.3_f32, -0.7, 1.2, 0.1, -0.2, 0.5];
+        let labels = [2usize, 0];
+        let logits = Tensor4::from_vec(2, 3, 1, 1, base.clone());
+        let out = loss.forward(&logits, &labels);
+        let g = loss.backward(&out.probs, &labels);
+        let eps = 1e-3_f32;
+        for idx in 0..base.len() {
+            let mut plus = base.clone();
+            plus[idx] += eps;
+            let mut minus = base.clone();
+            minus[idx] -= eps;
+            let lp = loss.forward(&Tensor4::from_vec(2, 3, 1, 1, plus), &labels).loss;
+            let lm = loss.forward(&Tensor4::from_vec(2, 3, 1, 1, minus), &labels).loss;
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let analytic = g.as_slice()[idx] as f64;
+            assert!(
+                (numeric - analytic).abs() < 1e-4,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_logits_are_stable() {
+        let logits = Tensor4::from_vec(1, 3, 1, 1, vec![1000.0, 999.0, -1000.0]);
+        let out = SoftmaxCrossEntropy::new().forward(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.probs[(0, 0)] > 0.7);
+    }
+
+    #[test]
+    fn argmax_and_accuracy() {
+        let logits = Tensor4::from_vec(3, 2, 1, 1, vec![0.1, 0.9, 0.8, 0.2, 0.4, 0.6]);
+        let preds = argmax_classes(&logits);
+        assert_eq!(preds, vec![1, 0, 1]);
+        assert!((accuracy(&preds, &[1, 0, 0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+}

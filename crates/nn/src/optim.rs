@@ -1,0 +1,155 @@
+//! Stochastic gradient descent with momentum, weight decay and learning-rate
+//! schedules (the training recipe the paper inherits from Caffe).
+
+use serde::{Deserialize, Serialize};
+
+use crate::param::Param;
+
+/// Learning-rate schedule evaluated per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Step decay: multiply by `gamma` every `every` iterations.
+    Step {
+        /// Decay factor per step.
+        gamma: f64,
+        /// Iterations between decays.
+        every: usize,
+    },
+    /// Caffe's `inv` policy: `base · (1 + gamma·iter)^(−power)`.
+    Inv {
+        /// Growth coefficient.
+        gamma: f64,
+        /// Decay exponent.
+        power: f64,
+    },
+}
+
+impl LrSchedule {
+    /// Learning-rate multiplier at `iter` (1.0 at iteration 0).
+    pub fn factor_at(&self, iter: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { gamma, every } => {
+                let steps = if every == 0 { 0 } else { iter / every };
+                gamma.powi(steps as i32)
+            }
+            LrSchedule::Inv { gamma, power } => (1.0 + gamma * iter as f64).powf(-power),
+        }
+    }
+}
+
+/// SGD with momentum and decoupled-by-flag L2 weight decay.
+///
+/// The update per parameter is Caffe's:
+/// `m ← µ·m + lr·(∇ + wd·w)`, `w ← w − m`
+/// with weight decay applied only to parameters flagged
+/// [`Param::weight_decay`] (weights yes, biases no).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Base learning rate.
+    pub lr: f32,
+    /// Momentum coefficient `µ` (0 disables).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+}
+
+impl Sgd {
+    /// A plain SGD configuration with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, weight_decay: 0.0, schedule: LrSchedule::Constant }
+    }
+
+    /// The paper-era Caffe default: momentum 0.9, small L2 decay.
+    pub fn with_momentum(lr: f32) -> Self {
+        Self { lr, momentum: 0.9, weight_decay: 5e-4, schedule: LrSchedule::Constant }
+    }
+
+    /// Effective learning rate at `iter`.
+    pub fn lr_at(&self, iter: usize) -> f32 {
+        (self.lr as f64 * self.schedule.factor_at(iter)) as f32
+    }
+
+    /// Applies one update to a single parameter using the learning rate for
+    /// `iter`, then zeroes its gradient.
+    pub fn step_param(&self, param: &mut Param, iter: usize) {
+        param.sgd_update(self.lr_at(iter), self.momentum, self.weight_decay);
+    }
+
+    /// Applies one update to every parameter.
+    pub fn step(&self, params: &mut [&mut Param], iter: usize) {
+        for p in params.iter_mut() {
+            self.step_param(p, iter);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scissor_linalg::Matrix;
+
+    fn param(value: f32, grad: f32, decay: bool) -> Param {
+        let mut p = Param::new("w", Matrix::filled(1, 1, value), decay);
+        p.grad_mut().map_inplace(|_| grad);
+        p
+    }
+
+    #[test]
+    fn plain_sgd_step() {
+        let sgd = Sgd::new(0.1);
+        let mut p = param(1.0, 0.5, false);
+        sgd.step_param(&mut p, 0);
+        assert!((p.value()[(0, 0)] - 0.95).abs() < 1e-6);
+        assert_eq!(p.grad()[(0, 0)], 0.0, "grad must be zeroed after step");
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let sgd = Sgd { lr: 0.1, momentum: 0.9, weight_decay: 0.0, schedule: LrSchedule::Constant };
+        let mut p = param(0.0, 1.0, false);
+        sgd.step_param(&mut p, 0); // m=0.1, w=-0.1
+        p.grad_mut().map_inplace(|_| 1.0);
+        sgd.step_param(&mut p, 1); // m=0.09+0.1=0.19, w=-0.29
+        assert!((p.value()[(0, 0)] + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_only_on_flagged_params() {
+        let sgd = Sgd { lr: 1.0, momentum: 0.0, weight_decay: 0.1, schedule: LrSchedule::Constant };
+        let mut decayed = param(1.0, 0.0, true);
+        let mut bias = param(1.0, 0.0, false);
+        sgd.step_param(&mut decayed, 0);
+        sgd.step_param(&mut bias, 0);
+        assert!((decayed.value()[(0, 0)] - 0.9).abs() < 1e-6);
+        assert_eq!(bias.value()[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn step_schedule_decays() {
+        let s = LrSchedule::Step { gamma: 0.5, every: 100 };
+        assert_eq!(s.factor_at(0), 1.0);
+        assert_eq!(s.factor_at(99), 1.0);
+        assert_eq!(s.factor_at(100), 0.5);
+        assert_eq!(s.factor_at(250), 0.25);
+    }
+
+    #[test]
+    fn inv_schedule_matches_caffe_formula() {
+        let s = LrSchedule::Inv { gamma: 1e-4, power: 0.75 };
+        let expect = (1.0_f64 + 1e-4 * 1000.0).powf(-0.75);
+        assert!((s.factor_at(1000) - expect).abs() < 1e-12);
+        let sgd = Sgd { lr: 0.01, momentum: 0.9, weight_decay: 5e-4, schedule: s };
+        assert!(sgd.lr_at(1000) < 0.01);
+    }
+
+    #[test]
+    fn zero_every_is_safe() {
+        let s = LrSchedule::Step { gamma: 0.1, every: 0 };
+        assert_eq!(s.factor_at(500), 1.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Trainable parameter storage.
+
+use serde::{Deserialize, Serialize};
+
+use scissor_linalg::Matrix;
+
+/// A trainable tensor (stored as a matrix) together with its gradient and
+/// momentum buffers.
+///
+/// Parameter names are stable, dotted identifiers like `"conv1.w"`,
+/// `"fc1.u"`, `"fc1.bias"`; the rank-clipping and group-deletion passes look
+/// parameters up by these names.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    name: String,
+    value: Matrix,
+    grad: Matrix,
+    momentum: Matrix,
+    weight_decay: bool,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed gradient/momentum buffers.
+    ///
+    /// `weight_decay` marks whether L2 decay applies (weights yes, biases no,
+    /// following standard practice).
+    pub fn new(name: impl Into<String>, value: Matrix, weight_decay: bool) -> Self {
+        let (r, c) = value.shape();
+        Self {
+            name: name.into(),
+            value,
+            grad: Matrix::zeros(r, c),
+            momentum: Matrix::zeros(r, c),
+            weight_decay,
+        }
+    }
+
+    /// Stable dotted identifier (e.g. `"conv2.u"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Matrix {
+        &self.value
+    }
+
+    /// Mutable value. Callers that resize must call [`Param::reset_state`].
+    pub fn value_mut(&mut self) -> &mut Matrix {
+        &mut self.value
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self) -> &Matrix {
+        &self.grad
+    }
+
+    /// Mutable gradient accumulator.
+    pub fn grad_mut(&mut self) -> &mut Matrix {
+        &mut self.grad
+    }
+
+    /// Momentum buffer (owned by the optimizer's update rule).
+    pub fn momentum_mut(&mut self) -> &mut Matrix {
+        &mut self.momentum
+    }
+
+    /// Whether L2 weight decay applies to this parameter.
+    pub fn weight_decay(&self) -> bool {
+        self.weight_decay
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Replaces the value and resets gradient/momentum to match its shape
+    /// (used when rank clipping shrinks a factor).
+    pub fn replace_value(&mut self, value: Matrix) {
+        let (r, c) = value.shape();
+        self.value = value;
+        self.grad = Matrix::zeros(r, c);
+        self.momentum = Matrix::zeros(r, c);
+    }
+
+    /// Resets gradient and momentum buffers to the value's current shape.
+    pub fn reset_state(&mut self) {
+        let (r, c) = self.value.shape();
+        self.grad = Matrix::zeros(r, c);
+        self.momentum = Matrix::zeros(r, c);
+    }
+
+    /// One SGD-with-momentum update:
+    /// `m ← µ·m + lr·(∇ + wd·w)`, `w ← w − m`, then the gradient is zeroed.
+    ///
+    /// `weight_decay` is ignored for parameters constructed with
+    /// `weight_decay = false` (biases).
+    pub fn sgd_update(&mut self, lr: f32, momentum: f32, weight_decay: f32) {
+        let wd = if self.weight_decay { weight_decay } else { 0.0 };
+        let values = self.value.as_mut_slice();
+        let grads = self.grad.as_mut_slice();
+        let momenta = self.momentum.as_mut_slice();
+        for ((w, g), m) in values.iter_mut().zip(grads.iter_mut()).zip(momenta) {
+            let step = momentum * *m + lr * (*g + wd * *w);
+            *m = step;
+            *w -= step;
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_buffers() {
+        let p = Param::new("w", Matrix::filled(2, 3, 1.0), true);
+        assert_eq!(p.name(), "w");
+        assert_eq!(p.grad().frobenius_norm(), 0.0);
+        assert!(p.weight_decay());
+    }
+
+    #[test]
+    fn replace_value_resizes_buffers() {
+        let mut p = Param::new("w", Matrix::zeros(4, 4), true);
+        p.grad_mut().map_inplace(|_| 1.0);
+        p.replace_value(Matrix::zeros(2, 2));
+        assert_eq!(p.value().shape(), (2, 2));
+        assert_eq!(p.grad().shape(), (2, 2));
+        assert_eq!(p.grad().frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new("b", Matrix::zeros(1, 3), false);
+        p.grad_mut().map_inplace(|_| 2.0);
+        p.zero_grad();
+        assert_eq!(p.grad().frobenius_norm(), 0.0);
+        assert!(!p.weight_decay());
+    }
+}

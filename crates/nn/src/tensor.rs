@@ -1,0 +1,236 @@
+//! Batched 4-D activation tensor.
+//!
+//! Activations flow through the network as `(batch, channels, height, width)`
+//! tensors in NCHW layout. Fully-connected layers view them as
+//! `(batch, features)` matrices via [`Tensor4::to_matrix`] /
+//! [`Tensor4::from_matrix`].
+
+use serde::{Deserialize, Serialize};
+
+use scissor_linalg::Matrix;
+
+/// A dense NCHW tensor of `f32` activations.
+///
+/// # Examples
+///
+/// ```
+/// use scissor_nn::Tensor4;
+///
+/// let t = Tensor4::zeros(2, 3, 4, 4);
+/// assert_eq!(t.shape(), (2, 3, 4, 4));
+/// assert_eq!(t.feature_len(), 3 * 4 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w, data: vec![0.0; n * c * h * w] }
+    }
+
+    /// Builds a tensor from a flat NCHW buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n*c*h*w`.
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n * c * h * w, "tensor buffer length mismatch");
+        Self { n, c, h, w, data }
+    }
+
+    /// Shape as `(batch, channels, height, width)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Batch size.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.n
+    }
+
+    /// Channel count.
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Spatial height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Spatial width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Features per sample (`c·h·w`).
+    #[inline]
+    pub fn feature_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat NCHW buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat NCHW buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Value at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-bounds indices.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        self.data[((n * self.c + c) * self.h + h) * self.w + w]
+    }
+
+    /// Mutable value at `(n, c, h, w)`.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        &mut self.data[((n * self.c + c) * self.h + h) * self.w + w]
+    }
+
+    /// One sample's contiguous `c·h·w` feature slice.
+    #[inline]
+    pub fn sample(&self, n: usize) -> &[f32] {
+        let f = self.feature_len();
+        &self.data[n * f..(n + 1) * f]
+    }
+
+    /// Mutable feature slice of one sample.
+    #[inline]
+    pub fn sample_mut(&mut self, n: usize) -> &mut [f32] {
+        let f = self.feature_len();
+        &mut self.data[n * f..(n + 1) * f]
+    }
+
+    /// Views the tensor as a `(batch, features)` matrix (copies).
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.n, self.feature_len(), self.data.clone())
+            .expect("tensor buffer is exactly n×features")
+    }
+
+    /// Rebuilds a tensor from a `(batch, c·h·w)` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match `(n, c*h*w)`.
+    pub fn from_matrix(m: &Matrix, c: usize, h: usize, w: usize) -> Self {
+        assert_eq!(m.cols(), c * h * w, "matrix columns must equal c*h*w");
+        Self { n: m.rows(), c, h, w, data: m.as_slice().to_vec() }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Selects a subset of samples by index (used by batching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> Tensor4 {
+        let f = self.feature_len();
+        let mut data = Vec::with_capacity(indices.len() * f);
+        for &i in indices {
+            assert!(i < self.n, "sample index {i} out of bounds for batch {}", self.n);
+            data.extend_from_slice(self.sample(i));
+        }
+        Tensor4 { n: indices.len(), c: self.c, h: self.h, w: self.w, data }
+    }
+
+    /// Squared L2 norm of the whole tensor (f64 accumulation).
+    pub fn norm_sq(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_layout_is_nchw() {
+        let mut t = Tensor4::zeros(2, 3, 4, 5);
+        *t.at_mut(1, 2, 3, 4) = 9.0;
+        // last element of the buffer
+        assert_eq!(t.as_slice()[2 * 3 * 4 * 5 - 1], 9.0);
+        assert_eq!(t.at(1, 2, 3, 4), 9.0);
+    }
+
+    #[test]
+    fn sample_slices_are_contiguous() {
+        let t = Tensor4::from_vec(2, 1, 2, 2, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(t.sample(0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(t.sample(1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let t = Tensor4::from_vec(2, 2, 1, 3, (0..12).map(|i| i as f32).collect());
+        let m = t.to_matrix();
+        assert_eq!(m.shape(), (2, 6));
+        assert_eq!(m[(1, 2)], 8.0);
+        let back = Tensor4::from_matrix(&m, 2, 1, 3);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn gather_selects_samples() {
+        let t = Tensor4::from_vec(3, 1, 1, 2, vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        let g = t.gather(&[2, 0]);
+        assert_eq!(g.batch(), 2);
+        assert_eq!(g.sample(0), &[20.0, 21.0]);
+        assert_eq!(g.sample(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn map_and_norm() {
+        let mut t = Tensor4::from_vec(1, 1, 1, 3, vec![1.0, -2.0, 2.0]);
+        assert_eq!(t.norm_sq(), 9.0);
+        t.map_inplace(|v| v.max(0.0));
+        assert_eq!(t.as_slice(), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_length_checked() {
+        let _ = Tensor4::from_vec(1, 1, 2, 2, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the neural-network framework.
+
+use proptest::prelude::*;
+use scissor_linalg::Matrix;
+use scissor_nn::im2col::{col2im, conv_output_hw, im2col, nchw_to_rows, rows_to_nchw};
+use scissor_nn::layers::{Linear, LowRankLinear, MaxPool2d, Relu};
+use scissor_nn::{Layer, Phase, SoftmaxCrossEntropy, Tensor4};
+
+fn tensor_strategy(
+    max_b: usize,
+    max_c: usize,
+    max_hw: usize,
+) -> impl Strategy<Value = Tensor4> {
+    (1..=max_b, 1..=max_c, 1..=max_hw, 1..=max_hw).prop_flat_map(|(b, c, h, w)| {
+        proptest::collection::vec(-1.0f32..1.0, b * c * h * w)
+            .prop_map(move |data| Tensor4::from_vec(b, c, h, w, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn im2col_col2im_adjoint(t in tensor_strategy(2, 3, 7), k in 1usize..4, s in 1usize..3, p in 0usize..2) {
+        let (_, _, h, w) = t.shape();
+        prop_assume!(h + 2 * p >= k && w + 2 * p >= k);
+        let cols = im2col(&t, k, k, s, p);
+        // <im2col(x), y> == <x, col2im(y)>
+        let y = Matrix::from_fn(cols.rows(), cols.cols(), |i, j| (((i * 7 + j * 5) % 9) as f32 - 4.0) * 0.25);
+        let lhs: f64 = cols.as_slice().iter().zip(y.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let back = col2im(&y, t.shape(), k, k, s, p);
+        let rhs: f64 = t.as_slice().iter().zip(back.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn conv_output_never_zero_when_kernel_fits(h in 1usize..30, k in 1usize..6, s in 1usize..4, p in 0usize..3) {
+        prop_assume!(h + 2 * p >= k);
+        let (oh, _) = conv_output_hw(h, h, k, k, s, p);
+        prop_assert!(oh >= 1);
+    }
+
+    #[test]
+    fn rows_nchw_round_trip(t in tensor_strategy(3, 4, 5)) {
+        let m = nchw_to_rows(&t);
+        let (b, c, h, w) = t.shape();
+        let back = rows_to_nchw(&m, b, c, h, w);
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(t in tensor_strategy(2, 2, 6)) {
+        let mut relu = Relu::new("r");
+        let once = relu.forward(&t, Phase::Eval);
+        prop_assert!(once.as_slice().iter().all(|&v| v >= 0.0));
+        let twice = relu.forward(&once, Phase::Eval);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input_max(t in tensor_strategy(2, 2, 8)) {
+        let mut pool = MaxPool2d::new("p", 2, 2, false);
+        let (_, _, h, w) = t.shape();
+        prop_assume!(h >= 2 && w >= 2);
+        let out = pool.forward(&t, Phase::Eval);
+        let in_max = t.as_slice().iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let out_max = out.as_slice().iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        prop_assert!(out_max <= in_max + 1e-6);
+        // Every pooled value exists somewhere in the input.
+        for &v in out.as_slice() {
+            prop_assert!(t.as_slice().iter().any(|&x| (x - v).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn low_rank_linear_equals_composed_dense(seed in 0u64..500, b in 1usize..5) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let u = scissor_nn::init::xavier_uniform(10, 3, &mut rng);
+        let v = scissor_nn::init::xavier_uniform(6, 3, &mut rng);
+        let bias = Matrix::zeros(1, 6);
+        let mut dense = Linear::from_weights("d", u.matmul_nt(&v), bias.clone());
+        let mut lr = LowRankLinear::from_factors("l", u, v, bias);
+        let x = Tensor4::from_vec(
+            b,
+            10,
+            1,
+            1,
+            (0..b * 10).map(|i| (((i * 13 + seed as usize) % 17) as f32 - 8.0) * 0.1).collect(),
+        );
+        let yd = dense.forward(&x, Phase::Eval);
+        let yl = lr.forward(&x, Phase::Eval);
+        let diff = yd
+            .as_slice()
+            .iter()
+            .zip(yl.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        prop_assert!(diff < 1e-4);
+    }
+
+    #[test]
+    fn softmax_probs_sum_to_one_and_loss_nonnegative(
+        logits in proptest::collection::vec(-10.0f32..10.0, 3 * 4),
+        label in 0usize..4,
+    ) {
+        let t = Tensor4::from_vec(3, 4, 1, 1, logits);
+        let labels = [label, (label + 1) % 4, (label + 2) % 4];
+        let out = SoftmaxCrossEntropy::new().forward(&t, &labels);
+        prop_assert!(out.loss >= 0.0);
+        for i in 0..3 {
+            let sum: f32 = out.probs.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+        // Gradient rows sum to ~0 (probs minus one-hot).
+        let g = SoftmaxCrossEntropy::new().backward(&out.probs, &labels);
+        let gm = g.to_matrix();
+        for i in 0..3 {
+            let sum: f32 = gm.row(i).iter().sum();
+            prop_assert!(sum.abs() < 1e-5);
+        }
+    }
+}

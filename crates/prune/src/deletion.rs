@@ -1,0 +1,359 @@
+//! Group connection deletion — step 2 of the Group Scissor framework
+//! (paper §3.2, Fig. 5, Table 3).
+//!
+//! Training proceeds with the group-lasso objective of Eq. (4); group norms
+//! shrink toward zero, and at the end every group whose norm is at or below
+//! a threshold is deleted (zeroed exactly). The surviving pattern is frozen
+//! by a [`MaskSet`] and the network fine-tunes to recover accuracy. Routing
+//! wires attached to deleted groups are removed, which
+//! [`scissor_ncs::RoutingAnalysis`] quantifies.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use scissor_data::Dataset;
+use scissor_ncs::RoutingAnalysis;
+use scissor_nn::{Network, Phase, Sgd, SoftmaxCrossEntropy};
+
+use crate::error::Result;
+use crate::group_lasso::GroupLassoRegularizer;
+use crate::masks::MaskSet;
+
+/// Configuration of the deletion trainer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeletionConfig {
+    /// Group-norm threshold below which a group is deleted.
+    pub threshold: f64,
+    /// Group-lasso training iterations.
+    pub iters: usize,
+    /// Fine-tuning iterations after deletion (masked).
+    pub finetune_iters: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimizer for the group-lasso phase.
+    pub sgd: Sgd,
+    /// Optimizer for the fine-tuning phase.
+    pub finetune_sgd: Sgd,
+    /// Trace cadence (iterations between Fig. 5 records).
+    pub record_every: usize,
+    /// RNG seed for batch shuffling.
+    pub seed: u64,
+    /// Batch size for accuracy evaluation.
+    pub eval_batch: usize,
+}
+
+impl DeletionConfig {
+    /// A reasonable default deletion schedule.
+    pub fn new() -> Self {
+        Self {
+            threshold: 1e-2,
+            iters: 600,
+            finetune_iters: 200,
+            batch_size: 32,
+            sgd: Sgd::with_momentum(0.01),
+            finetune_sgd: Sgd::with_momentum(0.005),
+            record_every: 100,
+            seed: 0,
+            eval_batch: 256,
+        }
+    }
+}
+
+impl Default for DeletionConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One Fig. 5 trace point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeletionRecord {
+    /// Training iteration.
+    pub iter: usize,
+    /// Per-entry fraction of groups currently at/below the threshold.
+    pub deleted_fraction: Vec<f64>,
+    /// Test accuracy.
+    pub accuracy: f64,
+}
+
+/// Result of a full deletion + fine-tune run.
+#[derive(Debug, Clone)]
+pub struct DeletionOutcome {
+    /// Regularized parameter names, aligning with trace columns.
+    pub entry_names: Vec<String>,
+    /// Per-`record_every` trace (Fig. 5's series).
+    pub trace: Vec<DeletionRecord>,
+    /// Routing analysis of each regularized matrix after deletion.
+    pub routing: Vec<RoutingAnalysis>,
+    /// Accuracy after group-lasso training + deletion, before fine-tuning.
+    pub accuracy_after_deletion: f64,
+    /// Accuracy after fine-tuning (the number Table 3 reports against the
+    /// baseline).
+    pub final_accuracy: f64,
+    /// The masks frozen for fine-tuning.
+    pub masks: MaskSet,
+}
+
+impl DeletionOutcome {
+    /// Mean remained-wire fraction across entries (paper's aggregation).
+    pub fn mean_wire_fraction(&self) -> f64 {
+        scissor_ncs::mean_wire_fraction(&self.routing)
+    }
+
+    /// Mean remained routing-area fraction across entries.
+    pub fn mean_area_fraction(&self) -> f64 {
+        scissor_ncs::mean_area_fraction(&self.routing)
+    }
+}
+
+fn train_one(
+    net: &mut Network,
+    train: &Dataset,
+    batches: &mut Vec<Vec<usize>>,
+    rng: &mut StdRng,
+    batch_size: usize,
+    sgd: &Sgd,
+    iter: usize,
+    reg: Option<&GroupLassoRegularizer>,
+    masks: Option<&MaskSet>,
+) -> Result<f64> {
+    if batches.is_empty() {
+        *batches = train.shuffled_batches(batch_size, rng);
+        batches.reverse();
+    }
+    let idx = batches.pop().expect("refilled when empty");
+    let (images, labels) = train.batch(&idx);
+    let loss_fn = SoftmaxCrossEntropy::new();
+    let logits = net.forward(&images, Phase::Train);
+    let out = loss_fn.forward(&logits, &labels);
+    net.backward(&loss_fn.backward(&out.probs, &labels));
+    if let Some(reg) = reg {
+        reg.accumulate_grads(net)?;
+    }
+    if let Some(masks) = masks {
+        masks.apply_to_grads(net)?;
+    }
+    sgd.step(&mut net.params_mut(), iter);
+    if let Some(masks) = masks {
+        masks.apply_to_values(net)?;
+    }
+    Ok(out.loss)
+}
+
+/// Runs group connection deletion on `net`:
+/// group-lasso training → threshold deletion → masked fine-tuning.
+///
+/// The regularizer defines *which* matrices participate (the paper applies
+/// it to every matrix spanning more than one crossbar — see
+/// [`GroupLassoRegularizer::auto_register`]).
+///
+/// # Errors
+///
+/// Fails on unknown/stale parameter registrations or tiling mismatches.
+pub fn group_connection_deletion(
+    net: &mut Network,
+    train: &Dataset,
+    test: &Dataset,
+    reg: &GroupLassoRegularizer,
+    cfg: &DeletionConfig,
+) -> Result<DeletionOutcome> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    let mut trace = Vec::new();
+    let entry_names = reg.entry_names();
+
+    let record = |net: &mut Network, trace: &mut Vec<DeletionRecord>, iter: usize| -> Result<()> {
+        let deleted: Vec<f64> =
+            reg.deleted_fraction(net, cfg.threshold)?.into_iter().map(|(_, f)| f).collect();
+        let accuracy = net.evaluate(test.images(), test.labels(), cfg.eval_batch);
+        trace.push(DeletionRecord { iter, deleted_fraction: deleted, accuracy });
+        Ok(())
+    };
+
+    // Phase 1: group-lasso training (Eq. 4–6).
+    record(net, &mut trace, 0)?;
+    for iter in 0..cfg.iters {
+        train_one(
+            net,
+            train,
+            &mut batches,
+            &mut rng,
+            cfg.batch_size,
+            &cfg.sgd,
+            iter,
+            Some(reg),
+            None,
+        )?;
+        if (iter + 1) % cfg.record_every == 0 {
+            record(net, &mut trace, iter + 1)?;
+        }
+    }
+
+    // Phase 2: exact deletion at the threshold.
+    reg.delete_small_groups(net, cfg.threshold)?;
+    let accuracy_after_deletion = net.evaluate(test.images(), test.labels(), cfg.eval_batch);
+    let masks = MaskSet::capture_nonzero(net, &entry_names)?;
+
+    // Phase 3: masked fine-tuning.
+    let mut ft_batches: Vec<Vec<usize>> = Vec::new();
+    for iter in 0..cfg.finetune_iters {
+        train_one(
+            net,
+            train,
+            &mut ft_batches,
+            &mut rng,
+            cfg.batch_size,
+            &cfg.finetune_sgd,
+            iter,
+            None,
+            Some(&masks),
+        )?;
+    }
+    let final_accuracy = net.evaluate(test.images(), test.labels(), cfg.eval_batch);
+    record(net, &mut trace, cfg.iters + cfg.finetune_iters)?;
+
+    // Routing analysis of the surviving connection pattern.
+    let mut routing = Vec::with_capacity(reg.entries().len());
+    for entry in reg.entries() {
+        let p = net
+            .param(entry.param())
+            .ok_or_else(|| crate::error::PruneError::UnknownParam { name: entry.param().into() })?;
+        routing.push(RoutingAnalysis::analyze(entry.param(), p.value(), entry.tiling(), 0.0)?);
+    }
+
+    Ok(DeletionOutcome {
+        entry_names,
+        trace,
+        routing,
+        accuracy_after_deletion,
+        final_accuracy,
+        masks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scissor_data::{synth_mnist, SynthOptions};
+    use scissor_ncs::CrossbarSpec;
+    use scissor_nn::NetworkBuilder;
+
+    fn setup() -> (Network, Dataset, Dataset) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = NetworkBuilder::new((1, 28, 28))
+            .conv("conv1", 6, 5, 2, 0, &mut rng)
+            .maxpool(2, 2)
+            .linear("fc1", 20, &mut rng)
+            .relu()
+            .linear("fc2", 10, &mut rng)
+            .build();
+        let train = synth_mnist(300, 31, SynthOptions::default());
+        let test = synth_mnist(100, 32, SynthOptions::default());
+        (net, train, test)
+    }
+
+    fn pretrain(net: &mut Network, train: &Dataset, iters: usize) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let sgd = Sgd::with_momentum(0.02);
+        let mut i = 0;
+        'outer: loop {
+            for idx in train.shuffled_batches(32, &mut rng) {
+                if i >= iters {
+                    break 'outer;
+                }
+                let (x, y) = train.batch(&idx);
+                net.train_step(&x, &y, &sgd, i);
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_deletes_wires_and_recovers_accuracy() {
+        let (mut net, train, test) = setup();
+        pretrain(&mut net, &train, 100);
+        let baseline = net.evaluate(test.images(), test.labels(), 128);
+
+        // Small crossbars so fc1.w (150×20) spans several.
+        let spec = CrossbarSpec::default().with_max_size(16, 16).unwrap();
+        let reg = GroupLassoRegularizer::auto_register(&net, &spec, 0.015).unwrap();
+        assert!(!reg.entries().is_empty());
+
+        let mut cfg = DeletionConfig::new();
+        cfg.iters = 250;
+        cfg.finetune_iters = 60;
+        cfg.record_every = 50;
+        cfg.threshold = 3e-2;
+        cfg.sgd = Sgd::with_momentum(0.02);
+        cfg.finetune_sgd = Sgd::with_momentum(0.01);
+
+        let outcome = group_connection_deletion(&mut net, &train, &test, &reg, &cfg).unwrap();
+
+        // Trace recorded at 0, 50, 100, 150, 200, 250 and the final point.
+        assert_eq!(outcome.trace.len(), 7);
+        // Some wires must have been deleted.
+        assert!(
+            outcome.mean_wire_fraction() < 1.0,
+            "no wires deleted: {}",
+            outcome.mean_wire_fraction()
+        );
+        // Routing area shrinks quadratically vs wires.
+        assert!(outcome.mean_area_fraction() <= outcome.mean_wire_fraction() + 1e-12);
+        // Fine-tuned accuracy stays near baseline.
+        assert!(
+            outcome.final_accuracy >= baseline - 0.15,
+            "accuracy collapsed: {} vs {}",
+            outcome.final_accuracy,
+            baseline
+        );
+        // Masks keep deleted weights at exactly zero.
+        for analysis in &outcome.routing {
+            assert!(analysis.remained_wire_fraction() <= 1.0);
+        }
+        let fractions = outcome.masks.keep_fractions();
+        assert!(fractions.iter().any(|(_, f)| *f < 1.0), "masks must reflect deletions");
+    }
+
+    #[test]
+    fn stronger_lambda_deletes_more() {
+        let (mut net, train, test) = setup();
+        pretrain(&mut net, &train, 60);
+        let snapshot = net.state_dict();
+        let spec = CrossbarSpec::default().with_max_size(16, 16).unwrap();
+
+        let run = |lambda: f32| -> f64 {
+            let (mut n, _, _) = setup();
+            n.load_state_dict(&snapshot).unwrap();
+            let reg = GroupLassoRegularizer::auto_register(&n, &spec, lambda).unwrap();
+            let mut cfg = DeletionConfig::new();
+            cfg.iters = 100;
+            cfg.finetune_iters = 0;
+            cfg.record_every = 100;
+            cfg.threshold = 2e-2;
+            let out = group_connection_deletion(&mut n, &train, &test, &reg, &cfg).unwrap();
+            out.mean_wire_fraction()
+        };
+        let gentle = run(0.0005);
+        let harsh = run(0.01);
+        assert!(
+            harsh <= gentle + 1e-9,
+            "larger λ must delete at least as many wires: {harsh} vs {gentle}"
+        );
+    }
+
+    #[test]
+    fn empty_regularizer_is_harmless() {
+        let (mut net, train, test) = setup();
+        let reg = GroupLassoRegularizer::new(0.01); // nothing registered
+        let mut cfg = DeletionConfig::new();
+        cfg.iters = 5;
+        cfg.finetune_iters = 0;
+        cfg.record_every = 5;
+        let out = group_connection_deletion(&mut net, &train, &test, &reg, &cfg).unwrap();
+        assert!(out.entry_names.is_empty());
+        assert_eq!(out.mean_wire_fraction(), 0.0);
+    }
+}

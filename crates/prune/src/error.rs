@@ -1,0 +1,79 @@
+//! Error type for the group-connection-deletion crate.
+
+use std::error::Error;
+use std::fmt;
+
+use scissor_ncs::NcsError;
+
+/// Errors produced by `scissor-prune` operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PruneError {
+    /// The named parameter does not exist in the network.
+    UnknownParam {
+        /// Requested parameter name.
+        name: String,
+    },
+    /// A parameter's shape no longer matches its registered partition
+    /// (e.g. the layer was re-clipped after registration).
+    StaleRegistration {
+        /// Parameter name.
+        name: String,
+        /// Shape at registration time.
+        registered: (usize, usize),
+        /// Shape found now.
+        found: (usize, usize),
+    },
+    /// Hardware-model failure (tiling, groups).
+    Ncs(NcsError),
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneError::UnknownParam { name } => write!(f, "unknown parameter `{name}`"),
+            PruneError::StaleRegistration { name, registered, found } => write!(
+                f,
+                "partition for `{name}` registered at {}x{} but parameter is now {}x{}",
+                registered.0, registered.1, found.0, found.1
+            ),
+            PruneError::Ncs(e) => write!(f, "hardware model failure: {e}"),
+        }
+    }
+}
+
+impl Error for PruneError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PruneError::Ncs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NcsError> for PruneError {
+    fn from(e: NcsError) -> Self {
+        PruneError::Ncs(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, PruneError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(PruneError::UnknownParam { name: "x.u".into() }.to_string().contains("x.u"));
+        let e = PruneError::StaleRegistration {
+            name: "a".into(),
+            registered: (8, 4),
+            found: (8, 2),
+        };
+        assert!(e.to_string().contains("8x4"));
+        let e = PruneError::from(NcsError::EmptyMatrix { shape: (0, 1) });
+        assert!(e.source().is_some());
+    }
+}

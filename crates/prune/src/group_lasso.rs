@@ -1,0 +1,390 @@
+//! Crossbar-aligned group-lasso regularization (paper §3.2, Eq. 4–6).
+//!
+//! The training objective becomes
+//! `E(W) = E_D(W) + λ·(Σ_g ||W_g^(r)|| + Σ_g ||W_g^(c)||)`
+//! where the groups are the crossbar rows and columns produced by tiling
+//! each multi-crossbar weight matrix ([`scissor_ncs::GroupPartition`]).
+//! The subgradient contribution per weight is `λ·w/||W_i^(r)|| +
+//! λ·w/||W_j^(c)||` (Eq. 6), added to the data gradient before each SGD
+//! step.
+
+use scissor_ncs::{CrossbarSpec, GroupPartition, Tiling};
+use scissor_nn::Network;
+
+use crate::error::{PruneError, Result};
+
+/// Group norms below this are treated as zero in the subgradient (the
+/// subdifferential at 0 is taken as 0, the standard choice).
+const NORM_FLOOR: f64 = 1e-12;
+
+/// One regularized parameter: its name, crossbar tiling and group partition.
+#[derive(Debug, Clone)]
+pub struct RegEntry {
+    param: String,
+    tiling: Tiling,
+    partition: GroupPartition,
+}
+
+impl RegEntry {
+    /// Parameter name (e.g. `"fc1.u"`).
+    pub fn param(&self) -> &str {
+        &self.param
+    }
+
+    /// The crossbar tiling the groups derive from.
+    pub fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    /// The row/column group partition.
+    pub fn partition(&self) -> &GroupPartition {
+        &self.partition
+    }
+}
+
+/// The group-lasso regularizer of Eq. (4), applied to a set of registered
+/// network parameters.
+#[derive(Debug, Clone)]
+pub struct GroupLassoRegularizer {
+    entries: Vec<RegEntry>,
+    lambda: f32,
+}
+
+impl GroupLassoRegularizer {
+    /// Creates an empty regularizer with strength `lambda`.
+    pub fn new(lambda: f32) -> Self {
+        Self { entries: Vec::new(), lambda }
+    }
+
+    /// Registers one parameter with an explicit tiling.
+    pub fn register(&mut self, param: impl Into<String>, tiling: Tiling) {
+        let partition = GroupPartition::from_tiling(&tiling);
+        self.entries.push(RegEntry { param: param.into(), tiling, partition });
+    }
+
+    /// Registers every weight parameter (`*.w`, `*.u`, `*.v`) whose crossbar
+    /// tiling needs more than one crossbar — the paper's rule: "no group
+    /// Lasso regularization is enforced on those small matrices" that fit a
+    /// single MBC (§4.2, Table 3 footnote).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tiling failures (empty parameters).
+    pub fn auto_register(net: &Network, spec: &CrossbarSpec, lambda: f32) -> Result<Self> {
+        let mut reg = Self::new(lambda);
+        for p in net.params() {
+            let name = p.name();
+            let is_weight =
+                name.ends_with(".w") || name.ends_with(".u") || name.ends_with(".v");
+            if !is_weight {
+                continue;
+            }
+            let (n, k) = p.value().shape();
+            let tiling = Tiling::plan(n, k, spec)?;
+            if tiling.crossbar_count() > 1 {
+                reg.register(name.to_string(), tiling);
+            }
+        }
+        Ok(reg)
+    }
+
+    /// Registered entries.
+    pub fn entries(&self) -> &[RegEntry] {
+        &self.entries
+    }
+
+    /// Names of the registered parameters.
+    pub fn entry_names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.param.clone()).collect()
+    }
+
+    /// Regularization strength λ.
+    pub fn lambda(&self) -> f32 {
+        self.lambda
+    }
+
+    /// Adjusts λ (used by sweeps over the accuracy/congestion trade-off).
+    pub fn set_lambda(&mut self, lambda: f32) {
+        self.lambda = lambda;
+    }
+
+    fn entry_value<'a>(&self, net: &'a Network, entry: &RegEntry) -> Result<&'a scissor_linalg::Matrix> {
+        let p = net
+            .param(&entry.param)
+            .ok_or_else(|| PruneError::UnknownParam { name: entry.param.clone() })?;
+        if p.value().shape() != entry.partition.shape() {
+            return Err(PruneError::StaleRegistration {
+                name: entry.param.clone(),
+                registered: entry.partition.shape(),
+                found: p.value().shape(),
+            });
+        }
+        Ok(p.value())
+    }
+
+    /// The penalty term `λ·Σ(||row groups|| + ||col groups||)` (Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown parameters or stale registrations.
+    pub fn penalty(&self, net: &Network) -> Result<f64> {
+        let mut total = 0.0;
+        for entry in &self.entries {
+            let w = self.entry_value(net, entry)?;
+            total += entry.partition.group_lasso_penalty(w);
+        }
+        Ok(total * self.lambda as f64)
+    }
+
+    /// Adds the Eq. (6) subgradient `λw/||W_i^(r)|| + λw/||W_j^(c)||` to the
+    /// gradient of every registered parameter. Call after `backward` and
+    /// before the optimizer step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown parameters or stale registrations.
+    pub fn accumulate_grads(&self, net: &mut Network) -> Result<()> {
+        let lambda = self.lambda;
+        for entry in &self.entries {
+            // Validate against the immutable view first.
+            self.entry_value(net, entry)?;
+            let param = net
+                .param_mut(&entry.param)
+                .ok_or_else(|| PruneError::UnknownParam { name: entry.param.clone() })?;
+            let cols = param.value().cols();
+            // Row groups.
+            for g in entry.partition.row_groups() {
+                let norm = g.norm(param.value());
+                if norm <= NORM_FLOOR {
+                    continue;
+                }
+                let scale = lambda / norm as f32;
+                let indices: Vec<usize> = g.indices(cols).collect();
+                for i in indices {
+                    let w = param.value().as_slice()[i];
+                    param.grad_mut().as_mut_slice()[i] += scale * w;
+                }
+            }
+            // Column groups.
+            for g in entry.partition.col_groups() {
+                let norm = g.norm(param.value());
+                if norm <= NORM_FLOOR {
+                    continue;
+                }
+                let scale = lambda / norm as f32;
+                let indices: Vec<usize> = g.indices(cols).collect();
+                for i in indices {
+                    let w = param.value().as_slice()[i];
+                    param.grad_mut().as_mut_slice()[i] += scale * w;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fraction of groups (row + column) whose norm is at or below
+    /// `threshold`, per entry — the live "% deleted routing wires" of Fig. 5.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown parameters or stale registrations.
+    pub fn deleted_fraction(&self, net: &Network, threshold: f64) -> Result<Vec<(String, f64)>> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for entry in &self.entries {
+            let w = self.entry_value(net, entry)?;
+            let row_norms = entry.partition.row_group_norms(w);
+            let col_norms = entry.partition.col_group_norms(w);
+            let total = row_norms.len() + col_norms.len();
+            let deleted = row_norms.iter().chain(&col_norms).filter(|&&n| n <= threshold).count();
+            out.push((entry.param.clone(), if total == 0 { 0.0 } else { deleted as f64 / total as f64 }));
+        }
+        Ok(out)
+    }
+
+    /// Zeroes every group whose norm is at or below `threshold` in every
+    /// registered parameter (the deletion step). Returns per-entry
+    /// `(zeroed_row_groups, zeroed_col_groups)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown parameters or stale registrations.
+    pub fn delete_small_groups(
+        &self,
+        net: &mut Network,
+        threshold: f64,
+    ) -> Result<Vec<(String, usize, usize)>> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for entry in &self.entries {
+            self.entry_value(net, entry)?;
+            let param = net
+                .param_mut(&entry.param)
+                .ok_or_else(|| PruneError::UnknownParam { name: entry.param.clone() })?;
+            let (zr, zc) = entry.partition.zero_small_groups(param.value_mut(), threshold);
+            out.push((entry.param.clone(), zr, zc));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scissor_linalg::Matrix;
+    use scissor_nn::{NetworkBuilder, Phase, Tensor4};
+
+    fn wide_net() -> Network {
+        let mut rng = StdRng::seed_from_u64(5);
+        // fc1.w is 128×16 → with max 8×8 crossbars it tiles 16×2 = 32 blocks.
+        NetworkBuilder::new((2, 8, 8))
+            .linear("fc1", 16, &mut rng)
+            .relu()
+            .linear("fc2", 4, &mut rng)
+            .build()
+    }
+
+    fn small_spec() -> CrossbarSpec {
+        CrossbarSpec::default().with_max_size(8, 8).unwrap()
+    }
+
+    #[test]
+    fn auto_register_only_multi_crossbar_params() {
+        let net = wide_net();
+        let reg = GroupLassoRegularizer::auto_register(&net, &small_spec(), 0.01).unwrap();
+        let names = reg.entry_names();
+        // fc1.w (128×16) needs 32 crossbars; fc2.w (16×4) needs 2 (16 > 8).
+        assert!(names.contains(&"fc1.w".to_string()));
+        assert!(names.contains(&"fc2.w".to_string()));
+        // Biases are never registered.
+        assert!(!names.iter().any(|n| n.ends_with(".bias")));
+
+        // With the default 64×64 spec, a net whose weights all fit inside
+        // one crossbar registers nothing.
+        let mut rng = StdRng::seed_from_u64(6);
+        let small = NetworkBuilder::new((1, 8, 8)).linear("fc", 10, &mut rng).build();
+        let reg64 =
+            GroupLassoRegularizer::auto_register(&small, &CrossbarSpec::default(), 0.01).unwrap();
+        assert!(reg64.entries().is_empty());
+    }
+
+    #[test]
+    fn penalty_matches_hand_computation() {
+        let net = wide_net();
+        let mut reg = GroupLassoRegularizer::new(2.0);
+        let tiling = Tiling::plan(128, 16, &small_spec()).unwrap();
+        reg.register("fc1.w", tiling);
+        let penalty = reg.penalty(&net).unwrap();
+        let w = net.param("fc1.w").unwrap().value();
+        let partition = GroupPartition::from_tiling(&Tiling::plan(128, 16, &small_spec()).unwrap());
+        let expect = 2.0 * partition.group_lasso_penalty(w);
+        assert!((penalty - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_of_penalty() {
+        let mut net = wide_net();
+        let reg = GroupLassoRegularizer::auto_register(&net, &small_spec(), 0.05).unwrap();
+        net.zero_grads();
+        reg.accumulate_grads(&mut net).unwrap();
+        let analytic = net.param("fc1.w").unwrap().grad().clone();
+
+        // Probe a few coordinates of fc1.w numerically.
+        let eps = 1e-3_f32;
+        for idx in [0usize, 77, 501, 1333, 2047] {
+            let orig = net.param("fc1.w").unwrap().value().as_slice()[idx];
+            net.param_mut("fc1.w").unwrap().value_mut().as_mut_slice()[idx] = orig + eps;
+            let lp = reg.penalty(&net).unwrap();
+            net.param_mut("fc1.w").unwrap().value_mut().as_mut_slice()[idx] = orig - eps;
+            let lm = reg.penalty(&net).unwrap();
+            net.param_mut("fc1.w").unwrap().value_mut().as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let a = analytic.as_slice()[idx] as f64;
+            assert!(
+                (a - numeric).abs() < 1e-3,
+                "idx {idx}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_group_subgradient_is_zero() {
+        let mut net = wide_net();
+        // Zero the first crossbar row group entirely.
+        {
+            let p = net.param_mut("fc1.w").unwrap();
+            for j in 0..8 {
+                p.value_mut()[(0, j)] = 0.0;
+            }
+        }
+        let mut reg = GroupLassoRegularizer::new(1.0);
+        reg.register("fc1.w", Tiling::plan(128, 16, &small_spec()).unwrap());
+        net.zero_grads();
+        reg.accumulate_grads(&mut net).unwrap();
+        let g = net.param("fc1.w").unwrap().grad();
+        // Gradient on the zeroed row segment comes only from column groups;
+        // since w=0 there, the contribution λ·w/||·|| is 0 as well.
+        for j in 0..8 {
+            assert_eq!(g[(0, j)], 0.0);
+        }
+    }
+
+    #[test]
+    fn training_with_group_lasso_shrinks_group_norms() {
+        let mut net = wide_net();
+        let reg = GroupLassoRegularizer::auto_register(&net, &small_spec(), 0.05).unwrap();
+        let before = reg.penalty(&net).unwrap();
+        // Pure-regularizer "training": no data gradient, just shrinkage.
+        let sgd = scissor_nn::Sgd::new(0.05);
+        let x = Tensor4::zeros(2, 2, 8, 8);
+        for it in 0..150 {
+            let out = net.forward(&x, Phase::Train);
+            // zero data gradient
+            let zero = Tensor4::zeros(out.batch(), out.channels(), out.height(), out.width());
+            net.backward(&zero);
+            reg.accumulate_grads(&mut net).unwrap();
+            sgd.step(&mut net.params_mut(), it);
+        }
+        let after = reg.penalty(&net).unwrap();
+        assert!(after < before * 0.5, "penalty should shrink: {before} → {after}");
+        // Some groups should now be deletable at a small threshold.
+        let frac = reg.deleted_fraction(&net, 1e-2).unwrap();
+        assert!(frac.iter().any(|(_, f)| *f > 0.0), "no deletable groups after shrinkage");
+    }
+
+    #[test]
+    fn delete_small_groups_zeroes_weights() {
+        let mut net = wide_net();
+        let mut reg = GroupLassoRegularizer::new(1.0);
+        reg.register("fc1.w", Tiling::plan(128, 16, &small_spec()).unwrap());
+        // Scale fc1.w tiny so everything deletes.
+        net.param_mut("fc1.w").unwrap().value_mut().map_inplace(|v| v * 1e-6);
+        let report = reg.delete_small_groups(&mut net, 1e-3).unwrap();
+        assert_eq!(report.len(), 1);
+        let (_, zr, zc) = report[0];
+        assert_eq!(zr, 128 * 2); // 16×2 grid of 8×8 blocks → 32 blocks × 8 rows
+        assert_eq!(zc, 32 * 8);
+        assert_eq!(net.param("fc1.w").unwrap().value().frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn stale_registration_detected() {
+        let mut net = wide_net();
+        let mut reg = GroupLassoRegularizer::new(1.0);
+        reg.register("fc1.w", Tiling::plan(128, 16, &small_spec()).unwrap());
+        // Shrink the parameter behind the regularizer's back.
+        net.param_mut("fc1.w").unwrap().replace_value(Matrix::zeros(64, 16));
+        assert!(matches!(
+            reg.penalty(&net),
+            Err(PruneError::StaleRegistration { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_param_detected() {
+        let net = wide_net();
+        let mut reg = GroupLassoRegularizer::new(1.0);
+        reg.register("ghost.w", Tiling::plan(8, 8, &small_spec()).unwrap());
+        assert!(matches!(reg.penalty(&net), Err(PruneError::UnknownParam { .. })));
+    }
+}

@@ -1,0 +1,32 @@
+//! # scissor-prune
+//!
+//! **Group connection deletion** — step 2 of the
+//! [Group Scissor (DAC 2017)] framework.
+//!
+//! Weights of every matrix spanning more than one memristor crossbar are
+//! split into crossbar-aligned row and column groups (one group per routing
+//! wire, Fig. 4). Group-lasso regularization (Eq. 4–6) drives whole groups
+//! to zero during training; deleted groups let their routing wires be
+//! removed, cutting the dominant circuit-area term. After deletion the
+//! network fine-tunes under a sparsity [`MaskSet`] to recover the baseline
+//! accuracy.
+//!
+//! Also included: the unstructured [`magnitude_prune`] baseline showing why
+//! traditional sparsity does *not* reduce routing (§3.2's argument).
+//!
+//! [Group Scissor (DAC 2017)]: https://arxiv.org/abs/1702.03443
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod deletion;
+mod error;
+mod group_lasso;
+mod magnitude;
+mod masks;
+
+pub use deletion::{group_connection_deletion, DeletionConfig, DeletionOutcome, DeletionRecord};
+pub use error::{PruneError, Result};
+pub use group_lasso::{GroupLassoRegularizer, RegEntry};
+pub use magnitude::{magnitude_prune, sparsity_of};
+pub use masks::MaskSet;

@@ -1,0 +1,133 @@
+//! Unstructured magnitude pruning — the "traditional sparse neural
+//! networks" the paper argues against in §3.2.
+//!
+//! Magnitude pruning reaches high sparsity, but its zeros land randomly
+//! across crossbars: a routing wire survives as long as *one* weight in its
+//! row/column group is nonzero, so almost no wires get deleted. The
+//! `ablation_unstructured` bench quantifies this contrast.
+
+use scissor_nn::Network;
+
+use crate::error::{PruneError, Result};
+use crate::masks::MaskSet;
+
+/// Zeroes the smallest-magnitude `sparsity` fraction of each named
+/// parameter and returns the surviving-weight masks.
+///
+/// # Errors
+///
+/// Returns [`PruneError::UnknownParam`] on missing parameters.
+///
+/// # Panics
+///
+/// Panics if `sparsity` is outside `[0, 1]`.
+pub fn magnitude_prune(net: &mut Network, params: &[String], sparsity: f64) -> Result<MaskSet> {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
+    for name in params {
+        let p = net
+            .param_mut(name)
+            .ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
+        let len = p.value().len();
+        let kill = ((len as f64) * sparsity).round() as usize;
+        if kill == 0 {
+            continue;
+        }
+        // Find the magnitude threshold via sorting a copy.
+        let mut magnitudes: Vec<f32> = p.value().as_slice().iter().map(|v| v.abs()).collect();
+        magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+        let threshold = magnitudes[kill.min(len) - 1];
+        let mut killed = 0usize;
+        for w in p.value_mut().as_mut_slice() {
+            // `<=` with a budget guard so ties do not overshoot the target.
+            if killed < kill && w.abs() <= threshold {
+                *w = 0.0;
+                killed += 1;
+            }
+        }
+    }
+    MaskSet::capture_nonzero(net, params)
+}
+
+/// Actual zero-fraction of each named parameter.
+///
+/// # Errors
+///
+/// Returns [`PruneError::UnknownParam`] on missing parameters.
+pub fn sparsity_of(net: &Network, params: &[String]) -> Result<Vec<(String, f64)>> {
+    params
+        .iter()
+        .map(|name| {
+            let p = net
+                .param(name)
+                .ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
+            let zeros = p.value().as_slice().iter().filter(|&&v| v == 0.0).count();
+            let len = p.value().len().max(1);
+            Ok((name.clone(), zeros as f64 / len as f64))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scissor_ncs::{CrossbarSpec, RoutingAnalysis, Tiling};
+    use scissor_nn::NetworkBuilder;
+
+    fn net() -> Network {
+        let mut rng = StdRng::seed_from_u64(2);
+        NetworkBuilder::new((2, 8, 8)).linear("fc1", 16, &mut rng).build()
+    }
+
+    #[test]
+    fn prunes_to_requested_sparsity() {
+        let mut n = net();
+        magnitude_prune(&mut n, &["fc1.w".into()], 0.7).unwrap();
+        let s = sparsity_of(&n, &["fc1.w".into()]).unwrap();
+        assert!((s[0].1 - 0.7).abs() < 0.02, "sparsity {} != 0.7", s[0].1);
+    }
+
+    #[test]
+    fn keeps_largest_weights() {
+        let mut n = net();
+        // Plant one huge weight; it must survive 90% pruning.
+        n.param_mut("fc1.w").unwrap().value_mut()[(0, 0)] = 100.0;
+        magnitude_prune(&mut n, &["fc1.w".into()], 0.9).unwrap();
+        assert_eq!(n.param("fc1.w").unwrap().value()[(0, 0)], 100.0);
+    }
+
+    #[test]
+    fn unstructured_sparsity_preserves_routing_wires() {
+        // The paper's §3.2 argument, reproduced: even 80% unstructured
+        // sparsity deletes almost no routing wires.
+        let mut n = net();
+        magnitude_prune(&mut n, &["fc1.w".into()], 0.8).unwrap();
+        let spec = CrossbarSpec::default().with_max_size(16, 16).unwrap();
+        let tiling = Tiling::plan(128, 16, &spec).unwrap();
+        let w = n.param("fc1.w").unwrap().value();
+        let analysis = RoutingAnalysis::analyze("fc1.w", w, &tiling, 0.0).unwrap();
+        assert!(
+            analysis.remained_wire_fraction() > 0.8,
+            "random sparsity should keep most wires, kept {}",
+            analysis.remained_wire_fraction()
+        );
+    }
+
+    #[test]
+    fn zero_sparsity_is_noop_and_full_sparsity_kills_all() {
+        let mut n = net();
+        let before = n.param("fc1.w").unwrap().value().clone();
+        magnitude_prune(&mut n, &["fc1.w".into()], 0.0).unwrap();
+        assert_eq!(n.param("fc1.w").unwrap().value(), &before);
+        magnitude_prune(&mut n, &["fc1.w".into()], 1.0).unwrap();
+        assert_eq!(n.param("fc1.w").unwrap().value().frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn unknown_param_is_error() {
+        let mut n = net();
+        assert!(magnitude_prune(&mut n, &["ghost".into()], 0.5).is_err());
+        assert!(sparsity_of(&n, &["ghost".into()]).is_err());
+    }
+}

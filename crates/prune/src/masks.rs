@@ -1,0 +1,164 @@
+//! Sparsity masks for fine-tuning after deletion.
+//!
+//! Once groups are deleted their weights must *stay* zero while the network
+//! fine-tunes (a deleted routing wire cannot carry current). A [`MaskSet`]
+//! captures the surviving-weight pattern and re-applies it to gradients and
+//! values around each optimizer step.
+
+use scissor_linalg::Matrix;
+use scissor_nn::Network;
+
+use crate::error::{PruneError, Result};
+
+/// Per-parameter keep masks (1 = trainable, 0 = deleted).
+#[derive(Debug, Clone)]
+pub struct MaskSet {
+    masks: Vec<(String, Matrix)>,
+}
+
+impl MaskSet {
+    /// An empty mask set (no-op).
+    pub fn empty() -> Self {
+        Self { masks: Vec::new() }
+    }
+
+    /// Captures the nonzero pattern of the named parameters: weights that
+    /// are exactly zero become masked out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::UnknownParam`] if a name is missing.
+    pub fn capture_nonzero(net: &Network, params: &[String]) -> Result<Self> {
+        let mut masks = Vec::with_capacity(params.len());
+        for name in params {
+            let p = net
+                .param(name)
+                .ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
+            let mask = p.value().map(|v| if v == 0.0 { 0.0 } else { 1.0 });
+            masks.push((name.clone(), mask));
+        }
+        Ok(Self { masks })
+    }
+
+    /// Number of masked parameters.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// `(param, kept fraction)` pairs.
+    pub fn keep_fractions(&self) -> Vec<(String, f64)> {
+        self.masks
+            .iter()
+            .map(|(n, m)| {
+                let kept = m.as_slice().iter().filter(|&&v| v != 0.0).count();
+                (n.clone(), if m.is_empty() { 0.0 } else { kept as f64 / m.len() as f64 })
+            })
+            .collect()
+    }
+
+    /// Multiplies each masked parameter's gradient by its mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::UnknownParam`] on missing parameters.
+    pub fn apply_to_grads(&self, net: &mut Network) -> Result<()> {
+        for (name, mask) in &self.masks {
+            let p = net
+                .param_mut(name)
+                .ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
+            for (g, &m) in p.grad_mut().as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                *g *= m;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-zeroes masked weights (guards against momentum drift).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::UnknownParam`] on missing parameters.
+    pub fn apply_to_values(&self, net: &mut Network) -> Result<()> {
+        for (name, mask) in &self.masks {
+            let p = net
+                .param_mut(name)
+                .ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
+            for (w, &m) in p.value_mut().as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                *w *= m;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scissor_nn::{NetworkBuilder, Phase, Sgd, Tensor4};
+
+    fn net() -> Network {
+        let mut rng = StdRng::seed_from_u64(1);
+        NetworkBuilder::new((1, 2, 2)).linear("fc", 3, &mut rng).build()
+    }
+
+    #[test]
+    fn capture_reflects_zeros() {
+        let mut n = net();
+        n.param_mut("fc.w").unwrap().value_mut().map_inplace(|_| 1.0);
+        n.param_mut("fc.w").unwrap().value_mut()[(0, 0)] = 0.0;
+        let masks = MaskSet::capture_nonzero(&n, &["fc.w".into()]).unwrap();
+        let fracs = masks.keep_fractions();
+        assert_eq!(fracs[0].0, "fc.w");
+        assert!((fracs[0].1 - 11.0 / 12.0).abs() < 1e-9);
+        assert_eq!(masks.len(), 1);
+        assert!(!masks.is_empty());
+    }
+
+    #[test]
+    fn masked_weights_stay_zero_through_training() {
+        let mut n = net();
+        // Delete one weight, capture, then train hard.
+        n.param_mut("fc.w").unwrap().value_mut()[(2, 1)] = 0.0;
+        let masks = MaskSet::capture_nonzero(&n, &["fc.w".into()]).unwrap();
+        let sgd = Sgd::with_momentum(0.1);
+        let x = Tensor4::from_vec(4, 1, 2, 2, (0..16).map(|i| (i % 5) as f32 - 2.0).collect());
+        let labels = [0usize, 1, 2, 0];
+        for it in 0..20 {
+            let logits = n.forward(&x, Phase::Train);
+            let loss = scissor_nn::SoftmaxCrossEntropy::new();
+            let out = loss.forward(&logits, &labels);
+            n.backward(&loss.backward(&out.probs, &labels));
+            masks.apply_to_grads(&mut n).unwrap();
+            sgd.step(&mut n.params_mut(), it);
+            masks.apply_to_values(&mut n).unwrap();
+        }
+        assert_eq!(n.param("fc.w").unwrap().value()[(2, 1)], 0.0);
+        // Other weights moved.
+        assert!(n.param("fc.w").unwrap().value().frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn unknown_param_is_error() {
+        let n = net();
+        assert!(MaskSet::capture_nonzero(&n, &["ghost.w".into()]).is_err());
+        let masks = MaskSet { masks: vec![("ghost.w".into(), Matrix::zeros(1, 1))] };
+        let mut n = net();
+        assert!(masks.apply_to_grads(&mut n).is_err());
+        assert!(masks.apply_to_values(&mut n).is_err());
+    }
+
+    #[test]
+    fn empty_set_is_noop() {
+        let mut n = net();
+        let before = n.state_dict();
+        MaskSet::empty().apply_to_values(&mut n).unwrap();
+        assert_eq!(before, n.state_dict());
+    }
+}

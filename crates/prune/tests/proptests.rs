@@ -1,0 +1,108 @@
+//! Property-based tests for group-lasso pruning invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scissor_ncs::{CrossbarSpec, Tiling};
+use scissor_nn::{Network, NetworkBuilder};
+use scissor_prune::{magnitude_prune, sparsity_of, GroupLassoRegularizer, MaskSet};
+
+fn toy_net(seed: u64, fan_in_side: usize, fan_out: usize) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NetworkBuilder::new((1, fan_in_side, fan_in_side))
+        .linear("fc", fan_out, &mut rng)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn penalty_is_nonnegative_and_scales_with_lambda(
+        seed in 0u64..1000,
+        lambda in 0.001f32..1.0,
+    ) {
+        let net = toy_net(seed, 8, 12);
+        let spec = CrossbarSpec::default().with_max_size(8, 8).expect("spec");
+        let reg = GroupLassoRegularizer::auto_register(&net, &spec, lambda).expect("register");
+        let p1 = reg.penalty(&net).expect("penalty");
+        prop_assert!(p1 >= 0.0);
+        let mut reg2 = reg.clone();
+        reg2.set_lambda(lambda * 2.0);
+        let p2 = reg2.penalty(&net).expect("penalty");
+        prop_assert!((p2 - 2.0 * p1).abs() < 1e-6 * (1.0 + p1.abs()));
+    }
+
+    #[test]
+    fn subgradient_never_points_away_from_zero(seed in 0u64..1000) {
+        // The group-lasso gradient on a weight always has the same sign as
+        // the weight (it shrinks toward zero), so w · ∂R/∂w ≥ 0.
+        let mut net = toy_net(seed, 8, 12);
+        let spec = CrossbarSpec::default().with_max_size(8, 8).expect("spec");
+        let reg = GroupLassoRegularizer::auto_register(&net, &spec, 0.1).expect("register");
+        net.zero_grads();
+        reg.accumulate_grads(&mut net).expect("grads");
+        let p = net.param("fc.w").expect("param");
+        for (w, g) in p.value().as_slice().iter().zip(p.grad().as_slice()) {
+            prop_assert!(w * g >= -1e-9, "shrinkage gradient flipped sign: w={w} g={g}");
+        }
+    }
+
+    #[test]
+    fn deleted_fraction_monotone_in_threshold(
+        seed in 0u64..1000,
+        t1 in 0.0f64..0.5,
+        t2 in 0.5f64..5.0,
+    ) {
+        let net = toy_net(seed, 8, 12);
+        let spec = CrossbarSpec::default().with_max_size(8, 8).expect("spec");
+        let reg = GroupLassoRegularizer::auto_register(&net, &spec, 0.1).expect("register");
+        let f1 = reg.deleted_fraction(&net, t1).expect("f1");
+        let f2 = reg.deleted_fraction(&net, t2).expect("f2");
+        for ((_, a), (_, b)) in f1.iter().zip(&f2) {
+            prop_assert!(b >= a, "larger threshold must delete at least as much");
+        }
+    }
+
+    #[test]
+    fn delete_then_count_is_consistent(seed in 0u64..1000, threshold in 0.0f64..1.0) {
+        let mut net = toy_net(seed, 8, 12);
+        let mut reg = GroupLassoRegularizer::new(0.1);
+        let spec = CrossbarSpec::default().with_max_size(8, 8).expect("spec");
+        reg.register("fc.w", Tiling::plan(64, 12, &spec).expect("tile"));
+        reg.delete_small_groups(&mut net, threshold).expect("delete");
+        // After deletion, the deleted fraction at the same threshold can
+        // only have grown (zeroing a group may push crossing groups under
+        // the threshold), and all fully-zero groups are counted.
+        let frac = reg.deleted_fraction(&net, 0.0).expect("count");
+        let frac_thresh = reg.deleted_fraction(&net, threshold).expect("count");
+        for ((_, a), (_, b)) in frac.iter().zip(&frac_thresh) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn magnitude_prune_hits_requested_sparsity(
+        seed in 0u64..1000,
+        sparsity in 0.0f64..1.0,
+    ) {
+        let mut net = toy_net(seed, 6, 10);
+        magnitude_prune(&mut net, &["fc.w".into()], sparsity).expect("prune");
+        let s = sparsity_of(&net, &["fc.w".into()]).expect("sparsity")[0].1;
+        // Within one weight of the target (rounding).
+        let len = 36.0 * 10.0;
+        prop_assert!((s - sparsity).abs() <= 2.0 / len + 1e-9, "{s} vs {sparsity}");
+    }
+
+    #[test]
+    fn masks_preserve_zero_pattern_under_updates(seed in 0u64..1000) {
+        let mut net = toy_net(seed, 4, 6);
+        magnitude_prune(&mut net, &["fc.w".into()], 0.5).expect("prune");
+        let masks = MaskSet::capture_nonzero(&net, &["fc.w".into()]).expect("capture");
+        // Simulate drifting updates then re-apply the mask.
+        net.param_mut("fc.w").expect("param").value_mut().map_inplace(|v| v + 0.37);
+        masks.apply_to_values(&mut net).expect("apply");
+        let s = sparsity_of(&net, &["fc.w".into()]).expect("sparsity")[0].1;
+        prop_assert!(s >= 0.45, "mask lost zeros: sparsity {s}");
+    }
+}

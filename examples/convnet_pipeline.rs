@@ -1,0 +1,59 @@
+//! Full ConvNet (CIFAR-10 quick) reproduction pipeline on synth-CIFAR.
+//!
+//! ```text
+//! cargo run --release --example convnet_pipeline            # fast preset
+//! cargo run --release --example convnet_pipeline -- --full  # paper-scale preset
+//! ```
+
+use group_scissor_repro::pipeline::report::{pct, text_table};
+use group_scissor_repro::pipeline::{run_pipeline, GroupScissorConfig, ModelKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = std::env::args().any(|a| a == "--full");
+    let cfg = if full {
+        GroupScissorConfig::full(ModelKind::ConvNet)
+    } else {
+        GroupScissorConfig::fast(ModelKind::ConvNet)
+    };
+    eprintln!(
+        "running ConvNet pipeline ({} preset); this trains three conv layers on CPU — \
+         expect minutes, not seconds",
+        if full { "full" } else { "fast" }
+    );
+
+    let outcome = run_pipeline(&cfg)?;
+
+    println!("== accuracy (Table 1 analogue) ==");
+    let rows = vec![
+        vec!["Original".to_string(), pct(outcome.baseline.final_accuracy)],
+        vec!["Direct LRA".to_string(), pct(outcome.direct_lra_accuracy)],
+        vec!["Rank clipping".to_string(), pct(outcome.clip.final_accuracy)],
+        vec!["+ group deletion".to_string(), pct(outcome.deletion.final_accuracy)],
+    ];
+    println!("{}", text_table(&["method", "accuracy"], &rows));
+
+    println!("== clipped ranks (paper: conv1 12, conv2 19, conv3 22) ==");
+    let rank_rows: Vec<Vec<String>> = outcome
+        .clip
+        .layer_names
+        .iter()
+        .zip(outcome.clip.full_ranks.iter().zip(&outcome.clip.final_ranks))
+        .map(|(n, (&full, &k))| vec![n.clone(), full.to_string(), k.to_string()])
+        .collect();
+    println!("{}", text_table(&["layer", "full rank", "clipped rank"], &rank_rows));
+
+    println!("== crossbar area after rank clipping (paper: 51.81%) ==");
+    println!("{}", outcome.area);
+    println!();
+
+    println!("== routing after group connection deletion (paper: 52.06% area) ==");
+    for r in &outcome.deletion.routing {
+        println!("{r}");
+    }
+    println!(
+        "mean remained wires {} | mean remained routing area {}",
+        pct(outcome.deletion.mean_wire_fraction()),
+        pct(outcome.deletion.mean_area_fraction())
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Full LeNet reproduction pipeline: baseline training on synth-MNIST,
+//! rank clipping, group connection deletion, and the hardware report.
+//!
+//! ```text
+//! cargo run --release --example lenet_pipeline            # fast preset
+//! cargo run --release --example lenet_pipeline -- --full  # paper-scale preset
+//! ```
+
+use group_scissor_repro::pipeline::report::{pct, text_table};
+use group_scissor_repro::pipeline::{run_pipeline, GroupScissorConfig, ModelKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = std::env::args().any(|a| a == "--full");
+    let cfg = if full {
+        GroupScissorConfig::full(ModelKind::LeNet)
+    } else {
+        GroupScissorConfig::fast(ModelKind::LeNet)
+    };
+    eprintln!(
+        "running LeNet pipeline ({} preset): {} train samples, {} baseline iters, \
+         {} clip iters, {} deletion iters",
+        if full { "full" } else { "fast" },
+        cfg.train_samples,
+        cfg.baseline.iters,
+        cfg.clip_iters,
+        cfg.deletion.iters
+    );
+
+    let outcome = run_pipeline(&cfg)?;
+
+    println!("== accuracy (Table 1 analogue) ==");
+    let rows = vec![
+        vec!["Original".to_string(), pct(outcome.baseline.final_accuracy)],
+        vec!["Direct LRA".to_string(), pct(outcome.direct_lra_accuracy)],
+        vec!["Rank clipping".to_string(), pct(outcome.clip.final_accuracy)],
+        vec!["+ group deletion".to_string(), pct(outcome.deletion.final_accuracy)],
+    ];
+    println!("{}", text_table(&["method", "accuracy"], &rows));
+
+    println!("== clipped ranks ==");
+    let rank_rows: Vec<Vec<String>> = outcome
+        .clip
+        .layer_names
+        .iter()
+        .zip(outcome.clip.full_ranks.iter().zip(&outcome.clip.final_ranks))
+        .map(|(n, (&full, &k))| vec![n.clone(), full.to_string(), k.to_string()])
+        .collect();
+    println!("{}", text_table(&["layer", "full rank", "clipped rank"], &rank_rows));
+
+    println!("== crossbar area after rank clipping ==");
+    println!("{}", outcome.area);
+    println!();
+
+    println!("== routing after group connection deletion ==");
+    for r in &outcome.deletion.routing {
+        println!("{r}");
+    }
+    println!(
+        "mean remained wires {} | mean remained routing area {}",
+        pct(outcome.deletion.mean_wire_fraction()),
+        pct(outcome.deletion.mean_area_fraction())
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: compress one weight matrix end-to-end.
+//!
+//! Takes a single LeNet-fc1-shaped weight matrix through both Group Scissor
+//! steps *analytically* (no training) so the whole tour runs in
+//! milliseconds: PCA rank selection → crossbar tiling → group zeroing →
+//! area/routing report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use group_scissor_repro::linalg::{Matrix, Pca};
+use group_scissor_repro::ncs::{CrossbarSpec, GroupPartition, RoutingAnalysis, Tiling};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic 800×500 weight matrix with low intrinsic rank + noise,
+    // the shape of LeNet's fc1.
+    let rank = 24;
+    let a = Matrix::from_fn(800, rank, |i, j| (((i * 31 + j * 17) % 23) as f32 - 11.0) * 0.05);
+    let b = Matrix::from_fn(500, rank, |i, j| (((i * 13 + j * 29) % 19) as f32 - 9.0) * 0.06);
+    let noise = Matrix::from_fn(800, 500, |i, j| (((i * 7 + j * 3) % 11) as f32 - 5.0) * 0.002);
+    let w = a.matmul_nt(&b).add(&noise);
+    println!("weight matrix: {}x{}", w.rows(), w.cols());
+
+    // ---- Step 1: rank clipping (analytic core: PCA + Eq. 3) -------------
+    let eps = 0.03; // tolerable clipping error
+    let pca = Pca::fit(&w)?;
+    let k = pca.min_rank_for_error(eps);
+    let (u, v) = pca.factors(&w, k)?;
+    let dense_cells = w.rows() * w.cols();
+    let factored_cells = u.rows() * k + k * v.rows();
+    println!(
+        "rank clipping: K = {k} (ε = {eps}), crossbar cells {dense_cells} → {factored_cells} \
+         ({:.2}% of dense)",
+        100.0 * factored_cells as f64 / dense_cells as f64
+    );
+
+    // ---- Map U onto memristor crossbars (§4.2 criteria) ------------------
+    let spec = CrossbarSpec::default(); // Table 2: 64×64 MBCs, 4F² cells
+    let tiling = Tiling::plan(u.rows(), u.cols(), &spec)?;
+    println!(
+        "U maps to a {}x{} array of {} crossbars ({} wires)",
+        tiling.grid().0,
+        tiling.grid().1,
+        tiling.mbc_size(),
+        tiling.total_wires()
+    );
+
+    // ---- Step 2: group connection deletion (simulated) -------------------
+    // Emulate what group-lasso training achieves: zero the weakest 60% of
+    // crossbar row/column groups, then count surviving routing wires.
+    let groups = GroupPartition::from_tiling(&tiling);
+    let mut norms: Vec<f64> = groups.row_group_norms(&u);
+    norms.extend(groups.col_group_norms(&u));
+    norms.sort_by(|x, y| x.partial_cmp(y).expect("finite norms"));
+    let threshold = norms[(norms.len() as f64 * 0.6) as usize];
+    let mut u_deleted = u.clone();
+    groups.zero_small_groups(&mut u_deleted, threshold);
+
+    let routing = RoutingAnalysis::analyze("fc1_u", &u_deleted, &tiling, 0.0)?;
+    println!("{routing}");
+    println!(
+        "routing area after deletion: {} of original (Eq. 8: area ∝ wires²)",
+        group_scissor_repro::pipeline::report::pct(routing.remained_area_fraction())
+    );
+    Ok(())
+}

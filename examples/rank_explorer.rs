@@ -1,0 +1,48 @@
+//! Rank explorer: sweep the tolerable clipping error ε over a trained
+//! LeNet layer and watch rank, reconstruction error and crossbar area move
+//! (the analytic heart of the paper's Fig. 6).
+//!
+//! ```text
+//! cargo run --release --example rank_explorer
+//! ```
+
+use group_scissor_repro::data::{synth_mnist, SynthOptions};
+use group_scissor_repro::linalg::{max_beneficial_rank, Pca};
+use group_scissor_repro::pipeline::report::{pct, text_table};
+use group_scissor_repro::pipeline::{train_baseline, ModelKind, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Briefly train LeNet so the weight spectra are task-shaped, not random.
+    eprintln!("pre-training LeNet for a few hundred iterations…");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = ModelKind::LeNet.build(&mut rng);
+    let train = synth_mnist(1500, 1, SynthOptions::default());
+    let test = synth_mnist(400, 2, SynthOptions::default());
+    let out = train_baseline(&mut net, &train, &test, &TrainConfig::new(250));
+    eprintln!("baseline accuracy: {}", pct(out.final_accuracy));
+
+    for layer in ["conv1", "conv2", "fc1"] {
+        let w = net.layer(layer).expect("zoo layer").weight_matrix().expect("dense").clone();
+        let (n, m) = w.shape();
+        let pca = Pca::fit(&w)?;
+        let mut rows = Vec::new();
+        for eps in [0.005, 0.01, 0.02, 0.03, 0.05, 0.1, 0.2] {
+            let k = pca.min_rank_for_error(eps);
+            let cells = n * k + k * m;
+            rows.push(vec![
+                format!("{eps}"),
+                k.to_string(),
+                format!("{:.4}", pca.reconstruction_error(k)),
+                pct(cells as f64 / (n * m) as f64),
+            ]);
+        }
+        println!(
+            "== {layer} ({n}x{m}, full rank {m}, Eq. 2 bound K < {}) ==",
+            max_beneficial_rank(n, m) + 1
+        );
+        println!("{}", text_table(&["ε", "rank K", "e_K (Eq. 3)", "crossbar area"], &rows));
+    }
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! # group-scissor-repro
+//!
+//! Workspace facade for the reproduction of **Group Scissor: Scaling
+//! Neuromorphic Computing Design to Large Neural Networks** (DAC 2017).
+//!
+//! This crate re-exports the workspace's public surface so the examples and
+//! integration tests in the repository root can `use group_scissor_repro::…`
+//! without naming individual crates. Library users should depend on the
+//! individual crates directly:
+//!
+//! | crate | provides |
+//! |---|---|
+//! | [`linalg`] | matrices, matmul kernels, eig/SVD/PCA, low-rank factors |
+//! | [`nn`] | CPU training framework with low-rank layers |
+//! | [`data`] | synthetic MNIST/CIFAR stand-ins, IDX parsing |
+//! | [`lra`] | rank clipping (paper step 1) |
+//! | [`prune`] | group connection deletion (paper step 2) |
+//! | [`ncs`] | memristor-crossbar area/routing hardware model |
+//! | [`pipeline`] | model zoo + end-to-end orchestration |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use group_scissor as pipeline;
+pub use scissor_data as data;
+pub use scissor_linalg as linalg;
+pub use scissor_lra as lra;
+pub use scissor_ncs as ncs;
+pub use scissor_nn as nn;
+pub use scissor_prune as prune;

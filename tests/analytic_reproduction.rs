@@ -1,0 +1,132 @@
+//! Cross-crate integration tests locking the paper's *analytic* results —
+//! the numbers that do not depend on (synthetic-data) training:
+//! Table 2 parameters, Table 3 crossbar sizes, the 13.62 % / 51.81 %
+//! crossbar-area headlines, and the 8.1 % / 52.06 % routing-area headlines.
+
+use group_scissor_repro::ncs::{
+    mean_area_fraction, mean_wire_fraction, CrossbarSpec, RoutingAnalysis, Tiling,
+};
+use group_scissor_repro::pipeline::{area_report_at_ranks, ModelKind};
+
+#[test]
+fn table2_parameters_are_defaults() {
+    let spec = CrossbarSpec::default();
+    assert_eq!(spec.max_rows(), 64);
+    assert_eq!(spec.max_cols(), 64);
+    assert_eq!(spec.cell_area_f2(), 4.0);
+    assert_eq!(spec.wire_pitch_f(), 2.0);
+}
+
+#[test]
+fn table3_mbc_sizes_lenet() {
+    let spec = CrossbarSpec::default();
+    // (matrix shape, expected MBC) from Table 3's LeNet row.
+    let cases = [
+        ((500, 12), "50x12"), // conv2_u
+        ((800, 36), "50x36"), // fc1_u
+        ((36, 500), "36x50"), // fc1_v
+        ((500, 10), "50x10"), // fc_last
+    ];
+    for ((n, k), expect) in cases {
+        let t = Tiling::plan(n, k, &spec).unwrap();
+        assert_eq!(t.mbc_size().to_string(), expect, "{n}x{k}");
+    }
+}
+
+#[test]
+fn table3_mbc_sizes_convnet() {
+    let spec = CrossbarSpec::default();
+    let cases = [
+        ((75, 12), "25x12"),  // conv1_u
+        ((800, 19), "50x19"), // conv2_u
+        ((800, 22), "50x22"), // conv3_u
+        ((1024, 10), "64x10"), // fc_last
+    ];
+    for ((n, k), expect) in cases {
+        let t = Tiling::plan(n, k, &spec).unwrap();
+        assert_eq!(t.mbc_size().to_string(), expect, "{n}x{k}");
+    }
+}
+
+#[test]
+fn paper_small_matrices_fit_single_crossbars() {
+    // Table 3 footnote: conv1 (LeNet), conv1_v/conv2_v/conv3_v fit one MBC.
+    let spec = CrossbarSpec::default();
+    for (n, k) in [(25, 5), (5, 20), (12, 50), (32, 12), (32, 19), (64, 22), (50, 12)] {
+        let t = Tiling::plan(n, k, &spec).unwrap();
+        assert!(t.is_single_crossbar(), "{n}x{k} should fit one crossbar");
+    }
+}
+
+#[test]
+fn headline_crossbar_area_13_62_and_51_81() {
+    let spec = CrossbarSpec::default();
+    for (model, expect) in [(ModelKind::LeNet, 13.62), (ModelKind::ConvNet, 51.81)] {
+        let ranks: Vec<(String, usize)> = model
+            .paper_clipped_ranks()
+            .into_iter()
+            .map(|(n, k)| (n.to_string(), k))
+            .collect();
+        let report = area_report_at_ranks(model, &ranks, &spec);
+        let pct = 100.0 * report.total_ratio();
+        assert!((pct - expect).abs() < 0.005, "{model}: {pct:.4}% != {expect}%");
+    }
+}
+
+#[test]
+fn paper_one_percent_loss_points() {
+    // §4.1: with 1% accuracy loss, LeNet ranks (4, 6, 6) → 3.78% area and
+    // ConvNet area 38.14%. The LeNet point is fully determined by the ranks
+    // the paper gives, so lock it.
+    let spec = CrossbarSpec::default();
+    let ranks =
+        vec![("conv1".to_string(), 4), ("conv2".to_string(), 6), ("fc1".to_string(), 6)];
+    let report = area_report_at_ranks(ModelKind::LeNet, &ranks, &spec);
+    let pct = 100.0 * report.total_ratio();
+    assert!((pct - 3.78).abs() < 0.02, "LeNet@1%: {pct:.4}% != 3.78%");
+}
+
+#[test]
+fn headline_routing_area_8_1_and_52_06() {
+    // Table 3's remained-wire percentages → the paper's routing-area means.
+    let lenet: Vec<RoutingAnalysis> = [475, 248, 67, 180]
+        .iter()
+        .map(|&w| RoutingAnalysis::from_counts("l", 1000, w))
+        .collect();
+    assert!((100.0 * mean_area_fraction(&lenet) - 8.1).abs() < 0.05);
+
+    let convnet: Vec<RoutingAnalysis> = [833, 405, 744, 819]
+        .iter()
+        .map(|&w| RoutingAnalysis::from_counts("c", 1000, w))
+        .collect();
+    assert!((100.0 * mean_wire_fraction(&convnet) - 70.03).abs() < 0.05);
+    assert!((100.0 * mean_area_fraction(&convnet) - 52.06).abs() < 0.05);
+}
+
+#[test]
+fn fig8_one_and_a_half_percent_loss_points() {
+    // §4.2 / Fig. 8: with 1.5% accuracy loss the ConvNet layer routing
+    // areas are 56.25%, 7.64%, 21.44%, 31.64% — wire fractions are their
+    // square roots under Eq. (8). Verify the quadratic model is consistent.
+    for (area_pct, wire_pct) in [(56.25, 75.0), (7.64, 27.64), (21.44, 46.30), (31.64, 56.25)] {
+        let wires = (area_pct as f64 / 100.0_f64).sqrt();
+        assert!(
+            (100.0 * wires - wire_pct).abs() < 0.05,
+            "sqrt({area_pct}) = {:.2} != {wire_pct}",
+            100.0 * wires
+        );
+    }
+}
+
+#[test]
+fn eq2_bounds_for_all_paper_layers() {
+    use group_scissor_repro::linalg::max_beneficial_rank;
+    // Every rank the paper reports must satisfy Eq. (2) for its layer.
+    for model in [ModelKind::LeNet, ModelKind::ConvNet] {
+        let shapes = model.layer_shapes();
+        for (layer, k) in model.paper_clipped_ranks() {
+            let (_, n, m) = *shapes.iter().find(|(l, _, _)| *l == layer).unwrap();
+            assert!(k <= max_beneficial_rank(n, m), "{model}/{layer}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end pipeline integration test: baseline → rank clipping →
+//! group connection deletion → hardware reports, across all crates.
+//!
+//! Budgets scale with the build profile so `cargo test` stays tolerable in
+//! debug while `cargo test --release` exercises a more realistic run.
+
+use group_scissor_repro::pipeline::{
+    run_pipeline_on, GroupScissorConfig, ModelKind, TrainConfig,
+};
+
+fn tiny_lenet_config() -> GroupScissorConfig {
+    let mut cfg = GroupScissorConfig::fast(ModelKind::LeNet);
+    let (baseline, clip, del, ft, samples) = if cfg!(debug_assertions) {
+        (20, 30, 20, 10, 200)
+    } else {
+        (120, 150, 120, 60, 800)
+    };
+    cfg.train_samples = samples;
+    cfg.test_samples = 120;
+    cfg.baseline = TrainConfig::new(baseline);
+    cfg.baseline.sgd.lr = 0.02;
+    cfg.clip_iters = clip;
+    cfg.clip_every = clip / 3;
+    cfg.deletion.iters = del;
+    cfg.deletion.finetune_iters = ft;
+    cfg.deletion.record_every = del;
+    cfg.lambda = 0.01;
+    cfg
+}
+
+#[test]
+fn lenet_pipeline_runs_end_to_end() {
+    let cfg = tiny_lenet_config();
+    let (train, test) = cfg.datasets();
+    let outcome = run_pipeline_on(&cfg, &train, &test).expect("pipeline must run");
+
+    // Stage consistency -----------------------------------------------------
+    // Clip trace exists and layer ordering matches the config.
+    assert_eq!(outcome.clip.layer_names, vec!["conv1", "conv2", "fc1"]);
+    assert_eq!(outcome.clip.full_ranks, vec![20, 50, 500]);
+    assert!(!outcome.clip.trace.is_empty());
+
+    // Ranks never grow during clipping.
+    for pair in outcome.clip.trace.windows(2) {
+        for (a, b) in pair[0].ranks.iter().zip(&pair[1].ranks) {
+            assert!(b <= a, "rank grew during clipping");
+        }
+    }
+
+    // Ranks actually shrank from full rank (fc1 at 500 always clips hard).
+    assert!(
+        outcome.clip.final_ranks[2] < 500,
+        "fc1 rank did not clip: {:?}",
+        outcome.clip.final_ranks
+    );
+
+    // Area report uses the clipped ranks and improves on dense.
+    assert!(outcome.crossbar_area_ratio() < 1.0);
+    assert_eq!(outcome.area.layers().len(), 4);
+
+    // Deletion produced routing analyses for every regularized matrix and
+    // the quadratic wire→area law holds.
+    assert!(!outcome.deletion.routing.is_empty());
+    for r in &outcome.deletion.routing {
+        let w = r.remained_wire_fraction();
+        assert!((r.remained_area_fraction() - w * w).abs() < 1e-12);
+    }
+
+    // Accuracies are probabilities and the baseline learned something.
+    for acc in [
+        outcome.baseline.final_accuracy,
+        outcome.direct_lra_accuracy,
+        outcome.clip.final_accuracy,
+        outcome.deletion.final_accuracy,
+    ] {
+        assert!((0.0..=1.0).contains(&acc));
+    }
+    assert!(outcome.baseline.final_accuracy > 0.2, "baseline failed to learn");
+}
+
+#[test]
+fn pipeline_is_deterministic_for_a_seed() {
+    let cfg = {
+        let mut c = tiny_lenet_config();
+        // Shrink further: determinism only needs a few iterations.
+        c.baseline = TrainConfig::new(8);
+        c.clip_iters = 9;
+        c.clip_every = 3;
+        c.deletion.iters = 6;
+        c.deletion.finetune_iters = 3;
+        c.deletion.record_every = 6;
+        c.train_samples = 100;
+        c.test_samples = 50;
+        c
+    };
+    let (train, test) = cfg.datasets();
+    let a = run_pipeline_on(&cfg, &train, &test).expect("run a");
+    let b = run_pipeline_on(&cfg, &train, &test).expect("run b");
+    assert_eq!(a.baseline.final_accuracy, b.baseline.final_accuracy);
+    assert_eq!(a.clip.final_ranks, b.clip.final_ranks);
+    assert_eq!(a.deletion.final_accuracy, b.deletion.final_accuracy);
+    assert_eq!(
+        a.deletion.mean_wire_fraction(),
+        b.deletion.mean_wire_fraction()
+    );
+}

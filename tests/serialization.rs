@@ -1,0 +1,70 @@
+//! Cross-crate serialization tests: configs, reports and model state all
+//! round-trip through serde_json (the format the bench cache uses).
+
+use group_scissor_repro::linalg::Matrix;
+use group_scissor_repro::ncs::{AreaReport, CrossbarSpec, LayerPlan, RoutingAnalysis, Tiling};
+use group_scissor_repro::pipeline::{GroupScissorConfig, ModelKind};
+
+#[test]
+fn matrix_round_trips() {
+    let m = Matrix::from_fn(7, 5, |i, j| (i as f32) - 0.5 * j as f32);
+    let json = serde_json::to_string(&m).expect("serialize");
+    let back: Matrix = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(m, back);
+}
+
+#[test]
+fn crossbar_spec_and_tiling_round_trip() {
+    let spec = CrossbarSpec::default().with_max_size(32, 48).expect("spec");
+    let json = serde_json::to_string(&spec).expect("serialize");
+    let back: CrossbarSpec = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(spec, back);
+
+    let t = Tiling::plan(800, 36, &CrossbarSpec::default()).expect("plan");
+    let json = serde_json::to_string(&t).expect("serialize");
+    let back: Tiling = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(t, back);
+    assert_eq!(back.mbc_size().to_string(), "50x36");
+}
+
+#[test]
+fn area_report_round_trips() {
+    let report = AreaReport::new(
+        vec![LayerPlan::low_rank("fc1", 800, 500, 36), LayerPlan::dense("fc2", 500, 10)],
+        &CrossbarSpec::default(),
+    );
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: AreaReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(report, back);
+    assert_eq!(back.total_implemented_cells(), 36 * 1300 + 5000);
+}
+
+#[test]
+fn routing_analysis_round_trips() {
+    let t = Tiling::plan(100, 30, &CrossbarSpec::default()).expect("plan");
+    let w = Matrix::filled(100, 30, 1.0);
+    let a = RoutingAnalysis::analyze("x", &w, &t, 0.0).expect("analyze");
+    let json = serde_json::to_string(&a).expect("serialize");
+    let back: RoutingAnalysis = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(a, back);
+}
+
+#[test]
+fn pipeline_config_round_trips() {
+    let cfg = GroupScissorConfig::fast(ModelKind::ConvNet);
+    let json = serde_json::to_string(&cfg).expect("serialize");
+    let back: GroupScissorConfig = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn state_dict_round_trips_and_reloads() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut net = ModelKind::LeNet.build(&mut rng);
+    let state = net.state_dict();
+    let json = serde_json::to_string(&state).expect("serialize");
+    let back: Vec<(String, Matrix)> = serde_json::from_str(&json).expect("deserialize");
+    net.load_state_dict(&back).expect("reload");
+    assert_eq!(net.state_dict(), state);
+}
