@@ -24,8 +24,10 @@ fn main() {
             };
             let (n, k) = matrix.shape();
             let tiling = Tiling::plan(n, k, &spec).expect("tile");
-            let layout = CompactedLayout::plan(name.clone(), matrix, &tiling, 0.0).expect("compact");
-            let routing = RoutingAnalysis::analyze(name.clone(), matrix, &tiling, 0.0).expect("route");
+            let layout =
+                CompactedLayout::plan(name.clone(), matrix, &tiling, 0.0).expect("compact");
+            let routing =
+                RoutingAnalysis::analyze(name.clone(), matrix, &tiling, 0.0).expect("route");
             total_before += tiling.occupied_cells();
             total_after += layout.compacted_cells();
             rows.push(vec![

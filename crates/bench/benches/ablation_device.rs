@@ -22,12 +22,8 @@ fn main() {
     let (_, test) = datasets(ModelKind::LeNet, preset);
 
     // Rebuild the final network from the summary state.
-    let ranks: Vec<(String, usize)> = s
-        .layer_names
-        .iter()
-        .cloned()
-        .zip(s.final_ranks.iter().copied())
-        .collect();
+    let ranks: Vec<(String, usize)> =
+        s.layer_names.iter().cloned().zip(s.final_ranks.iter().copied()).collect();
     let ideal_state = s.final_state.clone();
 
     let models: Vec<(&str, DeviceModel)> = vec![
@@ -61,10 +57,7 @@ fn main() {
 
     println!("== Ablation (extension): write-noise robustness of compressed LeNet ==\n");
     println!("{}", text_table(&["device model", "accuracy"], &rows));
-    println!(
-        "ideal-programming reference (digital): {:.2}%",
-        100.0 * s.deletion_accuracy
-    );
+    println!("ideal-programming reference (digital): {:.2}%", 100.0 * s.deletion_accuracy);
     println!("expected shape: graceful degradation; the compressed network tolerates");
     println!("realistic (~10%) write variation with small accuracy loss.");
 }

@@ -19,12 +19,6 @@ fn main() {
 
     // Weight sparsity group deletion achieved per regularized matrix.
     let mut rows = Vec::new();
-    let ranks: Vec<(String, usize)> = s
-        .layer_names
-        .iter()
-        .cloned()
-        .zip(s.final_ranks.iter().copied())
-        .collect();
 
     // Rebuild the *clipped* (pre-deletion) network and magnitude-prune it to
     // the same sparsities. Clipped state = baseline → we need the clipped
@@ -33,20 +27,15 @@ fn main() {
     // weights.
     let cp = scissor_bench::clipped_checkpoint(ModelKind::LeNet, preset);
     let mut unstructured = rebuild_clipped(ModelKind::LeNet, &cp.ranks, &cp.state, 7);
-    let _ = ranks;
 
     for entry in &s.deletion_entries {
-        let (_, deleted_matrix) = s
-            .final_state
-            .iter()
-            .find(|(n, _)| n == entry)
-            .expect("deleted matrix in final state");
-        let zeros =
-            deleted_matrix.as_slice().iter().filter(|&&v| v == 0.0).count() as f64;
+        let (_, deleted_matrix) =
+            s.final_state.iter().find(|(n, _)| n == entry).expect("deleted matrix in final state");
+        let zeros = deleted_matrix.as_slice().iter().filter(|&&v| v == 0.0).count() as f64;
         let sparsity = zeros / deleted_matrix.len() as f64;
 
         // Unstructured pruning at identical sparsity.
-        magnitude_prune(&mut unstructured, &[entry.clone()], sparsity).expect("prune");
+        magnitude_prune(&mut unstructured, std::slice::from_ref(entry), sparsity).expect("prune");
         let pruned = unstructured.param(entry).expect("param").value();
         let (n, k) = pruned.shape();
         let tiling = Tiling::plan(n, k, &spec).expect("tile");

@@ -31,11 +31,8 @@ fn main() {
     let x: Vec<f64> = s.clip_trace.iter().map(|r| r.iter as f64).collect();
     let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
     for (li, name) in s.layer_names.iter().enumerate() {
-        let ys = s
-            .clip_trace
-            .iter()
-            .map(|r| r.ranks[li] as f64 / s.full_ranks[li] as f64)
-            .collect();
+        let ys =
+            s.clip_trace.iter().map(|r| r.ranks[li] as f64 / s.full_ranks[li] as f64).collect();
         series.push((name.as_str(), ys));
     }
     let acc: Vec<f64> = s.clip_trace.iter().map(|r| r.accuracy).collect();

@@ -14,11 +14,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for (model, paper) in [(ModelKind::LeNet, "13.62%"), (ModelKind::ConvNet, "51.81%")] {
-        let ranks: Vec<(String, usize)> = model
-            .paper_clipped_ranks()
-            .into_iter()
-            .map(|(n, k)| (n.to_string(), k))
-            .collect();
+        let ranks: Vec<(String, usize)> =
+            model.paper_clipped_ranks().into_iter().map(|(n, k)| (n.to_string(), k)).collect();
         let report = area_report_at_ranks(model, &ranks, &spec);
         rows.push(vec![
             format!("{model} crossbar area"),
@@ -28,10 +25,11 @@ fn main() {
     }
 
     // Table 3's remained-wire percentages (in 1/1000) → routing areas.
-    let lenet: Vec<RoutingAnalysis> = [("conv2_u", 475), ("fc1_u", 248), ("fc1_v", 67), ("fc2_u", 180)]
-        .iter()
-        .map(|&(n, w)| RoutingAnalysis::from_counts(n, 1000, w))
-        .collect();
+    let lenet: Vec<RoutingAnalysis> =
+        [("conv2_u", 475), ("fc1_u", 248), ("fc1_v", 67), ("fc2_u", 180)]
+            .iter()
+            .map(|&(n, w)| RoutingAnalysis::from_counts(n, 1000, w))
+            .collect();
     rows.push(vec![
         "LeNet routing area".to_string(),
         pct(mean_area_fraction(&lenet)),

@@ -38,6 +38,47 @@ fn bench_matmul(c: &mut Criterion) {
     g.finish();
 }
 
+/// Reference triple loop (j-inner, no blocking) — the baseline the blocked
+/// kernel is measured against.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(n, m);
+    for i in 0..n {
+        for j in 0..m {
+            let mut acc = 0.0_f32;
+            for p in 0..k {
+                acc += a[(i, p)] * b[(p, j)];
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+/// Serial vs rayon-parallel blocked matmul on square operands at and above
+/// the 512×512 point (the acceptance shape for the `parallel` feature).
+fn bench_matmul_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul_parallel");
+    g.sample_size(10);
+    eprintln!("[kernels] matmul worker threads: {}", scissor_linalg::matmul_worker_threads());
+    for n in [512usize, 768] {
+        let a = rand_matrix(n, n, 20 + n as u64);
+        let b = rand_matrix(n, n, 21 + n as u64);
+        if n == 512 {
+            g.bench_function(&format!("naive_{n}x{n}"), |bench| {
+                bench.iter(|| naive_matmul(&a, &b));
+            });
+        }
+        g.bench_function(&format!("serial_blocked_{n}x{n}"), |bench| {
+            bench.iter(|| a.matmul_serial(&b));
+        });
+        g.bench_function(&format!("parallel_blocked_{n}x{n}"), |bench| {
+            bench.iter(|| a.matmul_parallel(&b));
+        });
+    }
+    g.finish();
+}
+
 fn bench_im2col(c: &mut Criterion) {
     let mut g = c.benchmark_group("im2col");
     let lenet_in = Tensor4::zeros(32, 20, 12, 12);
@@ -97,5 +138,12 @@ fn bench_hardware(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_im2col, bench_spectral, bench_hardware);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_parallel,
+    bench_im2col,
+    bench_spectral,
+    bench_hardware
+);
 criterion_main!(benches);

@@ -15,10 +15,7 @@ fn main() {
             "maximum crossbar size".to_string(),
             format!("{}x{}", spec.max_rows(), spec.max_cols()),
         ],
-        vec![
-            "wire length between two memristors".to_string(),
-            format!("{}F", spec.wire_pitch_f()),
-        ],
+        vec!["wire length between two memristors".to_string(), format!("{}F", spec.wire_pitch_f())],
     ];
     println!("{}", text_table(&["parameter", "value"], &rows));
     println!("paper: 4F^2, 64x64, 2F — matches by construction (library defaults)");

@@ -45,6 +45,8 @@ fn main() {
         );
     }
     println!("paper Table 3 wires: LeNet 47.5/24.8/6.7/18.0%; ConvNet 83.3/40.5/74.4/81.9%");
-    println!("paper MBC sizes: LeNet 50x12, 50x36, 36x50, 50x10; ConvNet 25x12, 50x19, 50x22, 64x10");
+    println!(
+        "paper MBC sizes: LeNet 50x12, 50x36, 36x50, 50x10; ConvNet 25x12, 50x19, 50x22, 64x10"
+    );
     println!("(our sizes differ where our clipped ranks differ — the selection rule is identical)");
 }

@@ -427,7 +427,7 @@ pub fn clipped_checkpoint(model: ModelKind, preset: Preset) -> ClippedCheckpoint
     let mut net = model.build(&mut rng);
     net.load_state_dict(&state).expect("baseline state");
     let mut clip_cfg = cfg.clip_config();
-    clip_cfg.max_iters = clip_cfg.max_iters / 3;
+    clip_cfg.max_iters /= 3;
     let out = rank_clip(&mut net, &train, &test, &clip_cfg).expect("clip");
     let cp = ClippedCheckpoint {
         ranks: out.final_rank_map(),
@@ -554,7 +554,7 @@ pub fn method_clip_point(
     net.load_state_dict(&state).expect("baseline state");
     let mut clip_cfg = cfg.clip_config();
     clip_cfg.method = method;
-    clip_cfg.max_iters = clip_cfg.max_iters / 3;
+    clip_cfg.max_iters /= 3;
     let out = rank_clip(&mut net, &train, &test, &clip_cfg).expect("clip");
     let area = area_report_at_ranks(model, &out.final_rank_map(), &cfg.spec);
     let p = Point {

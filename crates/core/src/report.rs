@@ -60,22 +60,14 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 ///
 /// Each series is scaled to the same y-axis; points are marked with the
 /// series' symbol (`1`–`9` then letters).
-pub fn ascii_chart(
-    title: &str,
-    x: &[f64],
-    series: &[(&str, Vec<f64>)],
-    height: usize,
-) -> String {
+pub fn ascii_chart(title: &str, x: &[f64], series: &[(&str, Vec<f64>)], height: usize) -> String {
     let mut out = format!("{title}\n");
     if x.is_empty() || series.is_empty() {
         out.push_str("(no data)\n");
         return out;
     }
-    let ymin = series
-        .iter()
-        .flat_map(|(_, ys)| ys.iter().copied())
-        .fold(f64::INFINITY, f64::min)
-        .min(0.0);
+    let ymin =
+        series.iter().flat_map(|(_, ys)| ys.iter().copied()).fold(f64::INFINITY, f64::min).min(0.0);
     let ymax = series
         .iter()
         .flat_map(|(_, ys)| ys.iter().copied())

@@ -86,7 +86,11 @@ pub fn train_baseline(
         loss_n += 1;
         if cfg.record_every > 0 && (iter + 1) % cfg.record_every == 0 {
             let accuracy = net.evaluate(test.images(), test.labels(), cfg.eval_batch);
-            trace.push(TrainRecord { iter: iter + 1, mean_loss: loss_acc / loss_n as f64, accuracy });
+            trace.push(TrainRecord {
+                iter: iter + 1,
+                mean_loss: loss_acc / loss_n as f64,
+                accuracy,
+            });
             loss_acc = 0.0;
             loss_n = 0;
         }

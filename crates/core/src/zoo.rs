@@ -135,7 +135,6 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use scissor_nn::Layer as _;
 
     #[test]
     fn lenet_weight_shapes_match_table1() {

@@ -49,7 +49,8 @@ impl std::fmt::Display for IdxError {
 impl std::error::Error for IdxError {}
 
 fn read_u32(buf: &[u8], at: usize) -> Result<u32, IdxError> {
-    let bytes: [u8; 4] = buf.get(at..at + 4).ok_or(IdxError::Truncated)?.try_into().expect("sliced 4");
+    let bytes: [u8; 4] =
+        buf.get(at..at + 4).ok_or(IdxError::Truncated)?.try_into().expect("sliced 4");
     Ok(u32::from_be_bytes(bytes))
 }
 

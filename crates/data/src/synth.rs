@@ -57,16 +57,16 @@ const SEGMENTS: [(f32, f32, f32, f32); 7] = [
 
 /// Segment membership per digit (A..G bitmask order as in `SEGMENTS`).
 const DIGIT_SEGMENTS: [[bool; 7]; 10] = [
-    [true, true, true, true, true, true, false],   // 0
+    [true, true, true, true, true, true, false],     // 0
     [false, true, true, false, false, false, false], // 1
-    [true, true, false, true, true, false, true],  // 2
-    [true, true, true, true, false, false, true],  // 3
-    [false, true, true, false, false, true, true], // 4
-    [true, false, true, true, false, true, true],  // 5
-    [true, false, true, true, true, true, true],   // 6
-    [true, true, true, false, false, false, false], // 7
-    [true, true, true, true, true, true, true],    // 8
-    [true, true, true, true, false, true, true],   // 9
+    [true, true, false, true, true, false, true],    // 2
+    [true, true, true, true, false, false, true],    // 3
+    [false, true, true, false, false, true, true],   // 4
+    [true, false, true, true, false, true, true],    // 5
+    [true, false, true, true, true, true, true],     // 6
+    [true, true, true, false, false, false, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 fn dist_to_segment(px: f32, py: f32, seg: (f32, f32, f32, f32)) -> f32 {
@@ -83,18 +83,13 @@ fn dist_to_segment(px: f32, py: f32, seg: (f32, f32, f32, f32)) -> f32 {
 }
 
 /// Renders one jittered digit glyph into a 28×28 patch.
-fn render_digit<R: Rng + ?Sized>(
-    digit: usize,
-    opts: &SynthOptions,
-    rng: &mut R,
-    out: &mut [f32],
-) {
+fn render_digit<R: Rng + ?Sized>(digit: usize, opts: &SynthOptions, rng: &mut R, out: &mut [f32]) {
     let j = opts.jitter;
     // Per-sample geometry.
     let (tx, ty) = (randn(rng) as f32 * 0.03 * j, randn(rng) as f32 * 0.03 * j);
     let scale = 1.0 + randn(rng) as f32 * 0.06 * j;
     let shear = randn(rng) as f32 * 0.08 * j;
-    let thickness = 0.07 + rng.gen_range(-0.012..0.012) * j;
+    let thickness: f32 = 0.07 + rng.gen_range(-0.012f32..0.012) * j;
     // Jittered copies of the active segments.
     let mut segs: Vec<(f32, f32, f32, f32)> = Vec::with_capacity(7);
     for (i, seg) in SEGMENTS.iter().enumerate() {
@@ -112,7 +107,8 @@ fn render_digit<R: Rng + ?Sized>(
     // Smooth elastic warp parameters.
     let (wa, wb) = (randn(rng) as f32 * 0.015 * j, randn(rng) as f32 * 0.015 * j);
     let (fy, fx) = (rng.gen_range(1.0..3.0_f32), rng.gen_range(1.0..3.0_f32));
-    let (p1, p2) = (rng.gen_range(0.0..std::f32::consts::TAU), rng.gen_range(0.0..std::f32::consts::TAU));
+    let (p1, p2) =
+        (rng.gen_range(0.0..std::f32::consts::TAU), rng.gen_range(0.0..std::f32::consts::TAU));
 
     for y in 0..28 {
         for x in 0..28 {
@@ -341,10 +337,7 @@ mod tests {
         let d = synth_cifar(10, 11, SynthOptions { noise: 0.0, jitter: 0.0 });
         // Class 0 is red-dominant in the masked region, class 2 blue-dominant.
         let mean_ch = |i: usize, ch: usize| -> f64 {
-            d.images().sample(i)[ch * 1024..(ch + 1) * 1024]
-                .iter()
-                .map(|&v| v as f64)
-                .sum::<f64>()
+            d.images().sample(i)[ch * 1024..(ch + 1) * 1024].iter().map(|&v| v as f64).sum::<f64>()
                 / 1024.0
         };
         assert!(mean_ch(0, 0) > mean_ch(0, 2), "class 0 should be red-heavy");

@@ -245,7 +245,11 @@ mod tests {
     fn trace_equals_eigenvalue_sum() {
         let a = Matrix::from_fn(9, 9, |i, j| {
             let v = ((i * j + i + j) % 5) as f32;
-            if i == j { v + 4.0 } else { v * 0.5 }
+            if i == j {
+                v + 4.0
+            } else {
+                v * 0.5
+            }
         });
         let sym = a.add(&a.transpose()).map(|v| v * 0.5);
         let e = sym_eig(&sym).unwrap();
@@ -271,10 +275,7 @@ mod tests {
 
     #[test]
     fn rejects_non_square() {
-        assert!(matches!(
-            sym_eig(&Matrix::zeros(2, 3)),
-            Err(LinalgError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(sym_eig(&Matrix::zeros(2, 3)), Err(LinalgError::ShapeMismatch { .. })));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod svd;
 
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
-pub use ops::PARALLEL_FLOP_THRESHOLD;
+pub use ops::{matmul_worker_threads, PARALLEL_FLOP_THRESHOLD};
 
 pub use eig::{sym_eig, SymEig};
 pub use lowrank::{max_beneficial_rank, LowRank};

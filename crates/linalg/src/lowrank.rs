@@ -122,7 +122,11 @@ pub fn max_beneficial_rank(n: usize, m: usize) -> usize {
     let bound = (n * m) as f64 / (n + m) as f64;
     let k = bound.ceil() as usize;
     // Strict inequality: back off when bound is an exact integer.
-    if k as f64 == bound { k.saturating_sub(1) } else { k - 1 }
+    if k as f64 == bound {
+        k.saturating_sub(1)
+    } else {
+        k - 1
+    }
 }
 
 #[cfg(test)]

@@ -122,7 +122,12 @@ impl Matrix {
     }
 
     /// Fills a matrix with uniform random values in `[-scale, scale)`.
-    pub fn random_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+    pub fn random_uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        scale: f32,
+        rng: &mut R,
+    ) -> Self {
         let data = (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect();
         Self { rows, cols, data }
     }
@@ -299,7 +304,11 @@ impl Matrix {
         let denom = self.frobenius_norm_sq();
         let num = self.sub(other).frobenius_norm_sq();
         if denom == 0.0 {
-            if num == 0.0 { 0.0 } else { f64::INFINITY }
+            if num == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             num / denom
         }
@@ -325,7 +334,10 @@ impl Matrix {
         row_range: std::ops::Range<usize>,
         col_range: std::ops::Range<usize>,
     ) -> Matrix {
-        assert!(row_range.end <= self.rows && col_range.end <= self.cols, "submatrix out of bounds");
+        assert!(
+            row_range.end <= self.rows && col_range.end <= self.cols,
+            "submatrix out of bounds"
+        );
         let mut out = Matrix::zeros(row_range.len(), col_range.len());
         for (oi, i) in row_range.enumerate() {
             let src = &self.row(i)[col_range.clone()];
@@ -340,7 +352,10 @@ impl Matrix {
     ///
     /// Panics if the block does not fit.
     pub fn set_submatrix(&mut self, row: usize, col: usize, block: &Matrix) {
-        assert!(row + block.rows <= self.rows && col + block.cols <= self.cols, "block out of bounds");
+        assert!(
+            row + block.rows <= self.rows && col + block.cols <= self.cols,
+            "block out of bounds"
+        );
         for i in 0..block.rows {
             let cols = self.cols;
             self.data[(row + i) * cols + col..(row + i) * cols + col + block.cols]

@@ -7,51 +7,165 @@
 //! * [`Matrix::matmul_nt`] — `C = A · Bᵀ`
 //! * [`Matrix::matmul_tn`] — `C = Aᵀ · B`
 //!
-//! All kernels are cache-aware (row-major friendly loop orders) and switch to
-//! a crossbeam scoped-thread row-parallel path once the flop count crosses
-//! [`PARALLEL_FLOP_THRESHOLD`]. Accumulation is `f32`; the matrices in this
-//! workspace are small enough (≤ a few thousand per dimension) that this is
-//! well within training noise.
+//! All kernels are cache-blocked (row-major friendly loop orders, `K_BLOCK`
+//! tiling of the reduction dimension so a panel of the right-hand operand is
+//! reused across a whole row panel of the output). With the `parallel`
+//! feature (default) they additionally split the output into row panels
+//! dispatched through rayon once the flop count crosses
+//! [`PARALLEL_FLOP_THRESHOLD`].
+//!
+//! The parallel path hands each worker a disjoint row panel and runs the
+//! *identical* blocked kernel inside it, so every output element is
+//! accumulated in the same order on both paths: [`Matrix::matmul_parallel`]
+//! and [`Matrix::matmul_serial`] agree **bitwise**, not just to rounding
+//! (property-tested in `tests/parallel_agreement.rs`). Accumulation is
+//! `f32`; the matrices in this workspace are small enough (≤ a few thousand
+//! per dimension) that this is well within training noise.
 
 use crate::Matrix;
 
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
 /// Products smaller than this many fused multiply-adds run single-threaded;
-/// the thread-spawn overhead dominates below it.
+/// the thread-dispatch overhead dominates below it.
 pub const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
 
-fn thread_count(work: usize) -> usize {
-    if work < PARALLEL_FLOP_THRESHOLD {
-        return 1;
+/// Reduction-dimension tile: one tile of the right-hand operand
+/// (`K_BLOCK × m` floats) stays hot in cache while a whole row panel of the
+/// output is accumulated against it.
+const K_BLOCK: usize = 64;
+
+/// Number of worker threads the matmul kernels will actually use for a
+/// sufficiently large product (1 without the `parallel` feature; capped at
+/// 16 — beyond that, panels get too thin at layer-sized matrices).
+pub fn matmul_worker_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        rayon::current_num_threads().min(16)
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
 }
 
-/// Runs `body(row_start, out_rows_chunk)` over disjoint row chunks of `out`,
-/// in parallel when the problem is big enough.
-fn parallel_rows<F>(out: &mut Matrix, work: usize, body: F)
+/// Threshold dispatch shared by all three product kernels.
+fn threads_for(work: usize) -> usize {
+    if work < PARALLEL_FLOP_THRESHOLD {
+        1
+    } else {
+        matmul_worker_threads()
+    }
+}
+
+/// Runs `body(row0, row_panel)` over disjoint row panels of `out`
+/// (`cols`-wide rows), on `threads` workers.
+///
+/// `body` must compute panel rows independently — each output row is written
+/// by exactly one invocation, so the split cannot change results.
+fn run_row_panels<F>(out: &mut Matrix, threads: usize, body: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    let threads = thread_count(work);
     let rows = out.rows();
     let cols = out.cols();
-    if threads <= 1 || rows < 2 {
+    if threads <= 1 || rows < 2 || cols == 0 {
         body(0, out.as_mut_slice());
         return;
     }
-    let chunk_rows = rows.div_ceil(threads);
-    let data = out.as_mut_slice();
-    crossbeam::scope(|scope| {
-        for (idx, chunk) in data.chunks_mut(chunk_rows * cols).enumerate() {
-            let body = &body;
-            scope.spawn(move |_| body(idx * chunk_rows, chunk));
+    #[cfg(feature = "parallel")]
+    {
+        let panel_rows = rows.div_ceil(threads);
+        out.as_mut_slice()
+            .par_chunks_mut(panel_rows * cols)
+            .enumerate()
+            .for_each(|(idx, panel)| body(idx * panel_rows, panel));
+    }
+    // Without the feature every dispatcher passes threads == 1, so the
+    // single-panel path above is the only reachable one.
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("threads > 1 requires the `parallel` feature");
+}
+
+/// Blocked kernel for `C = A · B` over the row panel starting at `row0`.
+///
+/// Loop order `kb → i → p → j`: the `K_BLOCK × m` tile of `B` is streamed
+/// once per panel row while it is cache-resident, and each output row still
+/// accumulates in ascending-`p` order (the same order as an unblocked axpy
+/// sweep, keeping serial and parallel results bitwise identical).
+fn matmul_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+    let m = b.cols();
+    let k = a.cols();
+    let panel_rows = panel.len() / m.max(1);
+    let mut kb = 0;
+    while kb < k {
+        let kb_end = (kb + K_BLOCK).min(k);
+        for local_i in 0..panel_rows {
+            let a_row = a.row(row0 + local_i);
+            let out_row = &mut panel[local_i * m..(local_i + 1) * m];
+            for (p, &a_ip) in a_row[kb..kb_end].iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(kb + p);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * bv;
+                }
+            }
         }
-    })
-    .expect("matmul worker thread panicked");
+        kb = kb_end;
+    }
+}
+
+/// Kernel for `C = A · Bᵀ` over one row panel: independent dot products,
+/// both operands streamed row-major.
+fn matmul_nt_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+    let m = b.rows();
+    let panel_rows = panel.len() / m.max(1);
+    for local_i in 0..panel_rows {
+        let a_row = a.row(row0 + local_i);
+        let out_row = &mut panel[local_i * m..(local_i + 1) * m];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0_f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Kernel for `C = Aᵀ · B` over one row panel of `C` (= columns of `A`).
+///
+/// Each worker scans all of `A` and `B` but only writes its own `C` rows;
+/// per-row accumulation is ascending in `p` on every path.
+fn matmul_tn_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+    let m = b.cols();
+    let k = a.rows();
+    let panel_rows = panel.len() / m.max(1);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for local_i in 0..panel_rows {
+            let a_pi = a_row[row0 + local_i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut panel[local_i * m..(local_i + 1) * m];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * bv;
+            }
+        }
+    }
 }
 
 impl Matrix {
     /// Matrix product `C = A · B`.
+    ///
+    /// Dispatches to the parallel row-panel path once the product exceeds
+    /// [`PARALLEL_FLOP_THRESHOLD`] flops (with the `parallel` feature).
     ///
     /// # Panics
     ///
@@ -66,6 +180,23 @@ impl Matrix {
     /// assert_eq!(a.matmul(&b), Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
     /// ```
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let work = self.rows() * self.cols() * rhs.cols();
+        self.matmul_with_threads(rhs, threads_for(work))
+    }
+
+    /// [`Matrix::matmul`] forced onto the single-threaded blocked kernel.
+    pub fn matmul_serial(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_with_threads(rhs, 1)
+    }
+
+    /// [`Matrix::matmul`] forced onto the rayon row-panel path regardless of
+    /// size. Bitwise-identical to [`Matrix::matmul_serial`].
+    #[cfg(feature = "parallel")]
+    pub fn matmul_parallel(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_with_threads(rhs, matmul_worker_threads())
+    }
+
+    fn matmul_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols(),
             rhs.rows(),
@@ -73,26 +204,8 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let (n, k, m) = (self.rows(), self.cols(), rhs.cols());
-        let mut out = Matrix::zeros(n, m);
-        let work = n * k * m;
-        parallel_rows(&mut out, work, |row0, chunk| {
-            let chunk_rows = chunk.len() / m.max(1);
-            for local_i in 0..chunk_rows {
-                let i = row0 + local_i;
-                let out_row = &mut chunk[local_i * m..(local_i + 1) * m];
-                let a_row = self.row(i);
-                for (p, &a_ip) in a_row.iter().enumerate() {
-                    if a_ip == 0.0 {
-                        continue;
-                    }
-                    let b_row = rhs.row(p);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a_ip * b;
-                    }
-                }
-            }
-        });
+        let mut out = Matrix::zeros(self.rows(), rhs.cols());
+        run_row_panels(&mut out, threads, |row0, panel| matmul_panel(self, rhs, row0, panel));
         out
     }
 
@@ -112,24 +225,10 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let (n, k, m) = (self.rows(), self.cols(), rhs.rows());
-        let mut out = Matrix::zeros(n, m);
-        let work = n * k * m;
-        parallel_rows(&mut out, work, |row0, chunk| {
-            let chunk_rows = chunk.len() / m.max(1);
-            for local_i in 0..chunk_rows {
-                let i = row0 + local_i;
-                let a_row = self.row(i);
-                let out_row = &mut chunk[local_i * m..(local_i + 1) * m];
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = rhs.row(j);
-                    let mut acc = 0.0_f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
-            }
+        let work = self.rows() * self.cols() * rhs.rows();
+        let mut out = Matrix::zeros(self.rows(), rhs.rows());
+        run_row_panels(&mut out, threads_for(work), |row0, panel| {
+            matmul_nt_panel(self, rhs, row0, panel)
         });
         out
     }
@@ -149,27 +248,10 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let (k, n, m) = (self.rows(), self.cols(), rhs.cols());
-        let mut out = Matrix::zeros(n, m);
-        let work = n * k * m;
-        // Row-parallel over C's rows (= A's columns): each thread scans all of
-        // A and B but only writes its own C rows, so no synchronization needed.
-        parallel_rows(&mut out, work, |row0, chunk| {
-            let chunk_rows = chunk.len() / m.max(1);
-            for p in 0..k {
-                let a_row = self.row(p);
-                let b_row = rhs.row(p);
-                for local_i in 0..chunk_rows {
-                    let a_pi = a_row[row0 + local_i];
-                    if a_pi == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut chunk[local_i * m..(local_i + 1) * m];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a_pi * b;
-                    }
-                }
-            }
+        let work = self.rows() * self.cols() * rhs.cols();
+        let mut out = Matrix::zeros(self.cols(), rhs.cols());
+        run_row_panels(&mut out, threads_for(work), |row0, panel| {
+            matmul_tn_panel(self, rhs, row0, panel)
         });
         out
     }
@@ -181,9 +263,7 @@ impl Matrix {
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols(), "matvec dimension mismatch");
-        (0..self.rows())
-            .map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum())
-            .collect()
+        (0..self.rows()).map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum()).collect()
     }
 
     /// Gram matrix `AᵀA` computed in `f64` (used by PCA / SVD front-ends).
@@ -244,11 +324,29 @@ mod tests {
     }
 
     #[test]
+    fn matmul_matches_naive_across_k_blocks() {
+        // k = 150 spans multiple K_BLOCK tiles.
+        let a = Matrix::from_fn(7, 150, |i, j| ((i * j) % 17) as f32 * 0.05 - 0.4);
+        let b = Matrix::from_fn(150, 9, |i, j| ((i + 3 * j) % 13) as f32 * 0.07 - 0.4);
+        assert!(close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3));
+    }
+
+    #[test]
     fn matmul_matches_naive_large_parallel_path() {
-        // 160*160*160 > PARALLEL_FLOP_THRESHOLD forces the threaded path.
+        // 160³ > PARALLEL_FLOP_THRESHOLD forces the threaded dispatch.
         let a = Matrix::from_fn(160, 160, |i, j| ((i * j) % 17) as f32 * 0.05 - 0.4);
         let b = Matrix::from_fn(160, 160, |i, j| ((i + 3 * j) % 13) as f32 * 0.07 - 0.4);
         assert!(close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-2));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_and_serial_matmul_are_bitwise_identical() {
+        let a = Matrix::from_fn(97, 211, |i, j| ((i * 31 + j * 7) % 23) as f32 * 0.043 - 0.47);
+        let b = Matrix::from_fn(211, 53, |i, j| ((i * 13 + j * 5) % 19) as f32 * 0.051 - 0.46);
+        let serial = a.matmul_serial(&b);
+        let parallel = a.matmul_parallel(&b);
+        assert_eq!(serial.as_slice(), parallel.as_slice());
     }
 
     #[test]
@@ -263,6 +361,15 @@ mod tests {
         let a = Matrix::from_fn(8, 5, |i, j| (2 * i + j) as f32 * 0.1);
         let b = Matrix::from_fn(8, 6, |i, j| (i as f32 * 0.2) + j as f32 * 0.4);
         assert!(close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_nt_parallel_path_matches() {
+        // 200·90·150 = 2.7M flops crosses PARALLEL_FLOP_THRESHOLD, so the
+        // nt kernel takes the row-panel dispatch.
+        let a = Matrix::from_fn(200, 90, |i, j| ((i * 29 + j) % 13) as f32 * 0.08 - 0.45);
+        let b = Matrix::from_fn(150, 90, |i, j| ((i + 7 * j) % 11) as f32 * 0.09 - 0.43);
+        assert!(close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-2));
     }
 
     #[test]

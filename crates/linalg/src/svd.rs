@@ -124,9 +124,8 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
     }
 
     // Work in f64 column-major: cols[j] is the j-th column of the evolving A·V.
-    let mut cols: Vec<Vec<f64>> = (0..m)
-        .map(|j| (0..n).map(|i| a[(i, j)] as f64).collect())
-        .collect();
+    let mut cols: Vec<Vec<f64>> =
+        (0..m).map(|j| (0..n).map(|i| a[(i, j)] as f64).collect()).collect();
     let mut v = vec![0.0_f64; m * m];
     for j in 0..m {
         v[j * m + j] = 1.0;
@@ -209,13 +208,17 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
             }
         }
         if worst > 1e-7 {
-            return Err(LinalgError::NoConvergence { solver: "one-sided jacobi svd", sweeps: MAX_SWEEPS });
+            return Err(LinalgError::NoConvergence {
+                solver: "one-sided jacobi svd",
+                sweeps: MAX_SWEEPS,
+            });
         }
     }
 
     // Column norms are the singular values.
     let mut order: Vec<usize> = (0..m).collect();
-    let norms: Vec<f64> = cols.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    let norms: Vec<f64> =
+        cols.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
     order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("NaN singular value"));
 
     let mut u = Matrix::zeros(n, m);
@@ -259,7 +262,9 @@ mod tests {
 
     #[test]
     fn wide_matrix_via_transpose_path() {
-        let a = Matrix::from_fn(4, 10, |i, j| (i as f32 + 1.0) * ((j % 3) as f32 - 1.0) + j as f32 * 0.1);
+        let a = Matrix::from_fn(4, 10, |i, j| {
+            (i as f32 + 1.0) * ((j % 3) as f32 - 1.0) + j as f32 * 0.1
+        });
         let d = svd(&a).unwrap();
         assert_eq!(d.u.shape(), (4, 4));
         assert_eq!(d.v.shape(), (10, 4));
@@ -301,7 +306,8 @@ mod tests {
             // Two strong directions plus noise.
             let u1 = (i as f32 * 0.7).sin();
             let u2 = (i as f32 * 1.3).cos();
-            3.0 * u1 * (j as f32 * 0.5).cos() + 1.5 * u2 * (j as f32 * 0.9).sin()
+            3.0 * u1 * (j as f32 * 0.5).cos()
+                + 1.5 * u2 * (j as f32 * 0.9).sin()
                 + 0.01 * (((i * 7 + j * 11) % 5) as f32 - 2.0)
         });
         let d = svd(&a).unwrap();
@@ -324,7 +330,9 @@ mod tests {
 
     #[test]
     fn factors_compose_to_truncation() {
-        let a = Matrix::from_fn(8, 8, |i, j| ((i + 1) * (j + 2)) as f32 * 0.05 + ((i * j) % 3) as f32 * 0.2);
+        let a = Matrix::from_fn(8, 8, |i, j| {
+            ((i + 1) * (j + 2)) as f32 * 0.05 + ((i * j) % 3) as f32 * 0.2
+        });
         let d = svd(&a).unwrap();
         let (u, v) = d.factors(3).unwrap();
         assert_eq!(u.shape(), (8, 3));

@@ -121,9 +121,8 @@ fn clip_step(net: &mut Network, cfg: &RankClipConfig) -> Result<bool> {
             // U ≈ Û·V̂ᵀ  ⇒  W ≈ Û·(V·V̂)ᵀ
             let (u_hat, v_hat) = cfg.method.factorize(&u, k_hat)?;
             let v_new = v.matmul(&v_hat);
-            let layer = net
-                .layer_mut(name)
-                .ok_or_else(|| LraError::UnknownLayer { name: name.clone() })?;
+            let layer =
+                net.layer_mut(name).ok_or_else(|| LraError::UnknownLayer { name: name.clone() })?;
             if !layer.set_low_rank_factors(u_hat, v_new) {
                 return Err(LraError::NotFactorizable { name: name.clone() });
             }
@@ -150,11 +149,8 @@ pub fn rank_clip(
     cfg: &RankClipConfig,
 ) -> Result<RankClipOutcome> {
     // Record full ranks before conversion (M = fan-out of each layer).
-    let full_ranks: Vec<usize> = cfg
-        .layers
-        .iter()
-        .map(|n| crate::convert::layer_fan_out(net, n))
-        .collect::<Result<_>>()?;
+    let full_ranks: Vec<usize> =
+        cfg.layers.iter().map(|n| crate::convert::layer_fan_out(net, n)).collect::<Result<_>>()?;
     to_full_rank(net, &cfg.layers, cfg.method)?;
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -162,14 +158,13 @@ pub fn rank_clip(
     let mut iter = 0usize;
     let mut batches: Vec<Vec<usize>> = Vec::new();
 
-    let record =
-        |net: &mut Network, iter: usize, trace: &mut Vec<ClipRecord>| -> Result<()> {
-            let ranks: Vec<usize> =
-                cfg.layers.iter().map(|n| layer_rank(net, n)).collect::<Result<_>>()?;
-            let accuracy = net.evaluate(test.images(), test.labels(), cfg.eval_batch);
-            trace.push(ClipRecord { iter, ranks, accuracy });
-            Ok(())
-        };
+    let record = |net: &mut Network, iter: usize, trace: &mut Vec<ClipRecord>| -> Result<()> {
+        let ranks: Vec<usize> =
+            cfg.layers.iter().map(|n| layer_rank(net, n)).collect::<Result<_>>()?;
+        let accuracy = net.evaluate(test.images(), test.labels(), cfg.eval_batch);
+        trace.push(ClipRecord { iter, ranks, accuracy });
+        Ok(())
+    };
 
     while iter < cfg.max_iters {
         clip_step(net, cfg)?;

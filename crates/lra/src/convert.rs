@@ -90,12 +90,7 @@ pub fn layer_rank(net: &Network, name: &str) -> Result<usize> {
 ///
 /// Returns [`LraError::NotFactorizable`] for stateless layers and
 /// propagates factorization failures.
-pub fn factorize_layer(
-    net: &mut Network,
-    name: &str,
-    k: usize,
-    method: LraMethod,
-) -> Result<()> {
+pub fn factorize_layer(net: &mut Network, name: &str, k: usize, method: LraMethod) -> Result<()> {
     let layer = net.layer(name).ok_or_else(|| LraError::UnknownLayer { name: name.into() })?;
     let any = layer.as_any();
     if let Some(conv) = any.downcast_ref::<Conv2d>() {
@@ -217,12 +212,8 @@ mod tests {
     #[test]
     fn direct_lra_truncates_ranks() {
         let mut n = net();
-        direct_lra(
-            &mut n,
-            &[("conv1".to_string(), 2), ("fc1".to_string(), 3)],
-            LraMethod::Pca,
-        )
-        .unwrap();
+        direct_lra(&mut n, &[("conv1".to_string(), 2), ("fc1".to_string(), 3)], LraMethod::Pca)
+            .unwrap();
         assert_eq!(layer_rank(&n, "conv1").unwrap(), 2);
         assert_eq!(layer_rank(&n, "fc1").unwrap(), 3);
         // fc2 untouched.

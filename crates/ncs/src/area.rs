@@ -217,7 +217,7 @@ mod tests {
         let ratios = report.layer_ratios();
         assert_eq!(ratios.len(), 4);
         assert_eq!(ratios[3].1, 1.0); // dense last layer
-        // conv1: 225/500
+                                      // conv1: 225/500
         assert!((ratios[0].1 - 0.45).abs() < 1e-12);
     }
 

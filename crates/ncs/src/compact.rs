@@ -100,9 +100,7 @@ impl CompactedLayout {
                 })
                 .collect();
             let live_cols: Vec<usize> = (b.col_start..b.col_end)
-                .filter(|&j| {
-                    (b.row_start..b.row_end).any(|i| weights[(i, j)].abs() > zero_tol)
-                })
+                .filter(|&j| (b.row_start..b.row_end).any(|i| weights[(i, j)].abs() > zero_tol))
                 .collect();
             blocks.push(CompactedBlock {
                 grid: b.grid,

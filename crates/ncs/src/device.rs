@@ -133,10 +133,7 @@ mod tests {
         let p = model.program(&w, &mut rng);
         // Max is 1.0, so 3 levels over [-1,1] → step 1.0: values in {-1,0,1}.
         for &v in p.as_slice() {
-            assert!(
-                (v - v.round()).abs() < 1e-6,
-                "quantized value {v} not on the level grid"
-            );
+            assert!((v - v.round()).abs() < 1e-6, "quantized value {v} not on the level grid");
         }
     }
 

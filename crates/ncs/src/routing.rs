@@ -102,11 +102,7 @@ impl RoutingAnalysis {
 
     /// Builds an analysis directly from already-known wire counts (used when
     /// reproducing the paper's Table 3 arithmetic without retraining).
-    pub fn from_counts(
-        name: impl Into<String>,
-        total_wires: usize,
-        active_wires: usize,
-    ) -> Self {
+    pub fn from_counts(name: impl Into<String>, total_wires: usize, active_wires: usize) -> Self {
         Self {
             name: name.into(),
             total_row_wires: total_wires,
@@ -246,10 +242,11 @@ mod tests {
     #[test]
     fn paper_headline_lenet_routing_area_8_1_percent() {
         // Table 3 LeNet: remained wires 47.5%, 24.8%, 6.7%, 18.0%.
-        let layers: Vec<RoutingAnalysis> = [("conv2_u", 475), ("fc1_u", 248), ("fc1_v", 67), ("fc2_u", 180)]
-            .iter()
-            .map(|&(n, w)| RoutingAnalysis::from_counts(n, 1000, w))
-            .collect();
+        let layers: Vec<RoutingAnalysis> =
+            [("conv2_u", 475), ("fc1_u", 248), ("fc1_v", 67), ("fc2_u", 180)]
+                .iter()
+                .map(|&(n, w)| RoutingAnalysis::from_counts(n, 1000, w))
+                .collect();
         let area_pct = 100.0 * mean_area_fraction(&layers);
         assert!((area_pct - 8.1).abs() < 0.05, "LeNet routing area {area_pct:.3}% != 8.1%");
     }
@@ -257,10 +254,11 @@ mod tests {
     #[test]
     fn paper_headline_convnet_routing_area_52_06_percent() {
         // Table 3 ConvNet: remained wires 83.3%, 40.5%, 74.4%, 81.9%.
-        let layers: Vec<RoutingAnalysis> = [("conv1_u", 833), ("conv2_u", 405), ("conv3_u", 744), ("fc1", 819)]
-            .iter()
-            .map(|&(n, w)| RoutingAnalysis::from_counts(n, 1000, w))
-            .collect();
+        let layers: Vec<RoutingAnalysis> =
+            [("conv1_u", 833), ("conv2_u", 405), ("conv3_u", 744), ("fc1", 819)]
+                .iter()
+                .map(|&(n, w)| RoutingAnalysis::from_counts(n, 1000, w))
+                .collect();
         let wires_pct = 100.0 * mean_wire_fraction(&layers);
         assert!((wires_pct - 70.03).abs() < 0.05, "ConvNet wires {wires_pct:.3}% != 70.03%");
         let area_pct = 100.0 * mean_area_fraction(&layers);

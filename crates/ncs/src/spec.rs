@@ -62,7 +62,7 @@ impl CrossbarSpec {
     ///
     /// Returns [`NcsError::InvalidSpec`] if `area` is not positive.
     pub fn with_cell_area(mut self, area: f64) -> Result<Self> {
-        if !(area > 0.0) {
+        if area.is_nan() || area <= 0.0 {
             return Err(NcsError::InvalidSpec { reason: "cell area must be positive" });
         }
         self.cell_area_f2 = area;
@@ -78,7 +78,7 @@ impl CrossbarSpec {
     ///
     /// Returns [`NcsError::InvalidSpec`] if `alpha` is not positive.
     pub fn with_routing_alpha(mut self, alpha: f64) -> Result<Self> {
-        if !(alpha > 0.0) {
+        if alpha.is_nan() || alpha <= 0.0 {
             return Err(NcsError::InvalidSpec { reason: "routing alpha must be positive" });
         }
         self.routing_alpha = alpha;
@@ -128,7 +128,13 @@ impl Default for CrossbarSpec {
     fn default() -> Self {
         // α's absolute value is arbitrary for ratio reporting; derive a
         // plausible scale from Table 2's wire pitch (2 F per wire track).
-        Self { max_rows: 64, max_cols: 64, cell_area_f2: 4.0, wire_pitch_f: 2.0, routing_alpha: 2.0 }
+        Self {
+            max_rows: 64,
+            max_cols: 64,
+            cell_area_f2: 4.0,
+            wire_pitch_f: 2.0,
+            routing_alpha: 2.0,
+        }
     }
 }
 

@@ -40,12 +40,7 @@ fn largest_divisor_leq(n: usize, max: usize) -> Option<usize> {
     if n <= max {
         return Some(n);
     }
-    for d in (2..=max).rev() {
-        if n % d == 0 {
-            return Some(d);
-        }
-    }
-    None
+    (2..=max).rev().find(|&d| n.is_multiple_of(d))
 }
 
 /// One crossbar's placement inside a [`Tiling`].

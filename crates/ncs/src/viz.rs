@@ -99,7 +99,7 @@ pub fn render_ppm(weights: &Matrix, tiling: &Tiling, zero_tol: f32) -> Result<Ve
         for j in 0..k {
             let rgb: [u8; 3] = if weights[(i, j)].abs() <= zero_tol {
                 [255, 255, 255]
-            } else if ((i / mbc.rows) + (j / mbc.cols)) % 2 == 0 {
+            } else if ((i / mbc.rows) + (j / mbc.cols)).is_multiple_of(2) {
                 [40, 80, 200] // blue crossbar
             } else {
                 [200, 50, 50] // red crossbar

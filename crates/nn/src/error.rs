@@ -65,11 +65,7 @@ mod tests {
     fn messages_name_the_offender() {
         assert!(NnError::UnknownLayer { name: "conv9".into() }.to_string().contains("conv9"));
         assert!(NnError::UnknownParam { name: "fc1.u".into() }.to_string().contains("fc1.u"));
-        let e = NnError::StateShapeMismatch {
-            name: "w".into(),
-            stored: (2, 3),
-            expected: (4, 5),
-        };
+        let e = NnError::StateShapeMismatch { name: "w".into(), stored: (2, 3), expected: (4, 5) };
         assert!(e.to_string().contains("2x3"));
         assert!(e.to_string().contains("4x5"));
     }

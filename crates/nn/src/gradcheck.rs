@@ -45,11 +45,7 @@ impl GradCheckReport {
 
 fn probe_loss(layer: &mut dyn Layer, input: &Tensor4, coeff: &Tensor4) -> f64 {
     let out = layer.forward(input, Phase::Eval);
-    out.as_slice()
-        .iter()
-        .zip(coeff.as_slice())
-        .map(|(&o, &c)| o as f64 * c as f64)
-        .sum()
+    out.as_slice().iter().zip(coeff.as_slice()).map(|(&o, &c)| o as f64 * c as f64).sum()
 }
 
 fn rel_err(analytic: f64, numeric: f64, floor: f64) -> f64 {
@@ -64,7 +60,11 @@ fn rel_err(analytic: f64, numeric: f64, floor: f64) -> f64 {
 ///
 /// Panics if the layer's forward output shape changes between calls on the
 /// same input (layers must be deterministic).
-pub fn check_layer(layer: &mut dyn Layer, input: &Tensor4, cfg: GradCheckConfig) -> GradCheckReport {
+pub fn check_layer(
+    layer: &mut dyn Layer,
+    input: &Tensor4,
+    cfg: GradCheckConfig,
+) -> GradCheckReport {
     // Fixed pseudo-random coefficients (deterministic, layer-independent).
     let out_probe = layer.forward(input, Phase::Eval);
     let (b, c, h, w) = out_probe.shape();
@@ -109,9 +109,7 @@ pub fn check_layer(layer: &mut dyn Layer, input: &Tensor4, cfg: GradCheckConfig)
 
     // Numeric parameter gradients.
     let mut param_errors = Vec::new();
-    let param_count = analytic_param_grads.len();
-    for pi in 0..param_count {
-        let (name, analytic_grad) = &analytic_param_grads[pi];
+    for (pi, (name, analytic_grad)) in analytic_param_grads.iter().enumerate() {
         let len = analytic_grad.len();
         let stride = (len / cfg.max_probes).max(1);
         let mut worst = 0.0_f64;
@@ -134,7 +132,9 @@ pub fn check_layer(layer: &mut dyn Layer, input: &Tensor4, cfg: GradCheckConfig)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::{Conv2d, ConvGeometry, Linear, LowRankConv2d, LowRankLinear, MaxPool2d, Relu};
+    use crate::layers::{
+        Conv2d, ConvGeometry, Linear, LowRankConv2d, LowRankLinear, MaxPool2d, Relu,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use scissor_linalg::Matrix;

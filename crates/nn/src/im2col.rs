@@ -225,20 +225,13 @@ mod tests {
         );
         let (kh, kw, s, p) = (3, 2, 2, 1);
         let cols = im2col(&x, kh, kw, s, p);
-        let y = Matrix::from_fn(cols.rows(), cols.cols(), |i, j| ((i * 5 + j * 11) % 7) as f32 - 3.0);
-        let lhs: f64 = cols
-            .as_slice()
-            .iter()
-            .zip(y.as_slice())
-            .map(|(&a, &b)| (a as f64) * (b as f64))
-            .sum();
+        let y =
+            Matrix::from_fn(cols.rows(), cols.cols(), |i, j| ((i * 5 + j * 11) % 7) as f32 - 3.0);
+        let lhs: f64 =
+            cols.as_slice().iter().zip(y.as_slice()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
         let back = col2im(&y, shape, kh, kw, s, p);
-        let rhs: f64 = x
-            .as_slice()
-            .iter()
-            .zip(back.as_slice())
-            .map(|(&a, &b)| (a as f64) * (b as f64))
-            .sum();
+        let rhs: f64 =
+            x.as_slice().iter().zip(back.as_slice()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
         assert!((lhs - rhs).abs() < 1e-6, "adjoint identity violated: {lhs} vs {rhs}");
     }
 

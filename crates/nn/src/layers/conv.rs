@@ -403,12 +403,8 @@ mod tests {
         let yd = dense.forward(&x, Phase::Eval);
         let yl = lr.forward(&x, Phase::Eval);
         assert_eq!(yd.shape(), yl.shape());
-        let diff: f32 = yd
-            .as_slice()
-            .iter()
-            .zip(yl.as_slice())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max);
+        let diff: f32 =
+            yd.as_slice().iter().zip(yl.as_slice()).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max);
         assert!(diff < 1e-4, "max diff {diff}");
     }
 

@@ -92,7 +92,13 @@ impl Layer for Linear {
 
     fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
         let x = input.to_matrix();
-        assert_eq!(x.cols(), self.fan_in(), "linear layer fed {} features, expected {}", x.cols(), self.fan_in());
+        assert_eq!(
+            x.cols(),
+            self.fan_in(),
+            "linear layer fed {} features, expected {}",
+            x.cols(),
+            self.fan_in()
+        );
         let mut y = x.matmul(self.weight.value());
         let bias = self.bias.value();
         for r in 0..y.rows() {
@@ -215,7 +221,13 @@ impl Layer for LowRankLinear {
 
     fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
         let x = input.to_matrix();
-        assert_eq!(x.cols(), self.fan_in(), "low-rank linear fed {} features, expected {}", x.cols(), self.fan_in());
+        assert_eq!(
+            x.cols(),
+            self.fan_in(),
+            "low-rank linear fed {} features, expected {}",
+            x.cols(),
+            self.fan_in()
+        );
         let t = x.matmul(self.u.value());
         let mut y = t.matmul_nt(self.v.value());
         let bias = self.bias.value();

@@ -43,11 +43,8 @@ impl MaxPool2d {
             return if input == 0 { 0 } else { 1 };
         }
         let span = input - self.kernel;
-        let mut out = if self.ceil_mode {
-            span.div_ceil(self.stride) + 1
-        } else {
-            span / self.stride + 1
-        };
+        let mut out =
+            if self.ceil_mode { span.div_ceil(self.stride) + 1 } else { span / self.stride + 1 };
         // Caffe guard: the last window must start inside the input.
         if (out - 1) * self.stride >= input {
             out -= 1;

@@ -184,9 +184,8 @@ impl Network {
     /// network and [`NnError::StateShapeMismatch`] on shape disagreement.
     pub fn load_state_dict(&mut self, state: &[(String, Matrix)]) -> Result<()> {
         for (name, value) in state {
-            let param = self
-                .param_mut(name)
-                .ok_or_else(|| NnError::UnknownParam { name: name.clone() })?;
+            let param =
+                self.param_mut(name).ok_or_else(|| NnError::UnknownParam { name: name.clone() })?;
             if param.value().shape() != value.shape() {
                 return Err(NnError::StateShapeMismatch {
                     name: name.clone(),
@@ -252,7 +251,12 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a builder for `(c, h, w)` inputs.
     pub fn new(input_shape: (usize, usize, usize)) -> Self {
-        Self { net: Network::new(input_shape), shape: input_shape, pool_counter: 0, relu_counter: 0 }
+        Self {
+            net: Network::new(input_shape),
+            shape: input_shape,
+            pool_counter: 0,
+            relu_counter: 0,
+        }
     }
 
     fn track(&mut self, layer: Box<dyn Layer>) {
@@ -360,18 +364,16 @@ mod tests {
     #[test]
     fn train_step_reduces_loss_on_separable_toy_data() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut net = NetworkBuilder::new((1, 2, 2))
-            .linear("fc", 2, &mut rng)
-            .build();
+        let mut net = NetworkBuilder::new((1, 2, 2)).linear("fc", 2, &mut rng).build();
         // Class 0: all pixels +1; class 1: all −1.
         let mut images = Tensor4::zeros(8, 1, 2, 2);
         let mut labels = vec![0usize; 8];
-        for i in 0..8 {
+        for (i, label) in labels.iter_mut().enumerate() {
             let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
             for v in images.sample_mut(i) {
                 *v = sign;
             }
-            labels[i] = if i % 2 == 0 { 0 } else { 1 };
+            *label = if i % 2 == 0 { 0 } else { 1 };
         }
         let sgd = Sgd::new(0.5);
         let first = net.train_step(&images, &labels, &sgd, 0);
@@ -405,10 +407,7 @@ mod tests {
         let bad_name = vec![("ghost.w".to_string(), Matrix::zeros(1, 1))];
         assert!(matches!(net.load_state_dict(&bad_name), Err(NnError::UnknownParam { .. })));
         let bad_shape = vec![("fc1.w".to_string(), Matrix::zeros(1, 1))];
-        assert!(matches!(
-            net.load_state_dict(&bad_shape),
-            Err(NnError::StateShapeMismatch { .. })
-        ));
+        assert!(matches!(net.load_state_dict(&bad_shape), Err(NnError::StateShapeMismatch { .. })));
     }
 
     #[test]

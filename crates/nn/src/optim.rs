@@ -32,7 +32,7 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant => 1.0,
             LrSchedule::Step { gamma, every } => {
-                let steps = if every == 0 { 0 } else { iter / every };
+                let steps = iter.checked_div(every).unwrap_or(0);
                 gamma.powi(steps as i32)
             }
             LrSchedule::Inv { gamma, power } => (1.0 + gamma * iter as f64).powf(-power),

@@ -6,11 +6,7 @@ use scissor_nn::im2col::{col2im, conv_output_hw, im2col, nchw_to_rows, rows_to_n
 use scissor_nn::layers::{Linear, LowRankLinear, MaxPool2d, Relu};
 use scissor_nn::{Layer, Phase, SoftmaxCrossEntropy, Tensor4};
 
-fn tensor_strategy(
-    max_b: usize,
-    max_c: usize,
-    max_hw: usize,
-) -> impl Strategy<Value = Tensor4> {
+fn tensor_strategy(max_b: usize, max_c: usize, max_hw: usize) -> impl Strategy<Value = Tensor4> {
     (1..=max_b, 1..=max_c, 1..=max_hw, 1..=max_hw).prop_flat_map(|(b, c, h, w)| {
         proptest::collection::vec(-1.0f32..1.0, b * c * h * w)
             .prop_map(move |data| Tensor4::from_vec(b, c, h, w, data))

@@ -107,6 +107,9 @@ impl DeletionOutcome {
     }
 }
 
+// One SGD step shares this much context between deletion and fine-tuning;
+// bundling it into a struct would only rename the problem.
+#[allow(clippy::too_many_arguments)]
 fn train_one(
     net: &mut Network,
     train: &Dataset,

@@ -67,11 +67,8 @@ mod tests {
     #[test]
     fn messages() {
         assert!(PruneError::UnknownParam { name: "x.u".into() }.to_string().contains("x.u"));
-        let e = PruneError::StaleRegistration {
-            name: "a".into(),
-            registered: (8, 4),
-            found: (8, 2),
-        };
+        let e =
+            PruneError::StaleRegistration { name: "a".into(), registered: (8, 4), found: (8, 2) };
         assert!(e.to_string().contains("8x4"));
         let e = PruneError::from(NcsError::EmptyMatrix { shape: (0, 1) });
         assert!(e.source().is_some());

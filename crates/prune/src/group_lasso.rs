@@ -74,8 +74,7 @@ impl GroupLassoRegularizer {
         let mut reg = Self::new(lambda);
         for p in net.params() {
             let name = p.name();
-            let is_weight =
-                name.ends_with(".w") || name.ends_with(".u") || name.ends_with(".v");
+            let is_weight = name.ends_with(".w") || name.ends_with(".u") || name.ends_with(".v");
             if !is_weight {
                 continue;
             }
@@ -108,7 +107,11 @@ impl GroupLassoRegularizer {
         self.lambda = lambda;
     }
 
-    fn entry_value<'a>(&self, net: &'a Network, entry: &RegEntry) -> Result<&'a scissor_linalg::Matrix> {
+    fn entry_value<'a>(
+        &self,
+        net: &'a Network,
+        entry: &RegEntry,
+    ) -> Result<&'a scissor_linalg::Matrix> {
         let p = net
             .param(&entry.param)
             .ok_or_else(|| PruneError::UnknownParam { name: entry.param.clone() })?;
@@ -196,7 +199,10 @@ impl GroupLassoRegularizer {
             let col_norms = entry.partition.col_group_norms(w);
             let total = row_norms.len() + col_norms.len();
             let deleted = row_norms.iter().chain(&col_norms).filter(|&&n| n <= threshold).count();
-            out.push((entry.param.clone(), if total == 0 { 0.0 } else { deleted as f64 / total as f64 }));
+            out.push((
+                entry.param.clone(),
+                if total == 0 { 0.0 } else { deleted as f64 / total as f64 },
+            ));
         }
         Ok(out)
     }
@@ -300,10 +306,7 @@ mod tests {
             net.param_mut("fc1.w").unwrap().value_mut().as_mut_slice()[idx] = orig;
             let numeric = (lp - lm) / (2.0 * eps as f64);
             let a = analytic.as_slice()[idx] as f64;
-            assert!(
-                (a - numeric).abs() < 1e-3,
-                "idx {idx}: analytic {a} vs numeric {numeric}"
-            );
+            assert!((a - numeric).abs() < 1e-3, "idx {idx}: analytic {a} vs numeric {numeric}");
         }
     }
 
@@ -374,10 +377,7 @@ mod tests {
         reg.register("fc1.w", Tiling::plan(128, 16, &small_spec()).unwrap());
         // Shrink the parameter behind the regularizer's back.
         net.param_mut("fc1.w").unwrap().replace_value(Matrix::zeros(64, 16));
-        assert!(matches!(
-            reg.penalty(&net),
-            Err(PruneError::StaleRegistration { .. })
-        ));
+        assert!(matches!(reg.penalty(&net), Err(PruneError::StaleRegistration { .. })));
     }
 
     #[test]

@@ -24,9 +24,8 @@ use crate::masks::MaskSet;
 pub fn magnitude_prune(net: &mut Network, params: &[String], sparsity: f64) -> Result<MaskSet> {
     assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
     for name in params {
-        let p = net
-            .param_mut(name)
-            .ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
+        let p =
+            net.param_mut(name).ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
         let len = p.value().len();
         let kill = ((len as f64) * sparsity).round() as usize;
         if kill == 0 {
@@ -57,9 +56,8 @@ pub fn sparsity_of(net: &Network, params: &[String]) -> Result<Vec<(String, f64)
     params
         .iter()
         .map(|name| {
-            let p = net
-                .param(name)
-                .ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
+            let p =
+                net.param(name).ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
             let zeros = p.value().as_slice().iter().filter(|&&v| v == 0.0).count();
             let len = p.value().len().max(1);
             Ok((name.clone(), zeros as f64 / len as f64))

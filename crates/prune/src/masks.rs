@@ -31,9 +31,8 @@ impl MaskSet {
     pub fn capture_nonzero(net: &Network, params: &[String]) -> Result<Self> {
         let mut masks = Vec::with_capacity(params.len());
         for name in params {
-            let p = net
-                .param(name)
-                .ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
+            let p =
+                net.param(name).ok_or_else(|| PruneError::UnknownParam { name: name.clone() })?;
             let mask = p.value().map(|v| if v == 0.0 { 0.0 } else { 1.0 });
             masks.push((name.clone(), mask));
         }

@@ -9,9 +9,7 @@ use scissor_prune::{magnitude_prune, sparsity_of, GroupLassoRegularizer, MaskSet
 
 fn toy_net(seed: u64, fan_in_side: usize, fan_out: usize) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);
-    NetworkBuilder::new((1, fan_in_side, fan_in_side))
-        .linear("fc", fan_out, &mut rng)
-        .build()
+    NetworkBuilder::new((1, fan_in_side, fan_in_side)).linear("fc", fan_out, &mut rng).build()
 }
 
 proptest! {

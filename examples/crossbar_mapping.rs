@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let [n, k] = args.as_slice() {
         rows.push(describe("user matrix", n.parse()?, k.parse()?, &spec));
     }
-    println!(
-        "{}",
-        text_table(&["matrix", "shape", "MBC", "array", "crossbars", "wires"], &rows)
-    );
+    println!("{}", text_table(&["matrix", "shape", "MBC", "array", "crossbars", "wires"], &rows));
 
     // Fig. 9-style visualization: a 100×100 matrix with whole groups deleted.
     println!("== Fig. 9-style block map (white = deleted connections) ==");

@@ -37,9 +37,9 @@ fn table3_mbc_sizes_lenet() {
 fn table3_mbc_sizes_convnet() {
     let spec = CrossbarSpec::default();
     let cases = [
-        ((75, 12), "25x12"),  // conv1_u
-        ((800, 19), "50x19"), // conv2_u
-        ((800, 22), "50x22"), // conv3_u
+        ((75, 12), "25x12"),   // conv1_u
+        ((800, 19), "50x19"),  // conv2_u
+        ((800, 22), "50x22"),  // conv3_u
         ((1024, 10), "64x10"), // fc_last
     ];
     for ((n, k), expect) in cases {
@@ -62,11 +62,8 @@ fn paper_small_matrices_fit_single_crossbars() {
 fn headline_crossbar_area_13_62_and_51_81() {
     let spec = CrossbarSpec::default();
     for (model, expect) in [(ModelKind::LeNet, 13.62), (ModelKind::ConvNet, 51.81)] {
-        let ranks: Vec<(String, usize)> = model
-            .paper_clipped_ranks()
-            .into_iter()
-            .map(|(n, k)| (n.to_string(), k))
-            .collect();
+        let ranks: Vec<(String, usize)> =
+            model.paper_clipped_ranks().into_iter().map(|(n, k)| (n.to_string(), k)).collect();
         let report = area_report_at_ranks(model, &ranks, &spec);
         let pct = 100.0 * report.total_ratio();
         assert!((pct - expect).abs() < 0.005, "{model}: {pct:.4}% != {expect}%");
@@ -79,8 +76,7 @@ fn paper_one_percent_loss_points() {
     // ConvNet area 38.14%. The LeNet point is fully determined by the ranks
     // the paper gives, so lock it.
     let spec = CrossbarSpec::default();
-    let ranks =
-        vec![("conv1".to_string(), 4), ("conv2".to_string(), 6), ("fc1".to_string(), 6)];
+    let ranks = vec![("conv1".to_string(), 4), ("conv2".to_string(), 6), ("fc1".to_string(), 6)];
     let report = area_report_at_ranks(ModelKind::LeNet, &ranks, &spec);
     let pct = 100.0 * report.total_ratio();
     assert!((pct - 3.78).abs() < 0.02, "LeNet@1%: {pct:.4}% != 3.78%");
@@ -89,16 +85,12 @@ fn paper_one_percent_loss_points() {
 #[test]
 fn headline_routing_area_8_1_and_52_06() {
     // Table 3's remained-wire percentages → the paper's routing-area means.
-    let lenet: Vec<RoutingAnalysis> = [475, 248, 67, 180]
-        .iter()
-        .map(|&w| RoutingAnalysis::from_counts("l", 1000, w))
-        .collect();
+    let lenet: Vec<RoutingAnalysis> =
+        [475, 248, 67, 180].iter().map(|&w| RoutingAnalysis::from_counts("l", 1000, w)).collect();
     assert!((100.0 * mean_area_fraction(&lenet) - 8.1).abs() < 0.05);
 
-    let convnet: Vec<RoutingAnalysis> = [833, 405, 744, 819]
-        .iter()
-        .map(|&w| RoutingAnalysis::from_counts("c", 1000, w))
-        .collect();
+    let convnet: Vec<RoutingAnalysis> =
+        [833, 405, 744, 819].iter().map(|&w| RoutingAnalysis::from_counts("c", 1000, w)).collect();
     assert!((100.0 * mean_wire_fraction(&convnet) - 70.03).abs() < 0.05);
     assert!((100.0 * mean_area_fraction(&convnet) - 52.06).abs() < 0.05);
 }
@@ -109,7 +101,7 @@ fn fig8_one_and_a_half_percent_loss_points() {
     // areas are 56.25%, 7.64%, 21.44%, 31.64% — wire fractions are their
     // square roots under Eq. (8). Verify the quadratic model is consistent.
     for (area_pct, wire_pct) in [(56.25, 75.0), (7.64, 27.64), (21.44, 46.30), (31.64, 56.25)] {
-        let wires = (area_pct as f64 / 100.0_f64).sqrt();
+        let wires = (area_pct / 100.0_f64).sqrt();
         assert!(
             (100.0 * wires - wire_pct).abs() < 0.05,
             "sqrt({area_pct}) = {:.2} != {wire_pct}",

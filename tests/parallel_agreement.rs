@@ -1,0 +1,57 @@
+//! Property tests pinning the `parallel` feature's contract: the rayon
+//! row-panel matmul and the single-threaded blocked kernel accumulate every
+//! output element in the same order, so their results agree far tighter
+//! than the 1e-10 tolerance required here (bitwise, in fact).
+
+use group_scissor_repro::linalg::Matrix;
+use proptest::prelude::*;
+
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1.0f32..1.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized by construction"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_and_serial_matmul_agree(
+        a in matrix_strategy(40, 64),
+        seed in 0u64..1000,
+    ) {
+        let k = a.cols();
+        let b = Matrix::from_fn(k, 33, |i, j| {
+            (((i * 31 + j * 17 + seed as usize) % 29) as f32 - 14.0) * 0.07
+        });
+        let serial = a.matmul_serial(&b);
+        let parallel = a.matmul_parallel(&b);
+        prop_assert_eq!(serial.shape(), parallel.shape());
+        for (s, p) in serial.as_slice().iter().zip(parallel.as_slice()) {
+            prop_assert!(
+                (*s as f64 - *p as f64).abs() <= 1e-10,
+                "serial {} != parallel {}", s, p
+            );
+        }
+    }
+
+    #[test]
+    fn dispatching_matmul_agrees_with_serial_above_threshold(seed in 0u64..50) {
+        // 128³ = 2·2²⁰ flops crosses PARALLEL_FLOP_THRESHOLD, so `matmul`
+        // takes the parallel dispatch path; it must still match the forced
+        // serial kernel.
+        let n = 128;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            (((i * 13 + j * 7 + seed as usize) % 23) as f32 - 11.0) * 0.043
+        });
+        let b = Matrix::from_fn(n, n, |i, j| {
+            (((i * 5 + j * 19 + seed as usize) % 17) as f32 - 8.0) * 0.057
+        });
+        let auto = a.matmul(&b);
+        let serial = a.matmul_serial(&b);
+        for (x, y) in auto.as_slice().iter().zip(serial.as_slice()) {
+            prop_assert!((*x as f64 - *y as f64).abs() <= 1e-10);
+        }
+    }
+}

@@ -4,17 +4,12 @@
 //! Budgets scale with the build profile so `cargo test` stays tolerable in
 //! debug while `cargo test --release` exercises a more realistic run.
 
-use group_scissor_repro::pipeline::{
-    run_pipeline_on, GroupScissorConfig, ModelKind, TrainConfig,
-};
+use group_scissor_repro::pipeline::{run_pipeline_on, GroupScissorConfig, ModelKind, TrainConfig};
 
 fn tiny_lenet_config() -> GroupScissorConfig {
     let mut cfg = GroupScissorConfig::fast(ModelKind::LeNet);
-    let (baseline, clip, del, ft, samples) = if cfg!(debug_assertions) {
-        (20, 30, 20, 10, 200)
-    } else {
-        (120, 150, 120, 60, 800)
-    };
+    let (baseline, clip, del, ft, samples) =
+        if cfg!(debug_assertions) { (20, 30, 20, 10, 200) } else { (120, 150, 120, 60, 800) };
     cfg.train_samples = samples;
     cfg.test_samples = 120;
     cfg.baseline = TrainConfig::new(baseline);
@@ -99,8 +94,5 @@ fn pipeline_is_deterministic_for_a_seed() {
     assert_eq!(a.baseline.final_accuracy, b.baseline.final_accuracy);
     assert_eq!(a.clip.final_ranks, b.clip.final_ranks);
     assert_eq!(a.deletion.final_accuracy, b.deletion.final_accuracy);
-    assert_eq!(
-        a.deletion.mean_wire_fraction(),
-        b.deletion.mean_wire_fraction()
-    );
+    assert_eq!(a.deletion.mean_wire_fraction(), b.deletion.mean_wire_fraction());
 }

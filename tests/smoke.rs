@@ -1,0 +1,43 @@
+//! Smoke tests: the `fast` preset configs for both models drive
+//! `run_pipeline_on` end-to-end (baseline → rank clipping → group deletion
+//! → hardware reports) without panicking.
+//!
+//! The iteration budgets are shrunk so the whole file stays CI-sized; the
+//! configs are still built by `GroupScissorConfig::fast`, so every stage and
+//! both model topologies are exercised exactly as in a full run.
+
+use group_scissor_repro::pipeline::{run_pipeline_on, GroupScissorConfig, ModelKind, TrainConfig};
+
+/// Shrinks a fast-preset config to smoke-test budgets without changing any
+/// structural knob (layers, spec, λ, ε stay as `fast` chose them).
+fn smoke_budget(mut cfg: GroupScissorConfig) -> GroupScissorConfig {
+    cfg.train_samples = 120;
+    cfg.test_samples = 60;
+    cfg.baseline = TrainConfig::new(12);
+    cfg.clip_iters = 9;
+    cfg.clip_every = 3;
+    cfg.deletion.iters = 6;
+    cfg.deletion.finetune_iters = 3;
+    cfg.deletion.record_every = 6;
+    cfg
+}
+
+fn smoke(model: ModelKind) {
+    let cfg = smoke_budget(GroupScissorConfig::fast(model));
+    let (train, test) = cfg.datasets();
+    let outcome = run_pipeline_on(&cfg, &train, &test).expect("pipeline must run");
+    assert!(!outcome.clip.layer_names.is_empty());
+    assert!((0.0..=1.0).contains(&outcome.deletion.final_accuracy));
+    assert!(outcome.crossbar_area_ratio() <= 1.0);
+    assert!(!outcome.deletion.routing.is_empty());
+}
+
+#[test]
+fn fast_lenet_pipeline_smoke() {
+    smoke(ModelKind::LeNet);
+}
+
+#[test]
+fn fast_convnet_pipeline_smoke() {
+    smoke(ModelKind::ConvNet);
+}

@@ -1,0 +1,146 @@
+//! Offline vendored stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the small parallel-iterator subset `scissor_linalg`'s blocked matmul
+//! uses — [`slice::ParallelSliceMut::par_chunks_mut`] + `enumerate` +
+//! `for_each`, plus [`join`] and [`current_num_threads`] — on top of
+//! `std::thread::scope`. Work items are distributed through a shared
+//! `Mutex<VecDeque>` so uneven chunks still balance across workers.
+//!
+//! Upstream rayon amortizes pool startup across calls; this stand-in spawns
+//! per call, which costs tens of microseconds — negligible against the
+//! multi-millisecond kernels it is gating (callers stay serial below
+//! `scissor_linalg::PARALLEL_FLOP_THRESHOLD`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Runs `f` over every item, distributing across up to
+/// [`current_num_threads`] scoped workers pulling from a shared queue.
+fn drive<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(items.into_iter().collect::<VecDeque<T>>());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue poisoned").pop_front();
+                match item {
+                    Some(item) => f(item),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Parallel slice extensions ([`slice::ParallelSliceMut`]).
+pub mod slice {
+    /// Adds [`par_chunks_mut`](Self::par_chunks_mut) to mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits the slice into disjoint chunks of at most `chunk_size`
+        /// elements, to be consumed in parallel.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "par_chunks_mut: chunk size must be nonzero");
+            ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+        }
+    }
+
+    /// Parallel iterator over disjoint mutable chunks.
+    pub struct ParChunksMut<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pairs every chunk with its index.
+        pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+            EnumeratedParChunksMut { chunks: self.chunks }
+        }
+
+        /// Applies `f` to every chunk, in parallel.
+        pub fn for_each<F: Fn(&'a mut [T]) + Sync>(self, f: F) {
+            super::drive(self.chunks, f);
+        }
+    }
+
+    /// Enumerated variant of [`ParChunksMut`].
+    pub struct EnumeratedParChunksMut<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
+        /// Applies `f` to every `(index, chunk)` pair, in parallel.
+        pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync>(self, f: F) {
+            super::drive(self.chunks.into_iter().enumerate().collect(), f);
+        }
+    }
+}
+
+/// Glob-importable traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let mut data = vec![0u64; 1003];
+        data.as_mut_slice().par_chunks_mut(64).enumerate().for_each(|(idx, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = idx as u64 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        // Chunk 0 covers the first 64 entries, chunk 15 the tail.
+        assert_eq!(data[0], 1);
+        assert_eq!(data[64], 2);
+        assert_eq!(data[1002], 16);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

@@ -1,0 +1,407 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace's vendored `serde`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`), which is sufficient because every derived type in this
+//! workspace is a non-generic struct with named fields or an enum whose
+//! variants are unit, newtype/tuple, or struct-like. `#[serde(...)]`
+//! attributes are not supported (none are used).
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// Payload of one enum variant: `None` for unit variants, `Some(Ok(names))`
+/// for struct variants, `Some(Err(arity))` for tuple variants.
+type VariantFields = Option<Result<Vec<String>, usize>>;
+
+enum Shape {
+    /// Struct with named fields.
+    Struct(Vec<String>),
+    /// Unit struct (`struct X;`).
+    UnitStruct,
+    /// Enum as `(variant name, fields)` pairs.
+    Enum(Vec<(String, VariantFields)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => render(&name, &shape, mode).parse().expect("generated code parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error code parses"),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    i += 1;
+                }
+                i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => return Err(format!("derive: expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive: expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive on `{name}`: generic types are not supported"));
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok((name, Shape::Struct(field_names(&body))))
+            } else {
+                Ok((name, Shape::Enum(variants(&body)?)))
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            Ok((name, Shape::UnitStruct))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Err(format!("derive on `{name}`: tuple structs are not supported"))
+        }
+        other => Err(format!("derive on `{name}`: unexpected token {other:?}")),
+    }
+}
+
+/// Field names of a named-field body: each ident immediately preceding a
+/// `:` that sits at angle-bracket depth 0 and is not part of `::`.
+fn field_names(body: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut angle_depth = 0i32;
+    for (idx, tok) in body.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 => {
+                    let part_of_path = matches!(
+                        body.get(idx + 1),
+                        Some(TokenTree::Punct(n)) if n.as_char() == ':'
+                    ) || matches!(
+                        body.get(idx.wrapping_sub(1)),
+                        Some(TokenTree::Punct(n)) if n.as_char() == ':'
+                    );
+                    if !part_of_path && idx > 0 {
+                        if let Some(TokenTree::Ident(id)) = body.get(idx - 1) {
+                            names.push(id.to_string());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn variants(body: &[TokenTree]) -> Result<Vec<(String, VariantFields)>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + the [...] group
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let vname = id.to_string();
+                i += 1;
+                match body.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        out.push((vname, Some(Ok(field_names(&inner)))));
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        out.push((vname, Some(Err(tuple_arity(g.stream())))));
+                        i += 1;
+                    }
+                    _ => out.push((vname, None)),
+                }
+                // Skip an explicit discriminant, if any.
+                if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    while i < body.len()
+                        && !matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',')
+                    {
+                        i += 1;
+                    }
+                }
+            }
+            other => return Err(format!("derive: unexpected enum token {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut arity = 1;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add an element.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        arity -= 1;
+    }
+    arity
+}
+
+fn render(name: &str, shape: &Shape, mode: Mode) -> String {
+    match (shape, mode) {
+        (Shape::Struct(fields), Mode::Serialize) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Map(::std::vec![{}])\n\
+                   }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        (Shape::Struct(fields), Mode::Deserialize) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get_field({f:?})?)?"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name} {{ {} }})\n\
+                   }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        (Shape::UnitStruct, Mode::Serialize) => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Map(::std::vec![]) }}\n\
+             }}"
+        ),
+        (Shape::UnitStruct, Mode::Deserialize) => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(_v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name})\n\
+               }}\n\
+             }}"
+        ),
+        (Shape::Enum(vars), Mode::Serialize) => {
+            let arms: Vec<String> = vars
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    ),
+                    Some(Ok(fs)) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                              ::serde::Value::Map(::std::vec![{}]))])",
+                            entries.join(", ")
+                        )
+                    }
+                    Some(Err(arity)) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("x{k}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({v:?}), {inner})])",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{ {} }}\n\
+                   }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+        (Shape::Enum(vars), Mode::Deserialize) => {
+            let unit_arms: Vec<String> = vars
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            let data_arms: Vec<String> = vars
+                .iter()
+                .filter_map(|(v, fields)| fields.as_ref().map(|f| (v, f)))
+                .map(|(v, fields)| match fields {
+                    Ok(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     inner.get_field({f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {} }})",
+                            inits.join(", ")
+                        )
+                    }
+                    Err(arity) => {
+                        if *arity == 1 {
+                            format!(
+                                "{v:?} => ::std::result::Result::Ok(\
+                                 {name}::{v}(::serde::Deserialize::from_value(inner)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         items.get({k}).ok_or_else(|| ::serde::Error::new(\
+                                         \"tuple variant too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{v:?} => match inner {{\n\
+                                   ::serde::Value::Seq(items) => \
+                                     ::std::result::Result::Ok({name}::{v}({})),\n\
+                                   other => ::std::result::Result::Err(::serde::Error::new(\
+                                     format!(\"expected array for variant {v}, got {{}}\", \
+                                     other.kind()))),\n\
+                                 }}",
+                                elems.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            let str_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{\n\
+                       {},\n\
+                       other => ::std::result::Result::Err(::serde::Error::new(\
+                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},",
+                    unit_arms.join(",\n")
+                )
+            };
+            let map_match = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                       let (key, inner) = &entries[0];\n\
+                       match key.as_str() {{\n\
+                         {},\n\
+                         other => ::std::result::Result::Err(::serde::Error::new(\
+                           format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                       }}\n\
+                     }},",
+                    data_arms.join(",\n")
+                )
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     match v {{\n\
+                       {str_match}\n\
+                       {map_match}\n\
+                       other => ::std::result::Result::Err(::serde::Error::new(\
+                         format!(\"cannot deserialize {name} from {{}}\", other.kind()))),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
