@@ -24,16 +24,27 @@ fn bench_matmul(c: &mut Criterion) {
     g.bench_function("conv2_forward_2048x500x50", |bench| {
         bench.iter(|| a.matmul(&b));
     });
+    // The same shape on the scalar blocked reference kernel: the gap is the
+    // register-tiled micro-kernel's contribution (`simd` feature).
+    g.bench_function("conv2_forward_scalar_blocked", |bench| {
+        bench.iter(|| a.matmul_scalar(&b));
+    });
     // fc1 low-rank: (32×800)·(800×36).
     let x = rand_matrix(32, 800, 3);
     let u = rand_matrix(800, 36, 4);
     g.bench_function("fc1_lowrank_32x800x36", |bench| {
         bench.iter(|| x.matmul(&u));
     });
+    g.bench_function("fc1_lowrank_scalar_blocked", |bench| {
+        bench.iter(|| x.matmul_scalar(&u));
+    });
     // Gradient shape: Aᵀ·B at conv2 sizes.
     let gout = rand_matrix(2048, 50, 5);
     g.bench_function("conv2_wgrad_tn_500x2048x50", |bench| {
         bench.iter(|| a.matmul_tn(&gout));
+    });
+    g.bench_function("conv2_wgrad_tn_scalar_blocked", |bench| {
+        bench.iter(|| a.matmul_tn_scalar(&gout));
     });
     g.finish();
 }

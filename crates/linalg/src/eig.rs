@@ -5,12 +5,41 @@
 //! ConvNet — squarely in the regime where Jacobi iteration is simple, robust
 //! and accurate. All arithmetic is `f64`; the public API converts from/to the
 //! workspace's `f32` [`Matrix`].
+//!
+//! # Sweep ordering
+//!
+//! Small matrices use the textbook row-cyclic ordering: rotations applied
+//! one pair at a time, two-sided, in place. At `ROUND_SWEEP_MIN_N` (64)
+//! and above, a sweep is instead organized as `n - 1`
+//! *tournament rounds* (round-robin scheduling): each round annihilates
+//! `⌊n/2⌋` pairwise-disjoint pivots. Disjoint rotations commute, so the
+//! whole round is one orthogonal similarity `A ← JᵀAJ`, applied as a right
+//! pass (`C = A·J`: two elements per row per rotation, rows independent)
+//! followed by a left pass (`A' = Jᵀ·C`: two whole rows per rotation, pairs
+//! disjoint) — every pass streams contiguous rows instead of walking
+//! columns, and (with the `parallel` feature) the row blocks of each pass
+//! fan out across rayon's persistent pool. Both orderings visit every pair
+//! exactly once per sweep and share the same convergence test.
 
 use crate::error::{LinalgError, Result};
 use crate::Matrix;
 
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
 /// Maximum number of full Jacobi sweeps before reporting non-convergence.
 const MAX_SWEEPS: usize = 64;
+
+/// Matrix order at which sweeps switch from the in-place row-cyclic
+/// ordering to round-robin rounds (see the module docs). Below this the
+/// two extra row-major passes cost more than the strided column walks they
+/// replace.
+const ROUND_SWEEP_MIN_N: usize = 64;
+
+/// Minimum rows-per-task granularity (in f64 elements touched) before a
+/// rotation pass is worth dispatching to the pool.
+#[cfg(feature = "parallel")]
+const PAR_PASS_MIN_ELEMS: usize = 1 << 14;
 
 /// Result of a symmetric eigendecomposition: `A = V · diag(λ) · Vᵀ`.
 ///
@@ -100,7 +129,12 @@ pub(crate) fn sym_eig_f64(a: &mut [f64], n: usize) -> Result<(Vec<f64>, Vec<f64>
     }
     let tol = 1e-14 * frob;
 
-    for sweep in 0..MAX_SWEEPS {
+    let use_rounds = n >= ROUND_SWEEP_MIN_N;
+    // Backs the out-of-place parallel left pass; grown lazily on the first
+    // pass that actually fans out, so serial solves never pay for it.
+    let mut scratch: Vec<f64> = Vec::new();
+
+    for _sweep in 0..MAX_SWEEPS {
         let mut off = 0.0_f64;
         for p in 0..n {
             for q in (p + 1)..n {
@@ -110,46 +144,10 @@ pub(crate) fn sym_eig_f64(a: &mut [f64], n: usize) -> Result<(Vec<f64>, Vec<f64>
         if off.sqrt() <= tol {
             return Ok(finish(a, v, n));
         }
-        let _ = sweep;
-        for p in 0..n {
-            for q in (p + 1)..n {
-                let apq = a[p * n + q];
-                if apq.abs() <= tol / (n as f64) {
-                    continue;
-                }
-                let app = a[p * n + p];
-                let aqq = a[q * n + q];
-                // Classic Jacobi rotation: choose t = tan θ that annihilates a_pq.
-                let theta = (aqq - app) / (2.0 * apq);
-                let t = if theta >= 0.0 {
-                    1.0 / (theta + (1.0 + theta * theta).sqrt())
-                } else {
-                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
-                };
-                let c = 1.0 / (1.0 + t * t).sqrt();
-                let s = t * c;
-
-                // Update rows/columns p and q of A (symmetric two-sided rotation).
-                for k in 0..n {
-                    let akp = a[k * n + p];
-                    let akq = a[k * n + q];
-                    a[k * n + p] = c * akp - s * akq;
-                    a[k * n + q] = s * akp + c * akq;
-                }
-                for k in 0..n {
-                    let apk = a[p * n + k];
-                    let aqk = a[q * n + k];
-                    a[p * n + k] = c * apk - s * aqk;
-                    a[q * n + k] = s * apk + c * aqk;
-                }
-                // Accumulate the rotation into V (columns are eigenvectors).
-                for k in 0..n {
-                    let vkp = v[k * n + p];
-                    let vkq = v[k * n + q];
-                    v[k * n + p] = c * vkp - s * vkq;
-                    v[k * n + q] = s * vkp + c * vkq;
-                }
-            }
+        if use_rounds {
+            round_robin_sweep(a, &mut v, n, tol, &mut scratch);
+        } else {
+            row_cyclic_sweep(a, &mut v, n, tol);
         }
     }
 
@@ -166,6 +164,231 @@ pub(crate) fn sym_eig_f64(a: &mut [f64], n: usize) -> Result<(Vec<f64>, Vec<f64>
         return Ok(finish(a, v, n));
     }
     Err(LinalgError::NoConvergence { solver: "jacobi eigensolver", sweeps: MAX_SWEEPS })
+}
+
+/// One plane rotation `J(p, q; c, s)` chosen to annihilate `a_pq`.
+#[derive(Debug, Clone, Copy)]
+struct PlaneRot {
+    p: usize,
+    q: usize,
+    c: f64,
+    s: f64,
+}
+
+/// Computes the classic Jacobi rotation annihilating `a_pq`, or `None` when
+/// the pivot is already below the rotation threshold.
+fn plane_rotation(a: &[f64], n: usize, p: usize, q: usize, tol: f64) -> Option<PlaneRot> {
+    let apq = a[p * n + q];
+    if apq.abs() <= tol / (n as f64) {
+        return None;
+    }
+    let app = a[p * n + p];
+    let aqq = a[q * n + q];
+    // Choose t = tan θ that annihilates a_pq.
+    let theta = (aqq - app) / (2.0 * apq);
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+    Some(PlaneRot { p, q, c, s })
+}
+
+/// Textbook in-place row-cyclic sweep: rotations applied two-sided, one
+/// pair at a time, each seeing all previous updates.
+fn row_cyclic_sweep(a: &mut [f64], v: &mut [f64], n: usize, tol: f64) {
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let Some(rot) = plane_rotation(a, n, p, q, tol) else {
+                continue;
+            };
+            let (c, s) = (rot.c, rot.s);
+            // Update rows/columns p and q of A (symmetric two-sided rotation).
+            for k in 0..n {
+                let akp = a[k * n + p];
+                let akq = a[k * n + q];
+                a[k * n + p] = c * akp - s * akq;
+                a[k * n + q] = s * akp + c * akq;
+            }
+            for k in 0..n {
+                let apk = a[p * n + k];
+                let aqk = a[q * n + k];
+                a[p * n + k] = c * apk - s * aqk;
+                a[q * n + k] = s * apk + c * aqk;
+            }
+            // Accumulate the rotation into V (columns are eigenvectors).
+            for k in 0..n {
+                let vkp = v[k * n + p];
+                let vkq = v[k * n + q];
+                v[k * n + p] = c * vkp - s * vkq;
+                v[k * n + q] = s * vkp + c * vkq;
+            }
+        }
+    }
+}
+
+/// Applies a set of pairwise-disjoint plane rotations on the right
+/// (`M ← M · J`), row by row. Rows are independent, so row blocks fan out
+/// across the pool when the pass is large enough to pay for dispatch.
+fn apply_plane_rotations(mat: &mut [f64], n: usize, rots: &[PlaneRot]) {
+    let rotate_rows = |rows: &mut [f64]| {
+        for row in rows.chunks_mut(n) {
+            for r in rots {
+                let x = row[r.p];
+                let y = row[r.q];
+                row[r.p] = r.c * x - r.s * y;
+                row[r.q] = r.s * x + r.c * y;
+            }
+        }
+    };
+    #[cfg(feature = "parallel")]
+    {
+        let rows = mat.len() / n.max(1);
+        let threads = pass_threads(rows, rots.len());
+        if threads > 1 {
+            let rows_per_task = rows.div_ceil(threads);
+            mat.par_chunks_mut(rows_per_task * n).for_each(rotate_rows);
+            return;
+        }
+    }
+    rotate_rows(mat);
+}
+
+/// Applies disjoint plane rotations on the left (`M ← Jᵀ · M`): each
+/// rotation mixes exactly two whole rows — contiguous, vectorizable
+/// streams. In place; used on the serial path.
+fn left_apply_plane_rotations(mat: &mut [f64], n: usize, rots: &[PlaneRot]) {
+    for r in rots {
+        // r.p < r.q by construction, so the split lands between them.
+        let (head, tail) = mat.split_at_mut(r.q * n);
+        let row_p = &mut head[r.p * n..r.p * n + n];
+        let row_q = &mut tail[..n];
+        for (x, y) in row_p.iter_mut().zip(row_q.iter_mut()) {
+            let (xp, yq) = (*x, *y);
+            *x = r.c * xp - r.s * yq;
+            *y = r.s * xp + r.c * yq;
+        }
+    }
+}
+
+/// Parallel variant of [`left_apply_plane_rotations`]: output rows are
+/// produced out-of-place into `scratch` (each from at most two input rows,
+/// so row blocks are independent), then copied back.
+#[cfg(feature = "parallel")]
+fn left_apply_plane_rotations_par(
+    mat: &mut [f64],
+    n: usize,
+    rots: &[PlaneRot],
+    scratch: &mut [f64],
+    threads: usize,
+) {
+    // row → (partner row, c, s, whether this row is the p side).
+    let mut row_rot: Vec<Option<(usize, f64, f64, bool)>> = vec![None; n];
+    for r in rots {
+        row_rot[r.p] = Some((r.q, r.c, r.s, true));
+        row_rot[r.q] = Some((r.p, r.c, r.s, false));
+    }
+    let rows_per_task = n.div_ceil(threads);
+    let src: &[f64] = mat;
+    let row_rot = &row_rot;
+    scratch.par_chunks_mut(rows_per_task * n).enumerate().for_each(|(idx, chunk)| {
+        let row0 = idx * rows_per_task;
+        for (local, out_row) in chunk.chunks_mut(n).enumerate() {
+            let r = row0 + local;
+            let in_row = &src[r * n..r * n + n];
+            match row_rot[r] {
+                None => out_row.copy_from_slice(in_row),
+                Some((other, c, s, is_p)) => {
+                    let other_row = &src[other * n..other * n + n];
+                    if is_p {
+                        for ((o, &x), &y) in out_row.iter_mut().zip(in_row).zip(other_row) {
+                            *o = c * x - s * y;
+                        }
+                    } else {
+                        for ((o, &y), &x) in out_row.iter_mut().zip(in_row).zip(other_row) {
+                            *o = s * x + c * y;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    mat.copy_from_slice(scratch);
+}
+
+/// Whether a rotation pass over `rows` rows is worth fanning out.
+#[cfg(feature = "parallel")]
+fn pass_threads(rows: usize, nrots: usize) -> usize {
+    let threads = rayon::current_num_threads().min(16);
+    if threads > 1 && rows * nrots * 2 >= PAR_PASS_MIN_ELEMS {
+        threads
+    } else {
+        1
+    }
+}
+
+/// One full sweep as `n - 1` tournament rounds of disjoint rotations.
+///
+/// Each round's rotations commute (no two touch the same index), so the
+/// whole round is one orthogonal similarity `A ← JᵀAJ` with `J` the product
+/// of its rotations, applied as a right pass (`C = A·J`; two elements per
+/// row per rotation, rows independent) followed by a left pass
+/// (`A' = Jᵀ·C`; two whole rows per rotation, pairs disjoint) — both pure
+/// row-major streaming, no strided column walks. `V` accumulates `V ← V·J`
+/// with the same right pass. With the `parallel` feature and enough work,
+/// each pass fans out across rayon's persistent pool.
+fn round_robin_sweep(a: &mut [f64], v: &mut [f64], n: usize, tol: f64, scratch: &mut Vec<f64>) {
+    // Tournament (circle-method) schedule over n players, padded to even
+    // with a bye; n-1 rounds cover every unordered pair exactly once.
+    let np = n + (n & 1);
+    let mut ring: Vec<usize> = (0..np).collect();
+    let mut rots: Vec<PlaneRot> = Vec::with_capacity(np / 2);
+    for _round in 0..np - 1 {
+        rots.clear();
+        for i in 0..np / 2 {
+            let (mut p, mut q) = (ring[i], ring[np - 1 - i]);
+            if p > q {
+                std::mem::swap(&mut p, &mut q);
+            }
+            if q >= n {
+                continue; // bye slot on odd n
+            }
+            // Disjointness keeps every pair's pivot block untouched by the
+            // rest of the round, so round-start values are current values.
+            if let Some(rot) = plane_rotation(a, n, p, q, tol) {
+                rots.push(rot);
+            }
+        }
+        if !rots.is_empty() {
+            // C = A·J …
+            apply_plane_rotations(a, n, &rots);
+            // … then A' = Jᵀ·C.
+            #[cfg(feature = "parallel")]
+            {
+                let threads = pass_threads(n, rots.len());
+                if threads > 1 {
+                    scratch.resize(n * n, 0.0);
+                    left_apply_plane_rotations_par(a, n, &rots, scratch, threads);
+                } else {
+                    left_apply_plane_rotations(a, n, &rots);
+                }
+            }
+            #[cfg(not(feature = "parallel"))]
+            left_apply_plane_rotations(a, n, &rots);
+            // V = V·J.
+            apply_plane_rotations(v, n, &rots);
+        }
+        // Advance the schedule: hold ring[0], rotate the rest one step.
+        let last = ring[np - 1];
+        for idx in (2..np).rev() {
+            ring[idx] = ring[idx - 1];
+        }
+        ring[1] = last;
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = scratch;
 }
 
 fn finish(a: &[f64], v: Vec<f64>, n: usize) -> (Vec<f64>, Vec<f64>) {
@@ -286,6 +509,73 @@ mod tests {
         assert_eq!(e1.values, vec![7.0]);
         let e0 = sym_eig(&Matrix::zeros(0, 0)).unwrap();
         assert!(e0.values.is_empty());
+    }
+
+    /// A well-conditioned symmetric test matrix big enough to take the
+    /// round-robin sweep path.
+    fn large_symmetric(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            let x = ((i * 7 + j * 3) % 29) as f32 - 14.0;
+            let y = ((j * 7 + i * 3) % 29) as f32 - 14.0;
+            let diag = if i == j { n as f32 } else { 0.0 };
+            0.25 * (x + y) + diag
+        })
+    }
+
+    #[test]
+    fn round_sweep_path_reconstructs_input() {
+        let n = ROUND_SWEEP_MIN_N + 16;
+        let a = large_symmetric(n);
+        let e = sym_eig(&a).unwrap();
+        let r = e.reconstruct();
+        assert!(a.relative_error(&r) < 1e-6, "relative error {}", a.relative_error(&r));
+    }
+
+    #[test]
+    fn round_sweep_path_gives_orthonormal_eigenvectors() {
+        let n = ROUND_SWEEP_MIN_N + 2;
+        let a = large_symmetric(n);
+        let e = sym_eig(&a).unwrap();
+        let vtv = e.vectors.matmul_tn(&e.vectors);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-4, "V'V[{i},{j}]={}", vtv[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn round_sweep_path_handles_odd_order_with_bye() {
+        let n = ROUND_SWEEP_MIN_N + 3;
+        assert_eq!(n % 2, 1, "test meant to cover the odd-n bye slot");
+        let a = large_symmetric(n);
+        let e = sym_eig(&a).unwrap();
+        let trace: f64 = (0..n).map(|i| a[(i, i)] as f64).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-5 * trace.abs().max(1.0));
+        let r = e.reconstruct();
+        assert!(a.relative_error(&r) < 1e-6);
+    }
+
+    #[test]
+    fn round_sweep_matches_row_cyclic_spectrum_on_gram_matrix() {
+        // Same Gram matrix solved by both orderings: build it at a size on
+        // the round-sweep side, then compare against eigenvalues of the
+        // same matrix shrunk below the threshold... sizes differ, so
+        // instead pin the round-sweep spectrum against an independent
+        // invariant: eigenvalues of WᵀW are the squared singular values,
+        // whose sum is ‖W‖²_F.
+        let n = ROUND_SWEEP_MIN_N * 2;
+        let w = Matrix::from_fn(3 * n, n, |i, j| ((i * 5 + j * 11) % 23) as f32 * 0.1 - 1.1);
+        let gm = Matrix::from_f64_vec(n, n, &w.gram_f64());
+        let e = sym_eig(&gm).unwrap();
+        let frob_sq = w.frobenius_norm_sq();
+        for &lam in &e.values {
+            assert!(lam > -1e-9 * frob_sq, "Gram matrix eigenvalue {lam} below zero");
+        }
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - frob_sq).abs() <= 1e-8 * frob_sq, "Σλ = {sum} but ‖W‖²_F = {frob_sq}");
     }
 
     #[test]

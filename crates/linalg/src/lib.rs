@@ -3,7 +3,7 @@
 //! Dense linear algebra for the [Group Scissor (DAC 2017)] reproduction:
 //! a row-major `f32` [`Matrix`] with cache-aware, thread-parallel matmul
 //! kernels, a cyclic-Jacobi symmetric eigensolver, a one-sided-Jacobi thin
-//! [`svd`], [`Pca`] implementing the paper's Algorithm 1, and the
+//! [`svd()`], [`Pca`] implementing the paper's Algorithm 1, and the
 //! [`LowRank`] factor container with the crossbar-area admissibility test of
 //! the paper's Eq. (2).
 //!

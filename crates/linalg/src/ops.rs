@@ -9,32 +9,53 @@
 //!
 //! All kernels are cache-blocked (row-major friendly loop orders, `K_BLOCK`
 //! tiling of the reduction dimension so a panel of the right-hand operand is
-//! reused across a whole row panel of the output). With the `parallel`
-//! feature (default) they additionally split the output into row panels
-//! dispatched through rayon once the flop count crosses
-//! [`PARALLEL_FLOP_THRESHOLD`].
+//! reused across a whole row panel of the output). With the `simd` feature
+//! (default) the inner loops additionally run a register-tiled micro-kernel:
+//! [`MR`]`×`[`NR`] (4×8) output tiles are accumulated in locals, with the
+//! 8-wide column axis written as explicitly unrolled array arithmetic that
+//! LLVM reliably turns into `f32x8` vector code (`std::simd` is unstable on
+//! the pinned stable toolchain, so the unroll is manual). With the
+//! `parallel` feature (default) the kernels also split the output into row
+//! panels dispatched through rayon's persistent pool once the flop count
+//! crosses [`PARALLEL_FLOP_THRESHOLD`].
 //!
-//! The parallel path hands each worker a disjoint row panel and runs the
-//! *identical* blocked kernel inside it, so every output element is
-//! accumulated in the same order on both paths: [`Matrix::matmul_parallel`]
-//! and [`Matrix::matmul_serial`] agree **bitwise**, not just to rounding
-//! (property-tested in `tests/parallel_agreement.rs`). Accumulation is
-//! `f32`; the matrices in this workspace are small enough (≤ a few thousand
-//! per dimension) that this is well within training noise.
+//! Every path — scalar, micro-kernel, serial, parallel — accumulates each
+//! output element in ascending reduction order with a single accumulator,
+//! so all of them agree **bitwise**, not just to rounding (property-tested
+//! in `tests/parallel_agreement.rs`): the parallel dispatcher hands each
+//! worker a disjoint row panel and runs the identical kernel inside it, and
+//! the micro-kernel's register tiles are seeded from (and flushed back to)
+//! the output buffer at `K_BLOCK` boundaries so the per-element operation
+//! sequence never changes. Accumulation is `f32`; the matrices in this
+//! workspace are small enough (≤ a few thousand per dimension) that this is
+//! well within training noise.
 
 use crate::Matrix;
 
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
-/// Products smaller than this many fused multiply-adds run single-threaded;
-/// the thread-dispatch overhead dominates below it.
-pub const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
+/// Products smaller than this many fused multiply-adds run single-threaded.
+///
+/// With the persistent worker pool a parallel dispatch costs on the order
+/// of a microsecond (queue push + condvar wake), so the crossover sits far
+/// below the former scoped-thread threshold of `1 << 20`.
+pub const PARALLEL_FLOP_THRESHOLD: usize = 1 << 16;
 
 /// Reduction-dimension tile: one tile of the right-hand operand
 /// (`K_BLOCK × m` floats) stays hot in cache while a whole row panel of the
 /// output is accumulated against it.
 const K_BLOCK: usize = 64;
+
+/// Micro-kernel tile height: output rows accumulated together, each b-row
+/// load amortized across `MR` a-values.
+#[cfg(feature = "simd")]
+const MR: usize = 4;
+
+/// Micro-kernel tile width: output columns accumulated together; unrolled
+/// so the compiler emits one 8-lane f32 vector op per accumulator row.
+#[cfg(feature = "simd")]
+const NR: usize = 8;
 
 /// Number of worker threads the matmul kernels will actually use for a
 /// sufficiently large product (1 without the `parallel` feature; capped at
@@ -88,13 +109,86 @@ where
     unreachable!("threads > 1 requires the `parallel` feature");
 }
 
+/// Splits the panel rows starting at `local_i` into [`MR`] disjoint
+/// mutable output rows of width `m`.
+#[cfg(feature = "simd")]
+fn split_row_quad(panel: &mut [f32], local_i: usize, m: usize) -> [&mut [f32]; MR] {
+    let (quad, _) = panel[local_i * m..].split_at_mut(MR * m);
+    let (r0, rest) = quad.split_at_mut(m);
+    let (r1, rest) = rest.split_at_mut(m);
+    let (r2, r3) = rest.split_at_mut(m);
+    [r0, r1, r2, r3]
+}
+
+/// An [`MR`]`×`[`NR`] register tile of output accumulators.
+#[cfg(feature = "simd")]
+type Tile = [[f32; NR]; MR];
+
+/// Seeds a tile from the output rows at column `j`.
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn tile_load(rows: &[&mut [f32]; MR], j: usize) -> Tile {
+    let mut c = [[0.0_f32; NR]; MR];
+    for (ci, row) in c.iter_mut().zip(rows.iter()) {
+        ci.copy_from_slice(&row[j..j + NR]);
+    }
+    c
+}
+
+/// One reduction step: `c[i][t] += x[i] * brow[t]` — the shared inner loop
+/// of every register-tiled kernel. Kept in one place so the accumulation
+/// order (and with it the cross-kernel bitwise-agreement contract) cannot
+/// drift between kernels.
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn tile_step(c: &mut Tile, x: [f32; MR], brow: &[f32; NR]) {
+    for (ci, &xi) in c.iter_mut().zip(x.iter()) {
+        for t in 0..NR {
+            ci[t] += xi * brow[t];
+        }
+    }
+}
+
+/// Flushes a tile back into the output rows at column `j`.
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn tile_store(rows: &mut [&mut [f32]; MR], j: usize, c: &Tile) {
+    for (row, ci) in rows.iter_mut().zip(c.iter()) {
+        row[j..j + NR].copy_from_slice(ci);
+    }
+}
+
+/// Column-remainder variants of the tile helpers: one output column,
+/// [`MR`] scalar accumulators.
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn col_load(rows: &[&mut [f32]; MR], j: usize) -> [f32; MR] {
+    [rows[0][j], rows[1][j], rows[2][j], rows[3][j]]
+}
+
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn col_step(c: &mut [f32; MR], x: [f32; MR], bv: f32) {
+    for (ci, &xi) in c.iter_mut().zip(x.iter()) {
+        *ci += xi * bv;
+    }
+}
+
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn col_store(rows: &mut [&mut [f32]; MR], j: usize, c: [f32; MR]) {
+    for (row, ci) in rows.iter_mut().zip(c.iter()) {
+        row[j] = *ci;
+    }
+}
+
 /// Blocked kernel for `C = A · B` over the row panel starting at `row0`.
 ///
 /// Loop order `kb → i → p → j`: the `K_BLOCK × m` tile of `B` is streamed
-/// once per panel row while it is cache-resident, and each output row still
-/// accumulates in ascending-`p` order (the same order as an unblocked axpy
-/// sweep, keeping serial and parallel results bitwise identical).
-fn matmul_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+/// while it is cache-resident, and each output element accumulates in
+/// ascending-`p` order with a single accumulator (the same sequence as an
+/// unblocked axpy sweep, keeping every path bitwise identical).
+fn matmul_panel_scalar(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
     let m = b.cols();
     let k = a.cols();
     let panel_rows = panel.len() / m.max(1);
@@ -105,9 +199,6 @@ fn matmul_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
             let a_row = a.row(row0 + local_i);
             let out_row = &mut panel[local_i * m..(local_i + 1) * m];
             for (p, &a_ip) in a_row[kb..kb_end].iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
                 let b_row = b.row(kb + p);
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
                     *o += a_ip * bv;
@@ -118,9 +209,84 @@ fn matmul_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
     }
 }
 
+/// Register-tiled kernel for `C = A · B`: [`MR`]`×`[`NR`] output tiles held
+/// in locals across each `K_BLOCK` slab.
+///
+/// The tiles are seeded from the output buffer at slab entry and flushed at
+/// slab exit, so each element still sees one accumulator updated in
+/// ascending-`p` order — bitwise identical to [`matmul_panel_scalar`] —
+/// while `B`-row loads are amortized over [`MR`] output rows and the
+/// [`NR`]-wide inner arithmetic vectorizes.
+#[cfg(feature = "simd")]
+fn matmul_panel_micro(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+    let m = b.cols();
+    let k = a.cols();
+    if m == 0 {
+        return;
+    }
+    let panel_rows = panel.len() / m;
+    let b_data = b.as_slice();
+    let mut kb = 0;
+    while kb < k {
+        let kb_end = (kb + K_BLOCK).min(k);
+        let mut i = 0;
+        while i + MR <= panel_rows {
+            let mut rows = split_row_quad(panel, i, m);
+            let a0 = &a.row(row0 + i)[kb..kb_end];
+            let a1 = &a.row(row0 + i + 1)[kb..kb_end];
+            let a2 = &a.row(row0 + i + 2)[kb..kb_end];
+            let a3 = &a.row(row0 + i + 3)[kb..kb_end];
+            let mut j = 0;
+            while j + NR <= m {
+                let mut c = tile_load(&rows, j);
+                for p in 0..kb_end - kb {
+                    let x = [a0[p], a1[p], a2[p], a3[p]];
+                    let brow: &[f32; NR] = b_data[(kb + p) * m + j..(kb + p) * m + j + NR]
+                        .try_into()
+                        .expect("NR-sized slice");
+                    tile_step(&mut c, x, brow);
+                }
+                tile_store(&mut rows, j, &c);
+                j += NR;
+            }
+            // Column remainder: one local accumulator per element.
+            while j < m {
+                let mut c = col_load(&rows, j);
+                for p in 0..kb_end - kb {
+                    let bv = b_data[(kb + p) * m + j];
+                    col_step(&mut c, [a0[p], a1[p], a2[p], a3[p]], bv);
+                }
+                col_store(&mut rows, j, c);
+                j += 1;
+            }
+            i += MR;
+        }
+        // Row remainder: plain axpy sweep, same per-element order.
+        for local_i in i..panel_rows {
+            let a_row = &a.row(row0 + local_i)[kb..kb_end];
+            let out_row = &mut panel[local_i * m..(local_i + 1) * m];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                let b_row = b.row(kb + p);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * bv;
+                }
+            }
+        }
+        kb = kb_end;
+    }
+}
+
+fn matmul_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+    #[cfg(feature = "simd")]
+    matmul_panel_micro(a, b, row0, panel);
+    #[cfg(not(feature = "simd"))]
+    matmul_panel_scalar(a, b, row0, panel);
+}
+
 /// Kernel for `C = A · Bᵀ` over one row panel: independent dot products,
-/// both operands streamed row-major.
-fn matmul_nt_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+/// both operands streamed row-major. Each element is one accumulator in
+/// ascending-`p` order.
+fn matmul_nt_panel_scalar(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
     let m = b.rows();
     let panel_rows = panel.len() / m.max(1);
     for local_i in 0..panel_rows {
@@ -137,11 +303,59 @@ fn matmul_nt_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
     }
 }
 
+/// `C = A · Bᵀ` with [`MR`] output rows per pass, so each streamed `B` row
+/// is dotted against [`MR`] `A` rows at once (four independent dependency
+/// chains per element; the reduction itself stays scalar to preserve the
+/// ascending-`p` single-accumulator order).
+#[cfg(feature = "simd")]
+fn matmul_nt_panel_micro(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+    let m = b.rows();
+    if m == 0 {
+        return;
+    }
+    let panel_rows = panel.len() / m;
+    let k = a.cols();
+    let mut i = 0;
+    while i + MR <= panel_rows {
+        let [r0, r1, r2, r3] = split_row_quad(panel, i, m);
+        let a0 = a.row(row0 + i);
+        let a1 = a.row(row0 + i + 1);
+        let a2 = a.row(row0 + i + 2);
+        let a3 = a.row(row0 + i + 3);
+        for j in 0..m {
+            let b_row = &b.row(j)[..k];
+            let (mut c0, mut c1, mut c2, mut c3) = (0.0_f32, 0.0_f32, 0.0_f32, 0.0_f32);
+            for (p, &bv) in b_row.iter().enumerate() {
+                c0 += a0[p] * bv;
+                c1 += a1[p] * bv;
+                c2 += a2[p] * bv;
+                c3 += a3[p] * bv;
+            }
+            r0[j] = c0;
+            r1[j] = c1;
+            r2[j] = c2;
+            r3[j] = c3;
+        }
+        i += MR;
+    }
+    if i < panel_rows {
+        let tail = &mut panel[i * m..];
+        matmul_nt_panel_scalar(a, b, row0 + i, tail);
+    }
+}
+
+fn matmul_nt_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+    #[cfg(feature = "simd")]
+    matmul_nt_panel_micro(a, b, row0, panel);
+    #[cfg(not(feature = "simd"))]
+    matmul_nt_panel_scalar(a, b, row0, panel);
+}
+
 /// Kernel for `C = Aᵀ · B` over one row panel of `C` (= columns of `A`).
 ///
 /// Each worker scans all of `A` and `B` but only writes its own `C` rows;
-/// per-row accumulation is ascending in `p` on every path.
-fn matmul_tn_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+/// per-element accumulation is ascending in `p` on every path.
+fn matmul_tn_panel_scalar(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
     let m = b.cols();
     let k = a.rows();
     let panel_rows = panel.len() / m.max(1);
@@ -150,15 +364,82 @@ fn matmul_tn_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
         let b_row = b.row(p);
         for local_i in 0..panel_rows {
             let a_pi = a_row[row0 + local_i];
-            if a_pi == 0.0 {
-                continue;
-            }
             let out_row = &mut panel[local_i * m..(local_i + 1) * m];
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += a_pi * bv;
             }
         }
     }
+}
+
+/// Register-tiled `C = Aᵀ · B`: identical tiling to [`matmul_panel_micro`],
+/// with the four a-values per step loaded contiguously from one `A` row
+/// (they are adjacent columns of `A`).
+#[cfg(feature = "simd")]
+fn matmul_tn_panel_micro(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+    let m = b.cols();
+    let k = a.rows();
+    if m == 0 {
+        return;
+    }
+    let panel_rows = panel.len() / m;
+    let a_data = a.as_slice();
+    let n = a.cols();
+    let b_data = b.as_slice();
+    let mut kb = 0;
+    while kb < k {
+        let kb_end = (kb + K_BLOCK).min(k);
+        let mut i = 0;
+        while i + MR <= panel_rows {
+            let mut rows = split_row_quad(panel, i, m);
+            let col = row0 + i;
+            let mut j = 0;
+            while j + NR <= m {
+                let mut c = tile_load(&rows, j);
+                for p in kb..kb_end {
+                    let arow: &[f32; MR] =
+                        a_data[p * n + col..p * n + col + MR].try_into().expect("MR-sized slice");
+                    let brow: &[f32; NR] =
+                        b_data[p * m + j..p * m + j + NR].try_into().expect("NR-sized slice");
+                    tile_step(&mut c, *arow, brow);
+                }
+                tile_store(&mut rows, j, &c);
+                j += NR;
+            }
+            while j < m {
+                let mut c = col_load(&rows, j);
+                for p in kb..kb_end {
+                    let arow: &[f32; MR] =
+                        a_data[p * n + col..p * n + col + MR].try_into().expect("MR-sized slice");
+                    let bv = b_data[p * m + j];
+                    col_step(&mut c, *arow, bv);
+                }
+                col_store(&mut rows, j, c);
+                j += 1;
+            }
+            i += MR;
+        }
+        // Row remainder: scalar sweep over this K slab only.
+        for p in kb..kb_end {
+            let a_row = a.row(p);
+            let b_row = b.row(p);
+            for local_i in i..panel_rows {
+                let a_pi = a_row[row0 + local_i];
+                let out_row = &mut panel[local_i * m..(local_i + 1) * m];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_pi * bv;
+                }
+            }
+        }
+        kb = kb_end;
+    }
+}
+
+fn matmul_tn_panel(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
+    #[cfg(feature = "simd")]
+    matmul_tn_panel_micro(a, b, row0, panel);
+    #[cfg(not(feature = "simd"))]
+    matmul_tn_panel_scalar(a, b, row0, panel);
 }
 
 impl Matrix {
@@ -184,7 +465,8 @@ impl Matrix {
         self.matmul_with_threads(rhs, threads_for(work))
     }
 
-    /// [`Matrix::matmul`] forced onto the single-threaded blocked kernel.
+    /// [`Matrix::matmul`] forced onto the single-threaded blocked kernel
+    /// (micro-kernel included when the `simd` feature is on).
     pub fn matmul_serial(&self, rhs: &Matrix) -> Matrix {
         self.matmul_with_threads(rhs, 1)
     }
@@ -194,6 +476,53 @@ impl Matrix {
     #[cfg(feature = "parallel")]
     pub fn matmul_parallel(&self, rhs: &Matrix) -> Matrix {
         self.matmul_with_threads(rhs, matmul_worker_threads())
+    }
+
+    /// Reference kernel: the single-threaded cache-blocked matmul with no
+    /// register tiling. Bitwise-identical to every other `matmul*` path;
+    /// kept public so the agreement proptests and benches can pin the
+    /// micro-kernel against it.
+    pub fn matmul_scalar(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul dimension mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows(), rhs.cols());
+        matmul_panel_scalar(self, rhs, 0, out.as_mut_slice());
+        out
+    }
+
+    /// Reference kernel for [`Matrix::matmul_nt`]: single-threaded scalar
+    /// dot products, bitwise-identical to the unrolled path.
+    pub fn matmul_nt_scalar(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            rhs.cols(),
+            "matmul_nt dimension mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows(), rhs.rows());
+        matmul_nt_panel_scalar(self, rhs, 0, out.as_mut_slice());
+        out
+    }
+
+    /// Reference kernel for [`Matrix::matmul_tn`]: single-threaded scalar
+    /// sweep, bitwise-identical to the register-tiled path.
+    pub fn matmul_tn_scalar(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            rhs.rows(),
+            "matmul_tn dimension mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.cols(), rhs.cols());
+        matmul_tn_panel_scalar(self, rhs, 0, out.as_mut_slice());
+        out
     }
 
     fn matmul_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
@@ -217,6 +546,16 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.cols()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scissor_linalg::Matrix;
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+    /// let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+    /// // A·Bᵀ without materializing the transpose.
+    /// assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    /// ```
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols(),
@@ -240,6 +579,16 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.rows() != rhs.rows()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scissor_linalg::Matrix;
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    /// let b = Matrix::from_rows(&[&[5.0], &[6.0]]);
+    /// // Aᵀ·B, the shape taken by weight gradients.
+    /// assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    /// ```
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows(),

@@ -1,72 +1,33 @@
 //! Offline vendored stand-in for [`rayon`](https://crates.io/crates/rayon).
 //!
 //! The build environment has no crates.io access, so this crate implements
-//! the small parallel-iterator subset `scissor_linalg`'s blocked matmul
-//! uses — [`slice::ParallelSliceMut::par_chunks_mut`] + `enumerate` +
-//! `for_each`, plus [`join`] and [`current_num_threads`] — on top of
-//! `std::thread::scope`. Work items are distributed through a shared
-//! `Mutex<VecDeque>` so uneven chunks still balance across workers.
+//! the subset of rayon's API the workspace uses — [`join`], [`scope`],
+//! [`current_num_threads`], and the parallel-slice combinators
+//! [`slice::ParallelSliceMut::par_chunks_mut`] + `enumerate` + `for_each` —
+//! on top of a **persistent worker pool** (see the [`mod@pool`]
+//! documentation for the design and its safety argument).
 //!
-//! Upstream rayon amortizes pool startup across calls; this stand-in spawns
-//! per call, which costs tens of microseconds — negligible against the
-//! multi-millisecond kernels it is gating (callers stay serial below
-//! `scissor_linalg::PARALLEL_FLOP_THRESHOLD`).
+//! Differences from upstream rayon, deliberately accepted for a stand-in:
+//!
+//! * one global mutex/condvar injector queue instead of per-worker
+//!   work-stealing deques — fine at the panel/sweep job granularity this
+//!   workspace dispatches, wrong for fine-grained recursive splitting;
+//! * no `ThreadPoolBuilder`; the pool size is `RAYON_NUM_THREADS` or the
+//!   machine's available parallelism, fixed at first use;
+//! * `join` publishes its second closure to the shared queue and retracts
+//!   it if no worker picks it up, rather than lifo-stealing.
+//!
+//! What *is* preserved is the contract callers rely on: `join`/`scope` may
+//! borrow from the caller's stack, panics propagate to the caller after all
+//! sibling work has quiesced, and nested `join`/`scope` from inside worker
+//! threads cannot deadlock (waiting threads help drain the queue).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
+pub mod pool;
 
-/// Number of worker threads a parallel call will use.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Runs two closures, potentially in parallel, returning both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    if current_num_threads() <= 1 {
-        let ra = a();
-        let rb = b();
-        return (ra, rb);
-    }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
-        let ra = a();
-        let rb = hb.join().expect("rayon::join worker panicked");
-        (ra, rb)
-    })
-}
-
-/// Runs `f` over every item, distributing across up to
-/// [`current_num_threads`] scoped workers pulling from a shared queue.
-fn drive<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
-    let workers = current_num_threads().min(items.len());
-    if workers <= 1 {
-        for item in items {
-            f(item);
-        }
-        return;
-    }
-    let queue = Mutex::new(items.into_iter().collect::<VecDeque<T>>());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let item = queue.lock().expect("queue poisoned").pop_front();
-                match item {
-                    Some(item) => f(item),
-                    None => break,
-                }
-            });
-        }
-    });
-}
+pub use pool::{current_num_threads, join, scope, Scope};
 
 /// Parallel slice extensions ([`slice::ParallelSliceMut`]).
 pub mod slice {
@@ -84,6 +45,26 @@ pub mod slice {
         }
     }
 
+    /// Dispatches one pool task per chunk and blocks until all complete.
+    fn drive<'a, T, F>(chunks: Vec<&'a mut [T]>, f: F)
+    where
+        T: Send,
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        if chunks.len() <= 1 || crate::current_num_threads() <= 1 {
+            for item in chunks.into_iter().enumerate() {
+                f(item);
+            }
+            return;
+        }
+        let f = &f;
+        crate::scope(|s| {
+            for item in chunks.into_iter().enumerate() {
+                s.spawn(move |_| f(item));
+            }
+        });
+    }
+
     /// Parallel iterator over disjoint mutable chunks.
     pub struct ParChunksMut<'a, T> {
         chunks: Vec<&'a mut [T]>,
@@ -97,7 +78,7 @@ pub mod slice {
 
         /// Applies `f` to every chunk, in parallel.
         pub fn for_each<F: Fn(&'a mut [T]) + Sync>(self, f: F) {
-            super::drive(self.chunks, f);
+            drive(self.chunks, |(_, chunk)| f(chunk));
         }
     }
 
@@ -109,7 +90,7 @@ pub mod slice {
     impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
         /// Applies `f` to every `(index, chunk)` pair, in parallel.
         pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync>(self, f: F) {
-            super::drive(self.chunks.into_iter().enumerate().collect(), f);
+            drive(self.chunks, f);
         }
     }
 }
@@ -142,5 +123,19 @@ mod tests {
     fn join_returns_both() {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_tasks() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        let total_ref = &total;
+        super::scope(|s| {
+            for add in 1..=10usize {
+                s.spawn(move |_| {
+                    total_ref.fetch_add(add, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 55);
     }
 }

@@ -1,0 +1,474 @@
+//! The persistent worker pool behind [`join`], [`scope`] and the parallel
+//! iterators.
+//!
+//! # Design
+//!
+//! A lazily-initialized global pool owns `current_num_threads()` worker
+//! threads for the lifetime of the process. Work items flow through a single
+//! mutex-protected injector queue with a condvar for idle workers — at the
+//! job granularity this crate dispatches (row panels of a matmul, rotation
+//! passes of a Jacobi sweep) the queue lock is uncontended and a push/pop
+//! pair costs well under a microsecond, versus the tens of microseconds the
+//! previous scoped-thread stand-in paid to spawn and join OS threads on
+//! every call.
+//!
+//! Blocking a pool on borrowed data requires two guarantees that shape the
+//! whole module:
+//!
+//! 1. **No queued job outlives its owner's stack frame.** [`join`] publishes
+//!    the second closure as a `StackJob` (a raw pointer to the caller's
+//!    stack) and does not return — even when unwinding — until it has either
+//!    *retracted* the job from the queue (removal happens under the same
+//!    lock workers pop under, so ownership is unambiguous) and run it
+//!    inline, or observed the executing worker set the job's completion
+//!    latch. [`scope`] heap-allocates its jobs but likewise refuses to
+//!    return until its pending-task count reaches zero.
+//! 2. **No waiting thread starves the queue.** A thread stuck in
+//!    [`scope`]'s exit barrier pops and executes queued jobs (its own or
+//!    anyone else's) while it waits, so nested scopes and joins issued from
+//!    worker threads always make progress even on a single-worker pool.
+//!
+//! Panics inside either closure of [`join`] or inside a spawned scope task
+//! are caught at the job boundary, carried back across the queue, and
+//! re-thrown on the thread that called [`join`]/[`scope`] once every
+//! sibling job has finished (first panic wins; later ones are dropped, as
+//! in upstream rayon).
+//!
+//! The pool size honours the `RAYON_NUM_THREADS` environment variable
+//! (read once, at first use) and otherwise defaults to
+//! `std::thread::available_parallelism()`.
+
+#![allow(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A caught panic payload in flight between a worker and the owning caller.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Number of worker threads in the global pool.
+///
+/// Reads `RAYON_NUM_THREADS` on first call (matching upstream rayon's
+/// environment knob), falling back to the machine's available parallelism.
+///
+/// # Examples
+///
+/// ```
+/// assert!(rayon::current_num_threads() >= 1);
+/// ```
+pub fn current_num_threads() -> usize {
+    global().threads
+}
+
+/// Type-erased pointer to a job plus the monomorphized function that runs
+/// it. The pointee is either a [`StackJob`] on some caller's stack (kept
+/// alive by the retract-or-wait protocol) or a leaked [`HeapJob`] box
+/// (reclaimed by its `execute` call).
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: a `JobRef` is only ever created for job types whose payloads are
+// `Send` (enforced by the bounds on `join`/`Scope::spawn`), and the raw
+// pointer is dereferenced by exactly one thread (queue removal is atomic
+// under the pool lock).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Safety: `data` must still be live and this must be the
+    /// only remaining `JobRef` for it (guaranteed by queue ownership).
+    unsafe fn run(self) {
+        // SAFETY: forwarded to the per-type `execute` contract.
+        unsafe { (self.execute)(self.data) }
+    }
+}
+
+/// The global pool: injector queue + idle-worker condvar.
+struct Pool {
+    queue: Mutex<VecDeque<JobRef>>,
+    work_available: Condvar,
+    threads: usize,
+}
+
+impl Pool {
+    /// Enqueues a job, spawning the worker threads on the first real push —
+    /// size-only queries ([`current_num_threads`]) never start threads.
+    fn push(&'static self, job: JobRef) {
+        WORKERS.get_or_init(|| {
+            for idx in 0..self.threads {
+                std::thread::Builder::new()
+                    .name(format!("rayon-worker-{idx}"))
+                    .spawn(move || worker_loop(self))
+                    .expect("failed to spawn pool worker");
+            }
+        });
+        self.queue.lock().expect("pool queue poisoned").push_back(job);
+        self.work_available.notify_one();
+    }
+
+    /// Removes the job whose payload lives at `data` from the queue, if it
+    /// has not been claimed by a worker yet. Returns `true` on removal, in
+    /// which case the caller now exclusively owns the job.
+    fn retract(&self, data: *const ()) -> bool {
+        let mut queue = self.queue.lock().expect("pool queue poisoned");
+        match queue.iter().position(|j| std::ptr::eq(j.data, data)) {
+            Some(idx) => {
+                queue.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Claims an arbitrary queued job, used by threads that help while
+    /// blocked on a scope barrier.
+    fn pop_any(&self) -> Option<JobRef> {
+        self.queue.lock().expect("pool queue poisoned").pop_front()
+    }
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static WORKERS: OnceLock<()> = OnceLock::new();
+
+/// Returns the process-wide pool, sizing it on first use. Worker threads
+/// are not spawned here but on the first [`Pool::push`].
+fn global() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
+            .unwrap_or(1);
+        Pool { queue: Mutex::new(VecDeque::new()), work_available: Condvar::new(), threads }
+    })
+}
+
+/// Body of every persistent worker: pop, run, park when idle. Never exits;
+/// the threads die with the process.
+fn worker_loop(pool: &'static Pool) {
+    let mut queue = pool.queue.lock().expect("pool queue poisoned");
+    loop {
+        match queue.pop_front() {
+            Some(job) => {
+                drop(queue);
+                // SAFETY: popping under the lock made this thread the job's
+                // sole owner; the publishing caller is blocked until the
+                // job's latch/counter fires, keeping the payload alive.
+                unsafe { job.run() };
+                queue = pool.queue.lock().expect("pool queue poisoned");
+            }
+            None => {
+                queue = pool.work_available.wait(queue).expect("pool queue poisoned");
+            }
+        }
+    }
+}
+
+/// Completion latch: one writer (the executing thread), one waiter (the
+/// owner). A plain mutex/condvar pair — the wait is the cold path.
+struct Latch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn set(&self) {
+        *self.done.lock().expect("latch poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("latch poisoned");
+        while !*done {
+            done = self.cv.wait(done).expect("latch poisoned");
+        }
+    }
+}
+
+/// A job whose closure, result slot and latch all live on the publishing
+/// caller's stack — the zero-allocation fast path used by [`join`].
+struct StackJob<F, R> {
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> Self {
+        StackJob { func: Mutex::new(Some(func)), result: Mutex::new(None), latch: Latch::new() }
+    }
+
+    /// Runs the stored closure (on whichever thread won ownership), stashes
+    /// the result or panic, and fires the latch.
+    fn run_stored(&self) {
+        let func = self.func.lock().expect("job poisoned").take().expect("job run twice");
+        let result = catch_unwind(AssertUnwindSafe(func));
+        *self.result.lock().expect("job poisoned") = Some(result);
+        self.latch.set();
+    }
+
+    fn take_result(&self) -> std::thread::Result<R> {
+        self.result.lock().expect("job poisoned").take().expect("job result missing")
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef { data: self as *const Self as *const (), execute: Self::execute }
+    }
+
+    /// Safety: `ptr` must point to a live `StackJob<F, R>` this thread owns.
+    unsafe fn execute(ptr: *const ()) {
+        // SAFETY: per the function contract; `run_stored` fires the latch
+        // only after the last touch of `self`.
+        let job = unsafe { &*(ptr as *const Self) };
+        job.run_stored();
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+///
+/// `b` is published to the pool while the calling thread runs `a`. If no
+/// worker has claimed `b` by the time `a` finishes, the caller retracts it
+/// and runs it inline — so `join` never blocks on an idle queue, nests
+/// safely on worker threads, and degenerates to plain sequential calls on a
+/// single-threaded pool. If either closure panics, the panic is re-thrown
+/// here, but only after both closures have come to rest (matching upstream
+/// rayon; `a`'s panic takes precedence).
+///
+/// # Examples
+///
+/// ```
+/// let (sum, product) = rayon::join(|| 2 + 3, || 2 * 3);
+/// assert_eq!((sum, product), (5, 6));
+/// ```
+///
+/// Nested joins are the building block for divide-and-conquer:
+///
+/// ```
+/// fn sum(xs: &[u64]) -> u64 {
+///     if xs.len() <= 4 {
+///         return xs.iter().sum();
+///     }
+///     let (lo, hi) = xs.split_at(xs.len() / 2);
+///     let (a, b) = rayon::join(|| sum(lo), || sum(hi));
+///     a + b
+/// }
+/// assert_eq!(sum(&[1; 100]), 100);
+/// ```
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = global();
+    let job_b = StackJob::new(b);
+    pool.push(job_b.as_job_ref());
+
+    let result_a = catch_unwind(AssertUnwindSafe(a));
+
+    if pool.retract(&job_b as *const _ as *const ()) {
+        // Still queued: we own it again; run inline.
+        job_b.run_stored();
+    } else {
+        // A worker claimed it; it will fire the latch when done. Waiting
+        // (rather than helping) is safe: the claimant is actively running.
+        job_b.latch.wait();
+    }
+    let result_b = job_b.take_result();
+
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => resume_unwind(payload),
+        (_, Err(payload)) => resume_unwind(payload),
+    }
+}
+
+/// Shared bookkeeping for one [`scope`]: outstanding-task count and the
+/// first captured panic.
+struct ScopeState {
+    sync: Mutex<ScopeSync>,
+    all_done: Condvar,
+}
+
+struct ScopeSync {
+    pending: usize,
+    panic: Option<PanicPayload>,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            sync: Mutex::new(ScopeSync { pending: 0, panic: None }),
+            all_done: Condvar::new(),
+        }
+    }
+
+    fn add_task(&self) {
+        self.sync.lock().expect("scope poisoned").pending += 1;
+    }
+
+    fn store_panic(&self, payload: PanicPayload) {
+        let mut sync = self.sync.lock().expect("scope poisoned");
+        if sync.panic.is_none() {
+            sync.panic = Some(payload);
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut sync = self.sync.lock().expect("scope poisoned");
+        sync.pending -= 1;
+        if sync.pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+}
+
+/// Raw pointer wrapper so spawned closures (which must be `Send`) can carry
+/// the address of the `Scope` living on the spawning thread's stack.
+struct SendPtr<T>(*const T);
+
+// SAFETY: the pointee is a `Scope`, which is `Sync` in the ways tasks use
+// it (all interior state is behind mutexes), and the scope barrier keeps it
+// alive for the pointer's whole lifetime.
+unsafe impl<T> Send for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so edition-2021 closures capture
+    /// the `Send` wrapper, not the raw pointer field.
+    fn get(&self) -> *const T {
+        self.0
+    }
+}
+
+/// A heap-allocated, lifetime-erased scope task.
+struct HeapJob {
+    task: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl HeapJob {
+    fn push(self, pool: &'static Pool) {
+        let data = Box::into_raw(Box::new(self)) as *const ();
+        pool.push(JobRef { data, execute: Self::execute });
+    }
+
+    /// Safety: `ptr` must come from `Box::into_raw` in [`HeapJob::push`]
+    /// and be executed exactly once.
+    unsafe fn execute(ptr: *const ()) {
+        // SAFETY: reclaims the box leaked by `push`; queue ownership makes
+        // this the only execution.
+        let job = unsafe { Box::from_raw(ptr as *mut HeapJob) };
+        (job.task)();
+    }
+}
+
+/// A scope for spawning borrowed work onto the pool; see [`scope`].
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope`, as in upstream rayon.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task that may borrow anything outliving the scope. The task
+    /// runs on a pool worker (or on a thread blocked in the scope barrier,
+    /// whichever claims it first) and may itself spawn further tasks onto
+    /// the same scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.add_task();
+        let state = Arc::clone(&self.state);
+        let scope_ptr = SendPtr(self as *const Scope<'scope>);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                // SAFETY: the scope outlives every task: `scope` does not
+                // return until `pending` drops to zero, and `complete_one`
+                // below is sequenced after this borrow's last use.
+                let scope: &Scope<'scope> = unsafe { &*scope_ptr.get() };
+                f(scope)
+            }));
+            if let Err(payload) = result {
+                state.store_panic(payload);
+            }
+            state.complete_one();
+        });
+        // SAFETY: lifetime erasure only; the scope barrier guarantees the
+        // closure (and everything it borrows) outlives its execution.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        HeapJob { task }.push(global());
+    }
+}
+
+/// Creates a scope in which borrowed work can be spawned onto the pool.
+///
+/// Returns only once every spawned task (including tasks spawned by other
+/// tasks) has finished. While waiting, the calling thread executes queued
+/// work, so scopes nest freely on worker threads. If the body or any task
+/// panics, every sibling still runs to completion and the first panic is
+/// then re-thrown from `scope` itself.
+///
+/// # Examples
+///
+/// ```
+/// let mut left = 0;
+/// let mut right = 0;
+/// rayon::scope(|s| {
+///     s.spawn(|_| left = 1);
+///     s.spawn(|_| right = 2);
+/// });
+/// assert_eq!(left + right, 3);
+/// ```
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let pool = global();
+    let scope = Scope { state: Arc::new(ScopeState::new()), _marker: PhantomData };
+    let body_result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+
+    // Exit barrier: help drain the queue until every task of this scope has
+    // completed. The timed wait is a belt-and-braces re-poll so a task
+    // enqueued between our queue check and the wait can never strand us.
+    loop {
+        if scope.state.sync.lock().expect("scope poisoned").pending == 0 {
+            break;
+        }
+        match pool.pop_any() {
+            // SAFETY: popping transferred ownership of the job to us.
+            Some(job) => unsafe { job.run() },
+            None => {
+                let sync = scope.state.sync.lock().expect("scope poisoned");
+                if sync.pending == 0 {
+                    break;
+                }
+                let _ = scope
+                    .state
+                    .all_done
+                    .wait_timeout(sync, Duration::from_millis(10))
+                    .expect("scope poisoned");
+            }
+        }
+    }
+
+    let panic = scope.state.sync.lock().expect("scope poisoned").panic.take();
+    match (body_result, panic) {
+        (Ok(result), None) => result,
+        (Err(payload), _) | (Ok(_), Some(payload)) => resume_unwind(payload),
+    }
+}

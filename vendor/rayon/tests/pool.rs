@@ -1,0 +1,202 @@
+//! Integration tests for the persistent worker pool: nested `join`, `scope`
+//! tasks spawning from worker threads, panic propagation, and pool reuse
+//! across many calls.
+//!
+//! The pool size is forced to 4 (before first pool use) so the
+//! multi-worker machinery is exercised even on a single-core CI host.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
+use std::thread::ThreadId;
+
+/// Every test goes through here before touching the pool, so the lazily
+/// initialized global picks up a deterministic 4-thread size.
+fn init() {
+    static FORCE_THREADS: Once = Once::new();
+    FORCE_THREADS.call_once(|| {
+        // This runs before any pool use (every test calls `init` first) and
+        // only once, so no reader can race the write.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    });
+}
+
+#[test]
+fn pool_size_honours_env_override() {
+    init();
+    assert_eq!(rayon::current_num_threads(), 4);
+}
+
+#[test]
+fn nested_join_computes_divide_and_conquer_sum() {
+    init();
+    fn parallel_sum(xs: &[u64]) -> u64 {
+        if xs.len() <= 8 {
+            return xs.iter().sum();
+        }
+        let (lo, hi) = xs.split_at(xs.len() / 2);
+        let (a, b) = rayon::join(|| parallel_sum(lo), || parallel_sum(hi));
+        a + b
+    }
+    let data: Vec<u64> = (0..4096).collect();
+    assert_eq!(parallel_sum(&data), 4095 * 4096 / 2);
+}
+
+#[test]
+fn join_runs_closures_on_multiple_threads_eventually() {
+    init();
+    // With 4 workers plus retraction, at least one of many join calls
+    // should land its second closure on a thread other than the caller.
+    let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+    for _ in 0..200 {
+        rayon::join(std::thread::yield_now, || {
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+    }
+    seen.lock().unwrap().insert(std::thread::current().id());
+    assert!(seen.lock().unwrap().len() >= 2, "no join closure ever ran off the calling thread");
+}
+
+#[test]
+fn scope_tasks_can_spawn_from_worker_threads() {
+    init();
+    // Each first-level task spawns second-level tasks onto the same scope,
+    // from whichever thread (worker or helper) is running it.
+    let count = AtomicUsize::new(0);
+    let count_ref = &count;
+    rayon::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(move |inner| {
+                count_ref.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..4 {
+                    inner.spawn(move |_| {
+                        count_ref.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(count.into_inner(), 8 + 8 * 4);
+}
+
+#[test]
+fn nested_scopes_inside_scope_tasks_complete() {
+    init();
+    let total = AtomicUsize::new(0);
+    let total_ref = &total;
+    rayon::scope(|outer| {
+        for _ in 0..4 {
+            outer.spawn(move |_| {
+                // A fresh inner scope created on a worker thread must drain
+                // without deadlocking even when all workers are busy.
+                rayon::scope(|inner| {
+                    for _ in 0..4 {
+                        inner.spawn(move |_| {
+                            total_ref.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(total.into_inner(), 16);
+}
+
+#[test]
+fn join_propagates_panic_from_first_closure() {
+    init();
+    let result = catch_unwind(AssertUnwindSafe(|| rayon::join(|| panic!("left boom"), || 42)));
+    let payload = result.expect_err("join should have panicked");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "left boom");
+}
+
+#[test]
+fn join_propagates_panic_from_second_closure() {
+    init();
+    let result =
+        catch_unwind(AssertUnwindSafe(|| rayon::join(|| 42, || -> usize { panic!("right boom") })));
+    let payload = result.expect_err("join should have panicked");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "right boom");
+}
+
+#[test]
+fn scope_propagates_task_panic_after_siblings_finish() {
+    init();
+    let finished = AtomicUsize::new(0);
+    let finished_ref = &finished;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rayon::scope(|s| {
+            s.spawn(move |_| panic!("task boom"));
+            for _ in 0..8 {
+                s.spawn(move |_| {
+                    finished_ref.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }));
+    assert!(result.is_err(), "scope should re-throw the task panic");
+    // The barrier ran every sibling to completion before unwinding.
+    assert_eq!(finished.into_inner(), 8);
+}
+
+#[test]
+fn pool_survives_a_panicked_job_and_stays_usable() {
+    init();
+    for _ in 0..3 {
+        let _ =
+            catch_unwind(AssertUnwindSafe(|| rayon::join(|| (), || -> () { panic!("transient") })));
+    }
+    // Workers caught the panics at the job boundary; the pool still works.
+    let (a, b) = rayon::join(|| 1 + 1, || 2 + 2);
+    assert_eq!((a, b), (2, 6 - 2));
+}
+
+#[test]
+fn pool_is_reused_across_many_calls() {
+    init();
+    // Collect the worker thread ids over many independent parallel calls:
+    // a persistent pool shows a small fixed set, while per-call spawning
+    // would show hundreds of distinct ids.
+    let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+    for round in 0..100 {
+        let mut data = vec![0u32; 64];
+        {
+            use rayon::prelude::*;
+            let seen_ref = &seen;
+            data.as_mut_slice().par_chunks_mut(8).enumerate().for_each(|(idx, chunk)| {
+                seen_ref.lock().unwrap().insert(std::thread::current().id());
+                for v in chunk.iter_mut() {
+                    *v = (idx + round) as u32;
+                }
+            });
+        }
+    }
+    // Main thread (helping at the barrier) + at most 4 workers.
+    let distinct = seen.lock().unwrap().len();
+    assert!(
+        (1..=5).contains(&distinct),
+        "expected a bounded reused thread set, saw {distinct} distinct threads"
+    );
+}
+
+#[test]
+fn scope_returns_body_value() {
+    init();
+    let doubled: Vec<usize> = rayon::scope(|s| {
+        let mut out = vec![0usize; 16];
+        {
+            use rayon::prelude::*;
+            out.as_mut_slice().par_chunks_mut(4).enumerate().for_each(|(i, c)| {
+                for (k, v) in c.iter_mut().enumerate() {
+                    *v = 2 * (4 * i + k);
+                }
+            });
+        }
+        let _ = s; // the scope itself is unused: par_chunks_mut makes its own
+        out
+    });
+    assert_eq!(doubled[15], 30);
+}

@@ -1,4 +1,4 @@
-//! Offline vendored stand-in for [`serde_json`].
+//! Offline vendored stand-in for `serde_json`.
 //!
 //! Provides [`to_string`] and [`from_str`] over the vendored `serde`
 //! [`Value`] tree. Numbers are written with Rust's shortest round-tripping
