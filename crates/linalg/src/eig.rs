@@ -273,26 +273,33 @@ fn left_apply_plane_rotations(mat: &mut [f64], n: usize, rots: &[PlaneRot]) {
     }
 }
 
+/// Per-row rotation lookup for the parallel left pass:
+/// row → (partner row, c, s, whether this row is the p side).
+#[cfg(feature = "parallel")]
+type RowRotEntry = Option<(usize, f64, f64, bool)>;
+
 /// Parallel variant of [`left_apply_plane_rotations`]: output rows are
 /// produced out-of-place into `scratch` (each from at most two input rows,
-/// so row blocks are independent), then copied back.
+/// so row blocks are independent), then copied back. `row_rot` is a
+/// caller-owned buffer reused across rounds, like `scratch`.
 #[cfg(feature = "parallel")]
 fn left_apply_plane_rotations_par(
     mat: &mut [f64],
     n: usize,
     rots: &[PlaneRot],
     scratch: &mut [f64],
+    row_rot: &mut Vec<RowRotEntry>,
     threads: usize,
 ) {
-    // row → (partner row, c, s, whether this row is the p side).
-    let mut row_rot: Vec<Option<(usize, f64, f64, bool)>> = vec![None; n];
+    row_rot.clear();
+    row_rot.resize(n, None);
     for r in rots {
         row_rot[r.p] = Some((r.q, r.c, r.s, true));
         row_rot[r.q] = Some((r.p, r.c, r.s, false));
     }
     let rows_per_task = n.div_ceil(threads);
     let src: &[f64] = mat;
-    let row_rot = &row_rot;
+    let row_rot: &[RowRotEntry] = row_rot;
     scratch.par_chunks_mut(rows_per_task * n).enumerate().for_each(|(idx, chunk)| {
         let row0 = idx * rows_per_task;
         for (local, out_row) in chunk.chunks_mut(n).enumerate() {
@@ -345,6 +352,8 @@ fn round_robin_sweep(a: &mut [f64], v: &mut [f64], n: usize, tol: f64, scratch: 
     let np = n + (n & 1);
     let mut ring: Vec<usize> = (0..np).collect();
     let mut rots: Vec<PlaneRot> = Vec::with_capacity(np / 2);
+    #[cfg(feature = "parallel")]
+    let mut row_rot: Vec<RowRotEntry> = Vec::new();
     for _round in 0..np - 1 {
         rots.clear();
         for i in 0..np / 2 {
@@ -368,9 +377,17 @@ fn round_robin_sweep(a: &mut [f64], v: &mut [f64], n: usize, tol: f64, scratch: 
             #[cfg(feature = "parallel")]
             {
                 let threads = pass_threads(n, rots.len());
+                // Unlike the in-place serial pass (2·n elements per
+                // rotation), the out-of-place parallel pass streams the full
+                // n² matrix — untouched rows are copied — plus an n² copy
+                // back. Only fan out when the serial row-pair work split
+                // across threads still exceeds that fixed traffic, i.e.
+                // when most rows of the round carry a rotation; late sweeps
+                // with few surviving rotations stay serial.
+                let threads = if rots.len() * threads >= n { threads } else { 1 };
                 if threads > 1 {
                     scratch.resize(n * n, 0.0);
-                    left_apply_plane_rotations_par(a, n, &rots, scratch, threads);
+                    left_apply_plane_rotations_par(a, n, &rots, scratch, &mut row_rot, threads);
                 } else {
                     left_apply_plane_rotations(a, n, &rots);
                 }

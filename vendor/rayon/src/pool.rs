@@ -43,7 +43,7 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::time::Duration;
 
 /// A caught panic payload in flight between a worker and the owning caller.
@@ -91,6 +91,10 @@ impl JobRef {
 struct Pool {
     queue: Mutex<VecDeque<JobRef>>,
     work_available: Condvar,
+    /// Scopes currently blocked in their exit barrier. [`Pool::push`] pokes
+    /// each one so a helper thread learns about newly enqueued work
+    /// immediately instead of on its next timed re-poll.
+    scope_waiters: Mutex<Vec<Weak<ScopeState>>>,
     threads: usize,
 }
 
@@ -108,6 +112,44 @@ impl Pool {
         });
         self.queue.lock().expect("pool queue poisoned").push_back(job);
         self.work_available.notify_one();
+        self.wake_scope_waiters();
+    }
+
+    /// Wakes every scope blocked in its exit barrier so it can claim newly
+    /// queued work. For each scope, the wake epoch is bumped and the notify
+    /// issued under that scope's `sync` mutex: a barrier thread either is
+    /// already on the condvar (the notify wakes it) or will re-check the
+    /// epoch under `sync` before sleeping (the bump diverts it back to the
+    /// queue) — so a push between its pop miss and its wait cannot strand
+    /// it for the full fallback timeout. Cost is one uncontended mutex when
+    /// no scope waits, O(blocked scopes) otherwise — each scope has exactly
+    /// one barrier thread, so the notify fan-out matches the waiter count.
+    /// Registrations of scopes that already exited are pruned in passing.
+    fn wake_scope_waiters(&self) {
+        let mut waiters = self.scope_waiters.lock().expect("pool waiters poisoned");
+        waiters.retain(|waiter| match waiter.upgrade() {
+            Some(state) => {
+                let mut sync = state.sync.lock().expect("scope poisoned");
+                sync.wake_epoch += 1;
+                state.wakeup.notify_all();
+                true
+            }
+            None => false,
+        });
+    }
+
+    /// Registers a scope about to enter its exit barrier; see
+    /// [`Pool::wake_scope_waiters`].
+    fn register_scope_waiter(&self, state: &Arc<ScopeState>) {
+        self.scope_waiters.lock().expect("pool waiters poisoned").push(Arc::downgrade(state));
+    }
+
+    /// Removes a scope whose exit barrier has drained.
+    fn unregister_scope_waiter(&self, state: &Arc<ScopeState>) {
+        self.scope_waiters
+            .lock()
+            .expect("pool waiters poisoned")
+            .retain(|waiter| !std::ptr::eq(waiter.as_ptr(), Arc::as_ptr(state)));
     }
 
     /// Removes the job whose payload lives at `data` from the queue, if it
@@ -144,7 +186,12 @@ fn global() -> &'static Pool {
             .filter(|&n| n > 0)
             .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
             .unwrap_or(1);
-        Pool { queue: Mutex::new(VecDeque::new()), work_available: Condvar::new(), threads }
+        Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+            scope_waiters: Mutex::new(Vec::new()),
+            threads,
+        }
     })
 }
 
@@ -182,7 +229,13 @@ impl Latch {
     }
 
     fn set(&self) {
-        *self.done.lock().expect("latch poisoned") = true;
+        // The guard must be held across the notify. If the lock were
+        // released first, the waiter could lock `done`, observe `true`
+        // (`wait` checks before ever blocking, so no wakeup is needed),
+        // return from `join`, and pop the stack frame containing this latch
+        // — all before our `notify_all` touches the (now freed) condvar.
+        let mut done = self.done.lock().expect("latch poisoned");
+        *done = true;
         self.cv.notify_all();
     }
 
@@ -301,19 +354,29 @@ where
 /// first captured panic.
 struct ScopeState {
     sync: Mutex<ScopeSync>,
-    all_done: Condvar,
+    /// Signalled when the barrier should recheck its state: by
+    /// [`ScopeState::complete_one`] when `pending` hits zero, and by
+    /// [`Pool::wake_scope_waiters`] when new work lands in the queue.
+    wakeup: Condvar,
 }
 
 struct ScopeSync {
     pending: usize,
     panic: Option<PanicPayload>,
+    /// Bumped by [`Pool::wake_scope_waiters`] on every queue push. The
+    /// barrier snapshots it before `pop_any` and re-checks it before
+    /// sleeping: a bump in between means a job was pushed after the pop
+    /// missed, so the barrier retries the pop instead of waiting — the
+    /// notify itself can land before the barrier is on the condvar, but
+    /// the epoch it records under `sync` cannot be missed.
+    wake_epoch: u64,
 }
 
 impl ScopeState {
     fn new() -> Self {
         ScopeState {
-            sync: Mutex::new(ScopeSync { pending: 0, panic: None }),
-            all_done: Condvar::new(),
+            sync: Mutex::new(ScopeSync { pending: 0, panic: None, wake_epoch: 0 }),
+            wakeup: Condvar::new(),
         }
     }
 
@@ -332,7 +395,7 @@ impl ScopeState {
         let mut sync = self.sync.lock().expect("scope poisoned");
         sync.pending -= 1;
         if sync.pending == 0 {
-            self.all_done.notify_all();
+            self.wakeup.notify_all();
         }
     }
 }
@@ -443,12 +506,21 @@ where
     let body_result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
 
     // Exit barrier: help drain the queue until every task of this scope has
-    // completed. The timed wait is a belt-and-braces re-poll so a task
-    // enqueued between our queue check and the wait can never strand us.
+    // completed. Registering with the pool makes `Pool::push` bump our wake
+    // epoch and signal our condvar whenever new work lands, so a helper
+    // blocked here claims it immediately; `complete_one` signals when the
+    // pending count hits zero. A push landing between our `pop_any` miss
+    // and the wait is caught by the epoch re-check below, so the timeout is
+    // a belt-and-braces fallback, not the primary wakeup path.
+    pool.register_scope_waiter(&scope.state);
     loop {
-        if scope.state.sync.lock().expect("scope poisoned").pending == 0 {
-            break;
-        }
+        let epoch = {
+            let sync = scope.state.sync.lock().expect("scope poisoned");
+            if sync.pending == 0 {
+                break;
+            }
+            sync.wake_epoch
+        };
         match pool.pop_any() {
             // SAFETY: popping transferred ownership of the job to us.
             Some(job) => unsafe { job.run() },
@@ -457,14 +529,20 @@ where
                 if sync.pending == 0 {
                     break;
                 }
+                if sync.wake_epoch != epoch {
+                    // A job was pushed after our pop missed; retry the pop
+                    // rather than sleeping with runnable work queued.
+                    continue;
+                }
                 let _ = scope
                     .state
-                    .all_done
+                    .wakeup
                     .wait_timeout(sync, Duration::from_millis(10))
                     .expect("scope poisoned");
             }
         }
     }
+    pool.unregister_scope_waiter(&scope.state);
 
     let panic = scope.state.sync.lock().expect("scope poisoned").panic.take();
     match (body_result, panic) {
