@@ -1,0 +1,123 @@
+//! Serving throughput: per-sample eval loop vs compiled batch pass vs the
+//! micro-batching server, on the rank-clipped LeNet (paper Table 1 ranks).
+//!
+//! The acceptance shape: one batch-32 compiled pass must clearly beat 32
+//! single-sample forwards through the training container — batch rows are
+//! what feed the matmul micro-kernel's 4-row register tiles (a batch-1
+//! fully-connected layer runs the scalar row-remainder path).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use group_scissor::ModelKind;
+use scissor_data::SynthOptions;
+use scissor_nn::{InferScratch, Network, Phase, Tensor4};
+use scissor_serve::{ServeConfig, Server};
+
+const BATCH: usize = 32;
+
+fn clipped_lenet() -> Network {
+    let model = ModelKind::LeNet;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = model.build(&mut rng);
+    let ranks: Vec<(String, usize)> =
+        model.paper_clipped_ranks().into_iter().map(|(n, k)| (n.to_string(), k)).collect();
+    scissor_lra::direct_lra(&mut net, &ranks, scissor_lra::LraMethod::Pca).expect("direct lra");
+    net
+}
+
+fn batch_images() -> Tensor4 {
+    ModelKind::LeNet.dataset(BATCH, 1, SynthOptions::default()).images().clone()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut net = clipped_lenet();
+    let plan = net.compile().expect("compile");
+    let images = batch_images();
+    let singles: Vec<Tensor4> = (0..BATCH).map(|s| images.gather(&[s])).collect();
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(15);
+
+    // Baseline: 32 single-sample forwards through the training container.
+    g.bench_function("net_per_sample_loop_32", |bench| {
+        bench.iter(|| {
+            for x in &singles {
+                criterion::black_box(net.forward(x, Phase::Eval));
+            }
+        });
+    });
+
+    // Same 32 samples, one compiled allocation-free batch pass.
+    let mut scratch = InferScratch::new();
+    g.bench_function("compiled_batch_pass_32", |bench| {
+        bench
+            .iter(|| criterion::black_box(plan.infer_into(&images, &mut scratch).as_slice().len()));
+    });
+
+    // Compiled plan driven one sample at a time (isolates batching from
+    // the plan's own overhead savings).
+    g.bench_function("compiled_per_sample_loop_32", |bench| {
+        bench.iter(|| {
+            for x in &singles {
+                criterion::black_box(plan.infer_into(x, &mut scratch).as_slice().len());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_server_end_to_end(c: &mut Criterion) {
+    let net = clipped_lenet();
+    let images = batch_images();
+    let singles: Arc<Vec<Tensor4>> = Arc::new((0..BATCH).map(|s| images.gather(&[s])).collect());
+
+    let mut g = c.benchmark_group("serve_end_to_end");
+    g.sample_size(10);
+
+    // 4 caller threads push 32 requests through the micro-batcher.
+    let server = Arc::new(Server::start(
+        net.compile().expect("compile"),
+        ServeConfig { max_batch: BATCH, max_wait: Duration::from_micros(500), workers: 1 },
+    ));
+    g.bench_function("server_32_requests_4_callers", |bench| {
+        bench.iter(|| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let server = Arc::clone(&server);
+                    let singles = Arc::clone(&singles);
+                    std::thread::spawn(move || {
+                        for x in singles.iter().skip(t).step_by(4) {
+                            criterion::black_box(server.submit(x).expect("serve"));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("caller");
+            }
+        });
+    });
+    g.finish();
+
+    let stats = server.stats();
+    eprintln!(
+        "[serve] {} requests, {} batches (mean {:.1}, {} full), latency mean {:.2?} max {:.2?}, \
+         inference throughput {:.0} samples/s",
+        stats.requests,
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.full_batches,
+        stats.mean_latency(),
+        stats.max_latency,
+        stats.infer_throughput()
+    );
+}
+
+criterion_group!(benches, bench_serving, bench_server_end_to_end);
+criterion_main!(benches);

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use scissor_data::{Dataset, SynthOptions};
 use scissor_lra::{direct_lra, rank_clip, LraMethod, RankClipConfig, RankClipOutcome};
 use scissor_ncs::{AreaReport, CrossbarSpec, LayerPlan};
-use scissor_nn::Sgd;
+use scissor_nn::{CompiledNet, Sgd};
 use scissor_prune::{
     group_connection_deletion, DeletionConfig, DeletionOutcome, GroupLassoRegularizer,
 };
@@ -141,6 +141,10 @@ pub struct PipelineOutcome {
     pub baseline_state: Vec<(String, scissor_linalg::Matrix)>,
     /// State dict of the final clipped + deleted network.
     pub final_state: Vec<(String, scissor_linalg::Matrix)>,
+    /// The deployment artifact: the compressed network frozen into its
+    /// forward-only serving plan (deletion masks pre-applied), ready to
+    /// hand to `scissor_serve`.
+    pub compiled: CompiledNet,
 }
 
 impl PipelineOutcome {
@@ -219,6 +223,12 @@ pub fn run_pipeline_on(
     let deletion = group_connection_deletion(&mut net, train, test, &reg, &cfg.deletion)?;
 
     let final_state = net.state_dict();
+
+    // Export the serving artifact: freeze the compressed network into its
+    // forward-only plan and pin the deletion masks onto the frozen weights.
+    let mut compiled = net.compile().map_err(PipelineError::from)?;
+    deletion.masks.apply_to_compiled(&mut compiled).map_err(PipelineError::from)?;
+
     Ok(PipelineOutcome {
         model: cfg.model,
         baseline,
@@ -228,6 +238,7 @@ pub fn run_pipeline_on(
         deletion,
         baseline_state,
         final_state,
+        compiled,
     })
 }
 

@@ -373,6 +373,44 @@ impl Matrix {
         self.submatrix(0..self.rows, 0..k)
     }
 
+    /// Reshapes the matrix in place to `rows × cols` with every entry set
+    /// to zero, reusing the existing allocation whenever its capacity
+    /// suffices.
+    ///
+    /// This is the buffer-recycling primitive behind the `*_into` matmul
+    /// kernels and the inference scratch spaces: after a warm-up call at the
+    /// largest shape, subsequent calls never touch the allocator.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes in place to `rows × cols`, reusing the allocation, for a
+    /// caller that will overwrite **every** entry: retained entries keep
+    /// their stale values (growth is zero-filled), skipping the clearing
+    /// pass [`Matrix::reset_zeroed`] pays.
+    pub fn reset_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes in place to `rows × cols` and fills from `data`, reusing the
+    /// existing allocation whenever possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn assign_from(&mut self, rows: usize, cols: usize, data: &[f32]) {
+        assert_eq!(data.len(), rows * cols, "assign_from length mismatch");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+    }
+
     /// Converts to an `f64` row-major buffer (used by the spectral solvers).
     pub fn to_f64_vec(&self) -> Vec<f64> {
         self.data.iter().map(|&v| v as f64).collect()

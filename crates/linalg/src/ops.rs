@@ -24,11 +24,15 @@
 //! so all of them agree **bitwise**, not just to rounding (property-tested
 //! in `tests/parallel_agreement.rs`): the parallel dispatcher hands each
 //! worker a disjoint row panel and runs the identical kernel inside it, and
-//! the micro-kernel's register tiles are seeded from (and flushed back to)
-//! the output buffer at `K_BLOCK` boundaries so the per-element operation
-//! sequence never changes. Accumulation is `f32`; the matrices in this
-//! workspace are small enough (≤ a few thousand per dimension) that this is
-//! well within training noise.
+//! the micro-kernel's register tiles are seeded from zero on the first
+//! `K_BLOCK` slab and from the flushed partials on later slabs, so the
+//! per-element operation sequence never changes. Seeding the first slab
+//! from zero also means the kernels **overwrite** the output rather than
+//! accumulate into it — the `*_into` variants reuse caller buffers without
+//! a clearing pass, which matters on the allocation-free serving path
+//! (`scissor_nn::CompiledNet`). Accumulation is `f32`; the matrices in
+//! this workspace are small enough (≤ a few thousand per dimension) that
+//! this is well within training noise.
 
 use crate::Matrix;
 
@@ -188,6 +192,11 @@ fn col_store(rows: &mut [&mut [f32]; MR], j: usize, c: [f32; MR]) {
 /// while it is cache-resident, and each output element accumulates in
 /// ascending-`p` order with a single accumulator (the same sequence as an
 /// unblocked axpy sweep, keeping every path bitwise identical).
+///
+/// The first `K` slab zeroes each output row immediately before
+/// accumulating into it (cache-hot, unlike a whole-buffer clearing pass),
+/// so the panel kernels **overwrite** stale output contents — callers need
+/// not pre-zero unless `K == 0` leaves the loop body unreached.
 fn matmul_panel_scalar(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
     let m = b.cols();
     let k = a.cols();
@@ -198,6 +207,9 @@ fn matmul_panel_scalar(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
         for local_i in 0..panel_rows {
             let a_row = a.row(row0 + local_i);
             let out_row = &mut panel[local_i * m..(local_i + 1) * m];
+            if kb == 0 {
+                out_row.fill(0.0);
+            }
             for (p, &a_ip) in a_row[kb..kb_end].iter().enumerate() {
                 let b_row = b.row(kb + p);
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
@@ -238,7 +250,9 @@ fn matmul_panel_micro(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
             let a3 = &a.row(row0 + i + 3)[kb..kb_end];
             let mut j = 0;
             while j + NR <= m {
-                let mut c = tile_load(&rows, j);
+                // First slab: tiles seed from zero (overwriting stale
+                // output); later slabs resume from the flushed partials.
+                let mut c = if kb == 0 { [[0.0_f32; NR]; MR] } else { tile_load(&rows, j) };
                 for p in 0..kb_end - kb {
                     let x = [a0[p], a1[p], a2[p], a3[p]];
                     let brow: &[f32; NR] = b_data[(kb + p) * m + j..(kb + p) * m + j + NR]
@@ -251,7 +265,7 @@ fn matmul_panel_micro(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
             }
             // Column remainder: one local accumulator per element.
             while j < m {
-                let mut c = col_load(&rows, j);
+                let mut c = if kb == 0 { [0.0_f32; MR] } else { col_load(&rows, j) };
                 for p in 0..kb_end - kb {
                     let bv = b_data[(kb + p) * m + j];
                     col_step(&mut c, [a0[p], a1[p], a2[p], a3[p]], bv);
@@ -265,6 +279,9 @@ fn matmul_panel_micro(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]) {
         for local_i in i..panel_rows {
             let a_row = &a.row(row0 + local_i)[kb..kb_end];
             let out_row = &mut panel[local_i * m..(local_i + 1) * m];
+            if kb == 0 {
+                out_row.fill(0.0);
+            }
             for (p, &a_ip) in a_row.iter().enumerate() {
                 let b_row = b.row(kb + p);
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
@@ -359,6 +376,10 @@ fn matmul_tn_panel_scalar(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32]
     let m = b.cols();
     let k = a.rows();
     let panel_rows = panel.len() / m.max(1);
+    // The `p`-outer sweep accumulates straight into the panel, which the
+    // overwrite contract requires us to clear first (the panel is re-read
+    // `k` times anyway, so one extra pass is in the noise).
+    panel.fill(0.0);
     for p in 0..k {
         let a_row = a.row(p);
         let b_row = b.row(p);
@@ -395,7 +416,7 @@ fn matmul_tn_panel_micro(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32])
             let col = row0 + i;
             let mut j = 0;
             while j + NR <= m {
-                let mut c = tile_load(&rows, j);
+                let mut c = if kb == 0 { [[0.0_f32; NR]; MR] } else { tile_load(&rows, j) };
                 for p in kb..kb_end {
                     let arow: &[f32; MR] =
                         a_data[p * n + col..p * n + col + MR].try_into().expect("MR-sized slice");
@@ -407,7 +428,7 @@ fn matmul_tn_panel_micro(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32])
                 j += NR;
             }
             while j < m {
-                let mut c = col_load(&rows, j);
+                let mut c = if kb == 0 { [0.0_f32; MR] } else { col_load(&rows, j) };
                 for p in kb..kb_end {
                     let arow: &[f32; MR] =
                         a_data[p * n + col..p * n + col + MR].try_into().expect("MR-sized slice");
@@ -419,7 +440,11 @@ fn matmul_tn_panel_micro(a: &Matrix, b: &Matrix, row0: usize, panel: &mut [f32])
             }
             i += MR;
         }
-        // Row remainder: scalar sweep over this K slab only.
+        // Row remainder: scalar sweep over this K slab only (cleared on
+        // the first slab to honor the overwrite contract).
+        if kb == 0 {
+            panel[i * m..].fill(0.0);
+        }
         for p in kb..kb_end {
             let a_row = a.row(p);
             let b_row = b.row(p);
@@ -526,6 +551,12 @@ impl Matrix {
     }
 
     fn matmul_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into_with_threads(rhs, &mut out, threads);
+        out
+    }
+
+    fn matmul_into_with_threads(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(
             self.cols(),
             rhs.rows(),
@@ -533,9 +564,56 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.rows(), rhs.cols());
-        run_row_panels(&mut out, threads, |row0, panel| matmul_panel(self, rhs, row0, panel));
-        out
+        // The panel kernels overwrite on the first K slab, so stale output
+        // contents are fine — except at K == 0, where the slab loop never
+        // runs and the zero product must be materialized here.
+        if self.cols() == 0 {
+            out.reset_zeroed(self.rows(), rhs.cols());
+        } else {
+            out.reset_for_overwrite(self.rows(), rhs.cols());
+        }
+        run_row_panels(out, threads, |row0, panel| matmul_panel(self, rhs, row0, panel));
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-provided output buffer.
+    ///
+    /// `out` is reshaped (reusing its allocation) and every element is
+    /// **overwritten** by the identical kernel/dispatch as
+    /// [`Matrix::matmul`] (stale contents never leak; no clearing pass is
+    /// paid) — the result is **bitwise identical** to the allocating form.
+    /// This is the hot-path entry used by the allocation-free inference
+    /// plan in `scissor_nn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        let work = self.rows() * self.cols() * rhs.cols();
+        self.matmul_into_with_threads(rhs, out, threads_for(work));
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a caller-provided output buffer;
+    /// same kernel and dispatch, so bitwise identical to the allocating
+    /// form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols(),
+            rhs.cols(),
+            "matmul_nt dimension mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            rhs.shape()
+        );
+        let work = self.rows() * self.cols() * rhs.rows();
+        // The nt kernels assign every element from a local accumulator, so
+        // stale output contents never leak through.
+        out.reset_for_overwrite(self.rows(), rhs.rows());
+        run_row_panels(out, threads_for(work), |row0, panel| {
+            matmul_nt_panel(self, rhs, row0, panel)
+        });
     }
 
     /// Matrix product with transposed right-hand side: `C = A · Bᵀ`.
@@ -762,6 +840,31 @@ mod tests {
             let col_norm_sq: f64 = a.col(j).iter().map(|&v| (v as f64).powi(2)).sum();
             assert!((g[j * 4 + j] - col_norm_sq).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn into_variants_are_bitwise_identical_and_reuse_buffers() {
+        // Shapes straddling PARALLEL_FLOP_THRESHOLD so both dispatch paths
+        // are exercised.
+        for n in [24usize, 160] {
+            let a = Matrix::from_fn(n, n, |i, j| ((i * 29 + j * 3) % 17) as f32 * 0.06 - 0.5);
+            let b = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 11) % 19) as f32 * 0.05 - 0.45);
+            let mut out = Matrix::zeros(n, n); // warm buffer at final size
+            let cap_probe = out.as_slice().as_ptr();
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out.as_slice(), a.matmul(&b).as_slice());
+            assert_eq!(out.as_slice().as_ptr(), cap_probe, "buffer must be reused");
+            a.matmul_nt_into(&b, &mut out);
+            assert_eq!(out.as_slice(), a.matmul_nt(&b).as_slice());
+        }
+    }
+
+    #[test]
+    fn reset_zeroed_reshapes_and_clears() {
+        let mut m = Matrix::from_fn(4, 8, |i, j| (i + j) as f32 + 1.0);
+        m.reset_zeroed(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

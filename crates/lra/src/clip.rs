@@ -161,7 +161,15 @@ pub fn rank_clip(
     let record = |net: &mut Network, iter: usize, trace: &mut Vec<ClipRecord>| -> Result<()> {
         let ranks: Vec<usize> =
             cfg.layers.iter().map(|n| layer_rank(net, n)).collect::<Result<_>>()?;
-        let accuracy = net.evaluate(test.images(), test.labels(), cfg.eval_batch);
+        // Trace accuracy is a pure serving workload: run it through the
+        // frozen forward-only plan (bitwise-identical logits, no backward
+        // caches disturbed mid-training). Networks carrying layer types
+        // the plan cannot freeze (the Layer trait is open) fall back to
+        // the container's eval forward — same results either way.
+        let accuracy = match net.compile() {
+            Ok(plan) => plan.evaluate(test.images(), test.labels(), cfg.eval_batch),
+            Err(_) => net.evaluate(test.images(), test.labels(), cfg.eval_batch),
+        };
         trace.push(ClipRecord { iter, ranks, accuracy });
         Ok(())
     };

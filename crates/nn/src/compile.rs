@@ -1,0 +1,613 @@
+//! The compiled forward-only inference plan.
+//!
+//! Training and serving want different execution models: training needs
+//! exclusive mutable access (`Layer::forward_train` caches activations for
+//! backprop), while serving wants a frozen network shared across threads
+//! with nothing allocated on the hot path. [`CompiledNet`] is the serving
+//! form: a [`Network`] — typically the output of rank clipping
+//! (`scissor_lra`) and group connection deletion (`scissor_prune`) — is
+//! *compiled* into a flat list of forward-only steps:
+//!
+//! * dense layers keep their `fan_in × fan_out` crossbar matrix;
+//! * low-rank layers keep the factored `(U, V)` pair — the two-crossbar
+//!   serving form of the paper's rank-clipped layers (`y = (x·U)·Vᵀ + b`);
+//! * deletion masks can be re-applied onto the frozen weights with
+//!   [`CompiledNet::apply_mask`], pinning deleted connections to exact
+//!   zeros;
+//! * pooling/activation layers reduce to their parameter-free scans.
+//!
+//! A forward pass routes activations through a caller-owned
+//! [`InferScratch`] whose buffers are recycled between calls: after one
+//! warm-up pass at the largest batch size, [`CompiledNet::infer_into`]
+//! performs **zero heap allocation** (the rayon pool's job dispatch for
+//! large matmuls is the only possible residual source, and it is bypassed
+//! below the parallel flop threshold). Because every step runs the *same
+//! kernels in the same order* as `Network::forward(.., Phase::Eval)`, the
+//! produced logits are **bitwise identical** to the training container's
+//! eval forward — tested at LeNet/ConvNet scale in the workspace
+//! integration suite.
+
+use scissor_linalg::Matrix;
+
+use crate::error::{NnError, Result};
+use crate::im2col::{conv_output_hw, im2col_into, rows_to_nchw_into};
+use crate::layer::Layer;
+use crate::layers::conv::add_bias_rows;
+use crate::layers::pool::{max_pool_scan, pool_out_len};
+use crate::layers::{Conv2d, ConvGeometry, Linear, LowRankConv2d, LowRankLinear, MaxPool2d, Relu};
+use crate::loss::{accuracy, argmax_classes};
+use crate::net::Network;
+use crate::tensor::Tensor4;
+
+/// One frozen forward-only step of a compiled plan.
+enum StepKind {
+    /// Dense convolution: `im2col(x) · W + b`.
+    Conv { geom: ConvGeometry, weight: Matrix, bias: Matrix, out_ch: usize },
+    /// Factored convolution: `(im2col(x) · U) · Vᵀ + b`.
+    LowRankConv { geom: ConvGeometry, u: Matrix, v: Matrix, bias: Matrix, out_ch: usize },
+    /// Dense fully-connected: `x · W + b`.
+    Linear { weight: Matrix, bias: Matrix },
+    /// Factored fully-connected: `(x · U) · Vᵀ + b`.
+    LowRankLinear { u: Matrix, v: Matrix, bias: Matrix, fan_out: usize },
+    /// Max pooling.
+    MaxPool { kernel: usize, stride: usize, ceil_mode: bool },
+    /// ReLU.
+    Relu,
+}
+
+struct Step {
+    name: String,
+    kind: StepKind,
+}
+
+/// A frozen, `Sync`, forward-only execution plan built from a trained (and
+/// typically compressed) [`Network`].
+///
+/// See the [module docs](self) for the execution model. Construction
+/// fails with [`NnError::UnsupportedLayer`] if the network contains a
+/// layer type outside the workspace's six built-ins.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use scissor_nn::{CompiledNet, InferScratch, NetworkBuilder, Phase, Tensor4};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = NetworkBuilder::new((1, 6, 6))
+///     .conv("conv1", 3, 3, 1, 0, &mut rng)
+///     .relu()
+///     .maxpool(2, 2)
+///     .linear("fc", 4, &mut rng)
+///     .build();
+/// let plan = CompiledNet::compile(&net).unwrap();
+///
+/// let x = Tensor4::from_vec(2, 1, 6, 6, (0..72).map(|i| i as f32 * 0.01).collect());
+/// let mut scratch = InferScratch::new();
+/// let logits = plan.infer_into(&x, &mut scratch);
+/// assert_eq!(logits.shape(), (2, 4));
+/// // Bitwise-identical to the training container's eval forward.
+/// assert_eq!(logits.as_slice(), net.forward(&x, Phase::Eval).as_slice());
+/// ```
+pub struct CompiledNet {
+    input_shape: (usize, usize, usize),
+    output_shape: (usize, usize, usize),
+    steps: Vec<Step>,
+}
+
+/// Reusable per-thread workspace for [`CompiledNet::infer_into`].
+///
+/// Holds the ping-pong activation buffers and the im2col / matmul / factor
+/// intermediates. Buffers grow to the largest shape seen and are then
+/// recycled, so steady-state forwards never allocate. One scratch serves
+/// one thread; the compiled net itself is freely shared (`&self`).
+#[derive(Default)]
+pub struct InferScratch {
+    /// Ping-pong activation buffers, `(batch, c·h·w)` row-major.
+    act: [Matrix; 2],
+    /// im2col patch matrix.
+    cols: Matrix,
+    /// Matmul output in `(B·OH·OW) × C` rows form.
+    rows: Matrix,
+    /// Low-rank intermediate `x·U`.
+    t: Matrix,
+}
+
+impl InferScratch {
+    /// Creates an empty scratch; buffers are sized lazily by the first
+    /// forward (the warm-up pass).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CompiledNet {
+    /// Compiles a network into its frozen serving plan.
+    ///
+    /// Weights (including any zeros left by group connection deletion) are
+    /// snapshotted; low-rank layers keep their factored `(U, V)` serving
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnsupportedLayer`] for layer types the plan does
+    /// not know how to freeze.
+    pub fn compile(net: &Network) -> Result<Self> {
+        let mut steps = Vec::with_capacity(net.layer_count());
+        let mut shape = net.input_shape();
+        for name in net.layer_names() {
+            let layer = net.layer(name).expect("name enumerated from the network");
+            let kind = Self::freeze(layer)?;
+            steps.push(Step { name: name.to_string(), kind });
+            shape = layer.output_shape(shape);
+        }
+        Ok(Self { input_shape: net.input_shape(), output_shape: shape, steps })
+    }
+
+    fn freeze(layer: &dyn Layer) -> Result<StepKind> {
+        let any = layer.as_any();
+        if let Some(conv) = any.downcast_ref::<Conv2d>() {
+            let weight = conv.weight_matrix().expect("dense conv has a weight").clone();
+            let bias = layer.params().last().expect("conv has a bias").value().clone();
+            return Ok(StepKind::Conv {
+                geom: conv.geometry(),
+                out_ch: weight.cols(),
+                weight,
+                bias,
+            });
+        }
+        if let Some(lr) = any.downcast_ref::<LowRankConv2d>() {
+            let (u, v) = lr.low_rank_factors().expect("low-rank conv has factors");
+            let bias = layer.params().last().expect("low-rank conv has a bias").value().clone();
+            return Ok(StepKind::LowRankConv {
+                geom: lr.geometry(),
+                u: u.clone(),
+                v: v.clone(),
+                out_ch: lr.out_channels(),
+                bias,
+            });
+        }
+        if let Some(lin) = any.downcast_ref::<Linear>() {
+            let weight = lin.weight_matrix().expect("dense linear has a weight").clone();
+            let bias = layer.params().last().expect("linear has a bias").value().clone();
+            return Ok(StepKind::Linear { weight, bias });
+        }
+        if let Some(lr) = any.downcast_ref::<LowRankLinear>() {
+            let (u, v) = lr.low_rank_factors().expect("low-rank linear has factors");
+            let bias = layer.params().last().expect("low-rank linear has a bias").value().clone();
+            return Ok(StepKind::LowRankLinear {
+                u: u.clone(),
+                v: v.clone(),
+                fan_out: lr.fan_out(),
+                bias,
+            });
+        }
+        if let Some(pool) = any.downcast_ref::<MaxPool2d>() {
+            let (kernel, stride, ceil_mode) = pool.geometry();
+            return Ok(StepKind::MaxPool { kernel, stride, ceil_mode });
+        }
+        if any.downcast_ref::<Relu>().is_some() {
+            return Ok(StepKind::Relu);
+        }
+        Err(NnError::UnsupportedLayer { name: layer.name().to_string() })
+    }
+
+    /// Declared input shape `(c, h, w)`.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.input_shape
+    }
+
+    /// Output shape `(c, h, w)` of the plan.
+    pub fn output_shape(&self) -> (usize, usize, usize) {
+        self.output_shape
+    }
+
+    /// Step (layer) names in execution order.
+    pub fn layer_names(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Total frozen weight scalar count (biases included).
+    pub fn param_count(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match &s.kind {
+                StepKind::Conv { weight, bias, .. } | StepKind::Linear { weight, bias } => {
+                    weight.len() + bias.len()
+                }
+                StepKind::LowRankConv { u, v, bias, .. }
+                | StepKind::LowRankLinear { u, v, bias, .. } => u.len() + v.len() + bias.len(),
+                StepKind::MaxPool { .. } | StepKind::Relu => 0,
+            })
+            .sum()
+    }
+
+    /// Pins the zero pattern of `mask` onto the frozen parameter `param`
+    /// (dotted name, e.g. `"conv2.u"`): wherever the mask is `0.0`, the
+    /// frozen weight becomes exactly `0.0`.
+    ///
+    /// Group connection deletion already zeroes the live weights, so this
+    /// is a no-op numerically when compiling a properly masked network —
+    /// it exists so a serving plan restored from an unmasked checkpoint
+    /// can still be deployed with the deletion pattern enforced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnknownParam`] if no step owns `param` and
+    /// [`NnError::StateShapeMismatch`] if the mask shape disagrees.
+    pub fn apply_mask(&mut self, param: &str, mask: &Matrix) -> Result<()> {
+        let target = self
+            .steps
+            .iter_mut()
+            .find_map(|s| {
+                let n = s.name.as_str();
+                match &mut s.kind {
+                    StepKind::Conv { weight, bias, .. } | StepKind::Linear { weight, bias } => {
+                        if param == format!("{n}.w") {
+                            Some(weight)
+                        } else if param == format!("{n}.bias") {
+                            Some(bias)
+                        } else {
+                            None
+                        }
+                    }
+                    StepKind::LowRankConv { u, v, bias, .. }
+                    | StepKind::LowRankLinear { u, v, bias, .. } => {
+                        if param == format!("{n}.u") {
+                            Some(u)
+                        } else if param == format!("{n}.v") {
+                            Some(v)
+                        } else if param == format!("{n}.bias") {
+                            Some(bias)
+                        } else {
+                            None
+                        }
+                    }
+                    StepKind::MaxPool { .. } | StepKind::Relu => None,
+                }
+            })
+            .ok_or_else(|| NnError::UnknownParam { name: param.to_string() })?;
+        if target.shape() != mask.shape() {
+            return Err(NnError::StateShapeMismatch {
+                name: param.to_string(),
+                stored: mask.shape(),
+                expected: target.shape(),
+            });
+        }
+        for (wv, &mv) in target.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            if mv == 0.0 {
+                *wv = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the forward pass, returning the `(batch, features)` logits
+    /// resident in `scratch`.
+    ///
+    /// Allocation-free once `scratch` is warm at this batch size (or a
+    /// larger one). Safe to call concurrently from many threads, each with
+    /// its own scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input's `(c, h, w)` differs from
+    /// [`CompiledNet::input_shape`].
+    pub fn infer_into<'s>(&self, input: &Tensor4, scratch: &'s mut InferScratch) -> &'s Matrix {
+        let (b, c, h, w) = input.shape();
+        assert_eq!(
+            (c, h, w),
+            self.input_shape,
+            "compiled net expects {:?} input",
+            self.input_shape
+        );
+        let mut shape = self.input_shape;
+        let mut cur = 0usize;
+        scratch.act[cur].assign_from(b, c * h * w, input.as_slice());
+        for step in &self.steps {
+            let (left, right) = scratch.act.split_at_mut(1);
+            let (src, dst) =
+                if cur == 0 { (&left[0], &mut right[0]) } else { (&right[0], &mut left[0]) };
+            shape = run_step(
+                &step.kind,
+                src,
+                b,
+                shape,
+                dst,
+                &mut scratch.cols,
+                &mut scratch.rows,
+                &mut scratch.t,
+            );
+            cur = 1 - cur;
+        }
+        &scratch.act[cur]
+    }
+
+    /// Convenience forward allocating a fresh scratch and output tensor.
+    ///
+    /// For hot paths prefer [`CompiledNet::infer_into`] with a reused
+    /// [`InferScratch`].
+    pub fn infer(&self, input: &Tensor4) -> Tensor4 {
+        let mut scratch = InferScratch::new();
+        let logits = self.infer_into(input, &mut scratch);
+        let (c, h, w) = self.output_shape;
+        Tensor4::from_matrix(logits, c, h, w)
+    }
+
+    /// Predicted classes for a batch (argmax over the output features).
+    pub fn predict(&self, images: &Tensor4, scratch: &mut InferScratch) -> Vec<usize> {
+        let logits = self.infer_into(images, scratch);
+        let (c, h, w) = self.output_shape;
+        argmax_classes(&Tensor4::from_matrix(logits, c, h, w))
+    }
+
+    /// Classification accuracy over a dataset, evaluated in mini-batches —
+    /// the shared-state counterpart of `Network::evaluate` (identical
+    /// results, since the per-sample logits agree bitwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the sample count or
+    /// `batch == 0`.
+    pub fn evaluate(&self, images: &Tensor4, labels: &[usize], batch: usize) -> f64 {
+        assert!(batch > 0, "batch size must be positive");
+        assert_eq!(images.batch(), labels.len(), "images/labels mismatch");
+        let n = images.batch();
+        let mut scratch = InferScratch::new();
+        let mut predictions = Vec::with_capacity(n);
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            let idx: Vec<usize> = (start..end).collect();
+            let chunk = images.gather(&idx);
+            predictions.extend(self.predict(&chunk, &mut scratch));
+            start = end;
+        }
+        accuracy(&predictions, labels)
+    }
+}
+
+/// Executes one step: reads the `(b, chw)` activation in `src`, writes the
+/// next activation into `dst`, and returns the new logical `(c, h, w)`.
+#[allow(clippy::too_many_arguments)]
+fn run_step(
+    kind: &StepKind,
+    src: &Matrix,
+    b: usize,
+    shape: (usize, usize, usize),
+    dst: &mut Matrix,
+    cols: &mut Matrix,
+    rows: &mut Matrix,
+    t: &mut Matrix,
+) -> (usize, usize, usize) {
+    let (c, h, w) = shape;
+    match kind {
+        StepKind::Conv { geom: g, weight, bias, out_ch } => {
+            let (oh, ow) = conv_output_hw(h, w, g.kh, g.kw, g.stride, g.pad);
+            im2col_into(src.as_slice(), (b, c, h, w), g.kh, g.kw, g.stride, g.pad, cols);
+            cols.matmul_into(weight, rows);
+            add_bias_rows(rows, bias);
+            dst.reset_for_overwrite(b, out_ch * oh * ow);
+            rows_to_nchw_into(rows, b, *out_ch, oh, ow, dst.as_mut_slice());
+            (*out_ch, oh, ow)
+        }
+        StepKind::LowRankConv { geom: g, u, v, bias, out_ch } => {
+            let (oh, ow) = conv_output_hw(h, w, g.kh, g.kw, g.stride, g.pad);
+            im2col_into(src.as_slice(), (b, c, h, w), g.kh, g.kw, g.stride, g.pad, cols);
+            cols.matmul_into(u, t);
+            t.matmul_nt_into(v, rows);
+            add_bias_rows(rows, bias);
+            dst.reset_for_overwrite(b, out_ch * oh * ow);
+            rows_to_nchw_into(rows, b, *out_ch, oh, ow, dst.as_mut_slice());
+            (*out_ch, oh, ow)
+        }
+        StepKind::Linear { weight, bias } => {
+            src.matmul_into(weight, dst);
+            add_bias_rows(dst, bias);
+            (weight.cols(), 1, 1)
+        }
+        StepKind::LowRankLinear { u, v, bias, fan_out } => {
+            src.matmul_into(u, t);
+            t.matmul_nt_into(v, dst);
+            add_bias_rows(dst, bias);
+            (*fan_out, 1, 1)
+        }
+        StepKind::MaxPool { kernel, stride, ceil_mode } => {
+            let oh = pool_out_len(h, *kernel, *stride, *ceil_mode);
+            let ow = pool_out_len(w, *kernel, *stride, *ceil_mode);
+            dst.reset_for_overwrite(b, c * oh * ow);
+            max_pool_scan(
+                src.as_slice(),
+                (b, c, h, w),
+                *kernel,
+                *stride,
+                (oh, ow),
+                dst.as_mut_slice(),
+                None,
+            );
+            (c, oh, ow)
+        }
+        StepKind::Relu => {
+            dst.reset_for_overwrite(b, c * h * w);
+            for (d, &s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
+                *d = s.max(0.0);
+            }
+            (c, h, w)
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CompiledNet(input={:?}, steps=[{}], params={})",
+            self.input_shape,
+            self.layer_names().join(", "),
+            self.param_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Phase;
+    use crate::net::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_sync<T: Sync + Send>() {}
+
+    fn mixed_net(rng: &mut StdRng) -> Network {
+        let mut net = NetworkBuilder::new((2, 8, 8))
+            .conv("conv1", 4, 3, 1, 1, rng)
+            .relu()
+            .maxpool(2, 2)
+            .linear("fc1", 12, rng)
+            .relu()
+            .linear("fc2", 5, rng)
+            .build();
+        // Factor conv1 and fc1 so both low-rank step kinds are exercised.
+        let conv = net.layer("conv1").unwrap().as_any().downcast_ref::<Conv2d>().unwrap();
+        let u = crate::init::xavier_uniform(conv.geometry().fan_in(), 3, rng);
+        let v = crate::init::xavier_uniform(4, 3, rng);
+        let lr = conv.to_low_rank(u, v);
+        net.replace_layer("conv1", Box::new(lr)).unwrap();
+        let lin = net.layer("fc1").unwrap().as_any().downcast_ref::<Linear>().unwrap();
+        let u = crate::init::xavier_uniform(lin.fan_in(), 4, rng);
+        let v = crate::init::xavier_uniform(lin.fan_out(), 4, rng);
+        let lr = lin.to_low_rank(u, v);
+        net.replace_layer("fc1", Box::new(lr)).unwrap();
+        net
+    }
+
+    #[test]
+    fn compiled_net_is_sync() {
+        assert_sync::<CompiledNet>();
+    }
+
+    #[test]
+    fn compiled_matches_eval_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut net = mixed_net(&mut rng);
+        let plan = CompiledNet::compile(&net).unwrap();
+        assert_eq!(plan.layer_names(), net.layer_names());
+        assert_eq!(plan.output_shape(), net.output_shape());
+        for batch in [1usize, 3, 7] {
+            let x = Tensor4::from_vec(
+                batch,
+                2,
+                8,
+                8,
+                (0..batch * 128).map(|i| ((i * 13 + 1) % 37) as f32 * 0.07 - 1.2).collect(),
+            );
+            let expect = net.forward(&x, Phase::Eval);
+            let got = plan.infer(&x);
+            assert_eq!(got.shape(), expect.shape());
+            let bits_match = got
+                .as_slice()
+                .iter()
+                .zip(expect.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bits_match, "compiled logits must be bitwise identical at batch {batch}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_batch_sizes_stays_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = mixed_net(&mut rng);
+        let plan = CompiledNet::compile(&net).unwrap();
+        let mut scratch = InferScratch::new();
+        // Big batch first (warm-up), then smaller ones through the same
+        // scratch: shrinking buffers must not leak stale values.
+        for batch in [6usize, 2, 4, 1] {
+            let x = Tensor4::from_vec(
+                batch,
+                2,
+                8,
+                8,
+                (0..batch * 128).map(|i| ((i * 11 + 3) % 29) as f32 * 0.09 - 1.1).collect(),
+            );
+            let expect = net.forward(&x, Phase::Eval);
+            let got = plan.infer_into(&x, &mut scratch);
+            assert_eq!(got.as_slice(), expect.as_slice(), "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn per_sample_logits_are_batch_invariant() {
+        // The batcher contract: a sample's logits do not depend on which
+        // batch it rides in.
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = mixed_net(&mut rng);
+        let plan = CompiledNet::compile(&net).unwrap();
+        let x = Tensor4::from_vec(
+            5,
+            2,
+            8,
+            8,
+            (0..5 * 128).map(|i| ((i * 17 + 5) % 41) as f32 * 0.05 - 1.0).collect(),
+        );
+        let batched = plan.infer(&x);
+        let mut scratch = InferScratch::new();
+        for s in 0..5 {
+            let single = x.gather(&[s]);
+            let logits = plan.infer_into(&single, &mut scratch);
+            assert_eq!(logits.row(0), batched.sample(s), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn apply_mask_pins_zeros_and_validates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = mixed_net(&mut rng);
+        let mut plan = CompiledNet::compile(&net).unwrap();
+        let (rows, cols) = net.param("fc2.w").unwrap().value().shape();
+        let mut mask = Matrix::filled(rows, cols, 1.0);
+        mask[(0, 0)] = 0.0;
+        mask[(rows - 1, cols - 1)] = 0.0;
+        plan.apply_mask("fc2.w", &mask).unwrap();
+        // Re-run a forward; only the masked weights changed, so outputs
+        // differ from the unmasked plan but the plan still runs.
+        let x = Tensor4::zeros(1, 2, 8, 8);
+        let _ = plan.infer(&x);
+        assert!(matches!(plan.apply_mask("ghost.w", &mask), Err(NnError::UnknownParam { .. })));
+        assert!(matches!(
+            plan.apply_mask("fc2.w", &Matrix::zeros(1, 1)),
+            Err(NnError::StateShapeMismatch { .. })
+        ));
+        // Low-rank factor masking resolves too.
+        let (u, _) = net.layer("fc1").unwrap().low_rank_factors().unwrap();
+        let ones = Matrix::filled(u.rows(), u.cols(), 1.0);
+        plan.apply_mask("fc1.u", &ones).unwrap();
+    }
+
+    #[test]
+    fn evaluate_matches_network_evaluate() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = mixed_net(&mut rng);
+        let plan = CompiledNet::compile(&net).unwrap();
+        let n = 9;
+        let images = Tensor4::from_vec(
+            n,
+            2,
+            8,
+            8,
+            (0..n * 128).map(|i| ((i * 19 + 7) % 31) as f32 * 0.06 - 0.9).collect(),
+        );
+        let labels: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        assert_eq!(plan.evaluate(&images, &labels, 4), net.evaluate(&images, &labels, 4));
+    }
+
+    #[test]
+    fn debug_formats() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = NetworkBuilder::new((1, 4, 4)).linear("fc", 2, &mut rng).build();
+        let plan = CompiledNet::compile(&net).unwrap();
+        let dbg = format!("{plan:?}");
+        assert!(dbg.contains("CompiledNet"));
+        assert!(dbg.contains("fc"));
+    }
+}

@@ -33,6 +33,11 @@ pub enum NnError {
         /// Explanation of the incompatibility.
         reason: String,
     },
+    /// A layer type the compiled inference plan cannot freeze.
+    UnsupportedLayer {
+        /// Name of the offending layer.
+        name: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -47,6 +52,9 @@ impl fmt::Display for NnError {
             ),
             NnError::IncompatibleReplacement { name, reason } => {
                 write!(f, "cannot replace layer `{name}`: {reason}")
+            }
+            NnError::UnsupportedLayer { name } => {
+                write!(f, "layer `{name}` cannot be compiled for inference")
             }
         }
     }

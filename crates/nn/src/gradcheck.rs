@@ -218,20 +218,25 @@ mod tests {
         struct Broken {
             inner: Linear,
         }
-        impl Layer for Broken {
+        impl crate::layer::InferLayer for Broken {
             fn name(&self) -> &str {
                 "broken"
             }
-            fn forward(&mut self, x: &Tensor4, p: Phase) -> Tensor4 {
-                self.inner.forward(x, p)
+            fn infer(&self, x: &Tensor4) -> Tensor4 {
+                self.inner.infer(x)
+            }
+            fn output_shape(&self, s: (usize, usize, usize)) -> (usize, usize, usize) {
+                self.inner.output_shape(s)
+            }
+        }
+        impl Layer for Broken {
+            fn forward_train(&mut self, x: &Tensor4) -> Tensor4 {
+                self.inner.forward_train(x)
             }
             fn backward(&mut self, g: &Tensor4) -> Tensor4 {
                 let mut dx = self.inner.backward(g);
                 dx.map_inplace(|v| v * 2.0); // wrong by a factor of 2
                 dx
-            }
-            fn output_shape(&self, s: (usize, usize, usize)) -> (usize, usize, usize) {
-                self.inner.output_shape(s)
             }
             fn as_any(&self) -> &dyn std::any::Any {
                 self

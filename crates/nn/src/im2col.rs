@@ -34,11 +34,42 @@ pub fn conv_output_hw(
 /// `(oh, ow)` in sample `b`; column `(c·KH + kh)·KW + kw` selects the patch
 /// element. Out-of-bounds (padding) positions contribute zeros.
 pub fn im2col(input: &Tensor4, kh: usize, kw: usize, stride: usize, pad: usize) -> Matrix {
-    let (b, c, h, w) = input.shape();
+    let mut out = Matrix::default();
+    im2col_into(input.as_slice(), input.shape(), kh, kw, stride, pad, &mut out);
+    out
+}
+
+/// [`im2col`] over a raw NCHW buffer, writing into a caller-provided
+/// matrix.
+///
+/// `out` is reshaped (reusing its allocation) and zeroed before the patch
+/// fill, so the result is identical to [`im2col`] — this is the
+/// allocation-free entry used by the compiled inference plan.
+///
+/// # Panics
+///
+/// Panics if `src.len()` disagrees with `shape` or the kernel exceeds the
+/// padded input.
+pub fn im2col_into(
+    src: &[f32],
+    shape: (usize, usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut Matrix,
+) {
+    let (b, c, h, w) = shape;
+    assert_eq!(src.len(), b * c * h * w, "im2col buffer/shape mismatch");
     let (oh, ow) = conv_output_hw(h, w, kh, kw, stride, pad);
     let patch = c * kh * kw;
-    let mut out = Matrix::zeros(b * oh * ow, patch);
-    let src = input.as_slice();
+    // Padding contributes zeros by omission, so the buffer must be cleared
+    // when pad > 0; an unpadded unroll writes every patch element.
+    if pad == 0 {
+        out.reset_for_overwrite(b * oh * ow, patch);
+    } else {
+        out.reset_zeroed(b * oh * ow, patch);
+    }
     for bi in 0..b {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -65,7 +96,6 @@ pub fn im2col(input: &Tensor4, kh: usize, kw: usize, stride: usize, pad: usize) 
             }
         }
     }
-    out
 }
 
 /// Adjoint of [`im2col`]: scatters patch-space gradients back to input
@@ -119,9 +149,21 @@ pub fn col2im(
 /// Reinterprets a `(B·OH·OW) × C` matrix (conv matmul output) as an NCHW
 /// tensor `(B, C, OH, OW)`.
 pub fn rows_to_nchw(m: &Matrix, b: usize, c: usize, h: usize, w: usize) -> Tensor4 {
-    assert_eq!(m.shape(), (b * h * w, c), "rows_to_nchw shape mismatch");
     let mut out = Tensor4::zeros(b, c, h, w);
-    let dst = out.as_mut_slice();
+    rows_to_nchw_into(m, b, c, h, w, out.as_mut_slice());
+    out
+}
+
+/// [`rows_to_nchw`] writing into a caller-provided NCHW buffer (the
+/// allocation-free entry used by the compiled inference plan). Every
+/// destination element is overwritten.
+///
+/// # Panics
+///
+/// Panics if `m` or `dst` disagrees with the requested shape.
+pub fn rows_to_nchw_into(m: &Matrix, b: usize, c: usize, h: usize, w: usize, dst: &mut [f32]) {
+    assert_eq!(m.shape(), (b * h * w, c), "rows_to_nchw shape mismatch");
+    assert_eq!(dst.len(), b * c * h * w, "rows_to_nchw destination mismatch");
     for bi in 0..b {
         for y in 0..h {
             for x in 0..w {
@@ -132,7 +174,6 @@ pub fn rows_to_nchw(m: &Matrix, b: usize, c: usize, h: usize, w: usize) -> Tenso
             }
         }
     }
-    out
 }
 
 /// Inverse of [`rows_to_nchw`]: flattens an NCHW tensor to

@@ -1,4 +1,14 @@
-//! The [`Layer`] trait — the unit of composition for networks.
+//! The layer traits — the unit of composition for networks.
+//!
+//! The execution model is split into two contracts:
+//!
+//! * [`InferLayer`] — the **serving** contract: a forward pass through
+//!   shared state (`&self`, `Send + Sync`) that never touches backward
+//!   caches. This is what evaluation, the compiled inference plan
+//!   (`crate::compile`) and the batched server build on.
+//! * [`Layer`] — the **training** contract: adds the mutable
+//!   [`Layer::forward_train`] / [`Layer::backward`] pair, backward-cache
+//!   management and parameter access on top of `InferLayer`.
 
 use std::any::Any;
 
@@ -16,30 +26,69 @@ pub enum Phase {
     Eval,
 }
 
-/// A differentiable network layer.
+/// The shared-state inference contract.
 ///
-/// Layers own their parameters ([`Param`]) and any activation caches needed
-/// by backpropagation. The contract is the usual one: `backward` must be
-/// called after `forward(.., Phase::Train)` on the same input, and returns
-/// the gradient with respect to that input while accumulating parameter
-/// gradients internally.
-pub trait Layer: Send {
+/// `infer` must be a pure function of the layer's parameters and the input:
+/// no interior mutability, no backward caches. Because it takes `&self` and
+/// the trait requires `Send + Sync`, any number of threads may run
+/// inference through the same layer concurrently.
+pub trait InferLayer: Send + Sync {
     /// Stable layer name (`"conv1"`, `"fc2"`, `"relu3"` …).
     fn name(&self) -> &str;
 
-    /// Computes the layer output.
-    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4;
+    /// Computes the layer output without touching any training state.
+    fn infer(&self, input: &Tensor4) -> Tensor4;
+
+    /// Output shape `(c, h, w)` for a given input shape.
+    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize);
+}
+
+/// The training contract: a differentiable network layer.
+///
+/// Layers own their parameters ([`Param`]) and any activation caches needed
+/// by backpropagation. The contract is the usual one: `backward` must be
+/// called after [`Layer::forward_train`] (or
+/// `forward(.., Phase::Train)`) on the same input, and returns the gradient
+/// with respect to that input while accumulating parameter gradients
+/// internally.
+pub trait Layer: InferLayer {
+    /// Computes the layer output, retaining whatever caches `backward`
+    /// needs.
+    fn forward_train(&mut self, input: &Tensor4) -> Tensor4;
 
     /// Backpropagates `grad_out`, accumulating parameter gradients and
-    /// returning the gradient w.r.t. the last `forward` input.
+    /// returning the gradient w.r.t. the last training-phase forward input.
     ///
     /// # Panics
     ///
     /// Implementations may panic if called before a training-phase forward.
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4;
 
-    /// Output shape `(c, h, w)` for a given input shape.
-    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize);
+    /// Drops any backward caches held from a previous training forward.
+    fn clear_cache(&mut self) {}
+
+    /// Whether a backward cache from a training forward is currently live.
+    ///
+    /// Used by the eval-phase audit: after `forward(.., Phase::Eval)` this
+    /// must be `false` for every layer.
+    fn has_backward_cache(&self) -> bool {
+        false
+    }
+
+    /// Phase-dispatching forward pass.
+    ///
+    /// `Phase::Train` runs [`Layer::forward_train`]; `Phase::Eval` drops any
+    /// stale backward cache and runs the shared-state
+    /// [`InferLayer::infer`] — eval forwards never retain backward state.
+    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
+        match phase {
+            Phase::Train => self.forward_train(input),
+            Phase::Eval => {
+                self.clear_cache();
+                self.infer(input)
+            }
+        }
+    }
 
     /// Trainable parameters (empty for stateless layers).
     fn params(&self) -> Vec<&Param> {

@@ -2,7 +2,7 @@
 
 use std::any::Any;
 
-use crate::layer::{Layer, Phase};
+use crate::layer::{InferLayer, Layer};
 use crate::tensor::Tensor4;
 
 /// Rectified linear unit: `y = max(0, x)`.
@@ -19,21 +19,35 @@ impl Relu {
     }
 }
 
-impl Layer for Relu {
+impl InferLayer for Relu {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
+    fn infer(&self, input: &Tensor4) -> Tensor4 {
         let mut out = input.clone();
-        if phase == Phase::Train {
-            let mask = input.as_slice().iter().map(|&v| v > 0.0).collect();
-            self.mask = Some(mask);
-        } else {
-            self.mask = None;
-        }
         out.map_inplace(|v| v.max(0.0));
         out
+    }
+
+    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
+        input
+    }
+}
+
+impl Layer for Relu {
+    fn forward_train(&mut self, input: &Tensor4) -> Tensor4 {
+        let mask = input.as_slice().iter().map(|&v| v > 0.0).collect();
+        self.mask = Some(mask);
+        self.infer(input)
+    }
+
+    fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+
+    fn has_backward_cache(&self) -> bool {
+        self.mask.is_some()
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
@@ -48,10 +62,6 @@ impl Layer for Relu {
         dx
     }
 
-    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
-        input
-    }
-
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -64,6 +74,7 @@ impl Layer for Relu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layer::Phase;
 
     #[test]
     fn forward_clamps_negatives() {

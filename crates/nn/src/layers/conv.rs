@@ -14,9 +14,20 @@ use scissor_linalg::Matrix;
 
 use crate::im2col::{col2im, conv_output_hw, im2col, nchw_to_rows, rows_to_nchw};
 use crate::init::xavier_uniform;
-use crate::layer::{Layer, Phase};
+use crate::layer::{InferLayer, Layer};
 use crate::param::Param;
 use crate::tensor::Tensor4;
+
+/// Adds a `1 × M` bias row to every row of `y` (the shared epilogue of all
+/// matmul-lowered layers; kept in one place so the serving path in
+/// `crate::compile` provably applies bits-identical arithmetic).
+pub(crate) fn add_bias_rows(y: &mut Matrix, bias: &Matrix) {
+    for r in 0..y.rows() {
+        for (o, &bv) in y.row_mut(r).iter_mut().zip(bias.row(0)) {
+            *o += bv;
+        }
+    }
+}
 
 /// Shared convolution geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,31 +139,47 @@ impl Conv2d {
     pub fn to_low_rank(&self, u: Matrix, v: Matrix) -> LowRankConv2d {
         LowRankConv2d::from_factors(self.name.clone(), self.geom, u, v, self.bias.value().clone())
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
+    /// Shared forward computation: `(cols, output)`.
+    fn run_forward(&self, input: &Tensor4) -> (Matrix, Tensor4) {
         let (b, _, h, w) = input.shape();
         let g = &self.geom;
         let (oh, ow) = conv_output_hw(h, w, g.kh, g.kw, g.stride, g.pad);
         let cols = im2col(input, g.kh, g.kw, g.stride, g.pad);
         let mut y = cols.matmul(self.weight.value());
-        let bias = self.bias.value();
-        for r in 0..y.rows() {
-            for (o, &bv) in y.row_mut(r).iter_mut().zip(bias.row(0)) {
-                *o += bv;
-            }
-        }
-        if phase == Phase::Train {
-            self.cache = Some(ConvCache { cols, input_shape: input.shape() });
-        } else {
-            self.cache = None;
-        }
-        rows_to_nchw(&y, b, self.out_channels(), oh, ow)
+        add_bias_rows(&mut y, self.bias.value());
+        let out = rows_to_nchw(&y, b, self.out_channels(), oh, ow);
+        (cols, out)
+    }
+}
+
+impl InferLayer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn infer(&self, input: &Tensor4) -> Tensor4 {
+        self.run_forward(input).1
+    }
+
+    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
+        self.geom.output_shape(self.out_channels(), input)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward_train(&mut self, input: &Tensor4) -> Tensor4 {
+        let (cols, out) = self.run_forward(input);
+        self.cache = Some(ConvCache { cols, input_shape: input.shape() });
+        out
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn has_backward_cache(&self) -> bool {
+        self.cache.is_some()
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
@@ -170,10 +197,6 @@ impl Layer for Conv2d {
         let dcols = g.matmul_nt(self.weight.value());
         let geom = self.geom;
         col2im(&dcols, cache.input_shape, geom.kh, geom.kw, geom.stride, geom.pad)
-    }
-
-    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
-        self.geom.output_shape(self.out_channels(), input)
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -263,32 +286,48 @@ impl LowRankConv2d {
     pub fn composed_weight(&self) -> Matrix {
         self.u.value().matmul_nt(self.v.value())
     }
-}
 
-impl Layer for LowRankConv2d {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
+    /// Shared forward computation: `(cols, t, output)`.
+    fn run_forward(&self, input: &Tensor4) -> (Matrix, Matrix, Tensor4) {
         let (b, _, h, w) = input.shape();
         let g = &self.geom;
         let (oh, ow) = conv_output_hw(h, w, g.kh, g.kw, g.stride, g.pad);
         let cols = im2col(input, g.kh, g.kw, g.stride, g.pad);
         let t = cols.matmul(self.u.value());
         let mut y = t.matmul_nt(self.v.value());
-        let bias = self.bias.value();
-        for r in 0..y.rows() {
-            for (o, &bv) in y.row_mut(r).iter_mut().zip(bias.row(0)) {
-                *o += bv;
-            }
-        }
-        if phase == Phase::Train {
-            self.cache = Some(LowRankCache { cols, t, input_shape: input.shape() });
-        } else {
-            self.cache = None;
-        }
-        rows_to_nchw(&y, b, self.out_channels, oh, ow)
+        add_bias_rows(&mut y, self.bias.value());
+        let out = rows_to_nchw(&y, b, self.out_channels, oh, ow);
+        (cols, t, out)
+    }
+}
+
+impl InferLayer for LowRankConv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn infer(&self, input: &Tensor4) -> Tensor4 {
+        self.run_forward(input).2
+    }
+
+    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
+        self.geom.output_shape(self.out_channels, input)
+    }
+}
+
+impl Layer for LowRankConv2d {
+    fn forward_train(&mut self, input: &Tensor4) -> Tensor4 {
+        let (cols, t, out) = self.run_forward(input);
+        self.cache = Some(LowRankCache { cols, t, input_shape: input.shape() });
+        out
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn has_backward_cache(&self) -> bool {
+        self.cache.is_some()
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
@@ -312,10 +351,6 @@ impl Layer for LowRankConv2d {
         let dcols = dt.matmul_nt(self.u.value());
         let geom = self.geom;
         col2im(&dcols, cache.input_shape, geom.kh, geom.kw, geom.stride, geom.pad)
-    }
-
-    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
-        self.geom.output_shape(self.out_channels, input)
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -352,6 +387,7 @@ impl Layer for LowRankConv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layer::Phase;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

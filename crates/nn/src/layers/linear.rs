@@ -11,8 +11,9 @@ use rand::Rng;
 
 use scissor_linalg::Matrix;
 
+use super::conv::add_bias_rows;
 use crate::init::xavier_uniform;
-use crate::layer::{Layer, Phase};
+use crate::layer::{InferLayer, Layer};
 use crate::param::Param;
 use crate::tensor::Tensor4;
 
@@ -83,14 +84,9 @@ impl Linear {
         assert_eq!(v.rows(), self.fan_out(), "V rows must equal fan-out");
         LowRankLinear::from_factors(self.name.clone(), u, v, self.bias.value().clone())
     }
-}
 
-impl Layer for Linear {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
+    /// Shared forward computation: `(x-as-matrix, output)`.
+    fn run_forward(&self, input: &Tensor4) -> (Matrix, Tensor4) {
         let x = input.to_matrix();
         assert_eq!(
             x.cols(),
@@ -100,18 +96,39 @@ impl Layer for Linear {
             self.fan_in()
         );
         let mut y = x.matmul(self.weight.value());
-        let bias = self.bias.value();
-        for r in 0..y.rows() {
-            for (o, &bv) in y.row_mut(r).iter_mut().zip(bias.row(0)) {
-                *o += bv;
-            }
-        }
-        if phase == Phase::Train {
-            self.cache = Some(LinearCache { x, input_shape: input.shape() });
-        } else {
-            self.cache = None;
-        }
-        Tensor4::from_matrix(&y, self.fan_out(), 1, 1)
+        add_bias_rows(&mut y, self.bias.value());
+        let out = Tensor4::from_matrix(&y, self.fan_out(), 1, 1);
+        (x, out)
+    }
+}
+
+impl InferLayer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn infer(&self, input: &Tensor4) -> Tensor4 {
+        self.run_forward(input).1
+    }
+
+    fn output_shape(&self, _input: (usize, usize, usize)) -> (usize, usize, usize) {
+        (self.fan_out(), 1, 1)
+    }
+}
+
+impl Layer for Linear {
+    fn forward_train(&mut self, input: &Tensor4) -> Tensor4 {
+        let (x, out) = self.run_forward(input);
+        self.cache = Some(LinearCache { x, input_shape: input.shape() });
+        out
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn has_backward_cache(&self) -> bool {
+        self.cache.is_some()
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
@@ -128,10 +145,6 @@ impl Layer for Linear {
         let dx = g.matmul_nt(self.weight.value());
         let (_, c, h, w) = cache.input_shape;
         Tensor4::from_matrix(&dx, c, h, w)
-    }
-
-    fn output_shape(&self, _input: (usize, usize, usize)) -> (usize, usize, usize) {
-        (self.fan_out(), 1, 1)
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -212,14 +225,9 @@ impl LowRankLinear {
     pub fn composed_weight(&self) -> Matrix {
         self.u.value().matmul_nt(self.v.value())
     }
-}
 
-impl Layer for LowRankLinear {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
+    /// Shared forward computation: `(x-as-matrix, t, output)`.
+    fn run_forward(&self, input: &Tensor4) -> (Matrix, Matrix, Tensor4) {
         let x = input.to_matrix();
         assert_eq!(
             x.cols(),
@@ -230,18 +238,39 @@ impl Layer for LowRankLinear {
         );
         let t = x.matmul(self.u.value());
         let mut y = t.matmul_nt(self.v.value());
-        let bias = self.bias.value();
-        for r in 0..y.rows() {
-            for (o, &bv) in y.row_mut(r).iter_mut().zip(bias.row(0)) {
-                *o += bv;
-            }
-        }
-        if phase == Phase::Train {
-            self.cache = Some(LowRankLinearCache { x, t, input_shape: input.shape() });
-        } else {
-            self.cache = None;
-        }
-        Tensor4::from_matrix(&y, self.fan_out, 1, 1)
+        add_bias_rows(&mut y, self.bias.value());
+        let out = Tensor4::from_matrix(&y, self.fan_out, 1, 1);
+        (x, t, out)
+    }
+}
+
+impl InferLayer for LowRankLinear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn infer(&self, input: &Tensor4) -> Tensor4 {
+        self.run_forward(input).2
+    }
+
+    fn output_shape(&self, _input: (usize, usize, usize)) -> (usize, usize, usize) {
+        (self.fan_out, 1, 1)
+    }
+}
+
+impl Layer for LowRankLinear {
+    fn forward_train(&mut self, input: &Tensor4) -> Tensor4 {
+        let (x, t, out) = self.run_forward(input);
+        self.cache = Some(LowRankLinearCache { x, t, input_shape: input.shape() });
+        out
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn has_backward_cache(&self) -> bool {
+        self.cache.is_some()
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
@@ -260,10 +289,6 @@ impl Layer for LowRankLinear {
         let dx = dt.matmul_nt(self.u.value());
         let (_, c, h, w) = cache.input_shape;
         Tensor4::from_matrix(&dx, c, h, w)
-    }
-
-    fn output_shape(&self, _input: (usize, usize, usize)) -> (usize, usize, usize) {
-        (self.fan_out, 1, 1)
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -300,6 +325,7 @@ impl Layer for LowRankLinear {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layer::Phase;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

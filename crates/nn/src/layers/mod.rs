@@ -1,9 +1,9 @@
 //! Concrete layer implementations.
 
 mod activation;
-mod conv;
+pub(crate) mod conv;
 mod linear;
-mod pool;
+pub(crate) mod pool;
 
 pub use activation::Relu;
 pub use conv::{Conv2d, ConvGeometry, LowRankConv2d};

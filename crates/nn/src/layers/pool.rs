@@ -2,7 +2,7 @@
 
 use std::any::Any;
 
-use crate::layer::{Layer, Phase};
+use crate::layer::{InferLayer, Layer};
 use crate::tensor::Tensor4;
 
 struct PoolCache {
@@ -10,6 +10,69 @@ struct PoolCache {
     /// For each output element, the flat input index of its maximum.
     argmax: Vec<usize>,
     out_hw: (usize, usize),
+}
+
+/// Output length of one pooled spatial dimension.
+///
+/// `ceil_mode` selects Caffe's `⌈(len − k)/s⌉ + 1` convention, with the
+/// guard that the last window must start inside the input.
+pub(crate) fn pool_out_len(input: usize, kernel: usize, stride: usize, ceil_mode: bool) -> usize {
+    if input < kernel {
+        return if input == 0 { 0 } else { 1 };
+    }
+    let span = input - kernel;
+    let mut out = if ceil_mode { span.div_ceil(stride) + 1 } else { span / stride + 1 };
+    // Caffe guard: the last window must start inside the input.
+    if (out - 1) * stride >= input {
+        out -= 1;
+    }
+    out
+}
+
+/// The max-pooling scan shared by the training layer and the compiled
+/// serving plan: reads NCHW `src`, writes NCHW `dst`, optionally recording
+/// each output's argmax (flat input index). One implementation guarantees
+/// both paths pick window maxima in the identical order (first occurrence
+/// wins ties).
+pub(crate) fn max_pool_scan(
+    src: &[f32],
+    (b, c, h, w): (usize, usize, usize, usize),
+    kernel: usize,
+    stride: usize,
+    (oh, ow): (usize, usize),
+    dst: &mut [f32],
+    mut argmax: Option<&mut [usize]>,
+) {
+    debug_assert_eq!(dst.len(), b * c * oh * ow);
+    for bi in 0..b {
+        for ci in 0..c {
+            let chan = (bi * c + ci) * h * w;
+            for oy in 0..oh {
+                let y0 = oy * stride;
+                let y1 = (y0 + kernel).min(h);
+                for ox in 0..ow {
+                    let x0 = ox * stride;
+                    let x1 = (x0 + kernel).min(w);
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = chan + y0 * w + x0;
+                    for y in y0..y1 {
+                        for x in x0..x1 {
+                            let idx = chan + y * w + x;
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((bi * c + ci) * oh + oy) * ow + ox;
+                    dst[o] = best;
+                    if let Some(am) = argmax.as_deref_mut() {
+                        am[o] = best_idx;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// 2-D max pooling.
@@ -38,66 +101,68 @@ impl MaxPool2d {
         Self { name: name.into(), kernel, stride, ceil_mode, cache: None }
     }
 
+    /// `(kernel, stride, ceil_mode)` — the full pooling geometry (consumed
+    /// by the compiled serving plan).
+    pub fn geometry(&self) -> (usize, usize, bool) {
+        (self.kernel, self.stride, self.ceil_mode)
+    }
+
     fn out_len(&self, input: usize) -> usize {
-        if input < self.kernel {
-            return if input == 0 { 0 } else { 1 };
-        }
-        let span = input - self.kernel;
-        let mut out =
-            if self.ceil_mode { span.div_ceil(self.stride) + 1 } else { span / self.stride + 1 };
-        // Caffe guard: the last window must start inside the input.
-        if (out - 1) * self.stride >= input {
-            out -= 1;
-        }
-        out
+        pool_out_len(input, self.kernel, self.stride, self.ceil_mode)
     }
 }
 
-impl Layer for MaxPool2d {
+impl InferLayer for MaxPool2d {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
+    fn infer(&self, input: &Tensor4) -> Tensor4 {
+        let (b, c, h, w) = input.shape();
+        let (oh, ow) = (self.out_len(h), self.out_len(w));
+        let mut out = Tensor4::zeros(b, c, oh, ow);
+        max_pool_scan(
+            input.as_slice(),
+            (b, c, h, w),
+            self.kernel,
+            self.stride,
+            (oh, ow),
+            out.as_mut_slice(),
+            None,
+        );
+        out
+    }
+
+    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
+        (input.0, self.out_len(input.1), self.out_len(input.2))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward_train(&mut self, input: &Tensor4) -> Tensor4 {
         let (b, c, h, w) = input.shape();
         let (oh, ow) = (self.out_len(h), self.out_len(w));
         let mut out = Tensor4::zeros(b, c, oh, ow);
         let mut argmax = vec![0usize; b * c * oh * ow];
-        let src = input.as_slice();
-        let dst = out.as_mut_slice();
-        for bi in 0..b {
-            for ci in 0..c {
-                let chan = (bi * c + ci) * h * w;
-                for oy in 0..oh {
-                    let y0 = oy * self.stride;
-                    let y1 = (y0 + self.kernel).min(h);
-                    for ox in 0..ow {
-                        let x0 = ox * self.stride;
-                        let x1 = (x0 + self.kernel).min(w);
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_idx = chan + y0 * w + x0;
-                        for y in y0..y1 {
-                            for x in x0..x1 {
-                                let idx = chan + y * w + x;
-                                if src[idx] > best {
-                                    best = src[idx];
-                                    best_idx = idx;
-                                }
-                            }
-                        }
-                        let o = ((bi * c + ci) * oh + oy) * ow + ox;
-                        dst[o] = best;
-                        argmax[o] = best_idx;
-                    }
-                }
-            }
-        }
-        if phase == Phase::Train {
-            self.cache = Some(PoolCache { input_shape: input.shape(), argmax, out_hw: (oh, ow) });
-        } else {
-            self.cache = None;
-        }
+        max_pool_scan(
+            input.as_slice(),
+            (b, c, h, w),
+            self.kernel,
+            self.stride,
+            (oh, ow),
+            out.as_mut_slice(),
+            Some(&mut argmax),
+        );
+        self.cache = Some(PoolCache { input_shape: input.shape(), argmax, out_hw: (oh, ow) });
         out
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn has_backward_cache(&self) -> bool {
+        self.cache.is_some()
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
@@ -112,10 +177,6 @@ impl Layer for MaxPool2d {
         dx
     }
 
-    fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
-        (input.0, self.out_len(input.1), self.out_len(input.2))
-    }
-
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -128,6 +189,7 @@ impl Layer for MaxPool2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layer::Phase;
 
     #[test]
     fn caffe_ceil_mode_pyramid() {
@@ -157,6 +219,14 @@ mod tests {
         assert_eq!(y.shape(), (1, 1, 1, 2));
         assert_eq!(y.at(0, 0, 0, 0), 5.0);
         assert_eq!(y.at(0, 0, 0, 1), 7.0);
+    }
+
+    #[test]
+    fn infer_matches_train_forward() {
+        let x = Tensor4::from_vec(2, 1, 3, 3, (0..18).map(|i| ((i * 7) % 11) as f32).collect());
+        let mut p = MaxPool2d::new("p", 2, 2, true);
+        let trained = p.forward_train(&x);
+        assert_eq!(p.infer(&x), trained);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! * SGD with momentum, weight decay and Caffe LR schedules ([`Sgd`]);
 //! * a [`Network`] container addressing layers/params by stable dotted names
 //!   so compression passes can edit a network mid-training;
+//! * a **training/serving split** at the layer traits —
+//!   [`layer::InferLayer`] is the shared-state inference contract,
+//!   [`Layer`] the mutable training contract — with [`CompiledNet`]: a
+//!   frozen, `Sync`, allocation-free forward-only plan whose logits are
+//!   bitwise identical to `Network::forward(.., Phase::Eval)` (the
+//!   artifact `scissor_serve` batches over);
 //! * finite-difference [`gradcheck`] used by the test suite to validate
 //!   every backward pass.
 //!
@@ -48,6 +54,7 @@ mod net;
 mod param;
 mod tensor;
 
+pub mod compile;
 pub mod gradcheck;
 pub mod im2col;
 pub mod init;
@@ -56,8 +63,9 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 
+pub use compile::{CompiledNet, InferScratch};
 pub use error::{NnError, Result};
-pub use layer::{Layer, Phase};
+pub use layer::{InferLayer, Layer, Phase};
 pub use loss::{accuracy, argmax_classes, LossOutput, SoftmaxCrossEntropy};
 pub use net::{Network, NetworkBuilder};
 pub use optim::{LrSchedule, Sgd};

@@ -4,6 +4,7 @@ use rand::Rng;
 
 use scissor_linalg::Matrix;
 
+use crate::compile::CompiledNet;
 use crate::error::{NnError, Result};
 use crate::layer::{Layer, Phase};
 use crate::layers::{Conv2d, Linear, MaxPool2d, Relu};
@@ -73,12 +74,54 @@ impl Network {
     }
 
     /// Runs the forward pass.
+    ///
+    /// `Phase::Eval` drops every layer's backward cache and routes through
+    /// the shared-state [`crate::InferLayer::infer`] path, so an eval
+    /// forward never retains training state.
     pub fn forward(&mut self, input: &Tensor4, phase: Phase) -> Tensor4 {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, phase);
         }
         x
+    }
+
+    /// Shared-state forward pass (`&self`): the inference contract without
+    /// the container mutability `forward` demands.
+    ///
+    /// Unlike `forward(.., Phase::Eval)` this cannot drop stale backward
+    /// caches (it has no mutable access); results are identical. For hot
+    /// serving paths prefer [`Network::compile`] — the compiled plan is
+    /// also allocation-free.
+    pub fn infer(&self, input: &Tensor4) -> Tensor4 {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Drops every layer's backward cache.
+    pub fn clear_caches(&mut self) {
+        for layer in &mut self.layers {
+            layer.clear_cache();
+        }
+    }
+
+    /// Whether any layer holds a live backward cache from a training-phase
+    /// forward.
+    pub fn has_backward_caches(&self) -> bool {
+        self.layers.iter().any(|l| l.has_backward_cache())
+    }
+
+    /// Freezes the network into its forward-only serving plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnsupportedLayer`] for layer types the plan
+    /// cannot freeze.
+    pub fn compile(&self) -> Result<CompiledNet> {
+        CompiledNet::compile(self)
     }
 
     /// Backpropagates from the loss gradient; parameter gradients accumulate

@@ -153,6 +153,20 @@ impl Tensor4 {
         Self { n: m.rows(), c, h, w, data: m.as_slice().to_vec() }
     }
 
+    /// Reshapes in place to `(n, c, h, w)`, reusing the allocation when its
+    /// capacity suffices (the batch-assembly primitive of `scissor_serve`).
+    ///
+    /// The flat buffer keeps its existing prefix values and zero-fills any
+    /// growth; callers assembling batches are expected to overwrite every
+    /// sample slice.
+    pub fn resize(&mut self, n: usize, c: usize, h: usize, w: usize) {
+        self.n = n;
+        self.c = c;
+        self.h = h;
+        self.w = w;
+        self.data.resize(n * c * h * w, 0.0);
+    }
+
     /// Applies `f` element-wise in place.
     pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
         for v in &mut self.data {

@@ -1,0 +1,112 @@
+//! Eval-phase audit: `Phase::Eval` forwards must neither retain nor
+//! allocate backward caches, in any layer type.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scissor_nn::layers::{Conv2d, ConvGeometry, Linear, LowRankConv2d, LowRankLinear, MaxPool2d};
+use scissor_nn::{Layer, NetworkBuilder, Phase, Tensor4};
+
+fn probe(b: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+    Tensor4::from_vec(
+        b,
+        c,
+        h,
+        w,
+        (0..b * c * h * w).map(|i| ((i * 7 + 3) % 13) as f32 * 0.2 - 1.2).collect(),
+    )
+}
+
+fn layer_zoo() -> Vec<Box<dyn Layer>> {
+    let mut rng = StdRng::seed_from_u64(5);
+    let geom = ConvGeometry { in_channels: 2, kh: 3, kw: 3, stride: 1, pad: 1 };
+    vec![
+        Box::new(Conv2d::new("conv", 2, 3, 3, 1, 1, &mut rng)),
+        Box::new(LowRankConv2d::from_factors(
+            "lrconv",
+            geom,
+            scissor_nn::init::xavier_uniform(geom.fan_in(), 2, &mut rng),
+            scissor_nn::init::xavier_uniform(3, 2, &mut rng),
+            scissor_linalg::Matrix::zeros(1, 3),
+        )),
+        Box::new(Linear::new("fc", 2 * 6 * 6, 4, &mut rng)),
+        Box::new(LowRankLinear::from_factors(
+            "lrfc",
+            scissor_nn::init::xavier_uniform(2 * 6 * 6, 3, &mut rng),
+            scissor_nn::init::xavier_uniform(4, 3, &mut rng),
+            scissor_linalg::Matrix::zeros(1, 4),
+        )),
+        Box::new(MaxPool2d::new("pool", 2, 2, false)),
+        Box::new(scissor_nn::layers::Relu::new("relu")),
+    ]
+}
+
+#[test]
+fn eval_forward_never_holds_a_backward_cache() {
+    let x = probe(2, 2, 6, 6);
+    for mut layer in layer_zoo() {
+        assert!(!layer.has_backward_cache(), "{}: fresh layer must be cache-free", layer.name());
+        layer.forward(&x, Phase::Train);
+        assert!(layer.has_backward_cache(), "{}: training forward must cache", layer.name());
+        // Eval must *drop* the stale training cache, not just skip caching.
+        layer.forward(&x, Phase::Eval);
+        assert!(!layer.has_backward_cache(), "{}: eval forward retained a cache", layer.name());
+    }
+}
+
+#[test]
+fn backward_after_eval_forward_panics_for_stateful_layers() {
+    let x = probe(2, 2, 6, 6);
+    for mut layer in layer_zoo() {
+        let name = layer.name().to_string();
+        if name == "relu" {
+            continue; // exercised below with its own gradient shape
+        }
+        layer.forward(&x, Phase::Train);
+        let y = layer.forward(&x, Phase::Eval);
+        let g = Tensor4::zeros(y.shape().0, y.shape().1, y.shape().2, y.shape().3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            layer.backward(&g);
+        }));
+        assert!(result.is_err(), "{name}: backward after eval must panic (no cache)");
+    }
+}
+
+#[test]
+fn relu_backward_after_eval_panics_too() {
+    let mut relu = scissor_nn::layers::Relu::new("relu");
+    let x = probe(1, 1, 2, 2);
+    relu.forward(&x, Phase::Train);
+    relu.forward(&x, Phase::Eval);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        relu.backward(&probe(1, 1, 2, 2));
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn network_wide_audit_through_both_phases() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut net = NetworkBuilder::new((1, 8, 8))
+        .conv("conv1", 3, 3, 1, 0, &mut rng)
+        .relu()
+        .maxpool(2, 2)
+        .linear("fc1", 6, &mut rng)
+        .relu()
+        .linear("fc2", 3, &mut rng)
+        .build();
+    let x = probe(2, 1, 8, 8);
+    assert!(!net.has_backward_caches());
+    net.forward(&x, Phase::Train);
+    assert!(net.has_backward_caches());
+    net.forward(&x, Phase::Eval);
+    assert!(!net.has_backward_caches(), "eval forward must clear every layer's cache");
+    // The explicit clear also works from the training side.
+    net.forward(&x, Phase::Train);
+    net.clear_caches();
+    assert!(!net.has_backward_caches());
+    // The shared-state infer path cannot clear, but must not create.
+    net.forward(&x, Phase::Train);
+    let _ = net.infer(&x);
+    assert!(net.has_backward_caches(), "infer must not touch training state");
+}

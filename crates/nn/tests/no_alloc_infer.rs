@@ -1,0 +1,101 @@
+//! Proves the compiled plan's warm-path claim: after a warm-up pass,
+//! `CompiledNet::infer_into` performs **zero heap allocation**.
+//!
+//! A counting global allocator wraps the system one; the network is sized
+//! so every matmul stays below `PARALLEL_FLOP_THRESHOLD` (the rayon pool's
+//! job dispatch is the one legitimate allocator user on larger shapes, and
+//! it is bypassed below the threshold — this keeps the assertion exact on
+//! any host core count).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scissor_nn::{InferScratch, NetworkBuilder, Tensor4};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// The counter is process-global and the harness runs this binary's tests
+/// on concurrent threads; each test holds this lock across its whole body
+/// so another test's setup allocations cannot land inside a measurement
+/// window.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_compiled_forward_allocates_nothing() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = StdRng::seed_from_u64(3);
+    // Small enough that every product is under the parallel threshold;
+    // still one of each step kind (conv, pool, relu, linear).
+    let net = NetworkBuilder::new((1, 6, 6))
+        .conv("conv1", 3, 3, 1, 0, &mut rng)
+        .relu()
+        .maxpool(2, 2)
+        .linear("fc", 4, &mut rng)
+        .build();
+    let plan = net.compile().expect("compile");
+    let batch = 4;
+    let x = Tensor4::from_vec(
+        batch,
+        1,
+        6,
+        6,
+        (0..batch * 36).map(|i| ((i * 5 + 1) % 17) as f32 * 0.1 - 0.8).collect(),
+    );
+    let mut scratch = InferScratch::new();
+
+    // Warm-up: the scratch buffers size themselves here.
+    let warm = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
+    let _ = plan.infer_into(&x, &mut scratch);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let logits = plan.infer_into(&x, &mut scratch);
+    assert_eq!(logits.as_slice(), warm.as_slice(), "warm passes must agree");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "warm compiled forward must not allocate");
+}
+
+#[test]
+fn smaller_batches_through_a_warm_scratch_allocate_nothing() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = StdRng::seed_from_u64(4);
+    let net = NetworkBuilder::new((1, 5, 5))
+        .conv("conv1", 2, 3, 1, 0, &mut rng)
+        .relu()
+        .linear("fc", 3, &mut rng)
+        .build();
+    let plan = net.compile().expect("compile");
+    let big = Tensor4::zeros(6, 1, 5, 5);
+    let small = Tensor4::zeros(2, 1, 5, 5);
+    let mut scratch = InferScratch::new();
+    let _ = plan.infer_into(&big, &mut scratch);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let _ = plan.infer_into(&small, &mut scratch);
+    let _ = plan.infer_into(&big, &mut scratch);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "shrink/regrow within warmed capacity must not allocate");
+}

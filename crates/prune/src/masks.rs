@@ -6,7 +6,7 @@
 //! values around each optimizer step.
 
 use scissor_linalg::Matrix;
-use scissor_nn::Network;
+use scissor_nn::{CompiledNet, Network};
 
 use crate::error::{PruneError, Result};
 
@@ -47,6 +47,38 @@ impl MaskSet {
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
         self.masks.is_empty()
+    }
+
+    /// The raw `(param name, keep mask)` pairs.
+    pub fn masks(&self) -> &[(String, Matrix)] {
+        &self.masks
+    }
+
+    /// Pre-applies every deletion mask onto a compiled serving plan,
+    /// pinning deleted connections to exact zeros in the frozen weights.
+    ///
+    /// Numerically a no-op when the plan was compiled from the network the
+    /// masks were captured on (deletion already zeroed those weights); it
+    /// guards plans compiled from checkpoints that were stored before
+    /// masking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::UnknownParam`] if the plan does not own one of
+    /// the masked parameters, and [`PruneError::StaleRegistration`] when a
+    /// mask's shape no longer matches its frozen parameter (e.g. the layer
+    /// was re-clipped after the masks were captured).
+    pub fn apply_to_compiled(&self, plan: &mut CompiledNet) -> Result<()> {
+        use scissor_nn::NnError;
+        for (name, mask) in &self.masks {
+            plan.apply_mask(name, mask).map_err(|e| match e {
+                NnError::StateShapeMismatch { name, stored, expected } => {
+                    PruneError::StaleRegistration { name, registered: stored, found: expected }
+                }
+                _ => PruneError::UnknownParam { name: name.clone() },
+            })?;
+        }
+        Ok(())
     }
 
     /// `(param, kept fraction)` pairs.
@@ -151,6 +183,36 @@ mod tests {
         let mut n = net();
         assert!(masks.apply_to_grads(&mut n).is_err());
         assert!(masks.apply_to_values(&mut n).is_err());
+    }
+
+    #[test]
+    fn masks_pre_apply_onto_compiled_plans() {
+        let mut n = net();
+        n.param_mut("fc.w").unwrap().value_mut().map_inplace(|_| 0.5);
+        n.param_mut("fc.w").unwrap().value_mut()[(1, 2)] = 0.0;
+        let masks = MaskSet::capture_nonzero(&n, &["fc.w".into()]).unwrap();
+        let mut plan = n.compile().unwrap();
+        // Compiled from the masked network: applying the masks is a no-op,
+        // so the serving logits stay bitwise identical to the eval forward.
+        masks.apply_to_compiled(&mut plan).unwrap();
+        let x = Tensor4::from_vec(2, 1, 2, 2, (0..8).map(|i| i as f32 * 0.3 - 1.0).collect());
+        assert_eq!(plan.infer(&x).as_slice(), n.forward(&x, Phase::Eval).as_slice());
+        // A plan from an unmasked checkpoint gets its zeros pinned.
+        let mut unmasked = net();
+        unmasked.param_mut("fc.w").unwrap().value_mut().map_inplace(|_| 0.5);
+        let mut stale_plan = unmasked.compile().unwrap();
+        masks.apply_to_compiled(&mut stale_plan).unwrap();
+        let y = stale_plan.infer(&x);
+        assert_ne!(y.as_slice(), unmasked.forward(&x, Phase::Eval).as_slice());
+        // Unknown parameter surfaces as a prune error.
+        let ghost = MaskSet { masks: vec![("ghost.w".into(), Matrix::zeros(1, 1))] };
+        assert!(matches!(ghost.apply_to_compiled(&mut plan), Err(PruneError::UnknownParam { .. })));
+        // A right-named mask of the wrong shape is stale, not unknown.
+        let stale = MaskSet { masks: vec![("fc.w".into(), Matrix::zeros(1, 1))] };
+        assert!(matches!(
+            stale.apply_to_compiled(&mut plan),
+            Err(PruneError::StaleRegistration { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Error type for the serving crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `scissor-serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The submitted sample does not match the plan's input shape.
+    ShapeMismatch {
+        /// Input shape `(c, h, w)` the compiled plan expects.
+        expected: (usize, usize, usize),
+        /// Shape `(b, c, h, w)` of the offending submission.
+        got: (usize, usize, usize, usize),
+    },
+    /// A raw feature slice had the wrong length for the plan's input.
+    FeatureLengthMismatch {
+        /// Feature count `c·h·w` the compiled plan expects.
+        expected: usize,
+        /// Length of the submitted slice.
+        got: usize,
+    },
+    /// The server is shutting down and no longer accepts submissions.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ShapeMismatch { expected, got } => write!(
+                f,
+                "sample shape {:?} does not match the plan's batch-1 {:?} input",
+                got, expected
+            ),
+            ServeError::FeatureLengthMismatch { expected, got } => {
+                write!(f, "feature slice has {got} values, the plan expects {expected}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_shapes() {
+        let e = ServeError::ShapeMismatch { expected: (1, 28, 28), got: (2, 1, 28, 28) };
+        assert!(e.to_string().contains("28"));
+        let e = ServeError::FeatureLengthMismatch { expected: 784, got: 3 };
+        assert!(e.to_string().contains("784"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+    }
+}

@@ -1,0 +1,407 @@
+//! # scissor-serve
+//!
+//! A micro-batching inference front-end over
+//! [`CompiledNet`] — the serving half of the
+//! training/serving split.
+//!
+//! The deployment artifact of Group Scissor is the *compressed* network:
+//! rank-clipped and group-deleted so it fits crossbar hardware. Serving it
+//! at traffic scale is a batching problem — single-sample forwards leave
+//! the matmul micro-kernels starved (a batch-1 fully-connected layer is one
+//! output row, below the 4-row register tile), while callers arrive one
+//! sample at a time. [`Server`] bridges the two:
+//!
+//! * concurrent callers [`Server::submit`] single samples and block;
+//! * batcher threads coalesce submissions into one tensor — up to
+//!   [`ServeConfig::max_batch`] samples, waiting at most
+//!   [`ServeConfig::max_wait`] past the oldest submission;
+//! * one allocation-free [`CompiledNet::infer_into`] pass computes the
+//!   whole batch (one im2col + matmul per layer, spread over the
+//!   persistent rayon pool), and per-sample logits fan back out to the
+//!   blocked callers.
+//!
+//! Because per-sample logits are **batch-invariant** (every kernel
+//! accumulates each output element in a fixed order regardless of batch
+//! size), a caller receives bit-for-bit the logits a direct
+//! single-sample — or any other batch composition — forward would have
+//! produced. The concurrency stress tests pin this down.
+//!
+//! A [`ServeStats`] counter surface reports throughput and latency:
+//! requests served, realized batch sizes, full-batch vs timeout flushes,
+//! and per-request latency aggregates.
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use scissor_nn::{NetworkBuilder, Tensor4};
+//! use scissor_serve::{Server, ServeConfig};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = NetworkBuilder::new((1, 6, 6))
+//!     .conv("conv1", 3, 3, 1, 0, &mut rng)
+//!     .relu()
+//!     .linear("fc", 4, &mut rng)
+//!     .build();
+//! let server = Server::start(net.compile().unwrap(), ServeConfig::default());
+//!
+//! let sample = Tensor4::zeros(1, 1, 6, 6);
+//! let logits = server.submit(&sample).unwrap();
+//! assert_eq!(logits.len(), 4);
+//! assert_eq!(server.stats().requests, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod stats;
+
+pub use error::ServeError;
+pub use stats::ServeStats;
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use scissor_nn::{CompiledNet, InferScratch, Tensor4};
+
+use stats::StatsInner;
+
+/// Convenience alias for serve results.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Batching knobs for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Largest batch a single forward pass will carry.
+    pub max_batch: usize,
+    /// Longest a submission may wait for co-riders, measured from the
+    /// *oldest* sample in the forming batch. `ZERO` degenerates to
+    /// whatever is queued at the moment a batcher looks.
+    pub max_wait: Duration,
+    /// Number of batcher threads. One is right for CPU-bound inference
+    /// (the matmul itself fans out over the rayon pool); more overlap
+    /// batch assembly with compute.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { max_batch: 32, max_wait: Duration::from_millis(2), workers: 1 }
+    }
+}
+
+/// A single queued inference request.
+struct Request {
+    features: Vec<f32>,
+    enqueued: Instant,
+    slot: Arc<Slot>,
+}
+
+/// One caller's rendezvous: filled by a batcher, awaited by the submitter.
+struct Slot {
+    done: Mutex<Option<Vec<f32>>>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    pending: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    net: CompiledNet,
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    stats: StatsInner,
+}
+
+/// The micro-batching inference server.
+///
+/// Submission is thread-safe through `&self`; drop (or [`Server::shutdown`])
+/// drains the queue and joins the batcher threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts batcher threads over a compiled plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.max_batch` or `cfg.workers` is zero.
+    pub fn start(net: CompiledNet, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        assert!(cfg.workers > 0, "workers must be positive");
+        let shared = Arc::new(Shared {
+            net,
+            cfg,
+            queue: Mutex::new(QueueState { pending: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+            stats: StatsInner::default(),
+        });
+        let handles = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scissor-serve-{i}"))
+                    .spawn(move || batcher_loop(&shared))
+                    .expect("spawn batcher thread")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// The compiled plan being served.
+    pub fn net(&self) -> &CompiledNet {
+        &self.shared.net
+    }
+
+    /// Submits one sample (a batch-1 tensor) and blocks until its logits
+    /// return.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShapeMismatch`] if the sample's `(c, h, w)` differs
+    /// from the plan's input shape or the tensor is not batch-1;
+    /// [`ServeError::ShuttingDown`] after [`Server::shutdown`] began.
+    pub fn submit(&self, sample: &Tensor4) -> Result<Vec<f32>> {
+        let (b, c, h, w) = sample.shape();
+        if b != 1 || (c, h, w) != self.shared.net.input_shape() {
+            return Err(ServeError::ShapeMismatch {
+                expected: self.shared.net.input_shape(),
+                got: sample.shape(),
+            });
+        }
+        self.submit_features(sample.as_slice())
+    }
+
+    /// Submits one sample as a raw `c·h·w` feature slice and blocks until
+    /// its logits return.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::FeatureLengthMismatch`] if the slice length is not the
+    /// plan's `c·h·w`; [`ServeError::ShuttingDown`] after
+    /// [`Server::shutdown`] began.
+    pub fn submit_features(&self, features: &[f32]) -> Result<Vec<f32>> {
+        let (c, h, w) = self.shared.net.input_shape();
+        if features.len() != c * h * w {
+            return Err(ServeError::FeatureLengthMismatch {
+                expected: c * h * w,
+                got: features.len(),
+            });
+        }
+        let slot = Arc::new(Slot { done: Mutex::new(None), cv: Condvar::new() });
+        {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            if queue.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            queue.pending.push_back(Request {
+                features: features.to_vec(),
+                enqueued: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.shared.available.notify_all();
+        let mut done = slot.done.lock().expect("serve slot poisoned");
+        while done.is_none() {
+            done = slot.cv.wait(done).expect("serve slot poisoned");
+        }
+        Ok(done.take().expect("slot filled"))
+    }
+
+    /// Snapshot of the throughput/latency counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops accepting submissions, drains the queue and joins the batcher
+    /// threads. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One batcher thread: collect → infer → fan out, forever.
+fn batcher_loop(shared: &Shared) {
+    let (c, h, w) = shared.net.input_shape();
+    let mut scratch = InferScratch::new();
+    let mut batch_input = Tensor4::zeros(0, c, h, w);
+    let mut guard = shared.queue.lock().expect("serve queue poisoned");
+    loop {
+        if guard.pending.is_empty() {
+            if guard.shutdown {
+                return;
+            }
+            guard = shared.available.wait(guard).expect("serve queue poisoned");
+            continue;
+        }
+        // A batch is forming: wait for co-riders until it is full, the
+        // oldest sample's wait budget runs out, or shutdown begins. The
+        // deadline is recomputed from the *current* front each iteration —
+        // with several workers, another batcher may drain the request the
+        // previous deadline was keyed to, and a fresh arrival deserves its
+        // own full coalescing window, not a stale (possibly expired) one.
+        while guard.pending.len() < shared.cfg.max_batch && !guard.shutdown {
+            let front = match guard.pending.front() {
+                Some(req) => req,
+                // Another worker drained the queue while we slept.
+                None => break,
+            };
+            let deadline = front.enqueued + shared.cfg.max_wait;
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, _timeout) =
+                shared.available.wait_timeout(guard, deadline - now).expect("serve queue poisoned");
+            guard = g;
+        }
+        // The queue may have been drained entirely while we slept.
+        if guard.pending.is_empty() {
+            continue;
+        }
+        let take = guard.pending.len().min(shared.cfg.max_batch);
+        let batch: Vec<Request> = guard.pending.drain(..take).collect();
+        drop(guard);
+
+        run_batch(shared, &batch, &mut batch_input, &mut scratch, take);
+
+        guard = shared.queue.lock().expect("serve queue poisoned");
+    }
+}
+
+/// Assembles a drained batch, runs the forward pass and fans the logits
+/// back out to the blocked submitters.
+fn run_batch(
+    shared: &Shared,
+    batch: &[Request],
+    batch_input: &mut Tensor4,
+    scratch: &mut InferScratch,
+    take: usize,
+) {
+    let (c, h, w) = shared.net.input_shape();
+    batch_input.resize(take, c, h, w);
+    for (i, req) in batch.iter().enumerate() {
+        batch_input.sample_mut(i).copy_from_slice(&req.features);
+    }
+    let infer_start = Instant::now();
+    let logits = shared.net.infer_into(batch_input, scratch);
+    let infer_ns = infer_start.elapsed().as_nanos() as u64;
+
+    // Record every counter BEFORE waking any submitter: a caller that
+    // reads `stats()` right after its `submit` returns must see its own
+    // request and its batch fully accounted.
+    let now = Instant::now();
+    for req in batch {
+        let latency_ns = now.saturating_duration_since(req.enqueued).as_nanos() as u64;
+        shared.stats.record_request(latency_ns);
+    }
+    shared.stats.record_batch(take as u64, take == shared.cfg.max_batch, infer_ns);
+
+    for (i, req) in batch.iter().enumerate() {
+        // Fill under the slot lock and notify before releasing it, so the
+        // submitter cannot observe the fill and deallocate the slot
+        // between the two.
+        let mut done = req.slot.done.lock().expect("serve slot poisoned");
+        *done = Some(logits.row(i).to_vec());
+        req.slot.cv.notify_all();
+        drop(done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scissor_nn::NetworkBuilder;
+
+    fn tiny_plan() -> CompiledNet {
+        let mut rng = StdRng::seed_from_u64(11);
+        NetworkBuilder::new((1, 4, 4))
+            .conv("conv1", 2, 3, 1, 0, &mut rng)
+            .relu()
+            .linear("fc", 3, &mut rng)
+            .build()
+            .compile()
+            .expect("compile")
+    }
+
+    fn sample(seed: usize) -> Tensor4 {
+        Tensor4::from_vec(
+            1,
+            1,
+            4,
+            4,
+            (0..16).map(|i| ((i * 7 + seed * 13) % 23) as f32 * 0.1 - 1.0).collect(),
+        )
+    }
+
+    #[test]
+    fn submit_returns_compiled_logits() {
+        let plan = tiny_plan();
+        let expect = plan.infer(&sample(0));
+        let server = Server::start(tiny_plan(), ServeConfig::default());
+        let got = server.submit(&sample(0)).unwrap();
+        assert_eq!(got.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let server = Server::start(tiny_plan(), ServeConfig::default());
+        let bad = Tensor4::zeros(1, 1, 5, 5);
+        assert!(matches!(server.submit(&bad), Err(ServeError::ShapeMismatch { .. })));
+        let two = Tensor4::zeros(2, 1, 4, 4);
+        assert!(matches!(server.submit(&two), Err(ServeError::ShapeMismatch { .. })));
+        assert!(matches!(
+            server.submit_features(&[0.0; 3]),
+            Err(ServeError::FeatureLengthMismatch { expected: 16, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let mut server = Server::start(tiny_plan(), ServeConfig::default());
+        server.shutdown();
+        assert!(matches!(server.submit(&sample(0)), Err(ServeError::ShuttingDown)));
+        // Idempotent.
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_count_requests_and_batches() {
+        let server = Server::start(
+            tiny_plan(),
+            ServeConfig { max_batch: 4, max_wait: Duration::from_millis(1), workers: 1 },
+        );
+        for s in 0..5 {
+            server.submit(&sample(s)).unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.samples, 5);
+        assert!(stats.batches >= 1 && stats.batches <= 5);
+        assert!(stats.mean_batch_size() >= 1.0);
+        assert!(stats.max_latency >= stats.mean_latency());
+    }
+}

@@ -1,0 +1,150 @@
+//! Lock-free throughput/latency counters for the batching server.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal atomic counters, updated by the batcher threads.
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    samples: AtomicU64,
+    full_batches: AtomicU64,
+    latency_ns_sum: AtomicU64,
+    latency_ns_max: AtomicU64,
+    infer_ns_sum: AtomicU64,
+}
+
+impl StatsInner {
+    pub(crate) fn record_request(&self, latency_ns: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.latency_ns_sum.fetch_add(latency_ns, Ordering::Relaxed);
+        self.latency_ns_max.fetch_max(latency_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, size: u64, full: bool, infer_ns: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.samples.fetch_add(size, Ordering::Relaxed);
+        if full {
+            self.full_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.infer_ns_sum.fetch_add(infer_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        // Counters are read individually (no global lock), so a snapshot
+        // taken mid-batch can tear — e.g. observe a batch's `full_batches`
+        // increment but not its `batches` increment. Reading
+        // `full_batches` before `batches` (the reverse of record_batch's
+        // increment order) makes that unlikely, but Relaxed ordering
+        // guarantees nothing across variables: `timeout_batches`
+        // saturates, which is the actual guard.
+        let full_batches = self.full_batches.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches,
+            samples: self.samples.load(Ordering::Relaxed),
+            full_batches,
+            latency_sum: Duration::from_nanos(self.latency_ns_sum.load(Ordering::Relaxed)),
+            max_latency: Duration::from_nanos(self.latency_ns_max.load(Ordering::Relaxed)),
+            infer_time: Duration::from_nanos(self.infer_ns_sum.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a server's counters.
+///
+/// Counters are cumulative since [`crate::Server::start`]. The snapshot is
+/// taken counter-by-counter without a global lock, so totals may be a few
+/// in-flight requests apart from each other under load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests whose logits have been delivered.
+    pub requests: u64,
+    /// Forward passes executed.
+    pub batches: u64,
+    /// Samples carried across all forward passes (= delivered requests).
+    pub samples: u64,
+    /// Batches flushed because they reached `max_batch` (the rest flushed
+    /// on the `max_wait` timeout or shutdown drain).
+    pub full_batches: u64,
+    /// Summed submit→delivery latency across requests.
+    pub latency_sum: Duration,
+    /// Worst single-request submit→delivery latency.
+    pub max_latency: Duration,
+    /// Time spent inside `CompiledNet::infer_into`.
+    pub infer_time: Duration,
+}
+
+impl ServeStats {
+    /// Mean realized batch size.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean submit→delivery latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.requests == 0 {
+            Duration::ZERO
+        } else {
+            // Divide in u128 nanoseconds: a u32 cast of `requests` would
+            // truncate (and could divide by zero) past 2³² requests.
+            Duration::from_nanos((self.latency_sum.as_nanos() / self.requests as u128) as u64)
+        }
+    }
+
+    /// Batches flushed by the `max_wait` timer (or the shutdown drain)
+    /// rather than by filling up.
+    pub fn timeout_batches(&self) -> u64 {
+        self.batches.saturating_sub(self.full_batches)
+    }
+
+    /// Delivered samples per second of inference time (the compute-bound
+    /// throughput ceiling; end-to-end throughput also includes queueing).
+    pub fn infer_throughput(&self) -> f64 {
+        let secs = self.infer_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.samples as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let inner = StatsInner::default();
+        inner.record_request(1_000);
+        inner.record_request(3_000);
+        inner.record_batch(2, true, 500);
+        inner.record_batch(1, false, 250);
+        inner.record_request(2_000);
+        let s = inner.snapshot();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.full_batches, 1);
+        assert_eq!(s.timeout_batches(), 1);
+        assert_eq!(s.max_latency, Duration::from_nanos(3_000));
+        assert_eq!(s.mean_latency(), Duration::from_nanos(2_000));
+        assert!((s.mean_batch_size() - 1.5).abs() < 1e-12);
+        assert!(s.infer_throughput() > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = StatsInner::default().snapshot();
+        assert_eq!(s.mean_batch_size(), 0.0);
+        assert_eq!(s.mean_latency(), Duration::ZERO);
+        assert_eq!(s.infer_throughput(), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Concurrency stress tests: N threads × M requests through the
+//! micro-batcher must return exactly — bit for bit — the logits a direct
+//! `CompiledNet` batch pass produces, under every flush regime (full
+//! batches, max-wait timeouts, shutdown drains).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scissor_nn::{CompiledNet, NetworkBuilder, Tensor4};
+use scissor_serve::{ServeConfig, Server};
+
+fn plan() -> CompiledNet {
+    let mut rng = StdRng::seed_from_u64(23);
+    NetworkBuilder::new((2, 6, 6))
+        .conv("conv1", 4, 3, 1, 1, &mut rng)
+        .relu()
+        .maxpool(2, 2)
+        .linear("fc1", 8, &mut rng)
+        .relu()
+        .linear("fc2", 5, &mut rng)
+        .build()
+        .compile()
+        .expect("compile")
+}
+
+/// Deterministic per-request sample, distinct across (thread, request).
+fn sample(thread: usize, request: usize) -> Tensor4 {
+    let seed = thread * 1009 + request * 31;
+    Tensor4::from_vec(
+        1,
+        2,
+        6,
+        6,
+        (0..72).map(|i| ((i * 7 + seed) % 53) as f32 * 0.07 - 1.7).collect(),
+    )
+}
+
+/// Runs `threads × requests` submissions and checks every response against
+/// the direct batch pass over the identical samples.
+fn stress(cfg: ServeConfig, threads: usize, requests: usize) {
+    let reference_plan = plan();
+    let server = Arc::new(Server::start(plan(), cfg));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                (0..requests)
+                    .map(|r| server.submit(&sample(t, r)).expect("submit"))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let responses: Vec<Vec<Vec<f32>>> =
+        handles.into_iter().map(|h| h.join().expect("caller thread")).collect();
+
+    // Direct batch pass over all samples at once — the ground truth.
+    let mut flat = Vec::new();
+    for t in 0..threads {
+        for r in 0..requests {
+            flat.extend_from_slice(sample(t, r).as_slice());
+        }
+    }
+    let all = Tensor4::from_vec(threads * requests, 2, 6, 6, flat);
+    let expect = reference_plan.infer(&all);
+
+    for (t, per_thread) in responses.iter().enumerate() {
+        for (r, got) in per_thread.iter().enumerate() {
+            let want = expect.sample(t * requests + r);
+            assert_eq!(got.len(), want.len());
+            let bits_match = got.iter().zip(want).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bits_match, "thread {t} request {r}: logits must be bitwise identical");
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.requests as usize, threads * requests);
+    assert_eq!(stats.samples, stats.requests);
+    assert_eq!(stats.full_batches + stats.timeout_batches(), stats.batches);
+}
+
+#[test]
+fn concurrent_submissions_match_direct_batch_bitwise() {
+    stress(ServeConfig { max_batch: 8, max_wait: Duration::from_millis(2), workers: 1 }, 8, 25);
+}
+
+#[test]
+fn zero_max_wait_still_delivers_exact_logits() {
+    // Every batch flushes with whatever is queued the moment a batcher
+    // looks — heavy timeout/partial-batch traffic.
+    stress(ServeConfig { max_batch: 16, max_wait: Duration::ZERO, workers: 1 }, 4, 20);
+}
+
+#[test]
+fn multiple_batcher_workers_preserve_bit_equality() {
+    stress(ServeConfig { max_batch: 4, max_wait: Duration::from_micros(200), workers: 3 }, 6, 15);
+}
+
+#[test]
+fn batch_one_server_degenerates_to_single_sample_passes() {
+    stress(ServeConfig { max_batch: 1, max_wait: Duration::ZERO, workers: 2 }, 3, 10);
+}
+
+#[test]
+fn underfull_batch_flushes_on_max_wait_and_all_callers_complete() {
+    // max_batch far above the request count: the only way out is the
+    // max-wait timer. Every caller must still get exact logits, and every
+    // batch must be accounted a timeout flush.
+    let reference_plan = plan();
+    let server = Arc::new(Server::start(
+        plan(),
+        ServeConfig { max_batch: 64, max_wait: Duration::from_millis(5), workers: 1 },
+    ));
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.submit(&sample(t, 0)).expect("submit"))
+        })
+        .collect();
+    for (t, h) in handles.into_iter().enumerate() {
+        let got = h.join().expect("caller");
+        let want = reference_plan.infer(&sample(t, 0));
+        assert_eq!(got.as_slice(), want.as_slice(), "caller {t}");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.full_batches, 0, "nothing can fill a 64-slot batch here");
+    assert!(stats.timeout_batches() >= 1);
+    assert!(stats.max_latency >= Duration::from_millis(5) || stats.batches > 1);
+}

@@ -1,9 +1,33 @@
 //! Cross-crate serialization tests: configs, reports and model state all
 //! round-trip through serde_json (the format the bench cache uses).
+//!
+//! The float audit at the bottom pins the `f32 → f64 shortest-repr → f32`
+//! path at full state-dict scale: every `f32` is serialized via its exact
+//! `f64` widening, so the shortest `f64` representation must narrow back
+//! to the identical bit pattern — including subnormals, signed zero and
+//! the extremes of the exponent range.
 
 use group_scissor_repro::linalg::Matrix;
 use group_scissor_repro::ncs::{AreaReport, CrossbarSpec, LayerPlan, RoutingAnalysis, Tiling};
 use group_scissor_repro::pipeline::{GroupScissorConfig, ModelKind};
+use proptest::prelude::*;
+
+/// LeNet fc1 — the largest weight matrix a state dict carries.
+const STATE_DICT_ROWS: usize = 800;
+const STATE_DICT_COLS: usize = 500;
+
+/// Any finite `f32`, uniform over bit patterns (subnormals, signed zeros
+/// and huge magnitudes included). Non-finite exponents are defused by
+/// clearing one exponent bit, keeping the distribution bit-diverse.
+fn finite_f32_from_bits(bits: u32) -> f32 {
+    let v = f32::from_bits(bits);
+    if v.is_finite() {
+        v
+    } else {
+        // Clear the lowest exponent bit: 0xFF (inf/NaN) becomes 0xFE.
+        f32::from_bits(bits & !0x0080_0000)
+    }
+}
 
 #[test]
 fn matrix_round_trips() {
@@ -55,6 +79,90 @@ fn pipeline_config_round_trips() {
     let json = serde_json::to_string(&cfg).expect("serialize");
     let back: GroupScissorConfig = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(cfg, back);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn full_scale_matrix_survives_json_bit_for_bit(
+        seed_bits in proptest::collection::vec(0u32..=u32::MAX, STATE_DICT_ROWS),
+    ) {
+        // One random bit pattern per row, expanded deterministically to
+        // fc1 scale (800×500): generating 400k independent samples per
+        // case would swamp generation time without adding bit diversity.
+        let m = Matrix::from_fn(STATE_DICT_ROWS, STATE_DICT_COLS, |i, j| {
+            let mixed = seed_bits[i]
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add((j as u32).wrapping_mul(0x85eb_ca6b));
+            finite_f32_from_bits(mixed ^ (mixed >> 15))
+        });
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: Matrix = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(m.shape(), back.shape());
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "bit drift: {a:?} ({:#010x}) → {b:?} ({:#010x})",
+                a.to_bits(),
+                b.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn adversarial_float_values_round_trip_at_state_dict_scale() {
+    // Every classically troublesome value, tiled to full fc1 size.
+    let edge = [
+        0.0_f32,
+        -0.0,
+        f32::MIN_POSITIVE, // smallest normal
+        -f32::MIN_POSITIVE,
+        f32::from_bits(1),           // smallest subnormal
+        f32::from_bits(0x007f_ffff), // largest subnormal
+        f32::MAX,
+        -f32::MAX,
+        f32::EPSILON,
+        1.0 / 3.0,
+        0.1,
+        16_777_217.0, // first integer not exact in f32
+        3.402_823e38,
+        1.175_494e-38,
+        -std::f32::consts::E,
+    ];
+    let m = Matrix::from_fn(STATE_DICT_ROWS, STATE_DICT_COLS, |i, j| {
+        edge[(i * STATE_DICT_COLS + j) % edge.len()]
+    });
+    let json = serde_json::to_string(&m).expect("serialize");
+    let back: Matrix = serde_json::from_str(&json).expect("deserialize");
+    let drift = m.as_slice().iter().zip(back.as_slice()).find(|(a, b)| a.to_bits() != b.to_bits());
+    assert!(drift.is_none(), "edge value drifted: {drift:?}");
+}
+
+#[test]
+fn bit_diverse_state_dict_reloads_bit_for_bit() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut net = ModelKind::LeNet.build(&mut rng);
+    // Overwrite every parameter with bit-diverse values before snapshot.
+    for (pi, p) in net.params_mut().into_iter().enumerate() {
+        let mut k = 0u32;
+        p.value_mut().map_inplace(|_| {
+            k = k.wrapping_mul(1_664_525).wrapping_add(1_013_904_223 + pi as u32);
+            finite_f32_from_bits(k)
+        });
+    }
+    let state = net.state_dict();
+    let json = serde_json::to_string(&state).expect("serialize");
+    let back: Vec<(String, Matrix)> = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(state.len(), back.len());
+    for ((n1, m1), (n2, m2)) in state.iter().zip(&back) {
+        assert_eq!(n1, n2);
+        let identical =
+            m1.as_slice().iter().zip(m2.as_slice()).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "param {n1} drifted through JSON");
+    }
 }
 
 #[test]

@@ -30,6 +30,15 @@ fn smoke(model: ModelKind) {
     assert!((0.0..=1.0).contains(&outcome.deletion.final_accuracy));
     assert!(outcome.crossbar_area_ratio() <= 1.0);
     assert!(!outcome.deletion.routing.is_empty());
+    // The exported serving plan is the same network frozen (masks
+    // pre-applied), so its test accuracy must equal the fine-tuned
+    // network's — compiled logits are bitwise-identical to eval forwards.
+    let served_accuracy =
+        outcome.compiled.evaluate(test.images(), test.labels(), cfg.deletion.eval_batch);
+    assert_eq!(
+        served_accuracy, outcome.deletion.final_accuracy,
+        "compiled serving artifact must reproduce the final accuracy exactly"
+    );
 }
 
 #[test]

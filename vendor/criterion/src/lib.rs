@@ -5,15 +5,22 @@
 //! [`Bencher::iter`]/[`Bencher::iter_batched`], [`criterion_group!`] and
 //! [`criterion_main!`] — with a simple but honest measurement protocol:
 //! each benchmark is warmed up for ~100 ms, then timed over `sample_size`
-//! samples whose per-iteration medians and means are reported on stdout as
+//! samples. Samples are screened by **MAD-based outlier rejection** —
+//! a sample further than `3 × 1.4826 × MAD` from the median (≈ 3σ under
+//! normality) is discarded as interference (scheduler preemption, a
+//! background daemon) — and the surviving samples' per-iteration median
+//! and mean are reported on stdout as
 //!
 //! ```text
-//! group/name              time: [median 1.234 ms  mean 1.301 ms]
+//! group/name              time: [median 1.234 ms  mean 1.301 ms]  (… 2 outliers rejected)
 //! ```
 //!
-//! There is no statistical regression analysis or HTML report; the numbers
-//! are for side-by-side comparison within one run (e.g. serial vs parallel
-//! matmul), which is exactly what the workspace's kernel benches do.
+//! Rejection makes side-by-side deltas trustworthy at the sub-5% level:
+//! the median was already robust, but the *mean* — the statistic most
+//! sensitive to a single preempted sample — now converges to the same
+//! story. There is no regression analysis or HTML report; the numbers are
+//! for comparison within one run (e.g. serial vs parallel matmul), which
+//! is exactly what the workspace's benches do.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -92,14 +99,49 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F)
         f(&mut b);
         per_iter_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
     }
-    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
-    let median = per_iter_ns[per_iter_ns.len() / 2];
-    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let stats = screened_stats(&mut per_iter_ns);
+    let outlier_note = if stats.rejected == 0 {
+        String::new()
+    } else {
+        format!(", {} outliers rejected", stats.rejected)
+    };
     println!(
-        "{label:<44} time: [median {}  mean {}]  ({iters} iters x {samples} samples)",
-        format_ns(median),
-        format_ns(mean),
+        "{label:<44} time: [median {}  mean {}]  ({iters} iters x {samples} samples{outlier_note})",
+        format_ns(stats.median),
+        format_ns(stats.mean),
     );
+}
+
+/// Robust summary of a sample set after MAD-based outlier rejection.
+struct ScreenedStats {
+    median: f64,
+    mean: f64,
+    rejected: usize,
+}
+
+/// Median of a sorted slice (upper median for even lengths, matching the
+/// previous behavior of this harness).
+fn sorted_median(sorted: &[f64]) -> f64 {
+    sorted[sorted.len() / 2]
+}
+
+/// Sorts the samples, rejects those further than `3 × 1.4826 × MAD` from
+/// the median (the normal-consistent "3σ" rule; a zero MAD — at least half
+/// the samples identical — keeps everything within an exact tie of the
+/// median), and summarizes the survivors.
+fn screened_stats(samples: &mut [f64]) -> ScreenedStats {
+    assert!(!samples.is_empty(), "need at least one sample");
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted_median(samples);
+    let mut deviations: Vec<f64> = samples.iter().map(|&x| (x - median).abs()).collect();
+    deviations.sort_by(|a, b| a.total_cmp(b));
+    let mad = sorted_median(&deviations);
+    // 1.4826 scales MAD to σ under normality; 3σ is the rejection fence.
+    let fence = 3.0 * 1.4826 * mad;
+    let kept: Vec<f64> = samples.iter().copied().filter(|&x| (x - median).abs() <= fence).collect();
+    let rejected = samples.len() - kept.len();
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+    ScreenedStats { median: sorted_median(&kept), mean, rejected }
 }
 
 fn format_ns(ns: f64) -> String {
@@ -193,4 +235,57 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_samples_keep_everything() {
+        let mut s = vec![100.0, 101.0, 99.0, 100.5, 99.5];
+        let stats = screened_stats(&mut s);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.median, 100.0);
+        assert!((stats.mean - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn a_preempted_sample_is_rejected() {
+        // One sample 50x the rest — the classic scheduler hiccup. The mean
+        // without rejection would be ~590; with rejection it stays ~100.
+        let mut s = vec![100.0, 101.0, 99.0, 100.0, 102.0, 98.0, 5000.0];
+        let stats = screened_stats(&mut s);
+        assert_eq!(stats.rejected, 1);
+        assert!((stats.mean - 100.0).abs() < 2.0, "mean {} should ignore the outlier", stats.mean);
+        assert!((stats.median - 100.0).abs() <= 2.0);
+    }
+
+    #[test]
+    fn outliers_on_both_sides_are_rejected() {
+        let mut s = vec![1.0, 100.0, 101.0, 99.0, 100.0, 102.0, 98.0, 99.5, 4000.0];
+        let stats = screened_stats(&mut s);
+        assert_eq!(stats.rejected, 2);
+        assert!((stats.mean - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn zero_mad_keeps_the_tied_majority() {
+        // More than half the samples identical: MAD is zero and the fence
+        // collapses to exact ties with the median.
+        let mut s = vec![50.0, 50.0, 50.0, 50.0, 900.0, 10.0];
+        let stats = screened_stats(&mut s);
+        assert_eq!(stats.median, 50.0);
+        assert_eq!(stats.mean, 50.0);
+        assert_eq!(stats.rejected, 2);
+    }
+
+    #[test]
+    fn single_sample_is_its_own_summary() {
+        let mut s = vec![42.0];
+        let stats = screened_stats(&mut s);
+        assert_eq!(stats.median, 42.0);
+        assert_eq!(stats.mean, 42.0);
+        assert_eq!(stats.rejected, 0);
+    }
 }

@@ -156,7 +156,18 @@ macro_rules! impl_uint {
                 match *v {
                     Value::U64(n) => <$t>::try_from(n)
                         .map_err(|_| Error::new("integer out of range")),
-                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 => Ok(f as $t),
+                    // `as` saturates out-of-range floats, which would turn
+                    // an overflowing literal into a silently wrong value —
+                    // accept only floats below MAX+1 (for 64-bit types
+                    // `MAX as f64` already rounds up to that power of two,
+                    // so the strict `<` is what excludes it).
+                    Value::F64(f)
+                        if f >= 0.0
+                            && f.fract() == 0.0
+                            && f < <$t>::MAX as f64 + 1.0 =>
+                    {
+                        Ok(f as $t)
+                    }
                     ref other => Err(Error::new(format!(
                         "expected unsigned integer, got {}", other.kind()))),
                 }
@@ -180,7 +191,14 @@ macro_rules! impl_int {
                         .map_err(|_| Error::new("integer out of range")),
                     Value::I64(n) => <$t>::try_from(n)
                         .map_err(|_| Error::new("integer out of range")),
-                    Value::F64(f) if f.fract() == 0.0 => Ok(f as $t),
+                    // Same exact-conversion guard as the unsigned case.
+                    Value::F64(f)
+                        if f.fract() == 0.0
+                            && f >= <$t>::MIN as f64
+                            && f < <$t>::MAX as f64 + 1.0 =>
+                    {
+                        Ok(f as $t)
+                    }
                     ref other => Err(Error::new(format!(
                         "expected integer, got {}", other.kind()))),
                 }

@@ -190,14 +190,26 @@ impl Parser<'_> {
                 .map(Value::F64)
                 .map_err(|_| Error::new(format!("invalid number `{text}`")))
         } else if let Some(stripped) = text.strip_prefix('-') {
-            stripped
-                .parse::<u64>()
-                .map(|n| Value::I64(-(n as i64)))
-                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+            match stripped.parse::<u64>() {
+                Ok(n) if n <= i64::MAX as u64 => Ok(Value::I64(-(n as i64))),
+                // i64::MIN and beyond-range magnitudes fall back to f64,
+                // as upstream serde_json does for huge integer literals.
+                // Rust's Display for large floats emits a plain digit
+                // string (f32::MAX widens to 39 digits), so this path is
+                // load-bearing for float round-trips, not just exotica.
+                _ => text
+                    .parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| Error::new(format!("invalid number `{text}`"))),
+            }
         } else {
-            text.parse::<u64>()
-                .map(Value::U64)
-                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+            match text.parse::<u64>() {
+                Ok(n) => Ok(Value::U64(n)),
+                _ => text
+                    .parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| Error::new(format!("invalid number `{text}`"))),
+            }
         }
     }
 
@@ -344,6 +356,34 @@ mod tests {
             let back: f32 = from_str(&text).unwrap();
             assert_eq!(back, x, "text was {text}");
         }
+    }
+
+    #[test]
+    fn huge_magnitude_floats_round_trip() {
+        // Rust's Display writes these as bare digit strings (no `.`/`e`),
+        // so the parser must fall back from integer to f64 on overflow —
+        // f32::MAX widens to a 39-digit literal.
+        for &x in &[f32::MAX, -f32::MAX, 3.0e38f32, -1.9e19] {
+            let text = to_string(&x).unwrap();
+            let back: f32 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "text was {text}");
+        }
+        for &x in &[1.7e308f64, -9.3e18, 1.9e19] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "text was {text}");
+        }
+        // Integer semantics survive the fallback boundaries.
+        assert_eq!(from_str::<i64>("-9223372036854775807").unwrap(), -i64::MAX);
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        // Out-of-range integer reads are rejected, not saturated: the
+        // parser's f64 fallback may represent the literal, but typed
+        // integer deserialization only accepts exactly-convertible floats.
+        assert!(from_str::<u64>("18446744073709551616").is_err());
+        assert!(from_str::<i64>("9223372036854775808").is_err());
+        assert!(from_str::<u8>("256.0").is_err());
+        assert!(from_str::<i8>("-129.0").is_err());
+        assert_eq!(from_str::<u8>("255.0").unwrap(), 255);
     }
 
     #[test]
