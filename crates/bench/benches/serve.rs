@@ -83,7 +83,12 @@ fn bench_server_end_to_end(c: &mut Criterion) {
     // 4 caller threads push 32 requests through the micro-batcher.
     let server = Arc::new(Server::start(
         net.compile().expect("compile"),
-        ServeConfig { max_batch: BATCH, max_wait: Duration::from_micros(500), workers: 1 },
+        ServeConfig {
+            max_batch: BATCH,
+            max_wait: Duration::from_micros(500),
+            workers: 1,
+            ..ServeConfig::default()
+        },
     ));
     g.bench_function("server_32_requests_4_callers", |bench| {
         bench.iter(|| {

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use scissor_data::idx::IdxError;
 use scissor_lra::LraError;
 use scissor_ncs::NcsError;
 use scissor_nn::NnError;
@@ -20,6 +21,9 @@ pub enum PipelineError {
     Ncs(NcsError),
     /// Network manipulation failure.
     Nn(NnError),
+    /// Real-dataset loading failure (present but malformed IDX files —
+    /// absent files fall back to synthetic data instead of erroring).
+    Data(IdxError),
 }
 
 impl fmt::Display for PipelineError {
@@ -29,6 +33,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Prune(e) => write!(f, "group deletion failed: {e}"),
             PipelineError::Ncs(e) => write!(f, "hardware model failed: {e}"),
             PipelineError::Nn(e) => write!(f, "network manipulation failed: {e}"),
+            PipelineError::Data(e) => write!(f, "dataset loading failed: {e}"),
         }
     }
 }
@@ -40,6 +45,7 @@ impl Error for PipelineError {
             PipelineError::Prune(e) => Some(e),
             PipelineError::Ncs(e) => Some(e),
             PipelineError::Nn(e) => Some(e),
+            PipelineError::Data(e) => Some(e),
         }
     }
 }
@@ -65,6 +71,12 @@ impl From<NcsError> for PipelineError {
 impl From<NnError> for PipelineError {
     fn from(e: NnError) -> Self {
         PipelineError::Nn(e)
+    }
+}
+
+impl From<IdxError> for PipelineError {
+    fn from(e: IdxError) -> Self {
+        PipelineError::Data(e)
     }
 }
 

@@ -52,7 +52,8 @@ pub mod report;
 
 pub use error::{PipelineError, Result};
 pub use pipeline::{
-    area_report_at_ranks, run_pipeline, run_pipeline_on, GroupScissorConfig, PipelineOutcome,
+    area_report_at_ranks, run_pipeline, run_pipeline_on, DataSource, GroupScissorConfig,
+    PipelineOutcome,
 };
 pub use train::{train_baseline, TrainConfig, TrainOutcome, TrainRecord};
 pub use zoo::ModelKind;

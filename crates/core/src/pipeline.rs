@@ -2,6 +2,8 @@
 //! baseline training → rank clipping → group connection deletion →
 //! hardware reports.
 
+use std::path::{Path, PathBuf};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -108,6 +110,53 @@ impl GroupScissorConfig {
         (train, test)
     }
 
+    /// Resolves the train/test datasets with an optional real-MNIST
+    /// opt-in: when `mnist_dir` holds the four standard IDX files and the
+    /// model takes MNIST-shaped input (LeNet), the real data is loaded
+    /// and truncated to `train_samples`/`test_samples`; in every other
+    /// case — no directory, files absent, or a CIFAR-input model — the
+    /// synthetic stand-ins are generated instead. The returned
+    /// [`DataSource`] says which path was taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Data`] only when the IDX files exist but
+    /// are malformed; absence falls back gracefully.
+    pub fn datasets_from(
+        &self,
+        mnist_dir: Option<&Path>,
+    ) -> Result<(Dataset, Dataset, DataSource)> {
+        if self.model.input_shape() == (1, 28, 28) {
+            if let Some(dir) = mnist_dir {
+                // Capped loading: only the requested head of each split
+                // pays the u8 → f32 conversion (real MNIST is 60k images;
+                // a fast-preset run wants a few thousand).
+                if let Some((train, test)) = scissor_data::idx::load_mnist_dir_head(
+                    dir,
+                    self.train_samples,
+                    self.test_samples,
+                )
+                .map_err(PipelineError::from)?
+                {
+                    return Ok((train, test, DataSource::MnistIdx(dir.to_path_buf())));
+                }
+            }
+        }
+        let (train, test) = self.datasets();
+        Ok((train, test, DataSource::Synthetic))
+    }
+
+    /// [`GroupScissorConfig::datasets_from`] with the directory read from
+    /// the `GS_MNIST_DIR` environment variable.
+    ///
+    /// # Errors
+    ///
+    /// As [`GroupScissorConfig::datasets_from`].
+    pub fn datasets_from_env(&self) -> Result<(Dataset, Dataset, DataSource)> {
+        let dir = std::env::var_os("GS_MNIST_DIR").map(PathBuf::from);
+        self.datasets_from(dir.as_deref())
+    }
+
     /// Builds the rank-clipping configuration for this run.
     pub fn clip_config(&self) -> RankClipConfig {
         let mut cfg = RankClipConfig::new(self.eps, self.model.clip_layers());
@@ -119,6 +168,25 @@ impl GroupScissorConfig {
         cfg.seed = self.baseline.seed + 101;
         cfg.eval_batch = self.baseline.eval_batch;
         cfg
+    }
+}
+
+/// Where a run's train/test datasets came from (see
+/// [`GroupScissorConfig::datasets_from`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataSource {
+    /// Deterministic synthetic stand-ins (`scissor_data::synth`).
+    Synthetic,
+    /// Real MNIST IDX files loaded from this directory.
+    MnistIdx(PathBuf),
+}
+
+impl std::fmt::Display for DataSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataSource::Synthetic => f.write_str("synthetic stand-in data"),
+            DataSource::MnistIdx(dir) => write!(f, "real MNIST IDX files from {}", dir.display()),
+        }
     }
 }
 
@@ -281,6 +349,85 @@ mod tests {
         assert_eq!(train.len(), 20);
         assert_eq!(test.len(), 10);
         assert_eq!(train.sample_shape(), (1, 28, 28));
+    }
+
+    #[test]
+    fn datasets_from_honors_mnist_dir_with_graceful_fallback() {
+        use std::fs;
+        use std::path::PathBuf;
+
+        fn idx3(count: usize) -> Vec<u8> {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&0x0000_0803_u32.to_be_bytes());
+            buf.extend_from_slice(&(count as u32).to_be_bytes());
+            buf.extend_from_slice(&28u32.to_be_bytes());
+            buf.extend_from_slice(&28u32.to_be_bytes());
+            buf.extend((0..count * 28 * 28).map(|i| (i % 251) as u8));
+            buf
+        }
+        fn idx1(count: usize) -> Vec<u8> {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&0x0000_0801_u32.to_be_bytes());
+            buf.extend_from_slice(&(count as u32).to_be_bytes());
+            buf.extend((0..count).map(|i| (i % 10) as u8));
+            buf
+        }
+
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/gs-test-mnist");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("train-images-idx3-ubyte"), idx3(30)).unwrap();
+        fs::write(dir.join("train-labels-idx1-ubyte"), idx1(30)).unwrap();
+        fs::write(dir.join("t10k-images-idx3-ubyte"), idx3(12)).unwrap();
+        fs::write(dir.join("t10k-labels-idx1-ubyte"), idx1(12)).unwrap();
+
+        let mut cfg = GroupScissorConfig::fast(ModelKind::LeNet);
+        cfg.train_samples = 20;
+        cfg.test_samples = 10;
+
+        // Real files present: loaded and truncated to the config's sizes.
+        let (train, test, source) = cfg.datasets_from(Some(&dir)).unwrap();
+        assert_eq!(source, DataSource::MnistIdx(dir.clone()));
+        assert!(source.to_string().contains("MNIST IDX"));
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 10);
+        assert_eq!(train.sample_shape(), (1, 28, 28));
+        assert_eq!(train.labels()[3], 3);
+
+        // Asking for more than the files hold: capped, not an error.
+        cfg.train_samples = 500;
+        let (train, _, _) = cfg.datasets_from(Some(&dir)).unwrap();
+        assert_eq!(train.len(), 30);
+        cfg.train_samples = 20;
+
+        // Directory without the files: graceful synthetic fallback.
+        let (train, test, source) =
+            cfg.datasets_from(Some(Path::new("/definitely/not/here"))).unwrap();
+        assert_eq!(source, DataSource::Synthetic);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 10);
+
+        // No directory at all: plain synthetic.
+        let (_, _, source) = cfg.datasets_from(None).unwrap();
+        assert_eq!(source, DataSource::Synthetic);
+
+        // A CIFAR-input model never consumes the MNIST directory.
+        let mut ccfg = GroupScissorConfig::fast(ModelKind::ConvNet);
+        ccfg.train_samples = 8;
+        ccfg.test_samples = 4;
+        let (train, _, source) = ccfg.datasets_from(Some(&dir)).unwrap();
+        assert_eq!(source, DataSource::Synthetic);
+        assert_eq!(train.sample_shape(), (3, 32, 32));
+
+        // Present-but-malformed files are a real error, not a fallback.
+        let bad = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/gs-test-mnist-bad");
+        fs::create_dir_all(&bad).unwrap();
+        let mut truncated = idx3(30);
+        truncated.truncate(64);
+        fs::write(bad.join("train-images-idx3-ubyte"), truncated).unwrap();
+        fs::write(bad.join("train-labels-idx1-ubyte"), idx1(30)).unwrap();
+        fs::write(bad.join("t10k-images-idx3-ubyte"), idx3(12)).unwrap();
+        fs::write(bad.join("t10k-labels-idx1-ubyte"), idx1(12)).unwrap();
+        assert!(matches!(cfg.datasets_from(Some(&bad)), Err(PipelineError::Data(_))));
     }
 
     // The full pipeline is exercised end-to-end (with reduced budgets) by

@@ -54,13 +54,24 @@ fn read_u32(buf: &[u8], at: usize) -> Result<u32, IdxError> {
     Ok(u32::from_be_bytes(bytes))
 }
 
-/// Parses an IDX3 (images) buffer into `(count, rows, cols, pixels 0–1)`.
+/// Parses an IDX3 (images) buffer, converting at most `cap` leading
+/// images, into `(total count, rows, cols, pixels 0–1 of the taken
+/// images)`.
+///
+/// The full payload is still length-validated against the header's count
+/// (a truncated file is corruption, not a smaller dataset), but only the
+/// first `min(count, cap)` images pay the u8 → f32 conversion — real
+/// MNIST holds 60 000 images and pipeline configs often want a few
+/// thousand.
 ///
 /// # Errors
 ///
 /// Returns [`IdxError::BadMagic`] for non-IDX3 data and
 /// [`IdxError::Truncated`] when the pixel payload is short.
-pub fn parse_idx3(buf: &[u8]) -> Result<(usize, usize, usize, Vec<f32>), IdxError> {
+pub fn parse_idx3_head(
+    buf: &[u8],
+    cap: usize,
+) -> Result<(usize, usize, usize, Vec<f32>), IdxError> {
     let magic = read_u32(buf, 0)?;
     if magic != 0x0000_0803 {
         return Err(IdxError::BadMagic { found: magic });
@@ -72,17 +83,30 @@ pub fn parse_idx3(buf: &[u8]) -> Result<(usize, usize, usize, Vec<f32>), IdxErro
     if buf.len() < need {
         return Err(IdxError::Truncated);
     }
-    let pixels = buf[16..need].iter().map(|&b| b as f32 / 255.0).collect();
+    let take = count.min(cap);
+    let pixels = buf[16..16 + take * rows * cols].iter().map(|&b| b as f32 / 255.0).collect();
     Ok((count, rows, cols, pixels))
 }
 
-/// Parses an IDX1 (labels) buffer.
+/// Parses an IDX3 (images) buffer into `(count, rows, cols, pixels 0–1)`.
+///
+/// # Errors
+///
+/// Returns [`IdxError::BadMagic`] for non-IDX3 data and
+/// [`IdxError::Truncated`] when the pixel payload is short.
+pub fn parse_idx3(buf: &[u8]) -> Result<(usize, usize, usize, Vec<f32>), IdxError> {
+    parse_idx3_head(buf, usize::MAX)
+}
+
+/// Parses an IDX1 (labels) buffer, keeping at most `cap` leading labels;
+/// returns `(total count, taken labels)`. The payload is still
+/// length-validated in full.
 ///
 /// # Errors
 ///
 /// Returns [`IdxError::BadMagic`] for non-IDX1 data and
 /// [`IdxError::Truncated`] when the label payload is short.
-pub fn parse_idx1(buf: &[u8]) -> Result<Vec<usize>, IdxError> {
+pub fn parse_idx1_head(buf: &[u8], cap: usize) -> Result<(usize, Vec<usize>), IdxError> {
     let magic = read_u32(buf, 0)?;
     if magic != 0x0000_0801 {
         return Err(IdxError::BadMagic { found: magic });
@@ -92,7 +116,40 @@ pub fn parse_idx1(buf: &[u8]) -> Result<Vec<usize>, IdxError> {
     if buf.len() < need {
         return Err(IdxError::Truncated);
     }
-    Ok(buf[8..need].iter().map(|&b| b as usize).collect())
+    let take = count.min(cap);
+    Ok((count, buf[8..8 + take].iter().map(|&b| b as usize).collect()))
+}
+
+/// Parses an IDX1 (labels) buffer.
+///
+/// # Errors
+///
+/// Returns [`IdxError::BadMagic`] for non-IDX1 data and
+/// [`IdxError::Truncated`] when the label payload is short.
+pub fn parse_idx1(buf: &[u8]) -> Result<Vec<usize>, IdxError> {
+    parse_idx1_head(buf, usize::MAX).map(|(_, labels)| labels)
+}
+
+/// Combines parsed image and label buffers into a [`Dataset`] holding at
+/// most `cap` leading samples (the mismatch check still compares the
+/// files' full counts).
+///
+/// # Errors
+///
+/// Returns [`IdxError::CountMismatch`] when the files disagree.
+pub fn dataset_from_idx_head(
+    images: &[u8],
+    labels: &[u8],
+    cap: usize,
+) -> Result<Dataset, IdxError> {
+    let (image_count, rows, cols, pixels) = parse_idx3_head(images, cap)?;
+    let (label_count, labels) = parse_idx1_head(labels, cap)?;
+    if label_count != image_count {
+        return Err(IdxError::CountMismatch { images: image_count, labels: label_count });
+    }
+    let tensor = Tensor4::from_vec(labels.len(), 1, rows, cols, pixels);
+    let classes = labels.iter().copied().max().map_or(1, |m| m + 1);
+    Ok(Dataset::new(tensor, labels, classes.max(10)))
 }
 
 /// Combines parsed image and label buffers into a [`Dataset`].
@@ -101,23 +158,22 @@ pub fn parse_idx1(buf: &[u8]) -> Result<Vec<usize>, IdxError> {
 ///
 /// Returns [`IdxError::CountMismatch`] when the files disagree.
 pub fn dataset_from_idx(images: &[u8], labels: &[u8]) -> Result<Dataset, IdxError> {
-    let (count, rows, cols, pixels) = parse_idx3(images)?;
-    let labels = parse_idx1(labels)?;
-    if labels.len() != count {
-        return Err(IdxError::CountMismatch { images: count, labels: labels.len() });
-    }
-    let tensor = Tensor4::from_vec(count, 1, rows, cols, pixels);
-    let classes = labels.iter().copied().max().map_or(1, |m| m + 1);
-    Ok(Dataset::new(tensor, labels, classes.max(10)))
+    dataset_from_idx_head(images, labels, usize::MAX)
 }
 
-/// Loads MNIST from a directory holding the four standard files; returns
-/// `None` when the files are absent (callers then fall back to synth-MNIST).
+/// Loads MNIST from a directory holding the four standard files, keeping
+/// at most `train_cap`/`test_cap` leading samples of each split; returns
+/// `None` when the files are absent (callers then fall back to
+/// synth-MNIST).
 ///
 /// # Errors
 ///
 /// Returns an error only when the files exist but are malformed.
-pub fn load_mnist_dir(dir: &Path) -> Result<Option<(Dataset, Dataset)>, IdxError> {
+pub fn load_mnist_dir_head(
+    dir: &Path,
+    train_cap: usize,
+    test_cap: usize,
+) -> Result<Option<(Dataset, Dataset)>, IdxError> {
     let paths = [
         dir.join("train-images-idx3-ubyte"),
         dir.join("train-labels-idx1-ubyte"),
@@ -128,9 +184,19 @@ pub fn load_mnist_dir(dir: &Path) -> Result<Option<(Dataset, Dataset)>, IdxError
         return Ok(None);
     }
     let read = |p: &Path| fs::read(p).map_err(|e| IdxError::Io(e.to_string()));
-    let train = dataset_from_idx(&read(&paths[0])?, &read(&paths[1])?)?;
-    let test = dataset_from_idx(&read(&paths[2])?, &read(&paths[3])?)?;
+    let train = dataset_from_idx_head(&read(&paths[0])?, &read(&paths[1])?, train_cap)?;
+    let test = dataset_from_idx_head(&read(&paths[2])?, &read(&paths[3])?, test_cap)?;
     Ok(Some((train, test)))
+}
+
+/// Loads MNIST from a directory holding the four standard files; returns
+/// `None` when the files are absent (callers then fall back to synth-MNIST).
+///
+/// # Errors
+///
+/// Returns an error only when the files exist but are malformed.
+pub fn load_mnist_dir(dir: &Path) -> Result<Option<(Dataset, Dataset)>, IdxError> {
+    load_mnist_dir_head(dir, usize::MAX, usize::MAX)
 }
 
 #[cfg(test)]
@@ -165,6 +231,28 @@ mod tests {
         assert_eq!(d.labels(), &[3, 7]);
         assert!((d.images().sample(0)[1] - 1.0).abs() < 1e-6);
         assert!((d.images().sample(0)[2] - 128.0 / 255.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn head_parsing_caps_samples_but_validates_the_full_payload() {
+        let images = idx3(3, 2, 2, &[0, 255, 128, 0, 255, 255, 0, 0, 9, 9, 9, 9]);
+        let labels = idx1(&[3, 7, 1]);
+        let d = dataset_from_idx_head(&images, &labels, 2).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels(), &[3, 7]);
+        // A cap above the file's count takes everything.
+        let d = dataset_from_idx_head(&images, &labels, 99).unwrap();
+        assert_eq!(d.len(), 3);
+        // The mismatch check compares FULL counts even under a small cap.
+        let short_labels = idx1(&[3, 7]);
+        assert!(matches!(
+            dataset_from_idx_head(&images, &short_labels, 1),
+            Err(IdxError::CountMismatch { images: 3, labels: 2 })
+        ));
+        // A truncated payload is corruption even if the cap fits what's left.
+        let mut truncated = images.clone();
+        truncated.truncate(16 + 8);
+        assert_eq!(parse_idx3_head(&truncated, 1), Err(IdxError::Truncated));
     }
 
     #[test]

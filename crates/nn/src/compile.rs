@@ -323,6 +323,24 @@ impl CompiledNet {
         &scratch.act[cur]
     }
 
+    /// Builds a scratch pre-sized for batches up to `max_batch` by running
+    /// one zero-input pass — cheap replica instantiation: a serving
+    /// replica warms its scratch once at start-up and every request it
+    /// ever answers (at this batch size or smaller) then runs the
+    /// allocation-free warm path, including the very first one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn warm_scratch(&self, max_batch: usize) -> InferScratch {
+        assert!(max_batch > 0, "max_batch must be positive");
+        let (c, h, w) = self.input_shape;
+        let mut scratch = InferScratch::new();
+        let warmup = Tensor4::zeros(max_batch, c, h, w);
+        let _ = self.infer_into(&warmup, &mut scratch);
+        scratch
+    }
+
     /// Convenience forward allocating a fresh scratch and output tensor.
     ///
     /// For hot paths prefer [`CompiledNet::infer_into`] with a reused

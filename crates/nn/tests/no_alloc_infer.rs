@@ -79,6 +79,48 @@ fn warm_compiled_forward_allocates_nothing() {
 }
 
 #[test]
+fn warm_scratch_makes_the_first_real_pass_allocation_free() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = NetworkBuilder::new((1, 6, 6))
+        .conv("conv1", 3, 3, 1, 0, &mut rng)
+        .relu()
+        .maxpool(2, 2)
+        .linear("fc", 4, &mut rng)
+        .build();
+    let plan = net.compile().expect("compile");
+    let max_batch = 4;
+    let mut scratch = plan.warm_scratch(max_batch);
+    // Inputs at max batch and below; buffers were pre-sized by the zero
+    // pass, so even the FIRST real forward must not touch the allocator.
+    for batch in [max_batch, 2, 1] {
+        let x = Tensor4::from_vec(
+            batch,
+            1,
+            6,
+            6,
+            (0..batch * 36).map(|i| ((i * 3 + 2) % 19) as f32 * 0.1 - 0.9).collect(),
+        );
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let logits = plan.infer_into(&x, &mut scratch);
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(logits.as_slice().len(), batch * 4);
+        assert_eq!(after - before, 0, "warmed scratch pass (batch {batch}) must not allocate");
+    }
+    // And the result matches a cold-scratch pass bitwise.
+    let x = Tensor4::from_vec(
+        2,
+        1,
+        6,
+        6,
+        (0..72).map(|i| ((i * 3 + 2) % 19) as f32 * 0.1 - 0.9).collect(),
+    );
+    let warm = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
+    let cold = plan.infer(&x);
+    assert_eq!(warm.as_slice(), cold.as_slice());
+}
+
+#[test]
 fn smaller_batches_through_a_warm_scratch_allocate_nothing() {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let mut rng = StdRng::seed_from_u64(4);

@@ -1,0 +1,109 @@
+//! Error type for the routing tier.
+
+use std::error::Error;
+use std::fmt;
+
+use scissor_serve::ServeError;
+
+/// Errors produced by `scissor-router`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouterError {
+    /// No model registered under this id.
+    UnknownModel {
+        /// The model id that failed to resolve.
+        model: String,
+    },
+    /// A model with this id is already registered.
+    DuplicateModel {
+        /// The contested model id.
+        model: String,
+    },
+    /// Registration was given a zero replica count or high-water mark.
+    InvalidConfig {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// The model's admission queue passed its high-water mark; the
+    /// request was shed instead of admitted.
+    Overloaded {
+        /// The overloaded model id.
+        model: String,
+        /// Pending requests across the model's replicas at rejection.
+        depth: usize,
+        /// The model's configured high-water mark.
+        high_water: usize,
+    },
+    /// The router is shutting down and no longer accepts submissions.
+    ShuttingDown,
+    /// A validation error from the replica tier (shape/feature mismatch).
+    Serve(ServeError),
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::UnknownModel { model } => write!(f, "no model registered as {model:?}"),
+            RouterError::DuplicateModel { model } => {
+                write!(f, "a model is already registered as {model:?}")
+            }
+            RouterError::InvalidConfig { reason } => write!(f, "invalid model config: {reason}"),
+            RouterError::Overloaded { model, depth, high_water } => write!(
+                f,
+                "model {model:?} overloaded ({depth} pending ≥ high water {high_water}); \
+                 request shed"
+            ),
+            RouterError::ShuttingDown => write!(f, "router is shutting down"),
+            RouterError::Serve(e) => write!(f, "replica rejected submission: {e}"),
+        }
+    }
+}
+
+impl Error for RouterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RouterError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for RouterError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            // A replica-level rejection during router shutdown surfaces as
+            // the router-level condition the caller can act on.
+            ServeError::ShuttingDown => RouterError::ShuttingDown,
+            other => RouterError::Serve(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = RouterError::UnknownModel { model: "lenet".into() };
+        assert!(e.to_string().contains("lenet"));
+        let e = RouterError::DuplicateModel { model: "lenet".into() };
+        assert!(e.to_string().contains("already"));
+        let e = RouterError::Overloaded { model: "m".into(), depth: 9, high_water: 8 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('8'));
+        assert!(RouterError::ShuttingDown.to_string().contains("shutting down"));
+        let e = RouterError::InvalidConfig { reason: "replicas must be positive" };
+        assert!(e.to_string().contains("replicas"));
+    }
+
+    #[test]
+    fn serve_errors_convert() {
+        let e: RouterError = ServeError::FeatureLengthMismatch { expected: 784, got: 2 }.into();
+        assert!(matches!(e, RouterError::Serve(_)));
+        assert!(e.to_string().contains("784"));
+        assert!(e.source().is_some());
+        let e: RouterError = ServeError::ShuttingDown.into();
+        assert_eq!(e, RouterError::ShuttingDown);
+    }
+}

@@ -1,0 +1,611 @@
+//! # scissor-router
+//!
+//! The sharded serving tier in front of `scissor_serve`: many named
+//! models, each backed by N batching replicas over **one** shared
+//! compiled plan, behind an async front door with explicit backpressure.
+//!
+//! The Group Scissor paper scales one trained network onto many
+//! *bounded* crossbars; this crate applies the same partition-and-route
+//! idea to serving — one frozen [`CompiledNet`] is sharded onto many
+//! bounded replica queues behind a [`Router`], the way large neuromorphic
+//! systems route a fixed compiled artifact across independent execution
+//! units:
+//!
+//! * **Model registry.** [`Router::register`] binds a model id to an
+//!   `Arc<CompiledNet>` and spawns its replicas ([`scissor_serve::Replica`]
+//!   batcher threads, each with a pre-warmed scratch). Replication never
+//!   copies weights — the plan is frozen and `Sync`.
+//! * **Async admission.** [`Router::submit`] is non-blocking: it validates
+//!   the sample, picks a replica and returns a [`Ticket`] immediately.
+//!   Callers redeem tickets with [`Ticket::wait`] (blocking) or
+//!   [`Ticket::try_take`] (polling) — plain condvar slots, no async
+//!   runtime.
+//! * **Least-loaded routing.** The replica with the shallowest queue wins;
+//!   ties rotate round-robin so idle replicas share work evenly.
+//! * **Backpressure.** Each model has a bounded admission queue (the union
+//!   of its replica queues). Once its depth passes
+//!   [`ModelConfig::queue_high_water`], submissions are **shed** with
+//!   [`RouterError::Overloaded`] instead of growing the backlog — graceful
+//!   overload, not collapse. (The gate reads queue-depth gauges, so
+//!   concurrent racers can overshoot the mark by at most the number of
+//!   in-flight submitters.)
+//! * **Graceful drain.** [`Router::shutdown`] (and `Drop`) stops admission
+//!   and drains every replica: every admitted ticket is delivered before
+//!   the batcher threads exit.
+//!
+//! Routed logits are **bitwise identical** to a direct
+//! [`CompiledNet::infer_into`] pass over the same samples, whatever
+//! replica or batch composition served them — inherited from the
+//! batch-invariant kernels underneath and pinned down by this crate's
+//! stress tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use scissor_nn::{NetworkBuilder, Tensor4};
+//! use scissor_router::{ModelConfig, Router};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = NetworkBuilder::new((1, 6, 6))
+//!     .conv("conv1", 3, 3, 1, 0, &mut rng)
+//!     .relu()
+//!     .linear("fc", 4, &mut rng)
+//!     .build();
+//!
+//! let router = Router::new();
+//! router
+//!     .register("lenet-mini", net.compile().unwrap(), ModelConfig::with_replicas(2))
+//!     .unwrap();
+//!
+//! let ticket = router.submit("lenet-mini", &Tensor4::zeros(1, 1, 6, 6)).unwrap();
+//! let logits = ticket.wait();
+//! assert_eq!(logits.len(), 4);
+//!
+//! let stats = router.model_stats("lenet-mini").unwrap();
+//! assert_eq!(stats.serve.requests, 1);
+//! assert_eq!(stats.shed, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+
+pub use error::RouterError;
+pub use scissor_serve::{ServeConfig, ServeStats, Ticket};
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use scissor_nn::{CompiledNet, Tensor4};
+use scissor_serve::Replica;
+
+/// Convenience alias for router results.
+pub type Result<T> = std::result::Result<T, RouterError>;
+
+/// Per-model serving shape: how many replicas, how much backlog to
+/// tolerate, and the batching knobs each replica runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Number of batching replicas sharing the model's compiled plan.
+    pub replicas: usize,
+    /// Admission high-water mark: total pending requests across the
+    /// model's replicas at or above which new submissions are shed with
+    /// [`RouterError::Overloaded`].
+    pub queue_high_water: usize,
+    /// Batching knobs for each replica. `queue_cap` is clamped to
+    /// `queue_high_water` at registration so no single replica can hold
+    /// more than the model-wide bound.
+    pub replica: ServeConfig,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self { replicas: 1, queue_high_water: 1024, replica: ServeConfig::default() }
+    }
+}
+
+impl ModelConfig {
+    /// A default config with `replicas` replicas.
+    pub fn with_replicas(replicas: usize) -> Self {
+        Self { replicas, ..Self::default() }
+    }
+}
+
+/// A snapshot of one model's serving state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Replica counters merged across the model's replicas
+    /// (`queue_depth` is the model-wide backlog gauge; `serve.shed`
+    /// counts rejections at the replicas' own queue caps).
+    pub serve: ServeStats,
+    /// Submissions shed at the router's admission gate (does not include
+    /// the replica-level `serve.shed`; see [`ModelStats::total_shed`]).
+    pub shed: u64,
+    /// Number of replicas.
+    pub replicas: usize,
+    /// The admission high-water mark.
+    pub queue_high_water: usize,
+}
+
+impl ModelStats {
+    /// Every submission this model rejected as overload — the router's
+    /// admission-gate sheds plus the replicas' queue-cap sheds (each
+    /// rejection is counted in exactly one of the two).
+    pub fn total_shed(&self) -> u64 {
+        self.shed + self.serve.shed
+    }
+}
+
+struct ModelEntry {
+    plan: Arc<CompiledNet>,
+    replicas: Vec<Replica>,
+    /// Rotating tie-break origin for least-loaded selection.
+    rr: AtomicUsize,
+    high_water: usize,
+    shed: AtomicU64,
+}
+
+impl ModelEntry {
+    /// Sums replica queue depths and picks the least-loaded replica,
+    /// breaking ties round-robin from a rotating origin.
+    fn route(&self) -> (usize, usize) {
+        let n = self.replicas.len();
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % n;
+        let mut total = 0usize;
+        let mut best = start;
+        let mut best_depth = usize::MAX;
+        for k in 0..n {
+            let i = (start + k) % n;
+            let depth = self.replicas[i].queue_depth();
+            total += depth;
+            if depth < best_depth {
+                best_depth = depth;
+                best = i;
+            }
+        }
+        (best, total)
+    }
+
+    fn stats(&self) -> ModelStats {
+        let mut serve = ServeStats::zero();
+        for r in &self.replicas {
+            serve.merge(&r.stats());
+        }
+        ModelStats {
+            serve,
+            shed: self.shed.load(Ordering::Relaxed),
+            replicas: self.replicas.len(),
+            queue_high_water: self.high_water,
+        }
+    }
+}
+
+/// The multi-model, multi-replica serving router.
+///
+/// Registration and submission are thread-safe through `&self`; drop (or
+/// [`Router::shutdown`]) stops admission and drains every replica.
+#[derive(Default)]
+pub struct Router {
+    models: RwLock<HashMap<String, ModelEntry>>,
+    shutting_down: AtomicBool,
+}
+
+impl Router {
+    /// An empty router; register models with [`Router::register`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `plan` under `model` and spawns its replicas.
+    ///
+    /// Takes ownership of the plan; use [`Router::register_shared`] to
+    /// hand in an `Arc` you also keep (e.g. for reference inference in
+    /// tests).
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::DuplicateModel`] if the id is taken,
+    /// [`RouterError::InvalidConfig`] for a zero replica count or
+    /// high-water mark, [`RouterError::ShuttingDown`] after shutdown
+    /// began.
+    pub fn register(&self, model: &str, plan: CompiledNet, cfg: ModelConfig) -> Result<()> {
+        self.register_shared(model, Arc::new(plan), cfg)
+    }
+
+    /// Registers a shared compiled plan under `model` (see
+    /// [`Router::register`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::register`].
+    pub fn register_shared(
+        &self,
+        model: &str,
+        plan: Arc<CompiledNet>,
+        cfg: ModelConfig,
+    ) -> Result<()> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(RouterError::ShuttingDown);
+        }
+        if cfg.replicas == 0 {
+            return Err(RouterError::InvalidConfig { reason: "replicas must be positive" });
+        }
+        if cfg.queue_high_water == 0 {
+            return Err(RouterError::InvalidConfig { reason: "queue_high_water must be positive" });
+        }
+        let mut replica_cfg = cfg.replica;
+        replica_cfg.queue_cap = replica_cfg.queue_cap.min(cfg.queue_high_water);
+        let mut models = self.models.write().expect("router registry poisoned");
+        if models.contains_key(model) {
+            return Err(RouterError::DuplicateModel { model: model.to_string() });
+        }
+        let replicas =
+            (0..cfg.replicas).map(|_| Replica::start(Arc::clone(&plan), replica_cfg)).collect();
+        models.insert(
+            model.to_string(),
+            ModelEntry {
+                plan,
+                replicas,
+                rr: AtomicUsize::new(0),
+                high_water: cfg.queue_high_water,
+                shed: AtomicU64::new(0),
+            },
+        );
+        Ok(())
+    }
+
+    /// Registered model ids, sorted.
+    pub fn models(&self) -> Vec<String> {
+        let models = self.models.read().expect("router registry poisoned");
+        let mut names: Vec<String> = models.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The input shape `(c, h, w)` the model expects, if registered.
+    pub fn input_shape(&self, model: &str) -> Option<(usize, usize, usize)> {
+        let models = self.models.read().expect("router registry poisoned");
+        models.get(model).map(|e| e.plan.input_shape())
+    }
+
+    /// Submits one batch-1 sample to `model` without blocking and returns
+    /// its [`Ticket`].
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`] for an unregistered id;
+    /// [`RouterError::Overloaded`] once the model's pending requests reach
+    /// its high-water mark; [`RouterError::ShuttingDown`] after shutdown
+    /// began; [`RouterError::Serve`] for shape/feature mismatches.
+    pub fn submit(&self, model: &str, sample: &Tensor4) -> Result<Ticket> {
+        self.with_route(model, |replica| replica.submit(sample).map_err(RouterError::from))
+    }
+
+    /// Submits one sample as a raw `c·h·w` feature slice (see
+    /// [`Router::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::submit`].
+    pub fn submit_features(&self, model: &str, features: &[f32]) -> Result<Ticket> {
+        self.with_route(model, |replica| {
+            replica.submit_features(features).map_err(RouterError::from)
+        })
+    }
+
+    /// Resolves `model`, applies the admission gate, picks the
+    /// least-loaded replica and hands it to `f`.
+    fn with_route<T>(&self, model: &str, f: impl FnOnce(&Replica) -> Result<T>) -> Result<T> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(RouterError::ShuttingDown);
+        }
+        let models = self.models.read().expect("router registry poisoned");
+        let entry = models
+            .get(model)
+            .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
+        let (best, depth) = entry.route();
+        if depth >= entry.high_water {
+            entry.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(RouterError::Overloaded {
+                model: model.to_string(),
+                depth,
+                high_water: entry.high_water,
+            });
+        }
+        match f(&entry.replicas[best]) {
+            // Racing submitters can slip past the gauge-based gate and hit
+            // the chosen replica's own cap; that is still an overload shed
+            // from the caller's point of view. The replica already counted
+            // it in its `ServeStats::shed` (so the gate counter is NOT
+            // bumped — each rejection lands in exactly one counter), and
+            // the error reports the model-wide backlog to match the
+            // model-wide high-water mark.
+            Err(RouterError::Serve(scissor_serve::ServeError::Overloaded { .. })) => {
+                let depth = entry.replicas.iter().map(Replica::queue_depth).sum();
+                Err(RouterError::Overloaded {
+                    model: model.to_string(),
+                    depth,
+                    high_water: entry.high_water,
+                })
+            }
+            other => other,
+        }
+    }
+
+    /// Current pending-request backlog across `model`'s replicas.
+    pub fn queue_depth(&self, model: &str) -> Option<usize> {
+        let models = self.models.read().expect("router registry poisoned");
+        models.get(model).map(|e| e.replicas.iter().map(Replica::queue_depth).sum())
+    }
+
+    /// Per-replica pending-request backlog for `model` — the load picture
+    /// the least-loaded selector routes on (and the signal an autoscaler
+    /// would watch).
+    pub fn replica_queue_depths(&self, model: &str) -> Option<Vec<usize>> {
+        let models = self.models.read().expect("router registry poisoned");
+        models.get(model).map(|e| e.replicas.iter().map(Replica::queue_depth).collect())
+    }
+
+    /// Counter snapshot for one model.
+    pub fn model_stats(&self, model: &str) -> Option<ModelStats> {
+        let models = self.models.read().expect("router registry poisoned");
+        models.get(model).map(ModelEntry::stats)
+    }
+
+    /// Counter snapshots for every model, sorted by id.
+    pub fn stats(&self) -> Vec<(String, ModelStats)> {
+        let models = self.models.read().expect("router registry poisoned");
+        let mut all: Vec<(String, ModelStats)> =
+            models.iter().map(|(n, e)| (n.clone(), e.stats())).collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Pauses `model`'s replicas (admission continues until the bound;
+    /// batches stop draining). Maintenance hook, also what makes overload
+    /// tests deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`] for an unregistered id.
+    pub fn pause(&self, model: &str) -> Result<()> {
+        self.for_model(model, Replica::pause)
+    }
+
+    /// Resumes a paused model.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`] for an unregistered id.
+    pub fn resume(&self, model: &str) -> Result<()> {
+        self.for_model(model, Replica::resume)
+    }
+
+    fn for_model(&self, model: &str, f: impl Fn(&Replica)) -> Result<()> {
+        let models = self.models.read().expect("router registry poisoned");
+        let entry = models
+            .get(model)
+            .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
+        for r in &entry.replicas {
+            f(r);
+        }
+        Ok(())
+    }
+
+    /// Stops admission, then drains and joins every replica: all admitted
+    /// tickets are delivered before this returns. Takes `&self` so a
+    /// router shared as `Arc<Router>` across caller threads can still be
+    /// drained explicitly (new submissions block on the registry lock
+    /// during the drain and are then rejected with
+    /// [`RouterError::ShuttingDown`]). Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        let mut models = self.models.write().expect("router registry poisoned");
+        for entry in models.values_mut() {
+            for replica in &mut entry.replicas {
+                replica.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let models = self.models.read().expect("router registry poisoned");
+        let mut entries: Vec<String> = models
+            .iter()
+            .map(|(n, e)| format!("{n} ×{} (≤{})", e.replicas.len(), e.high_water))
+            .collect();
+        entries.sort();
+        write!(f, "Router([{}])", entries.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scissor_nn::NetworkBuilder;
+    use scissor_serve::ServeError;
+
+    fn tiny_plan(seed: u64, classes: usize) -> CompiledNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NetworkBuilder::new((1, 4, 4))
+            .conv("conv1", 2, 3, 1, 0, &mut rng)
+            .relu()
+            .linear("fc", classes, &mut rng)
+            .build()
+            .compile()
+            .expect("compile")
+    }
+
+    fn sample(seed: usize) -> Tensor4 {
+        Tensor4::from_vec(
+            1,
+            1,
+            4,
+            4,
+            (0..16).map(|i| ((i * 7 + seed * 13) % 23) as f32 * 0.1 - 1.0).collect(),
+        )
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_bad_configs() {
+        let router = Router::new();
+        router.register("m", tiny_plan(1, 3), ModelConfig::default()).unwrap();
+        assert!(matches!(
+            router.register("m", tiny_plan(1, 3), ModelConfig::default()),
+            Err(RouterError::DuplicateModel { .. })
+        ));
+        assert!(matches!(
+            router.register("z", tiny_plan(1, 3), ModelConfig::with_replicas(0)),
+            Err(RouterError::InvalidConfig { .. })
+        ));
+        let bad = ModelConfig { queue_high_water: 0, ..ModelConfig::default() };
+        assert!(matches!(
+            router.register("z", tiny_plan(1, 3), bad),
+            Err(RouterError::InvalidConfig { .. })
+        ));
+        assert_eq!(router.models(), vec!["m".to_string()]);
+        assert_eq!(router.input_shape("m"), Some((1, 4, 4)));
+        assert_eq!(router.input_shape("ghost"), None);
+    }
+
+    #[test]
+    fn unknown_model_and_bad_shapes_are_rejected() {
+        let router = Router::new();
+        router.register("m", tiny_plan(1, 3), ModelConfig::default()).unwrap();
+        assert!(matches!(
+            router.submit("ghost", &sample(0)),
+            Err(RouterError::UnknownModel { .. })
+        ));
+        let bad = Tensor4::zeros(1, 1, 5, 5);
+        assert!(matches!(
+            router.submit("m", &bad),
+            Err(RouterError::Serve(ServeError::ShapeMismatch { .. }))
+        ));
+        assert!(matches!(
+            router.submit_features("m", &[0.0; 2]),
+            Err(RouterError::Serve(ServeError::FeatureLengthMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn two_models_serve_their_own_plans() {
+        let plan_a = Arc::new(tiny_plan(1, 3));
+        let plan_b = Arc::new(tiny_plan(2, 5));
+        let router = Router::new();
+        router.register_shared("a", Arc::clone(&plan_a), ModelConfig::with_replicas(2)).unwrap();
+        router.register_shared("b", Arc::clone(&plan_b), ModelConfig::with_replicas(2)).unwrap();
+        for s in 0..6 {
+            let got_a = router.submit("a", &sample(s)).unwrap().wait();
+            let got_b = router.submit("b", &sample(s)).unwrap().wait();
+            assert_eq!(got_a.as_slice(), plan_a.infer(&sample(s)).as_slice());
+            assert_eq!(got_b.as_slice(), plan_b.infer(&sample(s)).as_slice());
+        }
+        let stats = router.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].1.serve.requests + stats[1].1.serve.requests, 12);
+        assert_eq!(stats[0].1.replicas, 2);
+    }
+
+    #[test]
+    fn least_loaded_routing_spreads_submissions_evenly() {
+        let router = Router::new();
+        router.register("m", tiny_plan(3, 2), ModelConfig::with_replicas(3)).unwrap();
+        router.pause("m").unwrap();
+        assert_eq!(router.replica_queue_depths("m"), Some(vec![0, 0, 0]));
+        assert_eq!(router.replica_queue_depths("ghost"), None);
+        // Paused replicas make depths deterministic: sequential
+        // submissions must spread 6 → [2, 2, 2] (least-loaded picks an
+        // empty queue while one exists; the rotating tie-break start keeps
+        // ties from piling onto replica 0), never [6, 0, 0].
+        for s in 0..6 {
+            router.submit("m", &sample(s)).unwrap();
+            let depths = router.replica_queue_depths("m").unwrap();
+            let (min, max) = (depths.iter().min().unwrap(), depths.iter().max().unwrap());
+            assert!(max - min <= 1, "submission {s} unbalanced the queues: {depths:?}");
+        }
+        assert_eq!(router.replica_queue_depths("m"), Some(vec![2, 2, 2]));
+        let stats = router.model_stats("m").unwrap();
+        assert_eq!(stats.serve.queue_depth, 6);
+        // Resume: everything drains.
+        router.resume("m").unwrap();
+        let mut spins = 0;
+        while router.queue_depth("m").unwrap() > 0 {
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 10_000_000, "queue must drain");
+        }
+        drop(router);
+    }
+
+    #[test]
+    fn overload_sheds_at_the_high_water_mark() {
+        let router = Router::new();
+        let cfg = ModelConfig { replicas: 2, queue_high_water: 4, replica: ServeConfig::default() };
+        let reference = tiny_plan(4, 3);
+        router.register("m", tiny_plan(4, 3), cfg).unwrap();
+        router.pause("m").unwrap();
+        let tickets: Vec<Ticket> =
+            (0..4).map(|s| router.submit("m", &sample(s)).expect("admitted")).collect();
+        match router.submit("m", &sample(9)) {
+            Err(RouterError::Overloaded { depth: 4, high_water: 4, model }) => {
+                assert_eq!(model, "m");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let stats = router.model_stats("m").unwrap();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.serve.queue_depth, 4);
+        router.resume("m").unwrap();
+        for (s, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().as_slice(), reference.infer(&sample(s)).as_slice());
+        }
+        // Backlog cleared: admission works again.
+        let t = router.submit("m", &sample(7)).unwrap();
+        assert_eq!(t.wait().as_slice(), reference.infer(&sample(7)).as_slice());
+        assert_eq!(router.model_stats("m").unwrap().shed, 1);
+    }
+
+    #[test]
+    fn shutdown_stops_admission_and_drains_tickets() {
+        let reference = tiny_plan(5, 3);
+        let router = Router::new();
+        router.register("m", tiny_plan(5, 3), ModelConfig::with_replicas(2)).unwrap();
+        router.pause("m").unwrap();
+        let tickets: Vec<Ticket> =
+            (0..5).map(|s| router.submit("m", &sample(s)).expect("admitted")).collect();
+        router.shutdown();
+        // Every admitted ticket was delivered by the drain.
+        for (s, t) in tickets.into_iter().enumerate() {
+            let got = t.try_take().expect("drained before shutdown returned");
+            assert_eq!(got.as_slice(), reference.infer(&sample(s)).as_slice());
+        }
+        assert!(matches!(router.submit("m", &sample(0)), Err(RouterError::ShuttingDown)));
+        assert!(matches!(
+            router.register("late", tiny_plan(6, 2), ModelConfig::default()),
+            Err(RouterError::ShuttingDown)
+        ));
+        // Idempotent.
+        router.shutdown();
+    }
+
+    #[test]
+    fn debug_formats() {
+        let router = Router::new();
+        router.register("m", tiny_plan(7, 2), ModelConfig::with_replicas(2)).unwrap();
+        let dbg = format!("{router:?}");
+        assert!(dbg.contains("m ×2"));
+    }
+}

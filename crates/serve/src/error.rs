@@ -21,6 +21,13 @@ pub enum ServeError {
         /// Length of the submitted slice.
         got: usize,
     },
+    /// The bounded queue is at capacity; the submission was shed.
+    Overloaded {
+        /// Pending requests in the queue at rejection time.
+        depth: usize,
+        /// The queue capacity (`ServeConfig::queue_cap`).
+        cap: usize,
+    },
     /// The server is shutting down and no longer accepts submissions.
     ShuttingDown,
 }
@@ -35,6 +42,9 @@ impl fmt::Display for ServeError {
             ),
             ServeError::FeatureLengthMismatch { expected, got } => {
                 write!(f, "feature slice has {got} values, the plan expects {expected}")
+            }
+            ServeError::Overloaded { depth, cap } => {
+                write!(f, "queue at capacity ({depth}/{cap} pending); request shed")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
         }
@@ -53,6 +63,8 @@ mod tests {
         assert!(e.to_string().contains("28"));
         let e = ServeError::FeatureLengthMismatch { expected: 784, got: 3 };
         assert!(e.to_string().contains("784"));
+        let e = ServeError::Overloaded { depth: 128, cap: 128 };
+        assert!(e.to_string().contains("128"));
         assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
     }
 }

@@ -9,16 +9,29 @@
 //! at traffic scale is a batching problem — single-sample forwards leave
 //! the matmul micro-kernels starved (a batch-1 fully-connected layer is one
 //! output row, below the 4-row register tile), while callers arrive one
-//! sample at a time. [`Server`] bridges the two:
+//! sample at a time. The crate bridges the two at two API levels:
 //!
-//! * concurrent callers [`Server::submit`] single samples and block;
-//! * batcher threads coalesce submissions into one tensor — up to
-//!   [`ServeConfig::max_batch`] samples, waiting at most
-//!   [`ServeConfig::max_wait`] past the oldest submission;
-//! * one allocation-free [`CompiledNet::infer_into`] pass computes the
-//!   whole batch (one im2col + matmul per layer, spread over the
-//!   persistent rayon pool), and per-sample logits fan back out to the
-//!   blocked callers.
+//! * [`Replica`] is the reusable batching unit: one bounded request queue
+//!   plus batcher threads over a *shared* `Arc<CompiledNet>`. Submission is
+//!   **non-blocking** — [`Replica::submit`] enqueues and immediately
+//!   returns a [`Ticket`]; the caller later [`Ticket::wait`]s (blocking) or
+//!   polls [`Ticket::try_take`]. Many replicas can serve one plan (that is
+//!   what `scissor_router` builds its sharded tier from).
+//! * [`Server`] is the original single-replica convenience front-end with
+//!   a blocking [`Server::submit`].
+//!
+//! Batcher threads coalesce submissions into one tensor — up to
+//! [`ServeConfig::max_batch`] samples, waiting at most
+//! [`ServeConfig::max_wait`] past the oldest submission — and one
+//! allocation-free [`CompiledNet::infer_into`] pass computes the whole
+//! batch (one im2col + matmul per layer, spread over the persistent rayon
+//! pool) before per-sample logits fan back out to the tickets.
+//!
+//! Overload is explicit: the queue is bounded by
+//! [`ServeConfig::queue_cap`], and a submission finding it full is **shed**
+//! with [`ServeError::Overloaded`] instead of growing the backlog without
+//! bound. Shutdown is graceful: every admitted ticket is drained and
+//! delivered before the batcher threads exit.
 //!
 //! Because per-sample logits are **batch-invariant** (every kernel
 //! accumulates each output element in a fixed order regardless of batch
@@ -28,7 +41,8 @@
 //!
 //! A [`ServeStats`] counter surface reports throughput and latency:
 //! requests served, realized batch sizes, full-batch vs timeout flushes,
-//! and per-request latency aggregates.
+//! queue depth, shed count, and per-request latency aggregates plus a
+//! fixed-bucket histogram (p50/p95/p99).
 //!
 //! ## Example
 //!
@@ -50,6 +64,24 @@
 //! assert_eq!(logits.len(), 4);
 //! assert_eq!(server.stats().requests, 1);
 //! ```
+//!
+//! Async submission against a bare replica:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rand::SeedableRng;
+//! use scissor_nn::{NetworkBuilder, Tensor4};
+//! use scissor_serve::{Replica, ServeConfig};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = NetworkBuilder::new((1, 6, 6)).linear("fc", 4, &mut rng).build();
+//! let plan = Arc::new(net.compile().unwrap());
+//! let replica = Replica::start(Arc::clone(&plan), ServeConfig::default());
+//!
+//! let ticket = replica.submit(&Tensor4::zeros(1, 1, 6, 6)).unwrap(); // non-blocking
+//! let logits = ticket.wait();                                        // blocks
+//! assert_eq!(logits.len(), 4);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -58,21 +90,21 @@ mod error;
 mod stats;
 
 pub use error::ServeError;
-pub use stats::ServeStats;
+pub use stats::{ServeStats, LATENCY_BUCKETS};
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use scissor_nn::{CompiledNet, InferScratch, Tensor4};
+use scissor_nn::{CompiledNet, Tensor4};
 
 use stats::StatsInner;
 
 /// Convenience alias for serve results.
 pub type Result<T> = std::result::Result<T, ServeError>;
 
-/// Batching knobs for a [`Server`].
+/// Batching knobs for a [`Replica`] (and the [`Server`] wrapper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Largest batch a single forward pass will carry.
@@ -85,11 +117,22 @@ pub struct ServeConfig {
     /// (the matmul itself fans out over the rayon pool); more overlap
     /// batch assembly with compute.
     pub workers: usize,
+    /// Bounded-queue high-water mark: a submission that finds this many
+    /// requests already pending is shed with [`ServeError::Overloaded`].
+    /// Defaults to `usize::MAX` (never shed) so direct [`Server`] users
+    /// keep the historical never-fail submit; `scissor_router` sets real
+    /// bounds.
+    pub queue_cap: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { max_batch: 32, max_wait: Duration::from_millis(2), workers: 1 }
+        Self {
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            workers: 1,
+            queue_cap: usize::MAX,
+        }
     }
 }
 
@@ -100,47 +143,128 @@ struct Request {
     slot: Arc<Slot>,
 }
 
-/// One caller's rendezvous: filled by a batcher, awaited by the submitter.
+/// Lifecycle of one rendezvous slot: pending → ready → taken.
+enum SlotState {
+    /// No batch has delivered yet.
+    Pending,
+    /// Logits delivered, not yet redeemed.
+    Ready(Vec<f32>),
+    /// Logits redeemed via `try_take`; a later `wait` must fail loudly
+    /// instead of blocking on a condvar that will never fire again.
+    Taken,
+}
+
+/// One caller's rendezvous: filled by a batcher, awaited by the ticket
+/// holder.
 struct Slot {
-    done: Mutex<Option<Vec<f32>>>,
+    done: Mutex<SlotState>,
     cv: Condvar,
+}
+
+/// A claim on the logits of one admitted submission.
+///
+/// Returned immediately by [`Replica::submit`]; redeemed by blocking
+/// ([`Ticket::wait`]) or polling ([`Ticket::try_take`]). Every admitted
+/// ticket is eventually fulfilled — shutdown drains the queue before the
+/// batcher threads exit — so `wait` cannot hang on a live or draining
+/// replica. Dropping a ticket abandons the result (the batch still runs).
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").field("ready", &self.is_ready()).finish()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the logits arrive and returns them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logits were already redeemed through
+    /// [`Ticket::try_take`] — blocking would otherwise hang forever on a
+    /// slot that can never be filled again.
+    pub fn wait(self) -> Vec<f32> {
+        let mut done = self.slot.done.lock().expect("serve slot poisoned");
+        loop {
+            match std::mem::replace(&mut *done, SlotState::Taken) {
+                SlotState::Ready(logits) => return logits,
+                SlotState::Taken => panic!("ticket already redeemed via try_take"),
+                SlotState::Pending => {
+                    *done = SlotState::Pending;
+                    done = self.slot.cv.wait(done).expect("serve slot poisoned");
+                }
+            }
+        }
+    }
+
+    /// Takes the logits if they have already arrived; `None` otherwise.
+    /// A ticket whose logits were taken will never yield them again.
+    pub fn try_take(&self) -> Option<Vec<f32>> {
+        let mut done = self.slot.done.lock().expect("serve slot poisoned");
+        match std::mem::replace(&mut *done, SlotState::Taken) {
+            SlotState::Ready(logits) => Some(logits),
+            SlotState::Taken => None,
+            SlotState::Pending => {
+                *done = SlotState::Pending;
+                None
+            }
+        }
+    }
+
+    /// Whether the logits have arrived (and were not yet taken).
+    pub fn is_ready(&self) -> bool {
+        matches!(*self.slot.done.lock().expect("serve slot poisoned"), SlotState::Ready(_))
+    }
 }
 
 struct QueueState {
     pending: VecDeque<Request>,
     shutdown: bool,
+    paused: bool,
 }
 
 struct Shared {
-    net: CompiledNet,
+    net: Arc<CompiledNet>,
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
     available: Condvar,
     stats: StatsInner,
 }
 
-/// The micro-batching inference server.
+/// One batching replica: a bounded request queue plus batcher threads over
+/// a shared compiled plan.
 ///
-/// Submission is thread-safe through `&self`; drop (or [`Server::shutdown`])
-/// drains the queue and joins the batcher threads.
-pub struct Server {
+/// Many replicas may serve the same `Arc<CompiledNet>` — the plan is
+/// frozen and `Sync`, so replication costs only the per-replica scratch
+/// and threads, not a weight copy. Submission is thread-safe through
+/// `&self`; drop (or [`Replica::shutdown`]) drains the queue — delivering
+/// every admitted [`Ticket`] — and joins the batcher threads.
+pub struct Replica {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
 }
 
-impl Server {
-    /// Starts batcher threads over a compiled plan.
+impl Replica {
+    /// Starts batcher threads over a shared compiled plan.
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.max_batch` or `cfg.workers` is zero.
-    pub fn start(net: CompiledNet, cfg: ServeConfig) -> Self {
+    /// Panics if `cfg.max_batch`, `cfg.workers` or `cfg.queue_cap` is zero.
+    pub fn start(net: Arc<CompiledNet>, cfg: ServeConfig) -> Self {
         assert!(cfg.max_batch > 0, "max_batch must be positive");
         assert!(cfg.workers > 0, "workers must be positive");
+        assert!(cfg.queue_cap > 0, "queue_cap must be positive");
         let shared = Arc::new(Shared {
             net,
             cfg,
-            queue: Mutex::new(QueueState { pending: VecDeque::new(), shutdown: false }),
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                shutdown: false,
+                paused: false,
+            }),
             available: Condvar::new(),
             stats: StatsInner::default(),
         });
@@ -161,15 +285,23 @@ impl Server {
         &self.shared.net
     }
 
-    /// Submits one sample (a batch-1 tensor) and blocks until its logits
-    /// return.
+    /// A shared handle to the compiled plan (for spawning sibling
+    /// replicas).
+    pub fn plan(&self) -> Arc<CompiledNet> {
+        Arc::clone(&self.shared.net)
+    }
+
+    /// Submits one sample (a batch-1 tensor) without blocking and returns
+    /// its [`Ticket`].
     ///
     /// # Errors
     ///
     /// [`ServeError::ShapeMismatch`] if the sample's `(c, h, w)` differs
     /// from the plan's input shape or the tensor is not batch-1;
-    /// [`ServeError::ShuttingDown`] after [`Server::shutdown`] began.
-    pub fn submit(&self, sample: &Tensor4) -> Result<Vec<f32>> {
+    /// [`ServeError::Overloaded`] if the queue is at
+    /// [`ServeConfig::queue_cap`]; [`ServeError::ShuttingDown`] after
+    /// [`Replica::shutdown`] began.
+    pub fn submit(&self, sample: &Tensor4) -> Result<Ticket> {
         let (b, c, h, w) = sample.shape();
         if b != 1 || (c, h, w) != self.shared.net.input_shape() {
             return Err(ServeError::ShapeMismatch {
@@ -180,15 +312,14 @@ impl Server {
         self.submit_features(sample.as_slice())
     }
 
-    /// Submits one sample as a raw `c·h·w` feature slice and blocks until
-    /// its logits return.
+    /// Submits one sample as a raw `c·h·w` feature slice without blocking
+    /// and returns its [`Ticket`].
     ///
     /// # Errors
     ///
     /// [`ServeError::FeatureLengthMismatch`] if the slice length is not the
-    /// plan's `c·h·w`; [`ServeError::ShuttingDown`] after
-    /// [`Server::shutdown`] began.
-    pub fn submit_features(&self, features: &[f32]) -> Result<Vec<f32>> {
+    /// plan's `c·h·w`; otherwise as [`Replica::submit`].
+    pub fn submit_features(&self, features: &[f32]) -> Result<Ticket> {
         let (c, h, w) = self.shared.net.input_shape();
         if features.len() != c * h * w {
             return Err(ServeError::FeatureLengthMismatch {
@@ -196,24 +327,51 @@ impl Server {
                 got: features.len(),
             });
         }
-        let slot = Arc::new(Slot { done: Mutex::new(None), cv: Condvar::new() });
+        let slot = Arc::new(Slot { done: Mutex::new(SlotState::Pending), cv: Condvar::new() });
         {
             let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
             if queue.shutdown {
                 return Err(ServeError::ShuttingDown);
+            }
+            let depth = queue.pending.len();
+            if depth >= self.shared.cfg.queue_cap {
+                // Shed under the lock so depth/cap in the error are exact.
+                self.shared.stats.record_shed();
+                return Err(ServeError::Overloaded { depth, cap: self.shared.cfg.queue_cap });
             }
             queue.pending.push_back(Request {
                 features: features.to_vec(),
                 enqueued: Instant::now(),
                 slot: Arc::clone(&slot),
             });
+            self.shared.stats.set_queue_depth(queue.pending.len() as u64);
         }
         self.shared.available.notify_all();
-        let mut done = slot.done.lock().expect("serve slot poisoned");
-        while done.is_none() {
-            done = slot.cv.wait(done).expect("serve slot poisoned");
+        Ok(Ticket { slot })
+    }
+
+    /// Pending (admitted, not yet drained) requests — the value the
+    /// bounded-queue check and least-loaded routing read. Lock-free.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.stats.queue_depth() as usize
+    }
+
+    /// Pauses batch processing: batcher threads stop draining the queue
+    /// (a batch already in flight completes). Submissions are still
+    /// admitted until the queue cap. Used for maintenance windows and for
+    /// deterministic overload tests.
+    pub fn pause(&self) {
+        let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+        queue.paused = true;
+    }
+
+    /// Resumes batch processing after [`Replica::pause`].
+    pub fn resume(&self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            queue.paused = false;
         }
-        Ok(done.take().expect("slot filled"))
+        self.shared.available.notify_all();
     }
 
     /// Snapshot of the throughput/latency counters.
@@ -221,7 +379,8 @@ impl Server {
         self.shared.stats.snapshot()
     }
 
-    /// Stops accepting submissions, drains the queue and joins the batcher
+    /// Stops accepting submissions, drains the queue (delivering every
+    /// admitted ticket — a pause is overridden) and joins the batcher
     /// threads. Idempotent; also invoked by `Drop`.
     pub fn shutdown(&mut self) {
         {
@@ -235,19 +394,94 @@ impl Server {
     }
 }
 
-impl Drop for Server {
+impl Drop for Replica {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// The single-replica micro-batching inference server.
+///
+/// A convenience wrapper over one [`Replica`] with a *blocking*
+/// [`Server::submit`]; multi-replica, multi-model serving lives in
+/// `scissor_router`. Submission is thread-safe through `&self`; drop (or
+/// [`Server::shutdown`]) drains the queue and joins the batcher threads.
+pub struct Server {
+    replica: Replica,
+}
+
+impl Server {
+    /// Starts batcher threads over a compiled plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.max_batch`, `cfg.workers` or `cfg.queue_cap` is zero.
+    pub fn start(net: CompiledNet, cfg: ServeConfig) -> Self {
+        Self { replica: Replica::start(Arc::new(net), cfg) }
+    }
+
+    /// The compiled plan being served.
+    pub fn net(&self) -> &CompiledNet {
+        self.replica.net()
+    }
+
+    /// The underlying batching replica (async submission, pause/resume,
+    /// queue depth).
+    pub fn replica(&self) -> &Replica {
+        &self.replica
+    }
+
+    /// Submits one sample (a batch-1 tensor) and blocks until its logits
+    /// return.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShapeMismatch`] if the sample's `(c, h, w)` differs
+    /// from the plan's input shape or the tensor is not batch-1;
+    /// [`ServeError::Overloaded`] if a finite
+    /// [`ServeConfig::queue_cap`] is exceeded;
+    /// [`ServeError::ShuttingDown`] after [`Server::shutdown`] began.
+    pub fn submit(&self, sample: &Tensor4) -> Result<Vec<f32>> {
+        Ok(self.replica.submit(sample)?.wait())
+    }
+
+    /// Submits one sample as a raw `c·h·w` feature slice and blocks until
+    /// its logits return.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::FeatureLengthMismatch`] if the slice length is not the
+    /// plan's `c·h·w`; otherwise as [`Server::submit`].
+    pub fn submit_features(&self, features: &[f32]) -> Result<Vec<f32>> {
+        Ok(self.replica.submit_features(features)?.wait())
+    }
+
+    /// Snapshot of the throughput/latency counters.
+    pub fn stats(&self) -> ServeStats {
+        self.replica.stats()
+    }
+
+    /// Stops accepting submissions, drains the queue and joins the batcher
+    /// threads. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.replica.shutdown();
     }
 }
 
 /// One batcher thread: collect → infer → fan out, forever.
 fn batcher_loop(shared: &Shared) {
     let (c, h, w) = shared.net.input_shape();
-    let mut scratch = InferScratch::new();
+    // Pre-size the scratch at the largest batch this replica will ever
+    // form, so even the first served request runs the allocation-free
+    // warm path.
+    let mut scratch = shared.net.warm_scratch(shared.cfg.max_batch);
     let mut batch_input = Tensor4::zeros(0, c, h, w);
     let mut guard = shared.queue.lock().expect("serve queue poisoned");
     loop {
+        if guard.paused && !guard.shutdown {
+            guard = shared.available.wait(guard).expect("serve queue poisoned");
+            continue;
+        }
         if guard.pending.is_empty() {
             if guard.shutdown {
                 return;
@@ -256,12 +490,13 @@ fn batcher_loop(shared: &Shared) {
             continue;
         }
         // A batch is forming: wait for co-riders until it is full, the
-        // oldest sample's wait budget runs out, or shutdown begins. The
-        // deadline is recomputed from the *current* front each iteration —
-        // with several workers, another batcher may drain the request the
-        // previous deadline was keyed to, and a fresh arrival deserves its
-        // own full coalescing window, not a stale (possibly expired) one.
-        while guard.pending.len() < shared.cfg.max_batch && !guard.shutdown {
+        // oldest sample's wait budget runs out, or shutdown/pause begins.
+        // The deadline is recomputed from the *current* front each
+        // iteration — with several workers, another batcher may drain the
+        // request the previous deadline was keyed to, and a fresh arrival
+        // deserves its own full coalescing window, not a stale (possibly
+        // expired) one.
+        while guard.pending.len() < shared.cfg.max_batch && !guard.shutdown && !guard.paused {
             let front = match guard.pending.front() {
                 Some(req) => req,
                 // Another worker drained the queue while we slept.
@@ -276,12 +511,18 @@ fn batcher_loop(shared: &Shared) {
                 shared.available.wait_timeout(guard, deadline - now).expect("serve queue poisoned");
             guard = g;
         }
+        // Paused mid-coalesce: leave the queue alone until resumed (the
+        // shutdown drain overrides a pause).
+        if guard.paused && !guard.shutdown {
+            continue;
+        }
         // The queue may have been drained entirely while we slept.
         if guard.pending.is_empty() {
             continue;
         }
         let take = guard.pending.len().min(shared.cfg.max_batch);
         let batch: Vec<Request> = guard.pending.drain(..take).collect();
+        shared.stats.set_queue_depth(guard.pending.len() as u64);
         drop(guard);
 
         run_batch(shared, &batch, &mut batch_input, &mut scratch, take);
@@ -291,12 +532,12 @@ fn batcher_loop(shared: &Shared) {
 }
 
 /// Assembles a drained batch, runs the forward pass and fans the logits
-/// back out to the blocked submitters.
+/// back out to the waiting tickets.
 fn run_batch(
     shared: &Shared,
     batch: &[Request],
     batch_input: &mut Tensor4,
-    scratch: &mut InferScratch,
+    scratch: &mut scissor_nn::InferScratch,
     take: usize,
 ) {
     let (c, h, w) = shared.net.input_shape();
@@ -308,8 +549,8 @@ fn run_batch(
     let logits = shared.net.infer_into(batch_input, scratch);
     let infer_ns = infer_start.elapsed().as_nanos() as u64;
 
-    // Record every counter BEFORE waking any submitter: a caller that
-    // reads `stats()` right after its `submit` returns must see its own
+    // Record every counter BEFORE waking any ticket holder: a caller that
+    // reads `stats()` right after its `wait` returns must see its own
     // request and its batch fully accounted.
     let now = Instant::now();
     for req in batch {
@@ -320,10 +561,10 @@ fn run_batch(
 
     for (i, req) in batch.iter().enumerate() {
         // Fill under the slot lock and notify before releasing it, so the
-        // submitter cannot observe the fill and deallocate the slot
+        // ticket holder cannot observe the fill and deallocate the slot
         // between the two.
         let mut done = req.slot.done.lock().expect("serve slot poisoned");
-        *done = Some(logits.row(i).to_vec());
+        *done = SlotState::Ready(logits.row(i).to_vec());
         req.slot.cv.notify_all();
         drop(done);
     }
@@ -392,7 +633,11 @@ mod tests {
     fn stats_count_requests_and_batches() {
         let server = Server::start(
             tiny_plan(),
-            ServeConfig { max_batch: 4, max_wait: Duration::from_millis(1), workers: 1 },
+            ServeConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
         );
         for s in 0..5 {
             server.submit(&sample(s)).unwrap();
@@ -403,5 +648,101 @@ mod tests {
         assert!(stats.batches >= 1 && stats.batches <= 5);
         assert!(stats.mean_batch_size() >= 1.0);
         assert!(stats.max_latency >= stats.mean_latency());
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.queue_depth, 0, "all requests delivered → queue empty");
+        assert_eq!(stats.latency_hist.iter().sum::<u64>(), 5);
+        assert!(stats.p50_latency() <= stats.p99_latency());
+    }
+
+    #[test]
+    fn ticket_try_take_and_wait() {
+        let plan = tiny_plan();
+        let expect = plan.infer(&sample(4));
+        let replica = Replica::start(Arc::new(tiny_plan()), ServeConfig::default());
+        let ticket = replica.submit(&sample(4)).unwrap();
+        // Poll until ready, then take without blocking.
+        let got = loop {
+            if let Some(v) = ticket.try_take() {
+                break v;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(got.as_slice(), expect.as_slice());
+        assert!(!ticket.is_ready(), "taken logits are gone");
+        assert!(ticket.try_take().is_none());
+        // wait() path on a second ticket.
+        let got = replica.submit(&sample(4)).unwrap().wait();
+        assert_eq!(got.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "already redeemed")]
+    fn wait_after_try_take_panics_instead_of_hanging() {
+        let replica = Replica::start(Arc::new(tiny_plan()), ServeConfig::default());
+        let ticket = replica.submit(&sample(1)).unwrap();
+        loop {
+            if ticket.try_take().is_some() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // The logits are gone; blocking would hang forever, so this must
+        // fail loudly instead.
+        let _ = ticket.wait();
+    }
+
+    #[test]
+    fn paused_replica_admits_until_cap_then_sheds() {
+        let replica = Replica::start(
+            Arc::new(tiny_plan()),
+            ServeConfig { queue_cap: 3, ..ServeConfig::default() },
+        );
+        replica.pause();
+        let tickets: Vec<Ticket> =
+            (0..3).map(|s| replica.submit(&sample(s)).expect("admitted")).collect();
+        assert_eq!(replica.queue_depth(), 3);
+        // Queue is at the high-water mark: the next submission sheds.
+        match replica.submit(&sample(9)) {
+            Err(ServeError::Overloaded { depth: 3, cap: 3 }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(replica.stats().shed, 1);
+        // Resume: every admitted ticket is delivered with exact logits.
+        replica.resume();
+        let reference = tiny_plan();
+        for (s, t) in tickets.into_iter().enumerate() {
+            let want = reference.infer(&sample(s));
+            assert_eq!(t.wait().as_slice(), want.as_slice(), "ticket {s}");
+        }
+        assert_eq!(replica.queue_depth(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_tickets_even_when_paused() {
+        let mut replica = Replica::start(Arc::new(tiny_plan()), ServeConfig::default());
+        replica.pause();
+        let tickets: Vec<Ticket> =
+            (0..4).map(|s| replica.submit(&sample(s)).expect("admitted")).collect();
+        assert_eq!(replica.queue_depth(), 4);
+        // Shutdown overrides the pause and drains everything admitted.
+        replica.shutdown();
+        let reference = tiny_plan();
+        for (s, t) in tickets.into_iter().enumerate() {
+            let want = reference.infer(&sample(s));
+            assert_eq!(t.wait().as_slice(), want.as_slice(), "ticket {s}");
+        }
+        assert!(matches!(replica.submit(&sample(0)), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn replicas_share_one_plan() {
+        let plan = Arc::new(tiny_plan());
+        let a = Replica::start(Arc::clone(&plan), ServeConfig::default());
+        let b = Replica::start(a.plan(), ServeConfig::default());
+        let expect = plan.infer(&sample(2));
+        assert_eq!(a.submit(&sample(2)).unwrap().wait().as_slice(), expect.as_slice());
+        assert_eq!(b.submit(&sample(2)).unwrap().wait().as_slice(), expect.as_slice());
+        // Three handles to one frozen plan: the two replicas and ours.
+        assert_eq!(Arc::strong_count(&plan), 3);
     }
 }

@@ -3,16 +3,58 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Number of latency histogram buckets.
+///
+/// Bucket `i` (for `i > 0`) counts requests whose submit→delivery latency
+/// in nanoseconds has bit length `i`, i.e. lies in `[2^(i-1), 2^i)`;
+/// bucket 0 counts zero-latency requests. 40 buckets cover up to
+/// `2^39 ns ≈ 9.2 min`, with everything slower clamped into the top
+/// bucket.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Maps a latency in nanoseconds to its histogram bucket.
+fn latency_bucket(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// Upper bound (exclusive, in nanoseconds) of histogram bucket `i`.
+fn bucket_upper_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
 /// Internal atomic counters, updated by the batcher threads.
-#[derive(Default)]
 pub(crate) struct StatsInner {
     requests: AtomicU64,
     batches: AtomicU64,
     samples: AtomicU64,
     full_batches: AtomicU64,
+    shed: AtomicU64,
+    queue_depth: AtomicU64,
     latency_ns_sum: AtomicU64,
     latency_ns_max: AtomicU64,
     infer_ns_sum: AtomicU64,
+    latency_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for StatsInner {
+    fn default() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            full_batches: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            latency_ns_sum: AtomicU64::new(0),
+            latency_ns_max: AtomicU64::new(0),
+            infer_ns_sum: AtomicU64::new(0),
+            latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl StatsInner {
@@ -20,6 +62,7 @@ impl StatsInner {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.latency_ns_sum.fetch_add(latency_ns, Ordering::Relaxed);
         self.latency_ns_max.fetch_max(latency_ns, Ordering::Relaxed);
+        self.latency_hist[latency_bucket(latency_ns)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_batch(&self, size: u64, full: bool, infer_ns: u64) {
@@ -29,6 +72,21 @@ impl StatsInner {
             self.full_batches.fetch_add(1, Ordering::Relaxed);
         }
         self.infer_ns_sum.fetch_add(infer_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the queue-depth gauge; called while the queue lock is held so
+    /// the gauge tracks the queue exactly at mutation points.
+    pub(crate) fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Current queue-depth gauge (cheap, lock-free read).
+    pub(crate) fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
     }
 
     pub(crate) fn snapshot(&self) -> ServeStats {
@@ -46,16 +104,19 @@ impl StatsInner {
             batches,
             samples: self.samples.load(Ordering::Relaxed),
             full_batches,
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
             latency_sum: Duration::from_nanos(self.latency_ns_sum.load(Ordering::Relaxed)),
             max_latency: Duration::from_nanos(self.latency_ns_max.load(Ordering::Relaxed)),
             infer_time: Duration::from_nanos(self.infer_ns_sum.load(Ordering::Relaxed)),
+            latency_hist: std::array::from_fn(|i| self.latency_hist[i].load(Ordering::Relaxed)),
         }
     }
 }
 
 /// A point-in-time snapshot of a server's counters.
 ///
-/// Counters are cumulative since [`crate::Server::start`]. The snapshot is
+/// Counters are cumulative since [`crate::Replica::start`]. The snapshot is
 /// taken counter-by-counter without a global lock, so totals may be a few
 /// in-flight requests apart from each other under load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,12 +130,21 @@ pub struct ServeStats {
     /// Batches flushed because they reached `max_batch` (the rest flushed
     /// on the `max_wait` timeout or shutdown drain).
     pub full_batches: u64,
+    /// Submissions rejected because the bounded queue was at capacity.
+    pub shed: u64,
+    /// Queue depth (pending, not-yet-drained requests) at snapshot time —
+    /// a gauge, not a cumulative counter.
+    pub queue_depth: u64,
     /// Summed submit→delivery latency across requests.
     pub latency_sum: Duration,
     /// Worst single-request submit→delivery latency.
     pub max_latency: Duration,
     /// Time spent inside `CompiledNet::infer_into`.
     pub infer_time: Duration,
+    /// Fixed log₂-bucket latency histogram: bucket `i > 0` counts requests
+    /// with latency in `[2^(i-1), 2^i)` ns (bucket 0: zero latency; the
+    /// top bucket absorbs everything slower than its lower bound).
+    pub latency_hist: [u64; LATENCY_BUCKETS],
 }
 
 impl ServeStats {
@@ -98,6 +168,42 @@ impl ServeStats {
         }
     }
 
+    /// The latency quantile `q ∈ [0, 1]` read off the fixed-bucket
+    /// histogram, reported as the containing bucket's upper bound (clamped
+    /// to [`ServeStats::max_latency`], which also bounds every quantile) —
+    /// with log₂ buckets the true quantile is at most 2× smaller. Returns
+    /// `Duration::ZERO` when no request has been recorded.
+    pub fn latency_percentile(&self, q: f64) -> Duration {
+        let total: u64 = self.latency_hist.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Duration::from_nanos(bucket_upper_ns(i)).min(self.max_latency);
+            }
+        }
+        self.max_latency
+    }
+
+    /// Median submit→delivery latency (histogram bucket upper bound).
+    pub fn p50_latency(&self) -> Duration {
+        self.latency_percentile(0.50)
+    }
+
+    /// 95th-percentile submit→delivery latency.
+    pub fn p95_latency(&self) -> Duration {
+        self.latency_percentile(0.95)
+    }
+
+    /// 99th-percentile submit→delivery latency.
+    pub fn p99_latency(&self) -> Duration {
+        self.latency_percentile(0.99)
+    }
+
     /// Batches flushed by the `max_wait` timer (or the shutdown drain)
     /// rather than by filling up.
     pub fn timeout_batches(&self) -> u64 {
@@ -112,6 +218,41 @@ impl ServeStats {
             0.0
         } else {
             self.samples as f64 / secs
+        }
+    }
+
+    /// Merges another snapshot into this one (counters add; gauges add —
+    /// the merged `queue_depth` is the cluster-wide backlog; `max_latency`
+    /// takes the max). Used to aggregate per-replica stats into a
+    /// per-model view.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.samples += other.samples;
+        self.full_batches += other.full_batches;
+        self.shed += other.shed;
+        self.queue_depth += other.queue_depth;
+        self.latency_sum += other.latency_sum;
+        self.max_latency = self.max_latency.max(other.max_latency);
+        self.infer_time += other.infer_time;
+        for (a, b) in self.latency_hist.iter_mut().zip(other.latency_hist.iter()) {
+            *a += b;
+        }
+    }
+
+    /// An all-zero snapshot (the identity for [`ServeStats::merge`]).
+    pub fn zero() -> Self {
+        ServeStats {
+            requests: 0,
+            batches: 0,
+            samples: 0,
+            full_batches: 0,
+            shed: 0,
+            queue_depth: 0,
+            latency_sum: Duration::ZERO,
+            max_latency: Duration::ZERO,
+            infer_time: Duration::ZERO,
+            latency_hist: [0; LATENCY_BUCKETS],
         }
     }
 }
@@ -133,6 +274,7 @@ mod tests {
         assert_eq!(s.batches, 2);
         assert_eq!(s.samples, 3);
         assert_eq!(s.full_batches, 1);
+        assert_eq!(s.shed, 0);
         assert_eq!(s.timeout_batches(), 1);
         assert_eq!(s.max_latency, Duration::from_nanos(3_000));
         assert_eq!(s.mean_latency(), Duration::from_nanos(2_000));
@@ -146,5 +288,83 @@ mod tests {
         assert_eq!(s.mean_batch_size(), 0.0);
         assert_eq!(s.mean_latency(), Duration::ZERO);
         assert_eq!(s.infer_throughput(), 0.0);
+        assert_eq!(s.latency_percentile(0.5), Duration::ZERO);
+        assert_eq!(s, ServeStats::zero());
+    }
+
+    #[test]
+    fn shed_and_depth_counters() {
+        let inner = StatsInner::default();
+        inner.record_shed();
+        inner.record_shed();
+        inner.set_queue_depth(7);
+        let s = inner.snapshot();
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.queue_depth, 7);
+        assert_eq!(inner.queue_depth(), 7);
+    }
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 1);
+        assert_eq!(latency_bucket(2), 2);
+        assert_eq!(latency_bucket(3), 2);
+        assert_eq!(latency_bucket(4), 3);
+        assert_eq!(latency_bucket(1 << 38), LATENCY_BUCKETS - 1);
+        // Past the top bucket everything clamps.
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+        assert_eq!(bucket_upper_ns(0), 0);
+        assert_eq!(bucket_upper_ns(3), 8);
+    }
+
+    #[test]
+    fn percentiles_read_off_the_histogram() {
+        let inner = StatsInner::default();
+        // 90 fast requests (~1 µs), 9 at ~1 ms, 1 at ~1 s.
+        for _ in 0..90 {
+            inner.record_request(1_000);
+        }
+        for _ in 0..9 {
+            inner.record_request(1_000_000);
+        }
+        inner.record_request(1_000_000_000);
+        let s = inner.snapshot();
+        // Bucket upper bounds: the p50/p90 land in the ~1 µs bucket
+        // ([512, 1024) ns → upper 1024), p95 in the ~1 ms bucket, p100 in
+        // the ~1 s bucket.
+        assert_eq!(s.p50_latency(), Duration::from_nanos(1024));
+        assert_eq!(s.latency_percentile(0.90), Duration::from_nanos(1024));
+        assert_eq!(s.p95_latency(), Duration::from_nanos(1 << 20));
+        assert_eq!(s.p99_latency(), Duration::from_nanos(1 << 20));
+        // The top quantile's bucket bound (2^30 ns) exceeds the recorded
+        // max, so it clamps to the max — no percentile ever reads above it.
+        assert_eq!(s.latency_percentile(1.0), Duration::from_nanos(1_000_000_000));
+        assert!(s.p50_latency() <= s.p95_latency());
+        assert!(s.p95_latency() <= s.p99_latency());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_latency() {
+        let a = StatsInner::default();
+        a.record_request(1_000);
+        a.record_batch(1, true, 100);
+        a.set_queue_depth(2);
+        let b = StatsInner::default();
+        b.record_request(5_000);
+        b.record_request(3_000);
+        b.record_batch(2, false, 300);
+        b.record_shed();
+        b.set_queue_depth(1);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.samples, 3);
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.queue_depth, 3);
+        assert_eq!(m.max_latency, Duration::from_nanos(5_000));
+        assert_eq!(m.latency_sum, Duration::from_nanos(9_000));
+        assert_eq!(m.latency_hist.iter().sum::<u64>(), 3);
     }
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use group_scissor_repro::pipeline::report::{pct, text_table};
-use group_scissor_repro::pipeline::{run_pipeline, GroupScissorConfig, ModelKind};
+use group_scissor_repro::pipeline::{run_pipeline_on, GroupScissorConfig, ModelKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = std::env::args().any(|a| a == "--full");
@@ -20,8 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          expect minutes, not seconds",
         if full { "full" } else { "fast" }
     );
+    if std::env::var_os("GS_MNIST_DIR").is_some() {
+        eprintln!("GS_MNIST_DIR applies to the MNIST-input LeNet; ConvNet runs on synth-CIFAR");
+    }
+    // `datasets_from_env` resolves to synthetic CIFAR for this model; the
+    // call keeps the two pipeline examples' data plumbing identical.
+    let (train, test, source) = cfg.datasets_from_env()?;
+    eprintln!("data: {source} ({} train / {} test samples)", train.len(), test.len());
 
-    let outcome = run_pipeline(&cfg)?;
+    let outcome = run_pipeline_on(&cfg, &train, &test)?;
 
     println!("== accuracy (Table 1 analogue) ==");
     let rows = vec![

@@ -4,10 +4,15 @@
 //! ```text
 //! cargo run --release --example lenet_pipeline            # fast preset
 //! cargo run --release --example lenet_pipeline -- --full  # paper-scale preset
+//! GS_MNIST_DIR=/data/mnist cargo run --release --example lenet_pipeline -- --full
 //! ```
+//!
+//! `GS_MNIST_DIR` opts into the real MNIST IDX files (the four standard
+//! `train-images-idx3-ubyte`… files); when unset or the files are absent
+//! the run falls back to the synthetic stand-in.
 
 use group_scissor_repro::pipeline::report::{pct, text_table};
-use group_scissor_repro::pipeline::{run_pipeline, GroupScissorConfig, ModelKind};
+use group_scissor_repro::pipeline::{run_pipeline_on, DataSource, GroupScissorConfig, ModelKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = std::env::args().any(|a| a == "--full");
@@ -26,7 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.deletion.iters
     );
 
-    let outcome = run_pipeline(&cfg)?;
+    let (train, test, source) = cfg.datasets_from_env()?;
+    if std::env::var_os("GS_MNIST_DIR").is_some() && source == DataSource::Synthetic {
+        eprintln!("GS_MNIST_DIR is set but the IDX files were not found; using synthetic data");
+    }
+    eprintln!("data: {source} ({} train / {} test samples)", train.len(), test.len());
+
+    let outcome = run_pipeline_on(&cfg, &train, &test)?;
 
     println!("== accuracy (Table 1 analogue) ==");
     let rows = vec![

@@ -88,7 +88,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Concurrent callers through the micro-batching server.
     let server = Arc::new(Server::start(
         net.compile()?,
-        ServeConfig { max_batch: batch, max_wait: Duration::from_millis(2), workers: 1 },
+        ServeConfig {
+            max_batch: batch,
+            max_wait: Duration::from_millis(2),
+            workers: 1,
+            ..ServeConfig::default()
+        },
     ));
     let callers = 8;
     let start = Instant::now();
@@ -122,10 +127,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.timeout_batches()
     );
     println!(
-        "  latency mean {:.2?} / max {:.2?}; inference throughput {:.0} samples/s",
+        "  latency mean {:.2?} / p50 {:.2?} / p95 {:.2?} / p99 {:.2?} / max {:.2?}",
         stats.mean_latency(),
-        stats.max_latency,
-        stats.infer_throughput()
+        stats.p50_latency(),
+        stats.p95_latency(),
+        stats.p99_latency(),
+        stats.max_latency
     );
+    println!("  inference throughput {:.0} samples/s", stats.infer_throughput());
     Ok(())
 }

@@ -17,7 +17,8 @@
 //! | [`prune`] | group connection deletion (paper step 2) |
 //! | [`ncs`] | memristor-crossbar area/routing hardware model |
 //! | [`pipeline`] | model zoo + end-to-end orchestration |
-//! | [`serve`] | micro-batching inference server over compiled plans |
+//! | [`serve`] | micro-batching inference replicas over compiled plans |
+//! | [`router`] | sharded multi-model, multi-replica serving router |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,4 +30,5 @@ pub use scissor_lra as lra;
 pub use scissor_ncs as ncs;
 pub use scissor_nn as nn;
 pub use scissor_prune as prune;
+pub use scissor_router as router;
 pub use scissor_serve as serve;

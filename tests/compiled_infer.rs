@@ -100,7 +100,7 @@ fn served_lenet_logits_are_bitwise_identical_to_eval() {
 
     let server = Arc::new(Server::start(
         net.compile().expect("compile"),
-        ServeConfig { max_batch: 8, max_wait: Duration::from_millis(1), workers: 1 },
+        ServeConfig { max_batch: 8, max_wait: Duration::from_millis(1), ..ServeConfig::default() },
     ));
     let handles: Vec<_> = (0..4)
         .map(|t| {
