@@ -16,7 +16,7 @@ use rand::SeedableRng;
 
 use group_scissor::ModelKind;
 use scissor_data::SynthOptions;
-use scissor_nn::{InferScratch, Network, Phase, Tensor4};
+use scissor_nn::{InferScratch, Network, Phase, Tensor4, TileConfig};
 use scissor_serve::{ServeConfig, Server};
 
 const BATCH: usize = 32;
@@ -68,6 +68,54 @@ fn bench_serving(c: &mut Criterion) {
                 criterion::black_box(plan.infer_into(x, &mut scratch).as_slice().len());
             }
         });
+    });
+    g.finish();
+}
+
+/// The cache-tiling sweep: the same batch-32 compiled pass executed in
+/// sub-batches of 1/4/8/16/32 plus the explicitly-untiled and the
+/// auto-planned tile — the locality win (or its absence on a big-LLC
+/// host) is measured, not asserted.
+fn bench_tile_sweep(c: &mut Criterion) {
+    let net = clipped_lenet();
+    let mut plan = net.compile().expect("compile");
+    let images = batch_images();
+
+    let auto = TileConfig::auto();
+    plan.set_tile_config(auto);
+    eprintln!(
+        "[tile] auto budget {} KiB → tile {} for batch {}; working set: untiled {} KiB, \
+         auto-tiled {} KiB",
+        auto.budget_bytes / 1024,
+        plan.plan_tile(BATCH),
+        BATCH,
+        plan.working_set_bytes(BATCH) / 1024,
+        plan.working_set_bytes(plan.plan_tile(BATCH)) / 1024,
+    );
+
+    let mut g = c.benchmark_group("serve_tile_sweep");
+    g.sample_size(15);
+    for tile in [1usize, 4, 8, 16, 32] {
+        plan.set_tile_config(TileConfig::fixed(tile));
+        let mut scratch = plan.warm_scratch(BATCH);
+        g.bench_function(&format!("batch32_tile_{tile}"), |bench| {
+            bench.iter(|| {
+                criterion::black_box(plan.infer_into(&images, &mut scratch).as_slice().len())
+            });
+        });
+    }
+    plan.set_tile_config(TileConfig::untiled());
+    let mut scratch = plan.warm_scratch(BATCH);
+    g.bench_function("batch32_untiled", |bench| {
+        bench
+            .iter(|| criterion::black_box(plan.infer_into(&images, &mut scratch).as_slice().len()));
+    });
+    plan.set_tile_config(auto);
+    let auto_tile = plan.plan_tile(BATCH);
+    let mut scratch = plan.warm_scratch(BATCH);
+    g.bench_function(&format!("batch32_auto_tile_{auto_tile}"), |bench| {
+        bench
+            .iter(|| criterion::black_box(plan.infer_into(&images, &mut scratch).as_slice().len()));
     });
     g.finish();
 }
@@ -124,5 +172,5 @@ fn bench_server_end_to_end(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_serving, bench_server_end_to_end);
+criterion_group!(benches, bench_serving, bench_tile_sweep, bench_server_end_to_end);
 criterion_main!(benches);

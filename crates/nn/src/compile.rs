@@ -26,6 +26,25 @@
 //! produced logits are **bitwise identical** to the training container's
 //! eval forward — tested at LeNet/ConvNet scale in the workspace
 //! integration suite.
+//!
+//! # Cache-tiled batch execution
+//!
+//! A large batch is a locality hazard: at batch 32 the im2col patch
+//! matrix and the ping-pong activations are multi-megabyte, so each layer
+//! streams its input back in from memory after the previous layer evicted
+//! it — on small-LLC hosts the batched pass degenerates to memory
+//! bandwidth. [`CompiledNet`] therefore carries a [`TileConfig`]: a
+//! planner estimates the **per-sample working set** of every step
+//! (im2col rows, matmul `rows`/`t` intermediates, both activations, the
+//! step's resident weights) and picks the largest sub-batch whose
+//! worst-step working set fits the cache budget. [`CompiledNet::infer_into`]
+//! then runs each sub-batch through **all** layers before starting the
+//! next, recovering the per-sample loop's cache locality while keeping
+//! the batched API. Because per-sample logits are batch-invariant (each
+//! output element accumulates in a fixed order regardless of batch
+//! composition), the tiled output is **bitwise identical** to the
+//! untiled pass — property-tested across tile sizes, including ones that
+//! do not divide the batch.
 
 use scissor_linalg::Matrix;
 
@@ -35,9 +54,132 @@ use crate::layer::Layer;
 use crate::layers::conv::add_bias_rows;
 use crate::layers::pool::{max_pool_scan, pool_out_len};
 use crate::layers::{Conv2d, ConvGeometry, Linear, LowRankConv2d, LowRankLinear, MaxPool2d, Relu};
-use crate::loss::{accuracy, argmax_classes};
+use crate::loss::{accuracy, argmax_rows_into};
 use crate::net::Network;
-use crate::tensor::Tensor4;
+use crate::tensor::{BatchView, Tensor4};
+
+/// Cache budget used when no cache topology is readable (a common
+/// private-L2 size; deliberately conservative — a too-small tile only
+/// costs a few extra per-layer kernel launches, a too-large one evicts).
+const FALLBACK_BUDGET: usize = 2 * 1024 * 1024;
+
+/// A cache level reporting more than this is treated as a socket-wide
+/// shared cache (containers see the host's whole L3 even when pinned to
+/// one core) rather than capacity one core can keep resident; detection
+/// then falls back to the next level down.
+const PRIVATE_LLC_CAP: usize = 32 * 1024 * 1024;
+
+/// Tiling policy for [`CompiledNet`] batch execution.
+///
+/// The default ([`TileConfig::auto`]) detects the last-level cache from
+/// `/sys/devices/system/cpu/cpu0/cache` and honors two environment
+/// variables read at [`CompiledNet::compile`] time:
+///
+/// * `GS_TILE_BATCH` — fixed sub-batch override; `0` disables tiling
+///   entirely (every batch runs the untiled single-pass path);
+/// * `GS_LLC_BUDGET` — cache budget in bytes for the planner, replacing
+///   the auto-detected size.
+///
+/// A tile at or above the batch size disables tiling for that batch, so
+/// `TileConfig::fixed(batch)` and [`TileConfig::untiled`] run the
+/// identical single-pass path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Cache budget in bytes the per-tile working set must fit.
+    pub budget_bytes: usize,
+    /// Fixed sub-batch override; `None` plans the tile from
+    /// [`TileConfig::budget_bytes`].
+    pub tile: Option<usize>,
+}
+
+impl TileConfig {
+    /// Auto-detected budget plus the `GS_TILE_BATCH` / `GS_LLC_BUDGET`
+    /// environment overrides (see the type docs).
+    pub fn auto() -> Self {
+        let budget = std::env::var("GS_LLC_BUDGET")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&b| b > 0)
+            .unwrap_or_else(detect_llc_budget);
+        let tile = std::env::var("GS_TILE_BATCH").ok().and_then(|s| tile_from_env_str(&s));
+        Self { budget_bytes: budget, tile }
+    }
+
+    /// Fixed sub-batch size, bypassing the planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile == 0` (use [`TileConfig::untiled`] to disable).
+    pub fn fixed(tile: usize) -> Self {
+        assert!(tile > 0, "tile must be positive; use TileConfig::untiled() to disable");
+        Self { budget_bytes: FALLBACK_BUDGET, tile: Some(tile) }
+    }
+
+    /// Disables tiling: every batch runs the untiled single-pass path.
+    pub fn untiled() -> Self {
+        Self { budget_bytes: FALLBACK_BUDGET, tile: Some(usize::MAX) }
+    }
+
+    /// Plans the tile from an explicit cache budget in bytes.
+    pub fn budget(bytes: usize) -> Self {
+        Self { budget_bytes: bytes, tile: None }
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// `GS_TILE_BATCH` semantics: `0` → untiled, `n` → fixed tile `n`,
+/// unparsable → no override.
+fn tile_from_env_str(s: &str) -> Option<usize> {
+    match s.trim().parse::<usize>() {
+        Ok(0) => Some(usize::MAX),
+        Ok(n) => Some(n),
+        Err(_) => None,
+    }
+}
+
+/// Largest data/unified cache level at most [`PRIVATE_LLC_CAP`] visible
+/// in sysfs, or [`FALLBACK_BUDGET`] when the topology is unreadable
+/// (non-Linux hosts, restricted containers).
+fn detect_llc_budget() -> usize {
+    let mut best = 0usize;
+    for idx in 0..8 {
+        let base = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}");
+        let Ok(ty) = std::fs::read_to_string(format!("{base}/type")) else { break };
+        if ty.trim() == "Instruction" {
+            continue;
+        }
+        let Some(bytes) = std::fs::read_to_string(format!("{base}/size"))
+            .ok()
+            .and_then(|s| parse_cache_size(s.trim()))
+        else {
+            continue;
+        };
+        if bytes <= PRIVATE_LLC_CAP {
+            best = best.max(bytes);
+        }
+    }
+    if best == 0 {
+        FALLBACK_BUDGET
+    } else {
+        best
+    }
+}
+
+/// Parses sysfs cache sizes (`48K`, `2048K`, `260M`, plain bytes).
+fn parse_cache_size(s: &str) -> Option<usize> {
+    let (digits, unit) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n.saturating_mul(unit))
+}
 
 /// One frozen forward-only step of a compiled plan.
 enum StepKind {
@@ -93,6 +235,10 @@ pub struct CompiledNet {
     input_shape: (usize, usize, usize),
     output_shape: (usize, usize, usize),
     steps: Vec<Step>,
+    tile: TileConfig,
+    /// Tile resolved from `tile` at configuration time (`usize::MAX` when
+    /// tiling is disabled), so the per-forward planner cost is one `min`.
+    planned_tile: usize,
 }
 
 /// Reusable per-thread workspace for [`CompiledNet::infer_into`].
@@ -103,7 +249,8 @@ pub struct CompiledNet {
 /// one thread; the compiled net itself is freely shared (`&self`).
 #[derive(Default)]
 pub struct InferScratch {
-    /// Ping-pong activation buffers, `(batch, c·h·w)` row-major.
+    /// Ping-pong activation buffers, `(batch, c·h·w)` row-major. Under
+    /// cache tiling these hold one *sub-batch*, not the full batch.
     act: [Matrix; 2],
     /// im2col patch matrix.
     cols: Matrix,
@@ -111,6 +258,9 @@ pub struct InferScratch {
     rows: Matrix,
     /// Low-rank intermediate `x·U`.
     t: Matrix,
+    /// Full-batch logits assembled from per-tile results (tiled path
+    /// only; the untiled path returns an activation buffer directly).
+    out: Matrix,
 }
 
 impl InferScratch {
@@ -141,7 +291,15 @@ impl CompiledNet {
             steps.push(Step { name: name.to_string(), kind });
             shape = layer.output_shape(shape);
         }
-        Ok(Self { input_shape: net.input_shape(), output_shape: shape, steps })
+        let mut plan = Self {
+            input_shape: net.input_shape(),
+            output_shape: shape,
+            steps,
+            tile: TileConfig::untiled(),
+            planned_tile: usize::MAX,
+        };
+        plan.set_tile_config(TileConfig::auto());
+        Ok(plan)
     }
 
     fn freeze(layer: &dyn Layer) -> Result<StepKind> {
@@ -282,28 +440,117 @@ impl CompiledNet {
         Ok(())
     }
 
-    /// Runs the forward pass, returning the `(batch, features)` logits
-    /// resident in `scratch`.
-    ///
-    /// Allocation-free once `scratch` is warm at this batch size (or a
-    /// larger one). Safe to call concurrently from many threads, each with
-    /// its own scratch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the input's `(c, h, w)` differs from
-    /// [`CompiledNet::input_shape`].
-    pub fn infer_into<'s>(&self, input: &Tensor4, scratch: &'s mut InferScratch) -> &'s Matrix {
-        let (b, c, h, w) = input.shape();
-        assert_eq!(
-            (c, h, w),
-            self.input_shape,
-            "compiled net expects {:?} input",
-            self.input_shape
-        );
+    /// The active tiling policy.
+    pub fn tile_config(&self) -> TileConfig {
+        self.tile
+    }
+
+    /// Replaces the tiling policy and re-plans the tile size.
+    pub fn set_tile_config(&mut self, cfg: TileConfig) {
+        self.tile = cfg;
+        self.planned_tile = match cfg.tile {
+            Some(t) => t.max(1),
+            None => self.tile_for_budget(cfg.budget_bytes),
+        };
+    }
+
+    /// The sub-batch size a forward at `batch` will execute with: the
+    /// configured/planned tile clamped to the batch. A result equal to
+    /// `batch` means the pass runs untiled.
+    pub fn plan_tile(&self, batch: usize) -> usize {
+        self.planned_tile.min(batch).max(1)
+    }
+
+    /// Peak bytes any single step touches at sub-batch `tile`: both
+    /// activations, the im2col / matmul / low-rank intermediates and the
+    /// step's resident weights — the quantity the planner fits into
+    /// [`TileConfig::budget_bytes`].
+    pub fn working_set_bytes(&self, tile: usize) -> usize {
+        let mut peak = 0usize;
+        self.for_each_footprint(|per_sample, fixed| {
+            peak = peak.max(per_sample.saturating_mul(tile).saturating_add(fixed));
+        });
+        peak
+    }
+
+    /// Largest tile whose worst-step working set fits `budget`; 1 when
+    /// even a single sample (or the weights alone) exceeds it.
+    fn tile_for_budget(&self, budget: usize) -> usize {
+        let mut best = usize::MAX;
+        self.for_each_footprint(|per_sample, fixed| {
+            let t = if per_sample == 0 {
+                usize::MAX
+            } else if fixed >= budget {
+                1
+            } else {
+                ((budget - fixed) / per_sample).max(1)
+            };
+            best = best.min(t);
+        });
+        best.max(1)
+    }
+
+    /// Walks the steps in execution order calling
+    /// `f(per_sample_bytes, fixed_bytes)` for each: the bytes a step
+    /// touches that scale with the sub-batch (source + destination
+    /// activation, im2col `cols`, matmul `rows`, low-rank `t`) and the
+    /// batch-independent resident weights.
+    fn for_each_footprint(&self, mut f: impl FnMut(usize, usize)) {
+        const F: usize = std::mem::size_of::<f32>();
+        let (mut c, mut h, mut w) = self.input_shape;
+        for step in &self.steps {
+            let in_f = c * h * w;
+            let (per_sample, fixed, next) = match &step.kind {
+                StepKind::Conv { geom: g, weight, bias, out_ch } => {
+                    let (oh, ow) = conv_output_hw(h, w, g.kh, g.kw, g.stride, g.pad);
+                    let pos = oh * ow;
+                    (
+                        // src act + cols + rows + dst act, per sample.
+                        F * (in_f + pos * weight.rows() + pos * out_ch + out_ch * pos),
+                        F * (weight.len() + bias.len()),
+                        (*out_ch, oh, ow),
+                    )
+                }
+                StepKind::LowRankConv { geom: g, u, v, bias, out_ch } => {
+                    let (oh, ow) = conv_output_hw(h, w, g.kh, g.kw, g.stride, g.pad);
+                    let pos = oh * ow;
+                    (
+                        // src act + cols + t (x·U) + rows + dst act.
+                        F * (in_f + pos * u.rows() + pos * u.cols() + pos * out_ch + out_ch * pos),
+                        F * (u.len() + v.len() + bias.len()),
+                        (*out_ch, oh, ow),
+                    )
+                }
+                StepKind::Linear { weight, bias } => (
+                    F * (in_f + weight.cols()),
+                    F * (weight.len() + bias.len()),
+                    (weight.cols(), 1, 1),
+                ),
+                StepKind::LowRankLinear { u, v, bias, fan_out } => (
+                    F * (in_f + u.cols() + fan_out),
+                    F * (u.len() + v.len() + bias.len()),
+                    (*fan_out, 1, 1),
+                ),
+                StepKind::MaxPool { kernel, stride, ceil_mode } => {
+                    let oh = pool_out_len(h, *kernel, *stride, *ceil_mode);
+                    let ow = pool_out_len(w, *kernel, *stride, *ceil_mode);
+                    (F * (in_f + c * oh * ow), 0, (c, oh, ow))
+                }
+                StepKind::Relu => (F * 2 * in_f, 0, (c, h, w)),
+            };
+            f(per_sample, fixed);
+            (c, h, w) = next;
+        }
+    }
+
+    /// Runs every step over one contiguous NCHW sub-batch already in
+    /// `src`, returning the index of the ping-pong buffer holding the
+    /// logits.
+    fn run_steps(&self, src: &[f32], b: usize, scratch: &mut InferScratch) -> usize {
+        let (c, h, w) = self.input_shape;
         let mut shape = self.input_shape;
         let mut cur = 0usize;
-        scratch.act[cur].assign_from(b, c * h * w, input.as_slice());
+        scratch.act[cur].assign_from(b, c * h * w, src);
         for step in &self.steps {
             let (left, right) = scratch.act.split_at_mut(1);
             let (src, dst) =
@@ -320,7 +567,68 @@ impl CompiledNet {
             );
             cur = 1 - cur;
         }
-        &scratch.act[cur]
+        cur
+    }
+
+    /// Runs the forward pass, returning the `(batch, features)` logits
+    /// resident in `scratch`.
+    ///
+    /// When the batch exceeds the planned tile (see [`TileConfig`]), the
+    /// pass executes in cache-sized sub-batches, each flowing through all
+    /// layers before the next starts — bitwise identical to the untiled
+    /// pass, since per-sample logits are batch-invariant.
+    ///
+    /// Allocation-free once `scratch` is warm at this batch size (or a
+    /// larger one). Safe to call concurrently from many threads, each with
+    /// its own scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input's `(c, h, w)` differs from
+    /// [`CompiledNet::input_shape`].
+    pub fn infer_into<'s>(&self, input: &Tensor4, scratch: &'s mut InferScratch) -> &'s Matrix {
+        self.infer_view_into(input.view(), scratch)
+    }
+
+    /// [`CompiledNet::infer_into`] over a borrowed [`BatchView`] — the
+    /// zero-copy entry the eval path feeds contiguous dataset chunks to
+    /// (no index vector, no gather copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's `(c, h, w)` differs from
+    /// [`CompiledNet::input_shape`].
+    pub fn infer_view_into<'s>(
+        &self,
+        input: BatchView<'_>,
+        scratch: &'s mut InferScratch,
+    ) -> &'s Matrix {
+        let (b, c, h, w) = input.shape();
+        assert_eq!(
+            (c, h, w),
+            self.input_shape,
+            "compiled net expects {:?} input",
+            self.input_shape
+        );
+        let tile = self.plan_tile(b);
+        if tile >= b {
+            let cur = self.run_steps(input.as_slice(), b, scratch);
+            return &scratch.act[cur];
+        }
+        let f_in = c * h * w;
+        let (oc, oh, ow) = self.output_shape;
+        let f_out = oc * oh * ow;
+        scratch.out.reset_for_overwrite(b, f_out);
+        let mut start = 0;
+        while start < b {
+            let end = (start + tile).min(b);
+            let cur =
+                self.run_steps(&input.as_slice()[start * f_in..end * f_in], end - start, scratch);
+            scratch.out.as_mut_slice()[start * f_out..end * f_out]
+                .copy_from_slice(scratch.act[cur].as_slice());
+            start = end;
+        }
+        &scratch.out
     }
 
     /// Builds a scratch pre-sized for batches up to `max_batch` by running
@@ -328,6 +636,11 @@ impl CompiledNet {
     /// replica warms its scratch once at start-up and every request it
     /// ever answers (at this batch size or smaller) then runs the
     /// allocation-free warm path, including the very first one.
+    ///
+    /// Under cache tiling the warm pass sizes the activation/intermediate
+    /// buffers at the **tile** shape, not the full batch — replica memory
+    /// shrinks by the same factor the working set does; only the
+    /// assembled-logits buffer spans `max_batch`.
     ///
     /// # Panics
     ///
@@ -354,14 +667,31 @@ impl CompiledNet {
 
     /// Predicted classes for a batch (argmax over the output features).
     pub fn predict(&self, images: &Tensor4, scratch: &mut InferScratch) -> Vec<usize> {
-        let logits = self.infer_into(images, scratch);
-        let (c, h, w) = self.output_shape;
-        argmax_classes(&Tensor4::from_matrix(logits, c, h, w))
+        let mut out = Vec::with_capacity(images.batch());
+        self.predict_into(images.view(), scratch, &mut out);
+        out
+    }
+
+    /// Appends the predicted class of every viewed sample to `out`,
+    /// argmaxing the logits `Matrix` rows in place — no tensor round-trip,
+    /// so the call is allocation-free once `scratch` is warm and `out` has
+    /// spare capacity.
+    pub fn predict_into(
+        &self,
+        images: BatchView<'_>,
+        scratch: &mut InferScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let logits = self.infer_view_into(images, scratch);
+        argmax_rows_into(logits, out);
     }
 
     /// Classification accuracy over a dataset, evaluated in mini-batches —
     /// the shared-state counterpart of `Network::evaluate` (identical
     /// results, since the per-sample logits agree bitwise).
+    ///
+    /// Each chunk is a zero-copy [`Tensor4::batch_range`] view, so beyond
+    /// the first (warm-up) chunk the loop performs no heap allocation.
     ///
     /// # Panics
     ///
@@ -376,9 +706,7 @@ impl CompiledNet {
         let mut start = 0;
         while start < n {
             let end = (start + batch).min(n);
-            let idx: Vec<usize> = (start..end).collect();
-            let chunk = images.gather(&idx);
-            predictions.extend(self.predict(&chunk, &mut scratch));
+            self.predict_into(images.batch_range(start..end), &mut scratch, &mut predictions);
             start = end;
         }
         accuracy(&predictions, labels)
@@ -600,6 +928,92 @@ mod tests {
         let (u, _) = net.layer("fc1").unwrap().low_rank_factors().unwrap();
         let ones = Matrix::filled(u.rows(), u.cols(), 1.0);
         plan.apply_mask("fc1.u", &ones).unwrap();
+    }
+
+    #[test]
+    fn tile_env_and_cache_size_parsing() {
+        assert_eq!(tile_from_env_str("0"), Some(usize::MAX));
+        assert_eq!(tile_from_env_str(" 8 "), Some(8));
+        assert_eq!(tile_from_env_str("nope"), None);
+        assert_eq!(parse_cache_size("48K"), Some(48 * 1024));
+        assert_eq!(parse_cache_size("2048K"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_cache_size("260M"), Some(260 * 1024 * 1024));
+        assert_eq!(parse_cache_size("1G"), Some(1024 * 1024 * 1024));
+        assert_eq!(parse_cache_size("12345"), Some(12345));
+        assert_eq!(parse_cache_size(""), None);
+        assert_eq!(parse_cache_size("xK"), None);
+    }
+
+    #[test]
+    fn planner_fits_working_set_into_budget() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut plan = CompiledNet::compile(&mixed_net(&mut rng)).unwrap();
+        // Working set grows monotonically with the tile.
+        let w1 = plan.working_set_bytes(1);
+        let w4 = plan.working_set_bytes(4);
+        let w32 = plan.working_set_bytes(32);
+        assert!(0 < w1 && w1 <= w4 && w4 <= w32);
+        // A budget exactly at the batch-4 working set plans a tile >= 4
+        // whose own working set still fits.
+        plan.set_tile_config(TileConfig::budget(w4));
+        let t = plan.plan_tile(64);
+        assert!(t >= 4, "tile {t} must reach the batch the budget was sized for");
+        assert!(plan.working_set_bytes(t) <= w4, "planned tile must respect the budget");
+        // An impossible budget degrades to single-sample tiles, never 0.
+        plan.set_tile_config(TileConfig::budget(1));
+        assert_eq!(plan.plan_tile(64), 1);
+        // Fixed and untiled overrides resolve as documented.
+        plan.set_tile_config(TileConfig::fixed(6));
+        assert_eq!(plan.plan_tile(64), 6);
+        assert_eq!(plan.plan_tile(3), 3, "tile clamps to the batch");
+        plan.set_tile_config(TileConfig::untiled());
+        assert_eq!(plan.plan_tile(64), 64);
+        assert_eq!(plan.tile_config(), TileConfig::untiled());
+    }
+
+    #[test]
+    fn tiled_pass_is_bitwise_identical_to_untiled() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = mixed_net(&mut rng);
+        let mut plan = CompiledNet::compile(&net).unwrap();
+        let batch = 7;
+        let x = Tensor4::from_vec(
+            batch,
+            2,
+            8,
+            8,
+            (0..batch * 128).map(|i| ((i * 23 + 11) % 43) as f32 * 0.04 - 0.8).collect(),
+        );
+        plan.set_tile_config(TileConfig::untiled());
+        let mut scratch = InferScratch::new();
+        let expect = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
+        // Every tile size, dividing the batch or not (1, 2, 3 … 8 ≥ b).
+        for tile in 1..=8usize {
+            plan.set_tile_config(TileConfig::fixed(tile));
+            let mut scratch = InferScratch::new();
+            let got = plan.infer_into(&x, &mut scratch);
+            let identical =
+                got.as_slice().iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "tile {tile} must reproduce the untiled logits bitwise");
+            assert_eq!(got.shape(), (batch, 5));
+        }
+    }
+
+    #[test]
+    fn tiled_scratch_act_buffers_stay_tile_sized() {
+        // The replica-memory claim behind warm_scratch: under tiling the
+        // ping-pong activations hold one sub-batch, not the full batch.
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut plan = CompiledNet::compile(&mixed_net(&mut rng)).unwrap();
+        plan.set_tile_config(TileConfig::fixed(2));
+        let scratch = plan.warm_scratch(12);
+        assert_eq!(scratch.out.rows(), 12, "assembled logits span the batch");
+        assert!(
+            scratch.act[0].rows() <= 2 && scratch.act[1].rows() <= 2,
+            "activations must be tile-sized, got {} / {}",
+            scratch.act[0].rows(),
+            scratch.act[1].rows()
+        );
     }
 
     #[test]

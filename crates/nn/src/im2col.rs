@@ -298,4 +298,51 @@ mod tests {
     fn oversized_kernel_panics() {
         let _ = conv_output_hw(2, 2, 5, 5, 1, 0);
     }
+
+    #[test]
+    fn conv_output_hw_counts_valid_window_starts_exhaustively() {
+        // Audit: the closed form must equal a direct count of the window
+        // starts `q ∈ {0, s, 2s, …}` whose kernel fits inside the padded
+        // input (`q + k ≤ h + 2·pad`) — every small geometry, including
+        // strides that do not divide the span and kernels that only fit
+        // thanks to padding.
+        for h in 1..=10usize {
+            for k in 1..=5usize {
+                for s in 1..=4usize {
+                    for p in 0..=2usize {
+                        if h + 2 * p < k {
+                            continue;
+                        }
+                        let brute = (0..).map(|i| i * s).take_while(|q| q + k <= h + 2 * p).count();
+                        let (oh, ow) = conv_output_hw(h, h, k, k, s, p);
+                        assert_eq!(oh, brute, "h {h} k {k} s {s} pad {p}");
+                        assert_eq!(ow, brute);
+                        assert!(oh >= 1, "a fitting kernel yields at least one position");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_handles_kernel_larger_than_unpadded_input() {
+        // h = 2 < k = 3, but pad = 1 makes the padded input fit: each
+        // 3×3 patch is centered on one input cell with off-image zeros.
+        let t = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(conv_output_hw(2, 2, 3, 3, 1, 1), (2, 2));
+        let m = im2col(&t, 3, 3, 1, 1);
+        assert_eq!(m.shape(), (4, 9));
+        // Output (0,0): patch rows −1..2 × cols −1..2 — center is input
+        // (0,0), bottom-right is input (1,1), top-left is padding.
+        assert_eq!(m.row(0)[4], 1.0);
+        assert_eq!(m.row(0)[8], 4.0);
+        assert_eq!(m.row(0)[0], 0.0);
+        // Output (1,1): center input (1,1), top-left input (0,0).
+        assert_eq!(m.row(3)[4], 4.0);
+        assert_eq!(m.row(3)[0], 1.0);
+        // Row sums: every input value appears once per patch that covers
+        // it; patch (0,0) covers inputs (0..2, 0..2) entirely.
+        let sum: f32 = m.row(0).iter().sum();
+        assert_eq!(sum, 10.0);
+    }
 }

@@ -251,6 +251,109 @@ mod tests {
         assert_eq!(dx.at(0, 0, 0, 4), 1.0);
     }
 
+    /// Independent re-derivation of Caffe's output sizing by direct
+    /// window search: ceil mode keeps adding windows until the last one
+    /// reaches the end of the input, floor mode only counts windows that
+    /// fit fully inside; both then drop a last window that would *start*
+    /// at or past the input. `pool_out_len`'s closed form must agree.
+    fn reference_out_len(input: usize, kernel: usize, stride: usize, ceil: bool) -> usize {
+        if input == 0 {
+            return 0;
+        }
+        if input < kernel {
+            // A single clamped window over the whole input.
+            return 1;
+        }
+        let mut m = 1;
+        if ceil {
+            while (m - 1) * stride + kernel < input {
+                m += 1;
+            }
+        } else {
+            while m * stride + kernel <= input {
+                m += 1;
+            }
+        }
+        if (m - 1) * stride >= input {
+            m -= 1;
+        }
+        m
+    }
+
+    #[test]
+    fn out_len_matches_window_search_exhaustively() {
+        // The audit behind the tiled eval path's per-tile shape checks:
+        // every small geometry, both modes, including the documented
+        // edges — last ceil window starting out of bounds (dropped), and
+        // input smaller than the kernel (one clamped window).
+        for input in 0..=16 {
+            for kernel in 1..=6 {
+                for stride in 1..=5 {
+                    for ceil in [false, true] {
+                        let got = pool_out_len(input, kernel, stride, ceil);
+                        let want = reference_out_len(input, kernel, stride, ceil);
+                        assert_eq!(
+                            got, want,
+                            "input {input} kernel {kernel} stride {stride} ceil {ceil}"
+                        );
+                        // Every emitted window must start inside the input
+                        // (the invariant max_pool_scan's clamping relies
+                        // on: no window is ever empty).
+                        assert!(
+                            got == 0 || (got - 1) * stride < input,
+                            "window {got} starts out of bounds: input {input} stride {stride}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_matches_bruteforce_window_maxima_on_edge_geometries() {
+        // Clamped last windows (ceil), stride > kernel gaps, kernel
+        // exceeding the input, 1×1 inputs — the scan must take exactly
+        // the max of each (clamped) window.
+        for &(h, w, k, s, ceil) in &[
+            (1usize, 5usize, 3usize, 2usize, true),
+            (2, 2, 3, 3, true),
+            (5, 4, 3, 2, true),
+            (4, 7, 2, 3, false),
+            (3, 3, 5, 1, true),
+            (1, 1, 2, 2, false),
+            (6, 5, 4, 4, true),
+        ] {
+            let t = Tensor4::from_vec(
+                1,
+                2,
+                h,
+                w,
+                (0..2 * h * w).map(|i| ((i * 31 + 7) % 53) as f32 - 26.0).collect(),
+            );
+            let p = MaxPool2d::new("p", k, s, ceil);
+            let y = p.infer(&t);
+            let (oh, ow) = (pool_out_len(h, k, s, ceil), pool_out_len(w, k, s, ceil));
+            assert_eq!(y.shape(), (1, 2, oh, ow), "h {h} w {w} k {k} s {s} ceil {ceil}");
+            for ci in 0..2 {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut want = f32::NEG_INFINITY;
+                        for iy in (oy * s)..(oy * s + k).min(h) {
+                            for ix in (ox * s)..(ox * s + k).min(w) {
+                                want = want.max(t.at(0, ci, iy, ix));
+                            }
+                        }
+                        assert_eq!(
+                            y.at(0, ci, oy, ox),
+                            want,
+                            "window ({oy},{ox}) ch {ci}: h {h} w {w} k {k} s {s} ceil {ceil}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn ties_go_to_first_occurrence() {
         let x = Tensor4::from_vec(1, 1, 1, 2, vec![3.0, 3.0]);

@@ -63,11 +63,13 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 
-pub use compile::{CompiledNet, InferScratch};
+pub use compile::{CompiledNet, InferScratch, TileConfig};
 pub use error::{NnError, Result};
 pub use layer::{InferLayer, Layer, Phase};
-pub use loss::{accuracy, argmax_classes, LossOutput, SoftmaxCrossEntropy};
+pub use loss::{
+    accuracy, argmax_classes, argmax_rows, argmax_rows_into, LossOutput, SoftmaxCrossEntropy,
+};
 pub use net::{Network, NetworkBuilder};
 pub use optim::{LrSchedule, Sgd};
 pub use param::Param;
-pub use tensor::Tensor4;
+pub use tensor::{BatchView, Tensor4};

@@ -76,19 +76,38 @@ impl SoftmaxCrossEntropy {
     }
 }
 
+/// Argmax of one logits row; ties resolve exactly as
+/// `Iterator::max_by` does (last maximal element wins), the convention
+/// every argmax in the workspace shares.
+#[inline]
+fn argmax_slice(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+        .map(|(j, _)| j)
+        .unwrap_or(0)
+}
+
 /// Predicted class per sample: argmax over the feature dimension.
 pub fn argmax_classes(logits: &Tensor4) -> Vec<usize> {
-    let m = logits.to_matrix();
-    (0..m.rows())
-        .map(|i| {
-            m.row(i)
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
-                .map(|(j, _)| j)
-                .unwrap_or(0)
-        })
-        .collect()
+    (0..logits.batch()).map(|i| argmax_slice(logits.sample(i))).collect()
+}
+
+/// Predicted class per row of a `(batch, classes)` logits matrix —
+/// the serving-side argmax that reads `CompiledNet` logits in place
+/// instead of round-tripping them through a [`Tensor4`].
+pub fn argmax_rows(logits: &Matrix) -> Vec<usize> {
+    let mut out = Vec::with_capacity(logits.rows());
+    argmax_rows_into(logits, &mut out);
+    out
+}
+
+/// [`argmax_rows`] appending into a caller-owned vector — allocation-free
+/// when `out` has spare capacity for `logits.rows()` more entries.
+pub fn argmax_rows_into(logits: &Matrix, out: &mut Vec<usize>) {
+    for i in 0..logits.rows() {
+        out.push(argmax_slice(logits.row(i)));
+    }
 }
 
 /// Fraction of samples whose argmax matches the label.
@@ -183,5 +202,20 @@ mod tests {
         assert_eq!(preds, vec![1, 0, 1]);
         assert!((accuracy(&preds, &[1, 0, 0]) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_rows_matches_tensor_argmax_including_ties() {
+        // Ties must resolve identically on both paths (last max wins,
+        // the `Iterator::max_by` convention).
+        let data = vec![0.1, 0.9, 0.9, 3.0, 3.0, -1.0, -2.0, -2.0, -2.0];
+        let m = Matrix::from_vec(3, 3, data.clone()).unwrap();
+        let t = Tensor4::from_vec(3, 3, 1, 1, data);
+        assert_eq!(argmax_rows(&m), argmax_classes(&t));
+        assert_eq!(argmax_rows(&m), vec![2, 1, 2]);
+        // The into-variant appends without touching existing entries.
+        let mut out = vec![7usize];
+        argmax_rows_into(&m, &mut out);
+        assert_eq!(out, vec![7, 2, 1, 2]);
     }
 }

@@ -174,6 +174,38 @@ impl Tensor4 {
         }
     }
 
+    /// Zero-copy view of the whole tensor (all samples).
+    pub fn view(&self) -> BatchView<'_> {
+        BatchView { n: self.n, c: self.c, h: self.h, w: self.w, data: &self.data }
+    }
+
+    /// Zero-copy view of the contiguous sample range `r.start..r.end`.
+    ///
+    /// The eval-path replacement for [`Tensor4::gather`] on contiguous
+    /// chunks: no index vector, no per-sample copies — the view borrows
+    /// the samples' NCHW slice in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is reversed or extends past the batch.
+    pub fn batch_range(&self, r: std::ops::Range<usize>) -> BatchView<'_> {
+        assert!(
+            r.start <= r.end && r.end <= self.n,
+            "batch range {}..{} out of bounds for batch {}",
+            r.start,
+            r.end,
+            self.n
+        );
+        let f = self.feature_len();
+        BatchView {
+            n: r.end - r.start,
+            c: self.c,
+            h: self.h,
+            w: self.w,
+            data: &self.data[r.start * f..r.end * f],
+        }
+    }
+
     /// Selects a subset of samples by index (used by batching).
     ///
     /// # Panics
@@ -192,6 +224,63 @@ impl Tensor4 {
     /// Squared L2 norm of the whole tensor (f64 accumulation).
     pub fn norm_sq(&self) -> f64 {
         self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+}
+
+/// A borrowed, zero-copy NCHW batch: shape plus a reference into the
+/// owner's flat buffer.
+///
+/// Produced by [`Tensor4::view`] / [`Tensor4::batch_range`] and consumed
+/// by `CompiledNet::infer_view_into` — contiguous batch chunks flow to
+/// the compiled forward without an index `Vec` or a `gather` copy.
+///
+/// # Examples
+///
+/// ```
+/// use scissor_nn::Tensor4;
+///
+/// let t = Tensor4::from_vec(3, 1, 1, 2, vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+/// let v = t.batch_range(1..3);
+/// assert_eq!(v.shape(), (2, 1, 1, 2));
+/// assert_eq!(v.as_slice(), &[10.0, 11.0, 20.0, 21.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchView<'a> {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: &'a [f32],
+}
+
+impl<'a> BatchView<'a> {
+    /// Shape as `(batch, channels, height, width)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Batch size of the view.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.n
+    }
+
+    /// Features per sample (`c·h·w`).
+    #[inline]
+    pub fn feature_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// The viewed contiguous NCHW slice.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Copies the view into an owned [`Tensor4`].
+    pub fn to_tensor(&self) -> Tensor4 {
+        Tensor4 { n: self.n, c: self.c, h: self.h, w: self.w, data: self.data.to_vec() }
     }
 }
 
@@ -232,6 +321,28 @@ mod tests {
         assert_eq!(g.batch(), 2);
         assert_eq!(g.sample(0), &[20.0, 21.0]);
         assert_eq!(g.sample(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn batch_range_views_without_copying() {
+        let t = Tensor4::from_vec(3, 1, 1, 2, vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        let v = t.batch_range(1..3);
+        assert_eq!(v.shape(), (2, 1, 1, 2));
+        assert_eq!(v.batch(), 2);
+        assert_eq!(v.feature_len(), 2);
+        // The view borrows the owner's buffer in place.
+        assert_eq!(v.as_slice().as_ptr(), t.sample(1).as_ptr());
+        assert_eq!(v.to_tensor(), t.gather(&[1, 2]));
+        // Whole-tensor view and empty range edge.
+        assert_eq!(t.view().as_slice(), t.as_slice());
+        assert_eq!(t.batch_range(2..2).batch(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn batch_range_end_is_checked() {
+        let t = Tensor4::zeros(2, 1, 1, 1);
+        let _ = t.batch_range(1..3);
     }
 
     #[test]

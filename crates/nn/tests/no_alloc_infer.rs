@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use scissor_nn::{InferScratch, NetworkBuilder, Tensor4};
+use scissor_nn::{InferScratch, NetworkBuilder, Tensor4, TileConfig};
 
 struct CountingAlloc;
 
@@ -118,6 +118,115 @@ fn warm_scratch_makes_the_first_real_pass_allocation_free() {
     let warm = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
     let cold = plan.infer(&x);
     assert_eq!(warm.as_slice(), cold.as_slice());
+}
+
+#[test]
+fn tiled_warm_forward_allocates_nothing() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = StdRng::seed_from_u64(6);
+    let net = NetworkBuilder::new((1, 6, 6))
+        .conv("conv1", 3, 3, 1, 0, &mut rng)
+        .relu()
+        .maxpool(2, 2)
+        .linear("fc", 4, &mut rng)
+        .build();
+    let mut plan = net.compile().expect("compile");
+    // Force real tiling: batch 6 in sub-batches of 2 (3 tiles) plus a
+    // non-dividing tile over batch 5 (2 + 2 + 1).
+    plan.set_tile_config(TileConfig::fixed(2));
+    let mut scratch = plan.warm_scratch(6);
+    for batch in [6usize, 5, 3, 1] {
+        let x = Tensor4::from_vec(
+            batch,
+            1,
+            6,
+            6,
+            (0..batch * 36).map(|i| ((i * 7 + 5) % 23) as f32 * 0.1 - 1.0).collect(),
+        );
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let logits = plan.infer_into(&x, &mut scratch);
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(logits.shape(), (batch, 4));
+        assert_eq!(after - before, 0, "warm tiled forward (batch {batch}) must not allocate");
+    }
+    // And tiled output equals the untiled pass bitwise.
+    let x = Tensor4::from_vec(
+        5,
+        1,
+        6,
+        6,
+        (0..180).map(|i| ((i * 7 + 5) % 23) as f32 * 0.1 - 1.0).collect(),
+    );
+    let tiled = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
+    plan.set_tile_config(TileConfig::untiled());
+    let untiled = plan.infer(&x);
+    assert_eq!(tiled.as_slice(), untiled.as_slice());
+}
+
+#[test]
+fn evaluate_chunks_add_no_allocations_beyond_warmup() {
+    // Regression for the eval path's per-chunk `Vec<usize>` index +
+    // `gather` copy: chunks are zero-copy `batch_range` views now, so an
+    // evaluation with many chunks must allocate exactly as much as one
+    // with a single chunk (the predictions vector + scratch warm-up) —
+    // chunk count must not appear in the allocation count.
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = StdRng::seed_from_u64(8);
+    let net = NetworkBuilder::new((1, 6, 6))
+        .conv("conv1", 3, 3, 1, 0, &mut rng)
+        .relu()
+        .maxpool(2, 2)
+        .linear("fc", 4, &mut rng)
+        .build();
+    let plan = net.compile().expect("compile");
+    let batch = 4;
+    let count_eval = |n: usize| {
+        let x = Tensor4::from_vec(
+            n,
+            1,
+            6,
+            6,
+            (0..n * 36).map(|i| ((i * 11 + 3) % 29) as f32 * 0.1 - 1.2).collect(),
+        );
+        let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let _ = plan.evaluate(&x, &labels, batch);
+        ALLOCATIONS.load(Ordering::SeqCst) - before
+    };
+    let one_chunk = count_eval(batch);
+    let six_chunks = count_eval(6 * batch);
+    assert_eq!(
+        six_chunks, one_chunk,
+        "6-chunk evaluation must allocate exactly what a 1-chunk one does"
+    );
+}
+
+#[test]
+fn predict_into_is_allocation_free_when_warm() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = NetworkBuilder::new((1, 6, 6))
+        .conv("conv1", 3, 3, 1, 0, &mut rng)
+        .relu()
+        .linear("fc", 4, &mut rng)
+        .build();
+    let plan = net.compile().expect("compile");
+    let batch = 4;
+    let x = Tensor4::from_vec(
+        batch,
+        1,
+        6,
+        6,
+        (0..batch * 36).map(|i| ((i * 13 + 1) % 31) as f32 * 0.1 - 1.4).collect(),
+    );
+    let mut scratch = plan.warm_scratch(batch);
+    let mut preds = Vec::with_capacity(batch);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    plan.predict_into(x.batch_range(0..batch), &mut scratch, &mut preds);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(preds.len(), batch);
+    assert_eq!(after - before, 0, "warm predict_into must not allocate");
+    assert_eq!(preds, plan.predict(&x, &mut scratch), "into-variant matches the convenience path");
 }
 
 #[test]

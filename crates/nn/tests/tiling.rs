@@ -1,0 +1,118 @@
+//! Property tests for cache-tiled compiled inference: for any tile size —
+//! including sizes that do not divide the batch — running the batch in
+//! sub-batches through all six step kinds (dense + low-rank conv, dense +
+//! low-rank linear, max pool, relu) must reproduce the untiled logits
+//! **bit for bit**. This is the contract that lets the serving stack tile
+//! freely: per-sample logits are batch-invariant, so batch composition
+//! (and therefore tiling) can never change a result.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scissor_nn::layers::{Conv2d, Linear};
+use scissor_nn::{CompiledNet, InferScratch, NetworkBuilder, TileConfig};
+use scissor_nn::{Network, Tensor4};
+
+/// A network exercising every compiled step kind: dense conv (padded),
+/// relu, ceil-mode max pool, low-rank conv, low-rank linear, dense linear.
+fn six_kind_net(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = NetworkBuilder::new((2, 9, 9))
+        .conv("conv1", 3, 3, 1, 1, &mut rng)
+        .relu()
+        .maxpool_ceil(3, 2)
+        .conv("conv2", 4, 3, 1, 0, &mut rng)
+        .relu()
+        .linear("fc1", 10, &mut rng)
+        .relu()
+        .linear("fc2", 5, &mut rng)
+        .build();
+    // Factor conv2 and fc1 so both low-rank step kinds run too.
+    let conv = net.layer("conv2").unwrap().as_any().downcast_ref::<Conv2d>().unwrap();
+    let u = scissor_nn::init::xavier_uniform(conv.geometry().fan_in(), 3, &mut rng);
+    let v = scissor_nn::init::xavier_uniform(4, 3, &mut rng);
+    let lr = conv.to_low_rank(u, v);
+    net.replace_layer("conv2", Box::new(lr)).unwrap();
+    let lin = net.layer("fc1").unwrap().as_any().downcast_ref::<Linear>().unwrap();
+    let u = scissor_nn::init::xavier_uniform(lin.fan_in(), 4, &mut rng);
+    let v = scissor_nn::init::xavier_uniform(lin.fan_out(), 4, &mut rng);
+    let lr = lin.to_low_rank(u, v);
+    net.replace_layer("fc1", Box::new(lr)).unwrap();
+    net
+}
+
+fn input(batch: usize, seed: u64) -> Tensor4 {
+    let f = 2 * 9 * 9;
+    Tensor4::from_vec(
+        batch,
+        2,
+        9,
+        9,
+        (0..batch * f)
+            .map(|i| (((i * 29 + seed as usize * 7 + 3) % 61) as f32) * 0.05 - 1.5)
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tiled_logits_bitwise_equal_untiled(seed in 0u64..40, batch in 1usize..13, tile in 1usize..17) {
+        let net = six_kind_net(seed);
+        let mut plan = CompiledNet::compile(&net).unwrap();
+        let x = input(batch, seed);
+
+        plan.set_tile_config(TileConfig::untiled());
+        let mut scratch = InferScratch::new();
+        let expect = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
+
+        plan.set_tile_config(TileConfig::fixed(tile));
+        prop_assert_eq!(plan.plan_tile(batch), tile.min(batch));
+        let mut scratch = plan.warm_scratch(batch);
+        let got = plan.infer_into(&x, &mut scratch);
+        prop_assert_eq!(got.shape(), (batch, 5));
+        let identical = got.as_slice().iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits());
+        prop_assert!(identical, "tile {} over batch {} must be bitwise identical", tile, batch);
+    }
+
+    #[test]
+    fn budget_planned_tiles_are_bitwise_identical_too(seed in 0u64..40, budget_kb in 1usize..64) {
+        // Planner-chosen tiles (not just fixed overrides) preserve the
+        // identity as well, whatever budget the host hands us.
+        let net = six_kind_net(seed);
+        let mut plan = CompiledNet::compile(&net).unwrap();
+        let batch = 9;
+        let x = input(batch, seed);
+
+        plan.set_tile_config(TileConfig::untiled());
+        let mut scratch = InferScratch::new();
+        let expect = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
+
+        plan.set_tile_config(TileConfig::budget(budget_kb * 1024));
+        let tile = plan.plan_tile(batch);
+        prop_assert!((1..=batch).contains(&tile));
+        let mut scratch = plan.warm_scratch(batch);
+        let got = plan.infer_into(&x, &mut scratch);
+        let identical = got.as_slice().iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits());
+        prop_assert!(identical, "planned tile {} (budget {} KiB) must match untiled", tile, budget_kb);
+    }
+
+    #[test]
+    fn evaluate_is_tile_invariant(seed in 0u64..20, tile in 1usize..7, batch in 1usize..7) {
+        // The eval path (batch_range views + row argmax) must report the
+        // same accuracy whatever the tile or chunk size.
+        let net = six_kind_net(seed);
+        let mut plan = CompiledNet::compile(&net).unwrap();
+        let n = 11;
+        let images = input(n, seed);
+        let labels: Vec<usize> = (0..n).map(|i| (i * 3 + seed as usize) % 5).collect();
+
+        plan.set_tile_config(TileConfig::untiled());
+        let expect = plan.evaluate(&images, &labels, n);
+
+        plan.set_tile_config(TileConfig::fixed(tile));
+        prop_assert_eq!(plan.evaluate(&images, &labels, batch), expect);
+    }
+}

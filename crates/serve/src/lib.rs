@@ -25,7 +25,13 @@
 //! [`ServeConfig::max_wait`] past the oldest submission — and one
 //! allocation-free [`CompiledNet::infer_into`] pass computes the whole
 //! batch (one im2col + matmul per layer, spread over the persistent rayon
-//! pool) before per-sample logits fan back out to the tickets.
+//! pool) before per-sample logits fan back out to the tickets. That pass
+//! is **cache-tiled** (`scissor_nn::TileConfig`): when a coalesced batch
+//! would blow the LLC, the plan runs it in cache-sized sub-batches, each
+//! flowing through all layers before the next — and because each batcher
+//! pre-warms its scratch via [`CompiledNet::warm_scratch`], the
+//! per-replica activation buffers are sized at the *tile*, not
+//! `max_batch`, shrinking replica memory by the same factor.
 //!
 //! Overload is explicit: the queue is bounded by
 //! [`ServeConfig::queue_cap`], and a submission finding it full is **shed**
@@ -732,6 +738,33 @@ mod tests {
             assert_eq!(t.wait().as_slice(), want.as_slice(), "ticket {s}");
         }
         assert!(matches!(replica.submit(&sample(0)), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn tiled_plan_serves_identical_logits_through_the_batcher() {
+        use scissor_nn::TileConfig;
+        // Force aggressive tiling (sub-batches of 2 under a max_batch of
+        // 8): coalesced batches run the tiled path and every ticket must
+        // still receive the exact logits an untiled pass produces.
+        let reference = tiny_plan();
+        let mut tiled = tiny_plan();
+        tiled.set_tile_config(TileConfig::fixed(2));
+        let replica = Replica::start(
+            Arc::new(tiled),
+            ServeConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(5),
+                ..ServeConfig::default()
+            },
+        );
+        replica.pause();
+        let tickets: Vec<Ticket> =
+            (0..8).map(|s| replica.submit(&sample(s)).expect("admitted")).collect();
+        replica.resume();
+        for (s, t) in tickets.into_iter().enumerate() {
+            let want = reference.infer(&sample(s));
+            assert_eq!(t.wait().as_slice(), want.as_slice(), "sample {s}");
+        }
     }
 
     #[test]

@@ -125,6 +125,56 @@ fn served_lenet_logits_are_bitwise_identical_to_eval() {
 }
 
 #[test]
+fn tiled_inference_is_bitwise_identical_at_model_scale() {
+    use group_scissor_repro::nn::TileConfig;
+
+    // The tentpole acceptance shape: at LeNet/ConvNet scale (rank-clipped,
+    // so all six step kinds run at real geometry), every tile size —
+    // dividing the batch or not — and the auto-planned tile reproduce the
+    // untiled batch logits bit for bit.
+    for model in [ModelKind::LeNet, ModelKind::ConvNet] {
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut net = model.build(&mut rng);
+        let ranks: Vec<(String, usize)> =
+            model.paper_clipped_ranks().into_iter().map(|(n, k)| (n.to_string(), k)).collect();
+        direct_lra(&mut net, &ranks, LraMethod::Pca).expect("clip");
+        let mut plan = net.compile().expect("compile");
+
+        let batch = 12;
+        let data = model.dataset(batch, 3, SynthOptions::default());
+        let x = data.images().clone();
+
+        plan.set_tile_config(TileConfig::untiled());
+        let mut scratch = InferScratch::new();
+        let expect = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
+
+        let auto_tile = {
+            plan.set_tile_config(TileConfig::auto());
+            plan.plan_tile(batch)
+        };
+        for (label, cfg) in [
+            ("tile 1", TileConfig::fixed(1)),
+            ("tile 3", TileConfig::fixed(3)),
+            ("tile 4", TileConfig::fixed(4)),
+            ("tile 5", TileConfig::fixed(5)),
+            ("tile 8", TileConfig::fixed(8)),
+            ("tile 12", TileConfig::fixed(12)),
+            ("auto", TileConfig::auto()),
+        ] {
+            plan.set_tile_config(cfg);
+            let mut scratch = plan.warm_scratch(batch);
+            let got = plan.infer_into(&x, &mut scratch);
+            let identical =
+                got.as_slice().iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(
+                identical,
+                "{model}: {label} (auto plans {auto_tile}) must match the untiled pass bitwise"
+            );
+        }
+    }
+}
+
+#[test]
 fn compiled_plan_rejects_unknown_layer_types() {
     use group_scissor_repro::nn::layer::{InferLayer, Layer};
     use group_scissor_repro::nn::NnError;
