@@ -120,6 +120,41 @@ fn bench_tile_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serving-form sweep: the same batch-32 compiled pass in f32 vs int8
+/// group-quantized form (group 64 = the crossbar column count the
+/// pipeline exports with). The int8 pass moves 4× fewer weight bytes
+/// through the cache per tile; the resident-bytes reduction is printed
+/// alongside the timings.
+fn bench_quant_forms(c: &mut Criterion) {
+    let net = clipped_lenet();
+    let f32_plan = net.compile().expect("compile");
+    let int8_plan = net.compile_quantized(64).expect("compile int8");
+    let images = batch_images();
+
+    eprintln!(
+        "[quant] resident weight bytes: f32 {} → int8 {} ({:.2}× smaller)",
+        f32_plan.resident_weight_bytes(),
+        int8_plan.resident_weight_bytes(),
+        f32_plan.resident_weight_bytes() as f64 / int8_plan.resident_weight_bytes() as f64,
+    );
+
+    let mut g = c.benchmark_group("serve_quant");
+    g.sample_size(15);
+    let mut scratch = f32_plan.warm_scratch(BATCH);
+    g.bench_function("batch32_f32", |bench| {
+        bench.iter(|| {
+            criterion::black_box(f32_plan.infer_into(&images, &mut scratch).as_slice().len())
+        });
+    });
+    let mut scratch = int8_plan.warm_scratch(BATCH);
+    g.bench_function("batch32_int8_g64", |bench| {
+        bench.iter(|| {
+            criterion::black_box(int8_plan.infer_into(&images, &mut scratch).as_slice().len())
+        });
+    });
+    g.finish();
+}
+
 fn bench_server_end_to_end(c: &mut Criterion) {
     let net = clipped_lenet();
     let images = batch_images();
@@ -172,5 +207,11 @@ fn bench_server_end_to_end(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_serving, bench_tile_sweep, bench_server_end_to_end);
+criterion_group!(
+    benches,
+    bench_serving,
+    bench_tile_sweep,
+    bench_quant_forms,
+    bench_server_end_to_end
+);
 criterion_main!(benches);

@@ -126,11 +126,32 @@ impl GroupScissorConfig {
         &self,
         mnist_dir: Option<&Path>,
     ) -> Result<(Dataset, Dataset, DataSource)> {
+        self.datasets_from_dirs(mnist_dir, None)
+    }
+
+    /// Resolves the train/test datasets with both real-data opt-ins:
+    /// `mnist_dir` serves MNIST-shaped models (LeNet) via the IDX files
+    /// and `cifar_dir` serves CIFAR-shaped models (ConvNet) via the six
+    /// standard binary batch files. Only the directory matching the
+    /// model's input shape is consulted; in every other case — no
+    /// directory, files absent, shape mismatch — the synthetic stand-ins
+    /// are generated. The returned [`DataSource`] says which path was
+    /// taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Data`] only when matching files exist but
+    /// are malformed; absence falls back gracefully.
+    pub fn datasets_from_dirs(
+        &self,
+        mnist_dir: Option<&Path>,
+        cifar_dir: Option<&Path>,
+    ) -> Result<(Dataset, Dataset, DataSource)> {
+        // Capped loading throughout: only the requested head of each
+        // split pays the u8 → f32 conversion (the real sets hold 50–60k
+        // images; a fast-preset run wants a few thousand).
         if self.model.input_shape() == (1, 28, 28) {
             if let Some(dir) = mnist_dir {
-                // Capped loading: only the requested head of each split
-                // pays the u8 → f32 conversion (real MNIST is 60k images;
-                // a fast-preset run wants a few thousand).
                 if let Some((train, test)) = scissor_data::idx::load_mnist_dir_head(
                     dir,
                     self.train_samples,
@@ -142,19 +163,34 @@ impl GroupScissorConfig {
                 }
             }
         }
+        if self.model.input_shape() == (3, 32, 32) {
+            if let Some(dir) = cifar_dir {
+                if let Some((train, test)) = scissor_data::cifar::load_cifar_dir_head(
+                    dir,
+                    self.train_samples,
+                    self.test_samples,
+                )
+                .map_err(PipelineError::from)?
+                {
+                    return Ok((train, test, DataSource::CifarBin(dir.to_path_buf())));
+                }
+            }
+        }
         let (train, test) = self.datasets();
         Ok((train, test, DataSource::Synthetic))
     }
 
-    /// [`GroupScissorConfig::datasets_from`] with the directory read from
-    /// the `GS_MNIST_DIR` environment variable.
+    /// [`GroupScissorConfig::datasets_from_dirs`] with the directories
+    /// read from the `GS_MNIST_DIR` and `GS_CIFAR_DIR` environment
+    /// variables.
     ///
     /// # Errors
     ///
-    /// As [`GroupScissorConfig::datasets_from`].
+    /// As [`GroupScissorConfig::datasets_from_dirs`].
     pub fn datasets_from_env(&self) -> Result<(Dataset, Dataset, DataSource)> {
-        let dir = std::env::var_os("GS_MNIST_DIR").map(PathBuf::from);
-        self.datasets_from(dir.as_deref())
+        let mnist = std::env::var_os("GS_MNIST_DIR").map(PathBuf::from);
+        let cifar = std::env::var_os("GS_CIFAR_DIR").map(PathBuf::from);
+        self.datasets_from_dirs(mnist.as_deref(), cifar.as_deref())
     }
 
     /// Builds the rank-clipping configuration for this run.
@@ -179,6 +215,8 @@ pub enum DataSource {
     Synthetic,
     /// Real MNIST IDX files loaded from this directory.
     MnistIdx(PathBuf),
+    /// Real CIFAR-10 binary batch files loaded from this directory.
+    CifarBin(PathBuf),
 }
 
 impl std::fmt::Display for DataSource {
@@ -186,6 +224,9 @@ impl std::fmt::Display for DataSource {
         match self {
             DataSource::Synthetic => f.write_str("synthetic stand-in data"),
             DataSource::MnistIdx(dir) => write!(f, "real MNIST IDX files from {}", dir.display()),
+            DataSource::CifarBin(dir) => {
+                write!(f, "real CIFAR-10 binary batches from {}", dir.display())
+            }
         }
     }
 }
@@ -213,6 +254,15 @@ pub struct PipelineOutcome {
     /// forward-only serving plan (deletion masks pre-applied), ready to
     /// hand to `scissor_serve`.
     pub compiled: CompiledNet,
+    /// The same network frozen into the int8 group-quantized serving
+    /// form (same masks applied; group size = the crossbar column count,
+    /// so quantization groups line up with physical crossbars).
+    pub compiled_int8: CompiledNet,
+    /// Test accuracy of the exported f32 plan (equals
+    /// `deletion.final_accuracy` by the bit-equality contract).
+    pub f32_accuracy: f64,
+    /// Test accuracy of the exported int8 plan.
+    pub int8_accuracy: f64,
 }
 
 impl PipelineOutcome {
@@ -224,6 +274,12 @@ impl PipelineOutcome {
     /// Mean layer-wise routing-area ratio after deletion.
     pub fn routing_area_ratio(&self) -> f64 {
         self.deletion.mean_area_fraction()
+    }
+
+    /// Absolute test-accuracy cost of serving int8 instead of f32
+    /// (positive when quantization loses accuracy).
+    pub fn quant_accuracy_delta(&self) -> f64 {
+        self.f32_accuracy - self.int8_accuracy
     }
 }
 
@@ -292,10 +348,20 @@ pub fn run_pipeline_on(
 
     let final_state = net.state_dict();
 
-    // Export the serving artifact: freeze the compressed network into its
-    // forward-only plan and pin the deletion masks onto the frozen weights.
+    // Export the serving artifacts: freeze the compressed network into
+    // its forward-only plan and pin the deletion masks onto the frozen
+    // weights — once in f32, once in the int8 group-quantized form.
+    // The quantization group size is the crossbar column count, so scale
+    // groups coincide with the physical crossbars of the area model.
     let mut compiled = net.compile().map_err(PipelineError::from)?;
     deletion.masks.apply_to_compiled(&mut compiled).map_err(PipelineError::from)?;
+    let mut compiled_int8 =
+        net.compile_quantized(cfg.spec.max_cols()).map_err(PipelineError::from)?;
+    deletion.masks.apply_to_compiled(&mut compiled_int8).map_err(PipelineError::from)?;
+
+    let eval_batch = cfg.deletion.eval_batch;
+    let f32_accuracy = compiled.evaluate(test.images(), test.labels(), eval_batch);
+    let int8_accuracy = compiled_int8.evaluate(test.images(), test.labels(), eval_batch);
 
     Ok(PipelineOutcome {
         model: cfg.model,
@@ -307,6 +373,9 @@ pub fn run_pipeline_on(
         baseline_state,
         final_state,
         compiled,
+        compiled_int8,
+        f32_accuracy,
+        int8_accuracy,
     })
 }
 
@@ -428,6 +497,63 @@ mod tests {
         fs::write(bad.join("t10k-images-idx3-ubyte"), idx3(12)).unwrap();
         fs::write(bad.join("t10k-labels-idx1-ubyte"), idx1(12)).unwrap();
         assert!(matches!(cfg.datasets_from(Some(&bad)), Err(PipelineError::Data(_))));
+    }
+
+    #[test]
+    fn datasets_from_dirs_honors_cifar_dir_with_graceful_fallback() {
+        use std::fs;
+        use std::path::PathBuf;
+
+        fn cifar_batch(count: usize) -> Vec<u8> {
+            let mut buf = Vec::new();
+            for i in 0..count {
+                buf.push((i % 10) as u8);
+                buf.extend(std::iter::repeat_n((i % 251) as u8, 3072));
+            }
+            buf
+        }
+
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/gs-test-cifar");
+        fs::create_dir_all(&dir).unwrap();
+        for i in 1..=5 {
+            fs::write(dir.join(format!("data_batch_{i}.bin")), cifar_batch(6)).unwrap();
+        }
+        fs::write(dir.join("test_batch.bin"), cifar_batch(4)).unwrap();
+
+        let mut cfg = GroupScissorConfig::fast(ModelKind::ConvNet);
+        cfg.train_samples = 8;
+        cfg.test_samples = 4;
+
+        // Real files present: loaded and truncated to the config's sizes.
+        let (train, test, source) = cfg.datasets_from_dirs(None, Some(&dir)).unwrap();
+        assert_eq!(source, DataSource::CifarBin(dir.clone()));
+        assert!(source.to_string().contains("CIFAR-10"));
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 4);
+        assert_eq!(train.sample_shape(), (3, 32, 32));
+        assert_eq!(train.labels()[3], 3);
+
+        // An MNIST-input model never consumes the CIFAR directory.
+        let mut lcfg = GroupScissorConfig::fast(ModelKind::LeNet);
+        lcfg.train_samples = 8;
+        lcfg.test_samples = 4;
+        let (train, _, source) = lcfg.datasets_from_dirs(None, Some(&dir)).unwrap();
+        assert_eq!(source, DataSource::Synthetic);
+        assert_eq!(train.sample_shape(), (1, 28, 28));
+
+        // Directory without the files: graceful synthetic fallback.
+        let (_, _, source) =
+            cfg.datasets_from_dirs(None, Some(Path::new("/definitely/not/here"))).unwrap();
+        assert_eq!(source, DataSource::Synthetic);
+
+        // Present-but-malformed files are a real error, not a fallback.
+        let bad = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/gs-test-cifar-bad");
+        fs::create_dir_all(&bad).unwrap();
+        for i in 1..=5 {
+            fs::write(bad.join(format!("data_batch_{i}.bin")), cifar_batch(2)).unwrap();
+        }
+        fs::write(bad.join("test_batch.bin"), vec![0u8; 7]).unwrap();
+        assert!(matches!(cfg.datasets_from_dirs(None, Some(&bad)), Err(PipelineError::Data(_))));
     }
 
     // The full pipeline is exercised end-to-end (with reduced budgets) by

@@ -1,0 +1,213 @@
+//! CIFAR-10 binary-format parsing (the `data_batch_*.bin` distribution).
+//!
+//! The binary version of CIFAR-10 has no header at all: each record is one
+//! label byte followed by 3 × 32 × 32 pixel bytes in channel-major order
+//! (all red, then all green, then all blue), 3073 bytes per record. Five
+//! training batches of 10 000 records plus one test batch make up the
+//! standard distribution. Like [`crate::idx`] for MNIST, loading is an
+//! opt-in: callers fall back to synthetic data when the files are absent.
+
+use std::fs;
+use std::path::Path;
+
+use scissor_nn::Tensor4;
+
+use crate::dataset::Dataset;
+use crate::idx::IdxError;
+
+/// Bytes per CIFAR-10 binary record: one label byte plus 3 × 32 × 32 pixels.
+pub const RECORD_BYTES: usize = 1 + CHANNELS * SIDE * SIDE;
+/// Colour channels per CIFAR-10 image.
+pub const CHANNELS: usize = 3;
+/// Height and width of a CIFAR-10 image.
+pub const SIDE: usize = 32;
+/// Number of CIFAR-10 classes.
+pub const CLASSES: usize = 10;
+
+/// Parses one CIFAR-10 binary batch, converting at most `cap` leading
+/// records, into `(total count, pixels 0–1, labels)`.
+///
+/// The whole buffer is validated — every record's label byte is checked
+/// even past the cap, since with no header an out-of-range label is the
+/// only corruption signal the format offers — but only the first
+/// `min(count, cap)` records pay the u8 → f32 pixel conversion.
+///
+/// # Errors
+///
+/// Returns [`IdxError::Truncated`] when the buffer is not a whole number
+/// of 3073-byte records (or is empty), and [`IdxError::BadLabel`] when a
+/// label byte is ≥ 10.
+pub fn parse_cifar_batch_head(
+    buf: &[u8],
+    cap: usize,
+) -> Result<(usize, Vec<f32>, Vec<usize>), IdxError> {
+    if buf.is_empty() || !buf.len().is_multiple_of(RECORD_BYTES) {
+        return Err(IdxError::Truncated);
+    }
+    let count = buf.len() / RECORD_BYTES;
+    for record in buf.chunks_exact(RECORD_BYTES) {
+        if record[0] as usize >= CLASSES {
+            return Err(IdxError::BadLabel { value: record[0] });
+        }
+    }
+    let take = count.min(cap);
+    let mut pixels = Vec::with_capacity(take * (RECORD_BYTES - 1));
+    let mut labels = Vec::with_capacity(take);
+    for record in buf.chunks_exact(RECORD_BYTES).take(take) {
+        labels.push(record[0] as usize);
+        pixels.extend(record[1..].iter().map(|&b| b as f32 / 255.0));
+    }
+    Ok((count, pixels, labels))
+}
+
+/// Parses one CIFAR-10 binary batch into `(pixels 0–1, labels)`.
+///
+/// # Errors
+///
+/// Same conditions as [`parse_cifar_batch_head`].
+pub fn parse_cifar_batch(buf: &[u8]) -> Result<(Vec<f32>, Vec<usize>), IdxError> {
+    parse_cifar_batch_head(buf, usize::MAX).map(|(_, pixels, labels)| (pixels, labels))
+}
+
+fn dataset_from_parts(pixels: Vec<f32>, labels: Vec<usize>) -> Dataset {
+    let tensor = Tensor4::from_vec(labels.len(), CHANNELS, SIDE, SIDE, pixels);
+    Dataset::new(tensor, labels, CLASSES)
+}
+
+/// Loads CIFAR-10 from a directory holding the six standard binary files
+/// (`data_batch_1.bin` … `data_batch_5.bin` and `test_batch.bin`),
+/// keeping at most `train_cap`/`test_cap` leading samples of each split;
+/// returns `None` when any file is absent (callers then fall back to
+/// synthetic data).
+///
+/// Training batches are read in order and reading stops once `train_cap`
+/// samples are gathered, but every opened file is validated in full.
+///
+/// # Errors
+///
+/// Returns an error only when the files exist but are malformed.
+pub fn load_cifar_dir_head(
+    dir: &Path,
+    train_cap: usize,
+    test_cap: usize,
+) -> Result<Option<(Dataset, Dataset)>, IdxError> {
+    let train_paths: Vec<_> = (1..=5).map(|i| dir.join(format!("data_batch_{i}.bin"))).collect();
+    let test_path = dir.join("test_batch.bin");
+    if !train_paths.iter().chain([&test_path]).all(|p| p.exists()) {
+        return Ok(None);
+    }
+    let read = |p: &Path| fs::read(p).map_err(|e| IdxError::Io(e.to_string()));
+    let mut pixels = Vec::new();
+    let mut labels = Vec::new();
+    for path in &train_paths {
+        let remaining = train_cap - labels.len();
+        let (_, p, l) = parse_cifar_batch_head(&read(path)?, remaining)?;
+        pixels.extend(p);
+        labels.extend(l);
+        // Even with the cap already met, keep going: a corrupt batch file
+        // should surface as an error, not be silently skipped.
+    }
+    let train = dataset_from_parts(pixels, labels);
+    let (_, test_pixels, test_labels) = parse_cifar_batch_head(&read(&test_path)?, test_cap)?;
+    let test = dataset_from_parts(test_pixels, test_labels);
+    Ok(Some((train, test)))
+}
+
+/// Loads CIFAR-10 from a directory holding the six standard binary files;
+/// returns `None` when any file is absent.
+///
+/// # Errors
+///
+/// Returns an error only when the files exist but are malformed.
+pub fn load_cifar_dir(dir: &Path) -> Result<Option<(Dataset, Dataset)>, IdxError> {
+    load_cifar_dir_head(dir, usize::MAX, usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(labels: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for (i, &label) in labels.iter().enumerate() {
+            buf.push(label);
+            buf.extend(std::iter::repeat_n(i as u8, RECORD_BYTES - 1));
+        }
+        buf
+    }
+
+    #[test]
+    fn parses_well_formed_batches() {
+        let buf = batch(&[3, 7]);
+        let (pixels, labels) = parse_cifar_batch(&buf).unwrap();
+        assert_eq!(labels, vec![3, 7]);
+        assert_eq!(pixels.len(), 2 * CHANNELS * SIDE * SIDE);
+        assert!((pixels[0] - 0.0).abs() < 1e-6);
+        assert!((pixels[CHANNELS * SIDE * SIDE] - 1.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn head_parsing_caps_samples_but_validates_the_full_batch() {
+        let buf = batch(&[1, 2, 3]);
+        let (count, pixels, labels) = parse_cifar_batch_head(&buf, 2).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(labels, vec![1, 2]);
+        assert_eq!(pixels.len(), 2 * CHANNELS * SIDE * SIDE);
+        // A bad label past the cap is still corruption.
+        let mut bad_tail = batch(&[1, 2, 3]);
+        let last = bad_tail.len() - RECORD_BYTES;
+        bad_tail[last] = 200;
+        assert_eq!(parse_cifar_batch_head(&bad_tail, 1), Err(IdxError::BadLabel { value: 200 }));
+    }
+
+    #[test]
+    fn rejects_ragged_and_empty_buffers() {
+        assert_eq!(parse_cifar_batch(&[]), Err(IdxError::Truncated));
+        let mut buf = batch(&[0]);
+        buf.pop();
+        assert_eq!(parse_cifar_batch(&buf), Err(IdxError::Truncated));
+        buf.extend_from_slice(&[0, 0]);
+        assert_eq!(parse_cifar_batch(&buf), Err(IdxError::Truncated));
+    }
+
+    #[test]
+    fn rejects_out_of_range_labels() {
+        let mut buf = batch(&[4]);
+        buf[0] = 10; // first out-of-range class
+        assert_eq!(parse_cifar_batch(&buf), Err(IdxError::BadLabel { value: 10 }));
+    }
+
+    #[test]
+    fn missing_directory_yields_none() {
+        let result = load_cifar_dir(Path::new("/definitely/not/here")).unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn loads_a_directory_of_batches_with_caps() {
+        let dir = std::env::temp_dir().join("scissor-cifar-test");
+        fs::create_dir_all(&dir).unwrap();
+        for i in 1..=5 {
+            fs::write(dir.join(format!("data_batch_{i}.bin")), batch(&[i as u8, 0])).unwrap();
+        }
+        fs::write(dir.join("test_batch.bin"), batch(&[9])).unwrap();
+
+        let (train, test) = load_cifar_dir(&dir).unwrap().unwrap();
+        assert_eq!(train.len(), 10);
+        assert_eq!(train.sample_shape(), (CHANNELS, SIDE, SIDE));
+        assert_eq!(&train.labels()[..4], &[1, 0, 2, 0]);
+        assert_eq!(test.len(), 1);
+        assert_eq!(test.labels(), &[9]);
+        assert_eq!(test.class_count(), CLASSES);
+
+        // Caps stop early but still validate the rest of the files.
+        let (train, test) = load_cifar_dir_head(&dir, 3, usize::MAX).unwrap().unwrap();
+        assert_eq!(train.labels(), &[1, 0, 2]);
+        assert_eq!(test.len(), 1);
+
+        fs::write(dir.join("data_batch_5.bin"), vec![0u8; 5]).unwrap();
+        assert_eq!(load_cifar_dir_head(&dir, 3, usize::MAX), Err(IdxError::Truncated));
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

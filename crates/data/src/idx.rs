@@ -11,7 +11,8 @@ use scissor_nn::Tensor4;
 
 use crate::dataset::Dataset;
 
-/// Errors from IDX parsing.
+/// Errors from on-disk dataset parsing (MNIST IDX and the CIFAR-10 binary
+/// format in [`crate::cifar`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum IdxError {
@@ -29,6 +30,13 @@ pub enum IdxError {
         /// Number of labels.
         labels: usize,
     },
+    /// A record carries a class label outside the dataset's range
+    /// (CIFAR-10 binary records have no header, so an out-of-range label
+    /// is the cheapest corruption signal the format offers).
+    BadLabel {
+        /// The offending label byte.
+        value: u8,
+    },
     /// Underlying I/O failure (message only, to stay `Clone`/`Eq`).
     Io(String),
 }
@@ -41,6 +49,7 @@ impl std::fmt::Display for IdxError {
             IdxError::CountMismatch { images, labels } => {
                 write!(f, "{images} images but {labels} labels")
             }
+            IdxError::BadLabel { value } => write!(f, "class label {value} out of range"),
             IdxError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }

@@ -4,8 +4,8 @@
 //! image [`Dataset`] container with shuffled mini-batching, procedural
 //! [`synth_mnist`]/[`synth_cifar`] generators standing in for the paper's
 //! MNIST and CIFAR-10 (see DESIGN.md §3 for why the substitution preserves
-//! the experiments' meaning), and an [`idx`] parser so real MNIST files are
-//! used automatically when present.
+//! the experiments' meaning), and [`idx`]/[`cifar`] parsers so real MNIST
+//! and CIFAR-10 files are used when present.
 //!
 //! [Group Scissor (DAC 2017)]: https://arxiv.org/abs/1702.03443
 //!
@@ -30,6 +30,7 @@
 mod dataset;
 mod synth;
 
+pub mod cifar;
 pub mod idx;
 
 pub use dataset::Dataset;

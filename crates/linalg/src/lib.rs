@@ -44,11 +44,16 @@ mod ops;
 pub mod eig;
 pub mod lowrank;
 pub mod pca;
+pub mod quant;
 pub mod svd;
 
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use ops::{matmul_worker_threads, PARALLEL_FLOP_THRESHOLD};
+pub use quant::{
+    matmul_q8_into, matmul_q8_nt_into, matmul_q8_nt_scalar_into, matmul_q8_scalar_into,
+    QuantActivations, QuantMatrix, ScaleAxis,
+};
 
 pub use eig::{sym_eig, SymEig};
 pub use lowrank::{max_beneficial_rank, LowRank};

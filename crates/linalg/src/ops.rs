@@ -75,8 +75,9 @@ pub fn matmul_worker_threads() -> usize {
     }
 }
 
-/// Threshold dispatch shared by all three product kernels.
-fn threads_for(work: usize) -> usize {
+/// Threshold dispatch shared by all three product kernels (and the int8
+/// kernels in [`crate::quant`]).
+pub(crate) fn threads_for(work: usize) -> usize {
     if work < PARALLEL_FLOP_THRESHOLD {
         1
     } else {
@@ -89,7 +90,7 @@ fn threads_for(work: usize) -> usize {
 ///
 /// `body` must compute panel rows independently — each output row is written
 /// by exactly one invocation, so the split cannot change results.
-fn run_row_panels<F>(out: &mut Matrix, threads: usize, body: F)
+pub(crate) fn run_row_panels<F>(out: &mut Matrix, threads: usize, body: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {

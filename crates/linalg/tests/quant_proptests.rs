@@ -1,0 +1,153 @@
+//! Property-based tests for the int8 group-quantized kernels.
+//!
+//! The int8 path's correctness story is stronger than the f32 one: with
+//! i32 accumulators and no K-blocking, the dot products are *exact*, so
+//! the micro-kernel, scalar reference, and parallel entries must agree
+//! **bitwise** on every shape — including ragged tails that don't divide
+//! the 4×8 register tile.
+
+use proptest::prelude::*;
+use scissor_linalg::{
+    matmul_q8_into, matmul_q8_nt_into, matmul_q8_nt_scalar_into, matmul_q8_scalar_into, Matrix,
+    QuantActivations, QuantMatrix,
+};
+
+/// Strategy: a matrix with bounded dimensions and entries in [-1, 1].
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1.0f32..1.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized by construction"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nn_micro_kernel_is_bitwise_equal_to_scalar(
+        a in matrix_strategy(13, 11),
+        group in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let k = a.cols();
+        let w = Matrix::from_fn(k, 17, |i, j| {
+            (((i * 31 + j * 17 + seed as usize) % 19) as f32 - 9.0) * 0.07
+        });
+        let qw = QuantMatrix::quantize_cols(&w, group);
+        let mut qa = QuantActivations::new();
+        qa.quantize_from(&a);
+
+        let mut fast = Matrix::zeros(a.rows(), 17);
+        let mut slow = Matrix::zeros(a.rows(), 17);
+        matmul_q8_into(&qa, &qw, &mut fast);
+        matmul_q8_scalar_into(&qa, &qw, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn nt_micro_kernel_is_bitwise_equal_to_scalar(
+        a in matrix_strategy(11, 13),
+        group in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let k = a.cols();
+        let w = Matrix::from_fn(15, k, |i, j| {
+            (((i * 13 + j * 29 + seed as usize) % 23) as f32 - 11.0) * 0.05
+        });
+        let qw = QuantMatrix::quantize_rows(&w, group);
+        let mut qa = QuantActivations::new();
+        qa.quantize_from(&a);
+
+        let mut fast = Matrix::zeros(a.rows(), 15);
+        let mut slow = Matrix::zeros(a.rows(), 15);
+        matmul_q8_nt_into(&qa, &qw, &mut fast);
+        matmul_q8_nt_scalar_into(&qa, &qw, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn parallel_rows_match_row_by_row_products(
+        a in matrix_strategy(40, 9),
+        seed in 0u64..1000,
+    ) {
+        // A tall product crosses the row-panel parallel threshold path;
+        // computing each output row from a one-row product must agree
+        // bitwise (integer accumulation has no order sensitivity).
+        let k = a.cols();
+        let w = Matrix::from_fn(k, 33, |i, j| {
+            (((i * 7 + j * 11 + seed as usize) % 17) as f32 - 8.0) * 0.09
+        });
+        let qw = QuantMatrix::quantize_cols(&w, 4);
+        let mut qa = QuantActivations::new();
+        qa.quantize_from(&a);
+        let mut full = Matrix::zeros(a.rows(), 33);
+        matmul_q8_into(&qa, &qw, &mut full);
+
+        for i in 0..a.rows() {
+            let row = a.submatrix(i..i + 1, 0..k);
+            let mut qrow = QuantActivations::new();
+            qrow.quantize_from(&row);
+            let mut out = Matrix::zeros(1, 33);
+            matmul_q8_into(&qrow, &qw, &mut out);
+            prop_assert_eq!(out, full.submatrix(i..i + 1, 0..33));
+        }
+    }
+
+    #[test]
+    fn weight_round_trip_error_is_bounded_by_half_a_step(
+        w in matrix_strategy(12, 12),
+        group in 1usize..9,
+    ) {
+        let qw = QuantMatrix::quantize_cols(&w, group);
+        let back = qw.dequantize();
+        for j in 0..w.cols() {
+            let scale = qw.scale_for_output(j);
+            for i in 0..w.rows() {
+                let err = (w[(i, j)] - back[(i, j)]).abs();
+                prop_assert!(
+                    err <= scale * 0.5 + 1e-7,
+                    "({i},{j}): err {err} > half step {}",
+                    scale * 0.5
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_product_tracks_f32_product(
+        a in matrix_strategy(10, 24),
+        group in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let k = a.cols();
+        let w = Matrix::from_fn(k, 12, |i, j| {
+            (((i * 3 + j * 23 + seed as usize) % 29) as f32 - 14.0) * 0.04
+        });
+        let exact = a.matmul(&w);
+        let qw = QuantMatrix::quantize_cols(&w, group);
+        let mut qa = QuantActivations::new();
+        qa.quantize_from(&a);
+        let mut approx = Matrix::zeros(a.rows(), 12);
+        matmul_q8_into(&qa, &qw, &mut approx);
+
+        // Worst-case first-order bound: each of the K terms errs by at
+        // most half an activation step times |w| plus half a weight step
+        // times |a|.
+        for i in 0..a.rows() {
+            let a_step = qa.scales()[i];
+            for j in 0..12 {
+                let w_step = qw.scale_for_output(j);
+                let bound: f32 = (0..k)
+                    .map(|t| {
+                        0.5 * a_step * w[(t, j)].abs()
+                            + 0.5 * w_step * a[(i, t)].abs()
+                            + 0.25 * a_step * w_step
+                    })
+                    .sum::<f32>()
+                    + 1e-5;
+                let err = (exact[(i, j)] - approx[(i, j)]).abs();
+                prop_assert!(err <= bound, "({i},{j}): err {err} > bound {bound}");
+            }
+        }
+    }
+}

@@ -12,7 +12,15 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use scissor_linalg::quant::INT8_LEVELS;
 use scissor_linalg::Matrix;
+
+/// Distinct non-negative weight magnitudes of the int8 serving form
+/// (`scissor_nn::ServingForm::Int8`): 127 positive steps plus zero. Sign
+/// needs no extra level on a differential crossbar pair, so this — not
+/// the full [`INT8_LEVELS`] — is what a cell's conductance grid must
+/// cover.
+pub const INT8_MAGNITUDES: u32 = INT8_LEVELS.div_ceil(2);
 
 /// Configuration of the memristor programming model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,6 +55,61 @@ impl DeviceModel {
             && self.levels == 0
             && self.stuck_at_zero == 0.0
             && self.stuck_at_max == 0.0
+    }
+
+    /// Number of crossbar cells needed to hold one int8 serving-form
+    /// weight exactly on this device's conductance grid.
+    ///
+    /// An analog device (`levels == 0`) and any device with at least
+    /// [`INT8_MAGNITUDES`] levels fit a weight in a single cell; coarser
+    /// grids bit-slice the magnitude across `ceil(log_levels(128))`
+    /// cells (e.g. binary cells need 7). A degenerate single-level
+    /// device is treated as binary for the bound.
+    pub fn int8_cells_per_weight(&self) -> u32 {
+        if self.levels == 0 {
+            return 1;
+        }
+        let base = u64::from(self.levels.max(2));
+        let mut cells = 1;
+        let mut reach = base;
+        while reach < u64::from(INT8_MAGNITUDES) {
+            cells += 1;
+            reach *= base;
+        }
+        cells
+    }
+
+    /// Whether this device's level grid and the int8 serving form agree
+    /// on levels per cell — i.e. one cell represents any quantized weight
+    /// exactly. Analog devices (`levels == 0`) trivially agree.
+    pub fn int8_consistent(&self) -> bool {
+        self.int8_cells_per_weight() == 1
+    }
+
+    /// Human-readable consistency report between this device's
+    /// conductance grid and the int8 serving form's level grid.
+    pub fn int8_consistency_report(&self) -> String {
+        if self.levels == 0 {
+            return format!(
+                "analog device: all {INT8_LEVELS} int8 levels ({INT8_MAGNITUDES} magnitudes on \
+                 a differential pair) map onto one cell exactly"
+            );
+        }
+        let cells = self.int8_cells_per_weight();
+        if cells == 1 {
+            format!(
+                "consistent: {} conductance levels per cell cover the int8 form's \
+                 {INT8_MAGNITUDES} magnitudes ({INT8_LEVELS} signed levels) in one cell",
+                self.levels
+            )
+        } else {
+            format!(
+                "inconsistent: {} conductance levels per cell cannot hold the int8 form's \
+                 {INT8_MAGNITUDES} magnitudes ({INT8_LEVELS} signed levels); bit-slicing \
+                 needs {cells} cells per weight",
+                self.levels
+            )
+        }
     }
 
     /// Simulates programming `weights` onto a crossbar, returning the
@@ -161,6 +224,30 @@ mod tests {
         let p = model.program(&w, &mut rng);
         let zeros = p.count_near_zero(0.0);
         assert!((800..1700).contains(&zeros), "~50% of 2500 devices should be stuck: {zeros}");
+    }
+
+    #[test]
+    fn int8_consistency_tracks_the_level_grid() {
+        assert_eq!(INT8_MAGNITUDES, 128);
+        // Analog devices trivially agree.
+        assert!(DeviceModel::ideal().int8_consistent());
+        assert_eq!(DeviceModel::ideal().int8_cells_per_weight(), 1);
+        // The realistic 64-level device is one bit short: two cells.
+        let realistic = DeviceModel::realistic();
+        assert!(!realistic.int8_consistent());
+        assert_eq!(realistic.int8_cells_per_weight(), 2);
+        assert!(realistic.int8_consistency_report().contains("inconsistent"));
+        assert!(realistic.int8_consistency_report().contains("2 cells"));
+        // 128 levels is the exact agreement point.
+        let fine = DeviceModel { levels: 128, ..DeviceModel::ideal() };
+        assert!(fine.int8_consistent());
+        assert!(fine.int8_consistency_report().contains("consistent"));
+        // Binary cells bit-slice the 7-bit magnitude across 7 cells.
+        let binary = DeviceModel { levels: 2, ..DeviceModel::ideal() };
+        assert_eq!(binary.int8_cells_per_weight(), 7);
+        // A degenerate single-level device is bounded like binary.
+        let stuck = DeviceModel { levels: 1, ..DeviceModel::ideal() };
+        assert_eq!(stuck.int8_cells_per_weight(), 7);
     }
 
     #[test]

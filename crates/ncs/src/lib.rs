@@ -56,7 +56,7 @@ pub mod viz;
 
 pub use area::{AreaReport, Implementation, LayerPlan};
 pub use compact::{CompactedBlock, CompactedLayout};
-pub use device::DeviceModel;
+pub use device::{DeviceModel, INT8_MAGNITUDES};
 pub use error::{NcsError, Result};
 pub use groups::{Group, GroupKind, GroupPartition};
 pub use routing::{mean_area_fraction, mean_wire_fraction, RoutingAnalysis};

@@ -45,11 +45,35 @@
 //! composition), the tiled output is **bitwise identical** to the
 //! untiled pass — property-tested across tile sizes, including ones that
 //! do not divide the batch.
+//!
+//! # Serving forms
+//!
+//! A plan executes in one of two numeric **serving forms**, chosen at
+//! compile time ([`ServingForm`]):
+//!
+//! * [`ServingForm::F32`] ([`CompiledNet::compile`]) — the full-precision
+//!   path described above, bitwise identical to the training container's
+//!   eval forward.
+//! * [`ServingForm::Int8`] ([`CompiledNet::compile_quantized`]) — frozen
+//!   W/U/V are quantized to int8 with one symmetric scale per group of
+//!   output channels (the paper's group-wise structure; crossbar mapping
+//!   already discretizes weights to conductance levels, so this form is
+//!   faithful, not a compromise). Dense and factored steps dispatch to the
+//!   i32-accumulator kernels in [`scissor_linalg::quant`], activations are
+//!   re-quantized per row at each layer boundary (buffered in
+//!   [`InferScratch`]), and outputs dequantize back to f32 before
+//!   bias/ReLU/pool. Weights stay resident at 1 byte each, so the tiling
+//!   planner sees a ~4× smaller fixed working set and fits bigger
+//!   sub-batches — the bandwidth lever batch inference is bound by.
+//!   Integer accumulation is exact, so the int8 form keeps the same
+//!   batch-invariance (and therefore tiled-equals-untiled) guarantees as
+//!   f32; accuracy sits within a small, test-pinned delta of the f32 plan.
 
+use scissor_linalg::quant::{matmul_q8_into, matmul_q8_nt_into, QuantActivations, QuantMatrix};
 use scissor_linalg::Matrix;
 
 use crate::error::{NnError, Result};
-use crate::im2col::{conv_output_hw, im2col_into, rows_to_nchw_into};
+use crate::im2col::{conv_output_hw, im2col_into, im2col_quant_into, rows_to_nchw_into};
 use crate::layer::Layer;
 use crate::layers::conv::add_bias_rows;
 use crate::layers::pool::{max_pool_scan, pool_out_len};
@@ -181,6 +205,33 @@ fn parse_cache_size(s: &str) -> Option<usize> {
     digits.parse::<usize>().ok().map(|n| n.saturating_mul(unit))
 }
 
+/// The numeric backend a [`CompiledNet`] executes its weight products in,
+/// fixed at compile time.
+///
+/// See the [module docs](self) for the execution model of each form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingForm {
+    /// Full-precision f32 — bitwise identical to
+    /// `Network::forward(.., Phase::Eval)`.
+    F32,
+    /// Group-quantized int8 weights with i32 accumulation and f32 dequant
+    /// at layer boundaries.
+    Int8 {
+        /// Output channels sharing one symmetric quantization scale
+        /// (matching the paper's group-wise crossbar structure).
+        group_size: usize,
+    },
+}
+
+impl std::fmt::Display for ServingForm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingForm::F32 => write!(f, "f32"),
+            ServingForm::Int8 { group_size } => write!(f, "int8/g{group_size}"),
+        }
+    }
+}
+
 /// One frozen forward-only step of a compiled plan.
 enum StepKind {
     /// Dense convolution: `im2col(x) · W + b`.
@@ -197,9 +248,82 @@ enum StepKind {
     Relu,
 }
 
+/// Int8 companions of a step's frozen weights ([`ServingForm::Int8`]
+/// plans only). The f32 weights are kept alongside so masks can be
+/// re-applied and the step re-quantized.
+enum QuantWeights {
+    /// Quantized dense weight, column-grouped (`k × n` NN layout).
+    Dense { weight: QuantMatrix },
+    /// Quantized low-rank pair: `U` column-grouped (NN), `V` row-grouped
+    /// (NT — its rows are the output channels).
+    Factored { u: QuantMatrix, v: QuantMatrix },
+}
+
 struct Step {
     name: String,
     kind: StepKind,
+    /// Present exactly when the plan's form is [`ServingForm::Int8`].
+    quant: Option<QuantWeights>,
+}
+
+/// Which frozen matrix of a step a dotted param name addresses.
+enum MaskTarget {
+    Weight,
+    U,
+    V,
+    Bias,
+}
+
+/// Resolves `param` (e.g. `"conv2.u"`) against a step's name and kind.
+fn mask_target(name: &str, kind: &StepKind, param: &str) -> Option<MaskTarget> {
+    let suffix = param.strip_prefix(name).and_then(|rest| rest.strip_prefix('.'))?;
+    match (kind, suffix) {
+        (StepKind::Conv { .. } | StepKind::Linear { .. }, "w") => Some(MaskTarget::Weight),
+        (StepKind::LowRankConv { .. } | StepKind::LowRankLinear { .. }, "u") => Some(MaskTarget::U),
+        (StepKind::LowRankConv { .. } | StepKind::LowRankLinear { .. }, "v") => Some(MaskTarget::V),
+        (
+            StepKind::Conv { .. }
+            | StepKind::Linear { .. }
+            | StepKind::LowRankConv { .. }
+            | StepKind::LowRankLinear { .. },
+            "bias",
+        ) => Some(MaskTarget::Bias),
+        _ => None,
+    }
+}
+
+/// Builds the int8 companion weights for one step (`None` for the
+/// parameter-free kinds).
+fn quantize_kind(kind: &StepKind, group_size: usize) -> Option<QuantWeights> {
+    match kind {
+        StepKind::Conv { weight, .. } | StepKind::Linear { weight, .. } => {
+            Some(QuantWeights::Dense { weight: QuantMatrix::quantize_cols(weight, group_size) })
+        }
+        StepKind::LowRankConv { u, v, .. } | StepKind::LowRankLinear { u, v, .. } => {
+            Some(QuantWeights::Factored {
+                u: QuantMatrix::quantize_cols(u, group_size),
+                v: QuantMatrix::quantize_rows(v, group_size),
+            })
+        }
+        StepKind::MaxPool { .. } | StepKind::Relu => None,
+    }
+}
+
+/// Resident bytes of a step's quantized weights (i8 values + f32 scales).
+fn quant_resident_bytes(q: &QuantWeights) -> usize {
+    match q {
+        QuantWeights::Dense { weight } => weight.resident_bytes(),
+        QuantWeights::Factored { u, v } => u.resident_bytes() + v.resident_bytes(),
+    }
+}
+
+/// Weight bytes a step keeps hot on the serving path: the quantized
+/// companions when present, the f32 snapshot otherwise.
+fn step_weight_bytes(q: Option<&QuantWeights>, f32_bytes: usize) -> usize {
+    match q {
+        Some(q) => quant_resident_bytes(q),
+        None => f32_bytes,
+    }
 }
 
 /// A frozen, `Sync`, forward-only execution plan built from a trained (and
@@ -235,6 +359,7 @@ pub struct CompiledNet {
     input_shape: (usize, usize, usize),
     output_shape: (usize, usize, usize),
     steps: Vec<Step>,
+    form: ServingForm,
     tile: TileConfig,
     /// Tile resolved from `tile` at configuration time (`usize::MAX` when
     /// tiling is disabled), so the per-forward planner cost is one `min`.
@@ -261,6 +386,19 @@ pub struct InferScratch {
     /// Full-batch logits assembled from per-tile results (tiled path
     /// only; the untiled path returns an activation buffer directly).
     out: Matrix,
+    /// Run-time quantized product inputs (int8 serving form only): grid
+    /// values plus per-row scales, two buffers per step (product input and
+    /// low-rank `x·U` intermediate). Dedicating buffers per step keeps
+    /// every buffer at one shape for the plan's lifetime, so the
+    /// shape-change re-zeroing in `quantize_from`/`gather_from` never
+    /// fires in steady state. The i32 accumulators live in kernel
+    /// registers, not here.
+    qa: Vec<QuantActivations>,
+    /// Per-sample quantized conv input (int8 only): one row per sample of
+    /// the sub-batch, quantized once and then patch-gathered on the grid
+    /// by `im2col_quant_into` — the conv path never quantizes the
+    /// `KH·KW`-times duplicated patch matrix.
+    qsrc: QuantActivations,
 }
 
 impl InferScratch {
@@ -283,18 +421,50 @@ impl CompiledNet {
     /// Returns [`NnError::UnsupportedLayer`] for layer types the plan does
     /// not know how to freeze.
     pub fn compile(net: &Network) -> Result<Self> {
+        Self::compile_with_form(net, ServingForm::F32)
+    }
+
+    /// Compiles a network into an int8 serving plan: frozen W/U/V are
+    /// quantized with one symmetric scale per `group_size` output channels
+    /// and every weight product runs on the i32-accumulator kernels (see
+    /// the [module docs](self) and [`scissor_linalg::quant`]).
+    ///
+    /// The f32 snapshot is retained alongside the quantized weights so
+    /// [`CompiledNet::apply_mask`] keeps working (masking re-quantizes the
+    /// affected step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnsupportedLayer`] for layer types the plan does
+    /// not know how to freeze.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0`.
+    pub fn compile_quantized(net: &Network, group_size: usize) -> Result<Self> {
+        assert!(group_size > 0, "quantization group size must be positive");
+        Self::compile_with_form(net, ServingForm::Int8 { group_size })
+    }
+
+    fn compile_with_form(net: &Network, form: ServingForm) -> Result<Self> {
+        let group = match form {
+            ServingForm::F32 => None,
+            ServingForm::Int8 { group_size } => Some(group_size),
+        };
         let mut steps = Vec::with_capacity(net.layer_count());
         let mut shape = net.input_shape();
         for name in net.layer_names() {
             let layer = net.layer(name).expect("name enumerated from the network");
             let kind = Self::freeze(layer)?;
-            steps.push(Step { name: name.to_string(), kind });
+            let quant = group.and_then(|g| quantize_kind(&kind, g));
+            steps.push(Step { name: name.to_string(), kind, quant });
             shape = layer.output_shape(shape);
         }
         let mut plan = Self {
             input_shape: net.input_shape(),
             output_shape: shape,
             steps,
+            form,
             tile: TileConfig::untiled(),
             planned_tile: usize::MAX,
         };
@@ -350,6 +520,11 @@ impl CompiledNet {
         Err(NnError::UnsupportedLayer { name: layer.name().to_string() })
     }
 
+    /// The numeric serving form this plan executes in.
+    pub fn serving_form(&self) -> ServingForm {
+        self.form
+    }
+
     /// Declared input shape `(c, h, w)`.
     pub fn input_shape(&self) -> (usize, usize, usize) {
         self.input_shape
@@ -394,37 +569,35 @@ impl CompiledNet {
     /// Returns [`NnError::UnknownParam`] if no step owns `param` and
     /// [`NnError::StateShapeMismatch`] if the mask shape disagrees.
     pub fn apply_mask(&mut self, param: &str, mask: &Matrix) -> Result<()> {
-        let target = self
+        let form = self.form;
+        let step = self
             .steps
             .iter_mut()
-            .find_map(|s| {
-                let n = s.name.as_str();
-                match &mut s.kind {
-                    StepKind::Conv { weight, bias, .. } | StepKind::Linear { weight, bias } => {
-                        if param == format!("{n}.w") {
-                            Some(weight)
-                        } else if param == format!("{n}.bias") {
-                            Some(bias)
-                        } else {
-                            None
-                        }
-                    }
-                    StepKind::LowRankConv { u, v, bias, .. }
-                    | StepKind::LowRankLinear { u, v, bias, .. } => {
-                        if param == format!("{n}.u") {
-                            Some(u)
-                        } else if param == format!("{n}.v") {
-                            Some(v)
-                        } else if param == format!("{n}.bias") {
-                            Some(bias)
-                        } else {
-                            None
-                        }
-                    }
-                    StepKind::MaxPool { .. } | StepKind::Relu => None,
-                }
-            })
+            .find(|s| mask_target(&s.name, &s.kind, param).is_some())
             .ok_or_else(|| NnError::UnknownParam { name: param.to_string() })?;
+        let role = mask_target(&step.name, &step.kind, param).expect("matched above");
+        let target = match (&mut step.kind, &role) {
+            (
+                StepKind::Conv { weight, .. } | StepKind::Linear { weight, .. },
+                MaskTarget::Weight,
+            ) => weight,
+            (
+                StepKind::LowRankConv { u, .. } | StepKind::LowRankLinear { u, .. },
+                MaskTarget::U,
+            ) => u,
+            (
+                StepKind::LowRankConv { v, .. } | StepKind::LowRankLinear { v, .. },
+                MaskTarget::V,
+            ) => v,
+            (
+                StepKind::Conv { bias, .. }
+                | StepKind::Linear { bias, .. }
+                | StepKind::LowRankConv { bias, .. }
+                | StepKind::LowRankLinear { bias, .. },
+                MaskTarget::Bias,
+            ) => bias,
+            _ => unreachable!("mask_target only resolves params the kind owns"),
+        };
         if target.shape() != mask.shape() {
             return Err(NnError::StateShapeMismatch {
                 name: param.to_string(),
@@ -436,6 +609,13 @@ impl CompiledNet {
             if mv == 0.0 {
                 *wv = 0.0;
             }
+        }
+        // An int8 plan serves from the quantized companions: re-quantize
+        // the step so the mask's zeros land there too (biases stay f32 and
+        // need no re-quantization).
+        if let (ServingForm::Int8 { group_size }, false) = (form, matches!(role, MaskTarget::Bias))
+        {
+            step.quant = quantize_kind(&step.kind, group_size);
         }
         Ok(())
     }
@@ -490,47 +670,111 @@ impl CompiledNet {
         best.max(1)
     }
 
+    /// Total bytes of weights the serving form keeps resident: 4 per
+    /// scalar for [`ServingForm::F32`]; 1 per weight plus the group scales
+    /// for [`ServingForm::Int8`] (biases stay f32 in both forms — the
+    /// retained f32 snapshot of an int8 plan is cold and not counted).
+    pub fn resident_weight_bytes(&self) -> usize {
+        const F: usize = std::mem::size_of::<f32>();
+        self.steps
+            .iter()
+            .map(|s| match (&s.kind, &s.quant) {
+                (StepKind::Conv { bias, .. } | StepKind::Linear { bias, .. }, Some(q))
+                | (
+                    StepKind::LowRankConv { bias, .. } | StepKind::LowRankLinear { bias, .. },
+                    Some(q),
+                ) => quant_resident_bytes(q) + F * bias.len(),
+                (StepKind::Conv { weight, bias, .. } | StepKind::Linear { weight, bias }, None) => {
+                    F * (weight.len() + bias.len())
+                }
+                (
+                    StepKind::LowRankConv { u, v, bias, .. }
+                    | StepKind::LowRankLinear { u, v, bias, .. },
+                    None,
+                ) => F * (u.len() + v.len() + bias.len()),
+                (StepKind::MaxPool { .. } | StepKind::Relu, _) => 0,
+            })
+            .sum()
+    }
+
     /// Walks the steps in execution order calling
     /// `f(per_sample_bytes, fixed_bytes)` for each: the bytes a step
     /// touches that scale with the sub-batch (source + destination
-    /// activation, im2col `cols`, matmul `rows`, low-rank `t`) and the
-    /// batch-independent resident weights.
+    /// activation, im2col `cols`, matmul `rows`, low-rank `t`, plus the
+    /// i8 re-quantized input on int8 plans) and the batch-independent
+    /// resident weights (4×-smaller under [`ServingForm::Int8`], which is
+    /// why the planner fits bigger tiles there).
     fn for_each_footprint(&self, mut f: impl FnMut(usize, usize)) {
         const F: usize = std::mem::size_of::<f32>();
         let (mut c, mut h, mut w) = self.input_shape;
         for step in &self.steps {
             let in_f = c * h * w;
+            let quant = step.quant.as_ref();
             let (per_sample, fixed, next) = match &step.kind {
                 StepKind::Conv { geom: g, weight, bias, out_ch } => {
                     let (oh, ow) = conv_output_hw(h, w, g.kh, g.kw, g.stride, g.pad);
                     let pos = oh * ow;
+                    // f32: src act + cols + rows + dst act, per sample.
+                    // int8 never materializes the f32 patch matrix — it
+                    // carries the per-sample quantized input and the
+                    // gathered i16 patch rows instead of `cols`.
+                    let mut per = F * (in_f + pos * out_ch + out_ch * pos);
+                    if quant.is_some() {
+                        per += QuantActivations::resident_bytes(1, in_f)
+                            + QuantActivations::resident_bytes(pos, weight.rows());
+                    } else {
+                        per += F * pos * weight.rows();
+                    }
                     (
-                        // src act + cols + rows + dst act, per sample.
-                        F * (in_f + pos * weight.rows() + pos * out_ch + out_ch * pos),
-                        F * (weight.len() + bias.len()),
+                        per,
+                        step_weight_bytes(quant, F * weight.len()) + F * bias.len(),
                         (*out_ch, oh, ow),
                     )
                 }
                 StepKind::LowRankConv { geom: g, u, v, bias, out_ch } => {
                     let (oh, ow) = conv_output_hw(h, w, g.kh, g.kw, g.stride, g.pad);
                     let pos = oh * ow;
+                    // f32: src act + cols + t (x·U) + rows + dst act.
+                    // int8 swaps the f32 patch matrix for the per-sample
+                    // quantized input plus the gathered i16 patch rows,
+                    // and adds the quantized `x·U` intermediate.
+                    let mut per = F * (in_f + pos * u.cols() + pos * out_ch + out_ch * pos);
+                    if quant.is_some() {
+                        per += QuantActivations::resident_bytes(1, in_f)
+                            + QuantActivations::resident_bytes(pos, u.rows())
+                            + QuantActivations::resident_bytes(pos, u.cols());
+                    } else {
+                        per += F * pos * u.rows();
+                    }
                     (
-                        // src act + cols + t (x·U) + rows + dst act.
-                        F * (in_f + pos * u.rows() + pos * u.cols() + pos * out_ch + out_ch * pos),
-                        F * (u.len() + v.len() + bias.len()),
+                        per,
+                        step_weight_bytes(quant, F * (u.len() + v.len())) + F * bias.len(),
                         (*out_ch, oh, ow),
                     )
                 }
-                StepKind::Linear { weight, bias } => (
-                    F * (in_f + weight.cols()),
-                    F * (weight.len() + bias.len()),
-                    (weight.cols(), 1, 1),
-                ),
-                StepKind::LowRankLinear { u, v, bias, fan_out } => (
-                    F * (in_f + u.cols() + fan_out),
-                    F * (u.len() + v.len() + bias.len()),
-                    (*fan_out, 1, 1),
-                ),
+                StepKind::Linear { weight, bias } => {
+                    let mut per = F * (in_f + weight.cols());
+                    if quant.is_some() {
+                        per += QuantActivations::resident_bytes(1, in_f);
+                    }
+                    (
+                        per,
+                        step_weight_bytes(quant, F * weight.len()) + F * bias.len(),
+                        (weight.cols(), 1, 1),
+                    )
+                }
+                StepKind::LowRankLinear { u, v, bias, fan_out } => {
+                    let mut per = F * (in_f + u.cols() + fan_out);
+                    if quant.is_some() {
+                        per += QuantActivations::resident_bytes(1, in_f)
+                            + QuantActivations::resident_bytes(1, u.cols());
+                    }
+                    (
+                        per,
+                        step_weight_bytes(quant, F * (u.len() + v.len())) + F * bias.len(),
+                        (*fan_out, 1, 1),
+                    )
+                }
                 StepKind::MaxPool { kernel, stride, ceil_mode } => {
                     let oh = pool_out_len(h, *kernel, *stride, *ceil_mode);
                     let ow = pool_out_len(w, *kernel, *stride, *ceil_mode);
@@ -551,12 +795,19 @@ impl CompiledNet {
         let mut shape = self.input_shape;
         let mut cur = 0usize;
         scratch.act[cur].assign_from(b, c * h * w, src);
-        for step in &self.steps {
+        scratch.qa.resize_with(2 * self.steps.len(), QuantActivations::default);
+        for (idx, step) in self.steps.iter().enumerate() {
             let (left, right) = scratch.act.split_at_mut(1);
             let (src, dst) =
                 if cur == 0 { (&left[0], &mut right[0]) } else { (&right[0], &mut left[0]) };
+            let (qa, qt) = {
+                let pair = &mut scratch.qa[2 * idx..2 * idx + 2];
+                let (head, tail) = pair.split_at_mut(1);
+                (&mut head[0], &mut tail[0])
+            };
             shape = run_step(
                 &step.kind,
+                step.quant.as_ref(),
                 src,
                 b,
                 shape,
@@ -564,6 +815,9 @@ impl CompiledNet {
                 &mut scratch.cols,
                 &mut scratch.rows,
                 &mut scratch.t,
+                qa,
+                qt,
+                &mut scratch.qsrc,
             );
             cur = 1 - cur;
         }
@@ -715,9 +969,18 @@ impl CompiledNet {
 
 /// Executes one step: reads the `(b, chw)` activation in `src`, writes the
 /// next activation into `dst`, and returns the new logical `(c, h, w)`.
+///
+/// When `quant` is present (int8 plans) the weight products quantize their
+/// input (fully-connected inputs per row into `qa`, low-rank intermediates
+/// into `qt`; conv inputs per *sample* into `qsrc` followed by an on-grid
+/// patch gather into `qa` — see [`im2col_quant_into`]) and run the
+/// i32-accumulator kernels; the product's f32 output lands in the same
+/// buffer the f32 path uses, so bias/pool/ReLU handling is
+/// form-independent.
 #[allow(clippy::too_many_arguments)]
 fn run_step(
     kind: &StepKind,
+    quant: Option<&QuantWeights>,
     src: &Matrix,
     b: usize,
     shape: (usize, usize, usize),
@@ -725,13 +988,24 @@ fn run_step(
     cols: &mut Matrix,
     rows: &mut Matrix,
     t: &mut Matrix,
+    qa: &mut QuantActivations,
+    qt: &mut QuantActivations,
+    qsrc: &mut QuantActivations,
 ) -> (usize, usize, usize) {
     let (c, h, w) = shape;
     match kind {
         StepKind::Conv { geom: g, weight, bias, out_ch } => {
             let (oh, ow) = conv_output_hw(h, w, g.kh, g.kw, g.stride, g.pad);
-            im2col_into(src.as_slice(), (b, c, h, w), g.kh, g.kw, g.stride, g.pad, cols);
-            cols.matmul_into(weight, rows);
+            if let Some(QuantWeights::Dense { weight: qw }) = quant {
+                // Quantize per sample, then gather patches on the grid —
+                // the f32 patch matrix is never materialized.
+                qsrc.quantize_from(src);
+                im2col_quant_into(qsrc, (b, c, h, w), g.kh, g.kw, g.stride, g.pad, qa);
+                matmul_q8_into(qa, qw, rows);
+            } else {
+                im2col_into(src.as_slice(), (b, c, h, w), g.kh, g.kw, g.stride, g.pad, cols);
+                cols.matmul_into(weight, rows);
+            }
             add_bias_rows(rows, bias);
             dst.reset_for_overwrite(b, out_ch * oh * ow);
             rows_to_nchw_into(rows, b, *out_ch, oh, ow, dst.as_mut_slice());
@@ -739,22 +1013,42 @@ fn run_step(
         }
         StepKind::LowRankConv { geom: g, u, v, bias, out_ch } => {
             let (oh, ow) = conv_output_hw(h, w, g.kh, g.kw, g.stride, g.pad);
-            im2col_into(src.as_slice(), (b, c, h, w), g.kh, g.kw, g.stride, g.pad, cols);
-            cols.matmul_into(u, t);
-            t.matmul_nt_into(v, rows);
+            if let Some(QuantWeights::Factored { u: qu, v: qv }) = quant {
+                qsrc.quantize_from(src);
+                im2col_quant_into(qsrc, (b, c, h, w), g.kh, g.kw, g.stride, g.pad, qa);
+                matmul_q8_into(qa, qu, t);
+                qt.quantize_from(t);
+                matmul_q8_nt_into(qt, qv, rows);
+            } else {
+                im2col_into(src.as_slice(), (b, c, h, w), g.kh, g.kw, g.stride, g.pad, cols);
+                cols.matmul_into(u, t);
+                t.matmul_nt_into(v, rows);
+            }
             add_bias_rows(rows, bias);
             dst.reset_for_overwrite(b, out_ch * oh * ow);
             rows_to_nchw_into(rows, b, *out_ch, oh, ow, dst.as_mut_slice());
             (*out_ch, oh, ow)
         }
         StepKind::Linear { weight, bias } => {
-            src.matmul_into(weight, dst);
+            if let Some(QuantWeights::Dense { weight: qw }) = quant {
+                qa.quantize_from(src);
+                matmul_q8_into(qa, qw, dst);
+            } else {
+                src.matmul_into(weight, dst);
+            }
             add_bias_rows(dst, bias);
             (weight.cols(), 1, 1)
         }
         StepKind::LowRankLinear { u, v, bias, fan_out } => {
-            src.matmul_into(u, t);
-            t.matmul_nt_into(v, dst);
+            if let Some(QuantWeights::Factored { u: qu, v: qv }) = quant {
+                qa.quantize_from(src);
+                matmul_q8_into(qa, qu, t);
+                qt.quantize_from(t);
+                matmul_q8_nt_into(qt, qv, dst);
+            } else {
+                src.matmul_into(u, t);
+                t.matmul_nt_into(v, dst);
+            }
             add_bias_rows(dst, bias);
             (*fan_out, 1, 1)
         }
@@ -787,10 +1081,11 @@ impl std::fmt::Debug for CompiledNet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "CompiledNet(input={:?}, steps=[{}], params={})",
+            "CompiledNet(input={:?}, steps=[{}], params={}, form={})",
             self.input_shape,
             self.layer_names().join(", "),
-            self.param_count()
+            self.param_count(),
+            self.form
         )
     }
 }
@@ -1041,5 +1336,156 @@ mod tests {
         let dbg = format!("{plan:?}");
         assert!(dbg.contains("CompiledNet"));
         assert!(dbg.contains("fc"));
+        assert!(dbg.contains("form=f32"));
+        let q = CompiledNet::compile_quantized(&net, 16).unwrap();
+        assert!(format!("{q:?}").contains("form=int8/g16"));
+        assert_eq!(q.serving_form(), ServingForm::Int8 { group_size: 16 });
+        assert_eq!(ServingForm::Int8 { group_size: 16 }.to_string(), "int8/g16");
+        assert_eq!(ServingForm::F32.to_string(), "f32");
+    }
+
+    /// Largest relative logit error of the int8 plan vs the f32 plan.
+    fn max_rel_err(q: &Matrix, f: &Matrix) -> f32 {
+        let denom = f.as_slice().iter().fold(0.0_f32, |m, v| m.max(v.abs())).max(1e-6);
+        q.as_slice().iter().zip(f.as_slice()).fold(0.0_f32, |m, (a, b)| m.max((a - b).abs()))
+            / denom
+    }
+
+    #[test]
+    fn quantized_plan_tracks_f32_logits() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let net = mixed_net(&mut rng);
+        let f32_plan = CompiledNet::compile(&net).unwrap();
+        let q_plan = CompiledNet::compile_quantized(&net, 4).unwrap();
+        assert_eq!(q_plan.output_shape(), f32_plan.output_shape());
+        let x = Tensor4::from_vec(
+            3,
+            2,
+            8,
+            8,
+            (0..3 * 128).map(|i| ((i * 13 + 1) % 37) as f32 * 0.07 - 1.2).collect(),
+        );
+        let f_logits = f32_plan.infer(&x);
+        let q_logits = q_plan.infer(&x);
+        let err = max_rel_err(
+            &Matrix::from_vec(3, 5, q_logits.as_slice().to_vec()).unwrap(),
+            &Matrix::from_vec(3, 5, f_logits.as_slice().to_vec()).unwrap(),
+        );
+        // 8-bit weights + 8-bit activations through 6 layers: a few percent
+        // of the logit range at the very worst.
+        assert!(err < 0.05, "int8 logits drifted {err} from f32");
+        assert!(err > 0.0, "quantization must actually change something");
+    }
+
+    #[test]
+    fn quantized_tiled_pass_is_bitwise_identical_to_untiled() {
+        // Integer accumulation is exact and activation scales are
+        // per-row, so the int8 form keeps the tiling bit-equality
+        // guarantee.
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = mixed_net(&mut rng);
+        let mut plan = CompiledNet::compile_quantized(&net, 8).unwrap();
+        let batch = 7;
+        let x = Tensor4::from_vec(
+            batch,
+            2,
+            8,
+            8,
+            (0..batch * 128).map(|i| ((i * 23 + 11) % 43) as f32 * 0.04 - 0.8).collect(),
+        );
+        plan.set_tile_config(TileConfig::untiled());
+        let mut scratch = InferScratch::new();
+        let expect = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
+        for tile in [1usize, 2, 3, 5] {
+            plan.set_tile_config(TileConfig::fixed(tile));
+            let mut scratch = InferScratch::new();
+            let got = plan.infer_into(&x, &mut scratch);
+            let identical =
+                got.as_slice().iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "int8 tile {tile} must reproduce the untiled logits bitwise");
+        }
+    }
+
+    #[test]
+    fn quantized_working_set_is_smaller() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = mixed_net(&mut rng);
+        let f32_plan = CompiledNet::compile(&net).unwrap();
+        let q_plan = CompiledNet::compile_quantized(&net, 8).unwrap();
+        assert!(
+            q_plan.resident_weight_bytes() < f32_plan.resident_weight_bytes(),
+            "int8 weights must be smaller: {} vs {}",
+            q_plan.resident_weight_bytes(),
+            f32_plan.resident_weight_bytes()
+        );
+        // On a weight-dominated plan (the regime real presets tile in —
+        // fc1 is the footprint bottleneck) the 4×-smaller resident
+        // weights let the planner fit a strictly bigger tile into the
+        // same budget.
+        let heavy = NetworkBuilder::new((1, 16, 16))
+            .linear("fc1", 512, &mut rng)
+            .relu()
+            .linear("fc2", 10, &mut rng)
+            .build();
+        let mut fp = CompiledNet::compile(&heavy).unwrap();
+        let mut qp = CompiledNet::compile_quantized(&heavy, 64).unwrap();
+        let budget = fp.working_set_bytes(4);
+        fp.set_tile_config(TileConfig::budget(budget));
+        qp.set_tile_config(TileConfig::budget(budget));
+        assert!(
+            qp.plan_tile(4096) > fp.plan_tile(4096),
+            "int8 must fit a bigger tile on a weight-bound plan: {} vs {}",
+            qp.plan_tile(4096),
+            fp.plan_tile(4096)
+        );
+    }
+
+    #[test]
+    fn apply_mask_requantizes_int8_plans() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = mixed_net(&mut rng);
+        let mut plan = CompiledNet::compile_quantized(&net, 4).unwrap();
+        let (rows, cols) = net.param("fc2.w").unwrap().value().shape();
+        // Mask out an entire column: its quantized weights must become
+        // exact zeros (visible through the serving output of a one-hot
+        // probe), not just the f32 snapshot.
+        let mut mask = Matrix::filled(rows, cols, 1.0);
+        for i in 0..rows {
+            mask[(i, 0)] = 0.0;
+        }
+        plan.apply_mask("fc2.w", &mask).unwrap();
+        let bias = net.param("fc2.bias").unwrap().value().clone();
+        let x = Tensor4::from_vec(1, 2, 8, 8, vec![0.5; 128]);
+        let logits = plan.infer(&x);
+        assert_eq!(
+            logits.as_slice()[0],
+            bias.as_slice()[0],
+            "masked output column must reduce to its bias"
+        );
+        // Bias masks don't touch the quantized weights but still apply.
+        let ones = Matrix::filled(1, 5, 1.0);
+        plan.apply_mask("fc2.bias", &ones).unwrap();
+    }
+
+    #[test]
+    fn warm_scratch_covers_quantized_buffers() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = mixed_net(&mut rng);
+        let plan = CompiledNet::compile_quantized(&net, 8).unwrap();
+        let mut scratch = plan.warm_scratch(6);
+        assert!(
+            scratch.qa.iter().any(|q| q.rows() > 0),
+            "warm pass must size the quantization buffers"
+        );
+        let x = Tensor4::from_vec(
+            6,
+            2,
+            8,
+            8,
+            (0..6 * 128).map(|i| ((i * 7 + 3) % 23) as f32 * 0.08 - 0.9).collect(),
+        );
+        let a = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
+        let b = plan.infer_into(&x, &mut scratch).as_slice().to_vec();
+        assert_eq!(a, b, "reused scratch must not perturb int8 results");
     }
 }

@@ -6,7 +6,7 @@
 //! `(C·KH·KW) × out_channels` weight matrix — the same `N × M` matrix that
 //! gets mapped onto crossbars (Fig. 1a: one filter per crossbar column).
 
-use scissor_linalg::Matrix;
+use scissor_linalg::{Matrix, QuantActivations};
 
 use crate::tensor::Tensor4;
 
@@ -96,6 +96,62 @@ pub fn im2col_into(
             }
         }
     }
+}
+
+/// [`im2col_into`] on the int8 grid — the quantized serving plan's conv
+/// lowering. `src` holds the conv input quantized **once per sample**
+/// (`B` rows of `C·H·W` values, one scale each); its patches are gathered
+/// by copying grid values, with every patch row of sample `b` inheriting
+/// sample `b`'s scale. Element placement matches [`im2col_into`] exactly
+/// (padding positions read 0, the quantized value of an f32 zero), but
+/// the `KH·KW`-times duplicated patch matrix is never materialized in f32
+/// or re-quantized — the cost that used to dominate the int8 conv pass.
+///
+/// The one semantic difference from quantizing the unrolled f32 matrix:
+/// activation scales are per *sample*, not per patch. The grid still
+/// resolves the sample's full dynamic range into 255 levels; the
+/// end-to-end accuracy cost is covered by the serving-form acceptance
+/// bound in `tests/quant_serving.rs`.
+///
+/// # Panics
+///
+/// Panics if `src` does not hold `b` rows of `c·h·w` values or the kernel
+/// exceeds the padded input.
+pub fn im2col_quant_into(
+    src: &QuantActivations,
+    shape: (usize, usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut QuantActivations,
+) {
+    let (b, c, h, w) = shape;
+    assert_eq!((src.rows(), src.cols()), (b, c * h * w), "im2col_quant source/shape mismatch");
+    let (oh, ow) = conv_output_hw(h, w, kh, kw, stride, pad);
+    let patch = c * kh * kw;
+    out.gather_from(src, b * oh * ow, patch, oh * ow, pad > 0, |row, sample, dst| {
+        let rem = row % (oh * ow);
+        let (oy, ox) = (rem / ow, rem % ow);
+        for ci in 0..c {
+            let chan_base = ci * h * w;
+            for ky in 0..kh {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let src_row = chan_base + iy as usize * w;
+                let dst_base = (ci * kh + ky) * kw;
+                for kx in 0..kw {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    dst[dst_base + kx] = sample[src_row + ix as usize];
+                }
+            }
+        }
+    });
 }
 
 /// Adjoint of [`im2col`]: scatters patch-space gradients back to input
@@ -297,6 +353,88 @@ mod tests {
     #[should_panic(expected = "kernel larger than padded input")]
     fn oversized_kernel_panics() {
         let _ = conv_output_hw(2, 2, 5, 5, 1, 0);
+    }
+
+    /// Quantizes `t` per sample and gathers patches; checks every element
+    /// against the f32 im2col quantized with that sample's scale, and the
+    /// scale fan-out. Exercises both the padded (zero-filling) and
+    /// unpadded gather, plus buffer reuse across calls.
+    fn check_quant_im2col(t: &Tensor4, kh: usize, kw: usize, stride: usize, pad: usize) {
+        let (b, c, h, w) = t.shape();
+        let flat = Matrix::from_fn(b, c * h * w, |bi, p| t.as_slice()[bi * c * h * w + p]);
+        let mut qsrc = QuantActivations::new();
+        qsrc.quantize_from(&flat);
+        let mut out = QuantActivations::new();
+        im2col_quant_into(&qsrc, t.shape(), kh, kw, stride, pad, &mut out);
+
+        // The gather copies grid values verbatim, so running the f32
+        // im2col over the *quantized* values (as f32) gives the exact
+        // expected patch matrix — including 0 at padding positions.
+        let tq = Tensor4::from_vec(
+            b,
+            c,
+            h,
+            w,
+            (0..b).flat_map(|bi| qsrc.row(bi).iter().map(|&q| q as f32)).collect(),
+        );
+        let cols_q = im2col(&tq, kh, kw, stride, pad);
+        let (oh, ow) = conv_output_hw(h, w, kh, kw, stride, pad);
+        assert_eq!((out.rows(), out.cols()), cols_q.shape());
+        for r in 0..out.rows() {
+            let sample = r / (oh * ow);
+            assert_eq!(
+                out.scales()[r],
+                qsrc.scales()[sample],
+                "row {r} must carry sample {sample}'s scale"
+            );
+            for (p, (&got, &v)) in out.row(r).iter().zip(cols_q.row(r)).enumerate() {
+                assert_eq!(got as f32, v, "row {r} col {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_im2col_matches_f32_im2col_on_the_sample_grid() {
+        let t = Tensor4::from_vec(
+            2,
+            2,
+            5,
+            4,
+            (0..2 * 2 * 5 * 4).map(|i| ((i * 7 + 3) % 13) as f32 * 0.31 - 1.9).collect(),
+        );
+        check_quant_im2col(&t, 3, 2, 2, 0);
+        check_quant_im2col(&t, 3, 3, 1, 1); // padded: unwritten positions must read 0
+    }
+
+    #[test]
+    fn quant_im2col_reuses_its_buffer_without_stale_values() {
+        // Two gathers with padding into the same buffer: the second must
+        // not see the first call's values at positions padding leaves
+        // unwritten (the `zero_first` contract).
+        let mk = |seed: usize| {
+            Tensor4::from_vec(
+                1,
+                1,
+                3,
+                3,
+                (0..9).map(|i| ((i * 5 + seed) % 11) as f32 - 5.0).collect(),
+            )
+        };
+        let mut out = QuantActivations::new();
+        for seed in [1usize, 8] {
+            let t = mk(seed);
+            let flat = Matrix::from_fn(1, 9, |_, p| t.as_slice()[p]);
+            let mut qsrc = QuantActivations::new();
+            qsrc.quantize_from(&flat);
+            im2col_quant_into(&qsrc, t.shape(), 3, 3, 1, 1, &mut out);
+            let tq = Tensor4::from_vec(1, 1, 3, 3, qsrc.row(0).iter().map(|&q| q as f32).collect());
+            let cols_q = im2col(&tq, 3, 3, 1, 1);
+            for r in 0..out.rows() {
+                for (&got, &v) in out.row(r).iter().zip(cols_q.row(r)) {
+                    assert_eq!(got as f32, v, "seed {seed} row {r}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -124,6 +124,22 @@ impl Network {
         CompiledNet::compile(self)
     }
 
+    /// Freezes the network into an int8 serving plan: weights quantized
+    /// with one symmetric scale per `group_size` output channels (see
+    /// [`CompiledNet::compile_quantized`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnsupportedLayer`] for layer types the plan
+    /// cannot freeze.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0`.
+    pub fn compile_quantized(&self, group_size: usize) -> Result<CompiledNet> {
+        CompiledNet::compile_quantized(self, group_size)
+    }
+
     /// Backpropagates from the loss gradient; parameter gradients accumulate
     /// inside the layers.
     pub fn backward(&mut self, grad: &Tensor4) {

@@ -73,6 +73,7 @@
 mod error;
 
 pub use error::RouterError;
+pub use scissor_nn::ServingForm;
 pub use scissor_serve::{ServeConfig, ServeStats, Ticket};
 
 use std::collections::HashMap;
@@ -128,6 +129,9 @@ pub struct ModelStats {
     pub replicas: usize,
     /// The admission high-water mark.
     pub queue_high_water: usize,
+    /// The numeric serving form of the model's shared plan (every replica
+    /// executes the same compiled form).
+    pub form: ServingForm,
 }
 
 impl ModelStats {
@@ -179,6 +183,7 @@ impl ModelEntry {
             shed: self.shed.load(Ordering::Relaxed),
             replicas: self.replicas.len(),
             queue_high_water: self.high_water,
+            form: self.plan.serving_form(),
         }
     }
 }
@@ -423,7 +428,9 @@ impl std::fmt::Debug for Router {
         let models = self.models.read().expect("router registry poisoned");
         let mut entries: Vec<String> = models
             .iter()
-            .map(|(n, e)| format!("{n} ×{} (≤{})", e.replicas.len(), e.high_water))
+            .map(|(n, e)| {
+                format!("{n} ×{} (≤{}, {})", e.replicas.len(), e.high_water, e.plan.serving_form())
+            })
             .collect();
         entries.sort();
         write!(f, "Router([{}])", entries.join(", "))

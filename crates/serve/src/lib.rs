@@ -103,7 +103,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use scissor_nn::{CompiledNet, Tensor4};
+use scissor_nn::{CompiledNet, ServingForm, Tensor4};
 
 use stats::StatsInner;
 
@@ -297,6 +297,13 @@ impl Replica {
         Arc::clone(&self.shared.net)
     }
 
+    /// The numeric serving form of the plan this replica executes
+    /// (`f32` or group-quantized `int8` — fixed when the plan was
+    /// compiled).
+    pub fn serving_form(&self) -> ServingForm {
+        self.shared.net.serving_form()
+    }
+
     /// Submits one sample (a batch-1 tensor) without blocking and returns
     /// its [`Ticket`].
     ///
@@ -435,6 +442,11 @@ impl Server {
     /// queue depth).
     pub fn replica(&self) -> &Replica {
         &self.replica
+    }
+
+    /// The numeric serving form of the plan being served.
+    pub fn serving_form(&self) -> ServingForm {
+        self.replica.serving_form()
     }
 
     /// Submits one sample (a batch-1 tensor) and blocks until its logits

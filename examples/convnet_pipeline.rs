@@ -3,7 +3,12 @@
 //! ```text
 //! cargo run --release --example convnet_pipeline            # fast preset
 //! cargo run --release --example convnet_pipeline -- --full  # paper-scale preset
+//! GS_CIFAR_DIR=/data/cifar-10-batches-bin cargo run --release --example convnet_pipeline
 //! ```
+//!
+//! `GS_CIFAR_DIR` opts into the real CIFAR-10 binary batches
+//! (`data_batch_1.bin` … `data_batch_5.bin`, `test_batch.bin`); when unset
+//! or the files are absent the run falls back to the synthetic stand-in.
 
 use group_scissor_repro::pipeline::report::{pct, text_table};
 use group_scissor_repro::pipeline::{run_pipeline_on, GroupScissorConfig, ModelKind};
@@ -21,10 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if full { "full" } else { "fast" }
     );
     if std::env::var_os("GS_MNIST_DIR").is_some() {
-        eprintln!("GS_MNIST_DIR applies to the MNIST-input LeNet; ConvNet runs on synth-CIFAR");
+        eprintln!("GS_MNIST_DIR applies to the MNIST-input LeNet; set GS_CIFAR_DIR for ConvNet");
     }
-    // `datasets_from_env` resolves to synthetic CIFAR for this model; the
-    // call keeps the two pipeline examples' data plumbing identical.
     let (train, test, source) = cfg.datasets_from_env()?;
     eprintln!("data: {source} ({} train / {} test samples)", train.len(), test.len());
 
@@ -38,6 +41,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec!["+ group deletion".to_string(), pct(outcome.deletion.final_accuracy)],
     ];
     println!("{}", text_table(&["method", "accuracy"], &rows));
+
+    println!("== exported serving forms ==");
+    println!(
+        "{}: {} | {}: {} (delta {:+.2} pts, weights {} -> {} bytes)",
+        outcome.compiled.serving_form(),
+        pct(outcome.f32_accuracy),
+        outcome.compiled_int8.serving_form(),
+        pct(outcome.int8_accuracy),
+        outcome.quant_accuracy_delta() * 100.0,
+        outcome.compiled.resident_weight_bytes(),
+        outcome.compiled_int8.resident_weight_bytes(),
+    );
+    println!();
 
     println!("== clipped ranks (paper: conv1 12, conv2 19, conv3 22) ==");
     let rank_rows: Vec<Vec<String>> = outcome

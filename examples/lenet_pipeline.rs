@@ -48,6 +48,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     println!("{}", text_table(&["method", "accuracy"], &rows));
 
+    println!("== exported serving forms ==");
+    println!(
+        "{}: {} | {}: {} (delta {:+.2} pts, weights {} -> {} bytes)",
+        outcome.compiled.serving_form(),
+        pct(outcome.f32_accuracy),
+        outcome.compiled_int8.serving_form(),
+        pct(outcome.int8_accuracy),
+        outcome.quant_accuracy_delta() * 100.0,
+        outcome.compiled.resident_weight_bytes(),
+        outcome.compiled_int8.resident_weight_bytes(),
+    );
+    println!();
+
     println!("== clipped ranks ==");
     let rank_rows: Vec<Vec<String>> = outcome
         .clip
