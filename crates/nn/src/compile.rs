@@ -82,6 +82,8 @@ use crate::loss::{accuracy, argmax_rows_into};
 use crate::net::Network;
 use crate::tensor::{BatchView, Tensor4};
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 /// Cache budget used when no cache topology is readable (a common
 /// private-L2 size; deliberately conservative — a too-small tile only
 /// costs a few extra per-layer kernel launches, a too-large one evicts).
@@ -154,6 +156,27 @@ impl Default for TileConfig {
     fn default() -> Self {
         Self::auto()
     }
+}
+
+/// One candidate's measurement from [`CompiledNet::calibrate_tile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileTiming {
+    /// The sub-batch size measured.
+    pub tile: usize,
+    /// Best (minimum) forward latency over the calibration rounds, ns.
+    pub best_ns: u64,
+}
+
+/// The result of a [`CompiledNet::calibrate_tile`] run: what was
+/// measured and which tile was installed as the runtime override.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileCalibration {
+    /// The batch size the candidates were timed at.
+    pub batch: usize,
+    /// Per-candidate timings, ascending by tile.
+    pub timings: Vec<TileTiming>,
+    /// The winning tile, now installed as the override.
+    pub chosen: usize,
 }
 
 /// `GS_TILE_BATCH` semantics: `0` → untiled, `n` → fixed tile `n`,
@@ -364,6 +387,13 @@ pub struct CompiledNet {
     /// Tile resolved from `tile` at configuration time (`usize::MAX` when
     /// tiling is disabled), so the per-forward planner cost is one `min`.
     planned_tile: usize,
+    /// Measured tile override installed by [`CompiledNet::calibrate_tile`]
+    /// (`0` = none): interior-mutable so a serving tier holding the plan
+    /// behind a shared `Arc` can re-plan from live measurements without
+    /// stopping traffic. Takes precedence over `planned_tile`; cleared by
+    /// [`CompiledNet::set_tile_config`] and
+    /// [`CompiledNet::clear_tile_override`].
+    tile_override: AtomicUsize,
 }
 
 /// Reusable per-thread workspace for [`CompiledNet::infer_into`].
@@ -467,6 +497,7 @@ impl CompiledNet {
             form,
             tile: TileConfig::untiled(),
             planned_tile: usize::MAX,
+            tile_override: AtomicUsize::new(0),
         };
         plan.set_tile_config(TileConfig::auto());
         Ok(plan)
@@ -625,20 +656,104 @@ impl CompiledNet {
         self.tile
     }
 
-    /// Replaces the tiling policy and re-plans the tile size.
+    /// Replaces the tiling policy and re-plans the tile size. Clears any
+    /// measured override from [`CompiledNet::calibrate_tile`] — an
+    /// explicit policy change outranks stale measurements.
     pub fn set_tile_config(&mut self, cfg: TileConfig) {
         self.tile = cfg;
         self.planned_tile = match cfg.tile {
             Some(t) => t.max(1),
             None => self.tile_for_budget(cfg.budget_bytes),
         };
+        self.tile_override = AtomicUsize::new(0);
     }
 
     /// The sub-batch size a forward at `batch` will execute with: the
-    /// configured/planned tile clamped to the batch. A result equal to
-    /// `batch` means the pass runs untiled.
+    /// measured override when one is installed, else the
+    /// configured/planned tile — either way clamped to the batch. A
+    /// result equal to `batch` means the pass runs untiled.
     pub fn plan_tile(&self, batch: usize) -> usize {
-        self.planned_tile.min(batch).max(1)
+        let t = match self.tile_override.load(Ordering::Relaxed) {
+            0 => self.planned_tile,
+            t => t,
+        };
+        t.min(batch).max(1)
+    }
+
+    /// The measured tile override currently installed, if any.
+    pub fn tile_override(&self) -> Option<usize> {
+        match self.tile_override.load(Ordering::Relaxed) {
+            0 => None,
+            t => Some(t),
+        }
+    }
+
+    /// Removes the measured tile override; forwards fall back to the
+    /// planned tile from the active [`TileConfig`].
+    pub fn clear_tile_override(&self) {
+        self.tile_override.store(0, Ordering::Relaxed);
+    }
+
+    /// Measures 2–3 candidate sub-batch sizes on the real plan and
+    /// installs the fastest as the runtime tile override — the
+    /// measured-adaptive half of tile planning. The static planner
+    /// ([`CompiledNet::set_tile_config`]) fits a cache-budget model; this
+    /// cross-checks it against reality on **this** machine, right now:
+    /// the supervisor calls it once at warm-up and again when
+    /// batch-latency statistics drift.
+    ///
+    /// Candidates are the planned tile for `batch`, half of it, and
+    /// double it (deduplicated, clamped to `[1, batch]`). Each runs
+    /// `rounds` timed forwards on a synthetic batch (after one untimed
+    /// warm-up per candidate); a candidate's cost is its **best** round —
+    /// minimum latency is the standard robust estimator under scheduler
+    /// noise. Ties keep the larger tile (fewer per-layer passes).
+    ///
+    /// Takes `&self`: the override slot is atomic, so calibration can run
+    /// against a plan that live replicas are serving from. The forward
+    /// outputs are bitwise identical at every tile (the tiling invariant)
+    /// — calibration changes speed, never results.
+    ///
+    /// Round count is clamped to at least 1; `batch` to at least 1.
+    pub fn calibrate_tile(&self, batch: usize, rounds: usize) -> TileCalibration {
+        let batch = batch.max(1);
+        let rounds = rounds.max(1);
+        let planned = self.plan_tile(batch);
+        let mut candidates = vec![planned];
+        for c in [planned / 2, planned * 2] {
+            let c = c.clamp(1, batch);
+            if !candidates.contains(&c) {
+                candidates.push(c);
+            }
+        }
+        candidates.sort_unstable();
+
+        let (c, h, w) = self.input_shape;
+        let input = Tensor4::zeros(batch, c, h, w);
+        let mut scratch = self.warm_scratch(batch);
+
+        let mut timings = Vec::with_capacity(candidates.len());
+        for &tile in &candidates {
+            self.tile_override.store(tile, Ordering::Relaxed);
+            self.infer_into(&input, &mut scratch); // warm-up, untimed
+            let mut best = u64::MAX;
+            for _ in 0..rounds {
+                let t0 = std::time::Instant::now();
+                self.infer_into(&input, &mut scratch);
+                best = best.min(t0.elapsed().as_nanos() as u64);
+            }
+            timings.push(TileTiming { tile, best_ns: best });
+        }
+
+        let chosen = timings
+            .iter()
+            // max_by_key keeps the *last* minimum; with candidates sorted
+            // ascending, cost ties resolve to the larger tile.
+            .max_by_key(|t| (std::cmp::Reverse(t.best_ns), t.tile))
+            .map(|t| t.tile)
+            .unwrap_or(planned);
+        self.tile_override.store(chosen, Ordering::Relaxed);
+        TileCalibration { batch, timings, chosen }
     }
 
     /// Peak bytes any single step touches at sub-batch `tile`: both

@@ -63,7 +63,9 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 
-pub use compile::{CompiledNet, InferScratch, ServingForm, TileConfig};
+pub use compile::{
+    CompiledNet, InferScratch, ServingForm, TileCalibration, TileConfig, TileTiming,
+};
 pub use error::{NnError, Result};
 pub use layer::{InferLayer, Layer, Phase};
 pub use loss::{

@@ -116,3 +116,45 @@ proptest! {
         prop_assert_eq!(plan.evaluate(&images, &labels, batch), expect);
     }
 }
+
+/// Measured tile calibration re-plans the tile at runtime through a
+/// shared plan, and — like every other tiling decision — can never
+/// change a single output bit.
+#[test]
+fn calibration_installs_an_override_and_preserves_bitwise_results() {
+    let net = six_kind_net(3);
+    let mut plan = CompiledNet::compile(&net).unwrap();
+    plan.set_tile_config(TileConfig::fixed(2));
+    let batch = 6;
+    let x = input(batch, 3);
+    let mut scratch = plan.warm_scratch(batch);
+    let before = scratch_logits(&plan, &x, &mut scratch);
+    assert_eq!(plan.tile_override(), None);
+
+    let cal = plan.calibrate_tile(batch, 2);
+    // The winner is one of the measured candidates, is installed as the
+    // override, and now governs planning.
+    assert!(cal.timings.iter().any(|t| t.tile == cal.chosen));
+    assert!((1..=batch).contains(&cal.chosen));
+    assert_eq!(plan.tile_override(), Some(cal.chosen));
+    assert_eq!(plan.plan_tile(batch), cal.chosen.min(batch));
+    assert!(cal.timings.len() >= 2 && cal.timings.len() <= 3, "2-3 candidates");
+
+    let after = scratch_logits(&plan, &x, &mut scratch);
+    assert_eq!(before, after, "calibration must never change results");
+
+    // Clearing falls back to the planned tile; an explicit policy change
+    // also clears the override.
+    plan.clear_tile_override();
+    assert_eq!(plan.tile_override(), None);
+    assert_eq!(plan.plan_tile(batch), 2);
+    plan.calibrate_tile(batch, 1);
+    assert!(plan.tile_override().is_some());
+    plan.set_tile_config(TileConfig::untiled());
+    assert_eq!(plan.tile_override(), None, "set_tile_config outranks measurements");
+    assert_eq!(scratch_logits(&plan, &x, &mut scratch), before);
+}
+
+fn scratch_logits(plan: &CompiledNet, x: &Tensor4, scratch: &mut InferScratch) -> Vec<u32> {
+    plan.infer_into(x, scratch).as_slice().iter().map(|v| v.to_bits()).collect()
+}

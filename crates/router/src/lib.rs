@@ -20,8 +20,18 @@
 //!   Callers redeem tickets with [`Ticket::wait`] (blocking) or
 //!   [`Ticket::try_take`] (polling) — plain condvar slots, no async
 //!   runtime.
-//! * **Least-loaded routing.** The replica with the shallowest queue wins;
-//!   ties rotate round-robin so idle replicas share work evenly.
+//! * **Latency-aware routing.** Replicas are scored by expected completion
+//!   time — queue depth × the replica's service-time EWMA ([`RoutePolicy`];
+//!   least-loaded tie-break, paused replicas avoided while an active one
+//!   exists). The classic depth-only policy remains available as
+//!   [`RoutePolicy::LeastLoaded`].
+//! * **Autoscaling control plane.** [`control::Supervisor`] periodically
+//!   reads every model's stats and emits [`control::ScalingDecision`]s —
+//!   runtime replica add/remove ([`Router::scale_up`] /
+//!   [`Router::scale_down`], the latter rerouting the torn-down replica's
+//!   backlog losing no ticket), admission-bound resize
+//!   ([`Router::set_high_water`]) and EWMA-drift rebalance — all under a
+//!   pluggable [`Clock`] so the whole loop is deterministic in tests.
 //! * **Backpressure.** Each model has a bounded admission queue (the union
 //!   of its replica queues). Once its depth passes
 //!   [`ModelConfig::queue_high_water`], submissions are **shed** with
@@ -70,21 +80,43 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod control;
 mod error;
 
 pub use error::RouterError;
 pub use scissor_nn::ServingForm;
-pub use scissor_serve::{ServeConfig, ServeStats, Ticket};
+pub use scissor_serve::{Clock, MonotonicClock, ServeConfig, ServeStats, Ticket, VirtualClock};
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use scissor_nn::{CompiledNet, Tensor4};
-use scissor_serve::Replica;
+use scissor_serve::{PendingRequest, Replica};
 
 /// Convenience alias for router results.
 pub type Result<T> = std::result::Result<T, RouterError>;
+
+/// Replica-selection policy for [`Router::submit`].
+///
+/// Both policies skip paused replicas while at least one active replica
+/// exists (a paused replica cannot make progress; steering fresh traffic
+/// at it would turn a maintenance hold into queue growth), falling back
+/// to all replicas only when every one is paused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Shallowest queue wins; ties rotate round-robin from a rotating
+    /// origin. The PR-4 policy, blind to heterogeneous replica speed.
+    LeastLoaded,
+    /// Expected-completion-time scoring: `(depth + 1) ×
+    /// max(ewma_service_ns, 1)` — a replica that has proven slow (cache
+    /// pressure, noisy neighbor, deliberately slow backend) gets less
+    /// traffic in proportion. Replicas with no estimate yet score as if
+    /// instant, so cold capacity is seeded immediately. Ties break
+    /// least-loaded, then round-robin. The default.
+    #[default]
+    LatencyAware,
+}
 
 /// Per-model serving shape: how many replicas, how much backlog to
 /// tolerate, and the batching knobs each replica runs with.
@@ -94,17 +126,25 @@ pub struct ModelConfig {
     pub replicas: usize,
     /// Admission high-water mark: total pending requests across the
     /// model's replicas at or above which new submissions are shed with
-    /// [`RouterError::Overloaded`].
+    /// [`RouterError::Overloaded`]. Resizable at runtime via
+    /// [`Router::set_high_water`].
     pub queue_high_water: usize,
-    /// Batching knobs for each replica. `queue_cap` is clamped to
-    /// `queue_high_water` at registration so no single replica can hold
-    /// more than the model-wide bound.
+    /// Batching knobs for each replica (including runtime-added ones).
+    /// `queue_cap` is clamped to `queue_high_water` at registration so no
+    /// single replica can hold more than the model-wide bound.
     pub replica: ServeConfig,
+    /// How submissions pick a replica.
+    pub policy: RoutePolicy,
 }
 
 impl Default for ModelConfig {
     fn default() -> Self {
-        Self { replicas: 1, queue_high_water: 1024, replica: ServeConfig::default() }
+        Self {
+            replicas: 1,
+            queue_high_water: 1024,
+            replica: ServeConfig::default(),
+            policy: RoutePolicy::default(),
+        }
     }
 }
 
@@ -113,6 +153,62 @@ impl ModelConfig {
     pub fn with_replicas(replicas: usize) -> Self {
         Self { replicas, ..Self::default() }
     }
+}
+
+/// One replica's routing-relevant state at selection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaSnapshot {
+    /// Pending (admitted, not yet drained) requests.
+    pub depth: usize,
+    /// Per-sample service-time EWMA in ns; `0` = no batch served yet.
+    pub ewma_service_ns: u64,
+    /// Whether the replica is paused (maintenance hold).
+    pub paused: bool,
+}
+
+/// Picks the replica a new submission should land on: the core routing
+/// decision as a pure function over per-replica snapshots, exposed so the
+/// property tests can drive it exhaustively.
+///
+/// `start` rotates the tie-break origin (the caller increments it per
+/// submission); candidates are considered in rotation order from it.
+/// Paused replicas are skipped while any active one exists. Returns
+/// `None` only for an empty slice.
+pub fn select_replica(
+    policy: RoutePolicy,
+    start: usize,
+    replicas: &[ReplicaSnapshot],
+) -> Option<usize> {
+    let n = replicas.len();
+    if n == 0 {
+        return None;
+    }
+    let start = start % n;
+    let any_active = replicas.iter().any(|r| !r.paused);
+    let mut best: Option<(u128, usize, usize)> = None; // (score, depth, index)
+    for k in 0..n {
+        let i = (start + k) % n;
+        let r = &replicas[i];
+        if any_active && r.paused {
+            continue;
+        }
+        let score = match policy {
+            RoutePolicy::LeastLoaded => r.depth as u128,
+            RoutePolicy::LatencyAware => {
+                (r.depth as u128 + 1).saturating_mul(u128::from(r.ewma_service_ns.max(1)))
+            }
+        };
+        // Strict `<` keeps the first candidate in rotation order on ties
+        // (after the depth tie-break for the latency-aware policy).
+        let better = match best {
+            None => true,
+            Some((s, d, _)) => score < s || (score == s && r.depth < d),
+        };
+        if better {
+            best = Some((score, r.depth, i));
+        }
+    }
+    best.map(|(_, _, i)| i)
 }
 
 /// A snapshot of one model's serving state.
@@ -146,35 +242,52 @@ impl ModelStats {
 struct ModelEntry {
     plan: Arc<CompiledNet>,
     replicas: Vec<Replica>,
-    /// Rotating tie-break origin for least-loaded selection.
+    /// Rotating tie-break origin for replica selection.
     rr: AtomicUsize,
-    high_water: usize,
+    /// Admission high-water mark; atomic so the control plane can resize
+    /// it under the registry's *read* lock without stalling submissions.
+    high_water: AtomicUsize,
     shed: AtomicU64,
+    /// The batching knobs runtime-added replicas are spawned with
+    /// (`queue_cap` already clamped to the registration-time high water).
+    replica_cfg: ServeConfig,
+    policy: RoutePolicy,
+    /// Model-level pause state, inherited by runtime-added replicas so a
+    /// scale-up during a maintenance hold (or a deterministic test) does
+    /// not silently start draining.
+    paused: AtomicBool,
+    /// Final counters of scaled-down replicas, accumulated so the
+    /// model-wide cumulative stats (and the supervisor's per-tick deltas
+    /// computed from them) never regress when capacity leaves the pool.
+    retired: Mutex<ServeStats>,
 }
 
 impl ModelEntry {
-    /// Sums replica queue depths and picks the least-loaded replica,
-    /// breaking ties round-robin from a rotating origin.
+    /// Snapshots every replica and picks the submission target via
+    /// [`select_replica`]; returns `(index, total_depth)`.
     fn route(&self) -> (usize, usize) {
-        let n = self.replicas.len();
-        let start = self.rr.fetch_add(1, Ordering::Relaxed) % n;
-        let mut total = 0usize;
-        let mut best = start;
-        let mut best_depth = usize::MAX;
-        for k in 0..n {
-            let i = (start + k) % n;
-            let depth = self.replicas[i].queue_depth();
-            total += depth;
-            if depth < best_depth {
-                best_depth = depth;
-                best = i;
-            }
-        }
+        let snaps: Vec<ReplicaSnapshot> = self
+            .replicas
+            .iter()
+            .map(|r| ReplicaSnapshot {
+                depth: r.queue_depth(),
+                ewma_service_ns: r.ewma_service_ns(),
+                paused: r.is_paused(),
+            })
+            .collect();
+        let total = snaps.iter().map(|s| s.depth).sum();
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        let best = select_replica(self.policy, start, &snaps)
+            .expect("a registered model has at least one replica");
         (best, total)
     }
 
+    fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
     fn stats(&self) -> ModelStats {
-        let mut serve = ServeStats::zero();
+        let mut serve = *self.retired.lock().expect("retired stats poisoned");
         for r in &self.replicas {
             serve.merge(&r.stats());
         }
@@ -182,7 +295,7 @@ impl ModelEntry {
             serve,
             shed: self.shed.load(Ordering::Relaxed),
             replicas: self.replicas.len(),
-            queue_high_water: self.high_water,
+            queue_high_water: self.high_water(),
             form: self.plan.serving_form(),
         }
     }
@@ -192,16 +305,37 @@ impl ModelEntry {
 ///
 /// Registration and submission are thread-safe through `&self`; drop (or
 /// [`Router::shutdown`]) stops admission and drains every replica.
-#[derive(Default)]
 pub struct Router {
     models: RwLock<HashMap<String, ModelEntry>>,
     shutting_down: AtomicBool,
+    /// One clock for the whole router: every replica timestamps with it,
+    /// so latency/EWMA numbers are comparable across replicas — and a
+    /// [`VirtualClock`] here puts the entire serving tier on test time.
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Router {
-    /// An empty router; register models with [`Router::register`].
+    /// An empty router timestamping with a fresh [`MonotonicClock`];
+    /// register models with [`Router::register`].
     pub fn new() -> Self {
-        Self::default()
+        Self::with_clock(MonotonicClock::shared())
+    }
+
+    /// An empty router with an explicit time source (a [`VirtualClock`]
+    /// makes every latency/EWMA observation deterministic in tests).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self { models: RwLock::new(HashMap::new()), shutting_down: AtomicBool::new(false), clock }
+    }
+
+    /// The router's time source (shared with every replica it spawns).
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
     }
 
     /// Registers `plan` under `model` and spawns its replicas.
@@ -247,16 +381,21 @@ impl Router {
         if models.contains_key(model) {
             return Err(RouterError::DuplicateModel { model: model.to_string() });
         }
-        let replicas =
-            (0..cfg.replicas).map(|_| Replica::start(Arc::clone(&plan), replica_cfg)).collect();
+        let replicas = (0..cfg.replicas)
+            .map(|_| Replica::start_with_clock(Arc::clone(&plan), replica_cfg, self.clock()))
+            .collect();
         models.insert(
             model.to_string(),
             ModelEntry {
                 plan,
                 replicas,
                 rr: AtomicUsize::new(0),
-                high_water: cfg.queue_high_water,
+                high_water: AtomicUsize::new(cfg.queue_high_water),
                 shed: AtomicU64::new(0),
+                replica_cfg,
+                policy: cfg.policy,
+                paused: AtomicBool::new(false),
+                retired: Mutex::new(ServeStats::zero()),
             },
         );
         Ok(())
@@ -312,13 +451,10 @@ impl Router {
             .get(model)
             .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
         let (best, depth) = entry.route();
-        if depth >= entry.high_water {
+        let high_water = entry.high_water();
+        if depth >= high_water {
             entry.shed.fetch_add(1, Ordering::Relaxed);
-            return Err(RouterError::Overloaded {
-                model: model.to_string(),
-                depth,
-                high_water: entry.high_water,
-            });
+            return Err(RouterError::Overloaded { model: model.to_string(), depth, high_water });
         }
         match f(&entry.replicas[best]) {
             // Racing submitters can slip past the gauge-based gate and hit
@@ -333,7 +469,7 @@ impl Router {
                 Err(RouterError::Overloaded {
                     model: model.to_string(),
                     depth,
-                    high_water: entry.high_water,
+                    high_water: entry.high_water(),
                 })
             }
             other => other,
@@ -371,13 +507,14 @@ impl Router {
 
     /// Pauses `model`'s replicas (admission continues until the bound;
     /// batches stop draining). Maintenance hook, also what makes overload
-    /// tests deterministic.
+    /// tests deterministic. Replicas added by a scale-up while the model
+    /// is paused start paused too.
     ///
     /// # Errors
     ///
     /// [`RouterError::UnknownModel`] for an unregistered id.
     pub fn pause(&self, model: &str) -> Result<()> {
-        self.for_model(model, Replica::pause)
+        self.for_model(model, true, Replica::pause)
     }
 
     /// Resumes a paused model.
@@ -386,18 +523,174 @@ impl Router {
     ///
     /// [`RouterError::UnknownModel`] for an unregistered id.
     pub fn resume(&self, model: &str) -> Result<()> {
-        self.for_model(model, Replica::resume)
+        self.for_model(model, false, Replica::resume)
     }
 
-    fn for_model(&self, model: &str, f: impl Fn(&Replica)) -> Result<()> {
+    fn for_model(&self, model: &str, paused: bool, f: impl Fn(&Replica)) -> Result<()> {
         let models = self.models.read().expect("router registry poisoned");
         let entry = models
             .get(model)
             .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
+        entry.paused.store(paused, Ordering::Relaxed);
         for r in &entry.replicas {
             f(r);
         }
         Ok(())
+    }
+
+    /// Adds one replica to `model` at runtime (the scale-up actuator):
+    /// spawns fresh batchers over the model's *shared* plan — no weight
+    /// copy — whose first action is to pre-warm their scratch
+    /// ([`scissor_nn::CompiledNet::warm_scratch`]) before draining any
+    /// request. The new replica inherits the model's pause state and
+    /// becomes routable as soon as this returns. Returns the new replica
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`] for an unregistered id;
+    /// [`RouterError::ShuttingDown`] after shutdown began.
+    pub fn scale_up(&self, model: &str) -> Result<usize> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(RouterError::ShuttingDown);
+        }
+        let mut models = self.models.write().expect("router registry poisoned");
+        let entry = models
+            .get_mut(model)
+            .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
+        let replica =
+            Replica::start_with_clock(Arc::clone(&entry.plan), entry.replica_cfg, self.clock());
+        if entry.paused.load(Ordering::Relaxed) {
+            replica.pause();
+        }
+        entry.replicas.push(replica);
+        Ok(entry.replicas.len())
+    }
+
+    /// Removes one replica from `model` at runtime (the scale-down
+    /// actuator), **losing no admitted ticket**: the victim — the replica
+    /// with the highest service-time EWMA, i.e. the least useful capacity
+    /// (ties: the newest) — is dismantled, and every request still
+    /// pending in its queue is rerouted into the surviving replicas
+    /// (least-loaded first, admission-order preserved, queue caps
+    /// bypassed since each was already admitted once). A batch the victim
+    /// already had in flight completes and delivers normally. Returns the
+    /// new replica count.
+    ///
+    /// Holding the registry write lock for the whole
+    /// dismantle-and-reroute keeps it atomic with respect to submissions
+    /// (which hold the read lock): no submission can observe the victim
+    /// after its backlog started moving.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`] for an unregistered id;
+    /// [`RouterError::InvalidConfig`] when the model has only one replica
+    /// (scale to zero is shutdown, not scale-down);
+    /// [`RouterError::ShuttingDown`] after shutdown began.
+    pub fn scale_down(&self, model: &str) -> Result<usize> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(RouterError::ShuttingDown);
+        }
+        let mut models = self.models.write().expect("router registry poisoned");
+        let entry = models
+            .get_mut(model)
+            .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
+        if entry.replicas.len() <= 1 {
+            return Err(RouterError::InvalidConfig { reason: "cannot scale below one replica" });
+        }
+        let victim = entry
+            .replicas
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, r)| (r.ewma_service_ns(), *i))
+            .map(|(i, _)| i)
+            .expect("len checked above");
+        let torn = entry.replicas.remove(victim).dismantle();
+        entry.retired.lock().expect("retired stats poisoned").merge(&torn.stats);
+        for req in torn.pending {
+            reroute(&entry.replicas, req);
+        }
+        Ok(entry.replicas.len())
+    }
+
+    /// Resizes `model`'s admission high-water mark (the
+    /// `ResizeHighWater` actuator). The effective value is clamped to at
+    /// least the current in-flight depth — shrinking the bound must
+    /// never retroactively declare already-admitted requests shed — and
+    /// to at least 1. Returns the effective value.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`] for an unregistered id.
+    pub fn set_high_water(&self, model: &str, requested: usize) -> Result<usize> {
+        let models = self.models.read().expect("router registry poisoned");
+        let entry = models
+            .get(model)
+            .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
+        let depth: usize = entry.replicas.iter().map(Replica::queue_depth).sum();
+        let effective = requested.max(depth).max(1);
+        entry.high_water.store(effective, Ordering::Relaxed);
+        Ok(effective)
+    }
+
+    /// Resets `model`'s routing state (the `Rebalance` actuator): the
+    /// round-robin origin returns to zero and every replica's
+    /// service-time EWMA is cleared so the estimators re-learn current
+    /// conditions instead of steering on stale drift.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`] for an unregistered id.
+    pub fn rebalance(&self, model: &str) -> Result<()> {
+        let models = self.models.read().expect("router registry poisoned");
+        let entry = models
+            .get(model)
+            .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
+        entry.rr.store(0, Ordering::Relaxed);
+        for r in &entry.replicas {
+            r.reset_ewma();
+        }
+        Ok(())
+    }
+
+    /// Re-runs measured tile calibration on `model`'s shared plan (see
+    /// [`scissor_nn::CompiledNet::calibrate_tile`]): times 2–3 candidate
+    /// sub-batch sizes on the real plan and installs the fastest as the
+    /// runtime tile override. Used by the supervisor at warm-up and when
+    /// batch-latency stats drift.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`] for an unregistered id.
+    pub fn calibrate_tiles(
+        &self,
+        model: &str,
+        rounds: usize,
+    ) -> Result<scissor_nn::TileCalibration> {
+        let (plan, batch) = {
+            let models = self.models.read().expect("router registry poisoned");
+            let entry = models
+                .get(model)
+                .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
+            (Arc::clone(&entry.plan), entry.replica_cfg.max_batch)
+        };
+        // Calibration runs real timed forwards; do it outside the
+        // registry lock so it never stalls submissions.
+        Ok(plan.calibrate_tile(batch, rounds))
+    }
+
+    /// Number of replicas currently serving `model`, if registered.
+    pub fn replica_count(&self, model: &str) -> Option<usize> {
+        let models = self.models.read().expect("router registry poisoned");
+        models.get(model).map(|e| e.replicas.len())
+    }
+
+    /// Per-replica service-time EWMAs (ns; `0` = no batch yet) for
+    /// `model` — the latency-aware routing signal, in replica order.
+    pub fn replica_ewma_service_ns(&self, model: &str) -> Option<Vec<u64>> {
+        let models = self.models.read().expect("router registry poisoned");
+        models.get(model).map(|e| e.replicas.iter().map(Replica::ewma_service_ns).collect())
     }
 
     /// Stops admission, then drains and joins every replica: all admitted
@@ -417,6 +710,25 @@ impl Router {
     }
 }
 
+/// Hands one already-admitted request to the least-loaded surviving
+/// replica. Queue caps are bypassed ([`Replica::inject`]) — the request
+/// was admitted once; a teardown must not turn it into a shed. A replica
+/// that refuses (shut down between selection and injection) just means we
+/// try the next-least-loaded one; `scale_down` never tears down the last
+/// replica, so at least one target always accepts.
+fn reroute(survivors: &[Replica], req: PendingRequest) {
+    let mut order: Vec<usize> = (0..survivors.len()).collect();
+    order.sort_by_key(|&i| survivors[i].queue_depth());
+    let mut req = req;
+    for i in order {
+        match survivors[i].inject(req) {
+            Ok(()) => return,
+            Err(back) => req = back,
+        }
+    }
+    unreachable!("scale_down keeps at least one live replica to reroute into");
+}
+
 impl Drop for Router {
     fn drop(&mut self) {
         self.shutdown();
@@ -429,7 +741,12 @@ impl std::fmt::Debug for Router {
         let mut entries: Vec<String> = models
             .iter()
             .map(|(n, e)| {
-                format!("{n} ×{} (≤{}, {})", e.replicas.len(), e.high_water, e.plan.serving_form())
+                format!(
+                    "{n} ×{} (≤{}, {})",
+                    e.replicas.len(),
+                    e.high_water(),
+                    e.plan.serving_form()
+                )
             })
             .collect();
         entries.sort();
@@ -560,7 +877,7 @@ mod tests {
     #[test]
     fn overload_sheds_at_the_high_water_mark() {
         let router = Router::new();
-        let cfg = ModelConfig { replicas: 2, queue_high_water: 4, replica: ServeConfig::default() };
+        let cfg = ModelConfig { replicas: 2, queue_high_water: 4, ..ModelConfig::default() };
         let reference = tiny_plan(4, 3);
         router.register("m", tiny_plan(4, 3), cfg).unwrap();
         router.pause("m").unwrap();

@@ -1,0 +1,150 @@
+//! Time source abstraction for the serving and control tiers.
+//!
+//! Every timestamp the serving stack takes — request enqueue times,
+//! latency measurements, supervisor tick times — flows through a
+//! [`Clock`] so the *entire* control loop can run under simulated time in
+//! tests: a [`VirtualClock`] is advanced explicitly by the test driver,
+//! making scale-up/scale-down/hysteresis sequences deterministic and
+//! millisecond-fast, with no `thread::sleep`-based assertions anywhere.
+//!
+//! Production uses [`MonotonicClock`] (an [`Instant`] anchor); nothing in
+//! the hot path changes — `now_ns` is one `Instant::elapsed` call.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond time source.
+///
+/// Implementations must be monotone non-decreasing: `now_ns` never goes
+/// backwards. The zero point is arbitrary (construction time for the
+/// provided implementations); only differences are meaningful.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since the clock's (arbitrary) zero point.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production [`Clock`]: wall-clock monotonic time anchored at
+/// construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    anchor: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose zero point is now.
+    pub fn new() -> Self {
+        Self { anchor: Instant::now() }
+    }
+
+    /// A shared handle to a fresh monotonic clock.
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(Self::new())
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+}
+
+/// The deterministic test double: time advances only when the test says
+/// so, via [`VirtualClock::advance`].
+///
+/// Note that a virtual clock controls *timestamps and control-loop
+/// decisions*, not thread scheduling — batcher threads still run for
+/// real. Deterministic suites therefore pair a `VirtualClock` with
+/// `max_wait: Duration::ZERO` (no coalescing window to wait out) and
+/// paused replicas where queue depths must be exact.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ns: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared handle to a fresh virtual clock (keep a clone to advance
+    /// it while replicas/supervisors hold the `Arc<dyn Clock>` view).
+    pub fn shared() -> Arc<VirtualClock> {
+        Arc::new(Self::new())
+    }
+
+    /// Advances time by `dt`. Saturates at `u64::MAX` ns (~584 years).
+    pub fn advance(&self, dt: Duration) {
+        let dt = u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX);
+        // Saturating add under contention: fetch_update never goes back.
+        let _ = self
+            .ns
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| Some(t.saturating_add(dt)));
+    }
+
+    /// Sets the absolute time, which must not move backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is earlier than the current time — a monotonic
+    /// clock that rewinds would silently corrupt latency accounting.
+    pub fn set_ns(&self, ns: u64) {
+        let prev = self.ns.swap(ns, Ordering::AcqRel);
+        assert!(prev <= ns, "virtual clock must not rewind ({prev} -> {ns})");
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_told() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now_ns(), 5_000_000);
+        assert_eq!(c.now_ns(), 5_000_000, "no implicit advance");
+        c.set_ns(7_000_000);
+        assert_eq!(c.now_ns(), 7_000_000);
+        c.advance(Duration::from_nanos(u64::MAX));
+        assert_eq!(c.now_ns(), u64::MAX, "saturates instead of wrapping");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not rewind")]
+    fn virtual_clock_rejects_rewind() {
+        let c = VirtualClock::new();
+        c.advance(Duration::from_secs(1));
+        c.set_ns(10);
+    }
+
+    #[test]
+    fn trait_object_usable_through_arc() {
+        let v = VirtualClock::shared();
+        let dyn_clock: Arc<dyn Clock> = Arc::clone(&v) as Arc<dyn Clock>;
+        v.advance(Duration::from_micros(3));
+        assert_eq!(dyn_clock.now_ns(), 3_000);
+    }
+}

@@ -92,16 +92,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod clock;
 mod error;
 mod stats;
 
+pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use error::ServeError;
-pub use stats::{ServeStats, LATENCY_BUCKETS};
+pub use stats::{Ewma, ServeStats, DEFAULT_EWMA_ALPHA_PCT, LATENCY_BUCKETS};
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use scissor_nn::{CompiledNet, ServingForm, Tensor4};
 
@@ -129,6 +131,10 @@ pub struct ServeConfig {
     /// keep the historical never-fail submit; `scissor_router` sets real
     /// bounds.
     pub queue_cap: usize,
+    /// Smoothing factor (percent, clamped to `[1, 100]`) for the
+    /// per-replica service-time EWMA latency-aware routing scores on —
+    /// see [`ServeStats::ewma_service_ns`].
+    pub ewma_alpha_pct: u8,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +144,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(2),
             workers: 1,
             queue_cap: usize::MAX,
+            ewma_alpha_pct: DEFAULT_EWMA_ALPHA_PCT,
         }
     }
 }
@@ -145,8 +152,44 @@ impl Default for ServeConfig {
 /// A single queued inference request.
 struct Request {
     features: Vec<f32>,
-    enqueued: Instant,
+    /// Clock timestamp at admission ([`Clock::now_ns`]).
+    enqueued_ns: u64,
     slot: Arc<Slot>,
+}
+
+/// An admitted-but-not-yet-served request extracted from a replica by
+/// [`Replica::dismantle`], carrying its caller's live rendezvous slot.
+///
+/// Opaque: the only thing to do with one is [`Replica::inject`] it into a
+/// sibling replica serving the *same plan*, which preserves the caller's
+/// [`Ticket`] identity (and its original enqueue timestamp, so measured
+/// latency includes the reroute) — the mechanism behind zero-lost-ticket
+/// replica teardown in `scissor_router`.
+pub struct PendingRequest {
+    inner: Request,
+}
+
+impl std::fmt::Debug for PendingRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingRequest")
+            .field("features", &self.inner.features.len())
+            .field("enqueued_ns", &self.inner.enqueued_ns)
+            .finish()
+    }
+}
+
+/// What [`Replica::dismantle`] leaves behind: the backlog to reroute and
+/// the dead replica's final counters (EWMA zeroed — it is a routing
+/// signal, not a counter) for the owner to fold into its accumulated
+/// totals so teardown never makes cumulative stats regress.
+#[derive(Debug)]
+pub struct Dismantled {
+    /// Requests that were still pending, in admission order, for
+    /// [`Replica::inject`]ion into sibling replicas.
+    pub pending: Vec<PendingRequest>,
+    /// The replica's counter snapshot after its batchers joined (any
+    /// in-flight batch's deliveries included; `queue_depth` is 0).
+    pub stats: ServeStats,
 }
 
 /// Lifecycle of one rendezvous slot: pending → ready → taken.
@@ -238,6 +281,7 @@ struct Shared {
     queue: Mutex<QueueState>,
     available: Condvar,
     stats: StatsInner,
+    clock: Arc<dyn Clock>,
 }
 
 /// One batching replica: a bounded request queue plus batcher threads over
@@ -254,12 +298,31 @@ pub struct Replica {
 }
 
 impl Replica {
-    /// Starts batcher threads over a shared compiled plan.
+    /// Starts batcher threads over a shared compiled plan, timestamping
+    /// with a fresh [`MonotonicClock`].
     ///
     /// # Panics
     ///
     /// Panics if `cfg.max_batch`, `cfg.workers` or `cfg.queue_cap` is zero.
     pub fn start(net: Arc<CompiledNet>, cfg: ServeConfig) -> Self {
+        Self::start_with_clock(net, cfg, MonotonicClock::shared())
+    }
+
+    /// [`Replica::start`] with an explicit time source.
+    ///
+    /// Production callers pass a shared [`MonotonicClock`] (one per
+    /// router, so timestamps are comparable across replicas);
+    /// deterministic tests pass a [`VirtualClock`] — all latency and
+    /// service-time accounting then moves only when the test advances it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.max_batch`, `cfg.workers` or `cfg.queue_cap` is zero.
+    pub fn start_with_clock(
+        net: Arc<CompiledNet>,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         assert!(cfg.max_batch > 0, "max_batch must be positive");
         assert!(cfg.workers > 0, "workers must be positive");
         assert!(cfg.queue_cap > 0, "queue_cap must be positive");
@@ -272,7 +335,8 @@ impl Replica {
                 paused: false,
             }),
             available: Condvar::new(),
-            stats: StatsInner::default(),
+            stats: StatsInner::with_alpha(cfg.ewma_alpha_pct),
+            clock,
         });
         let handles = (0..cfg.workers)
             .map(|i| {
@@ -354,13 +418,35 @@ impl Replica {
             }
             queue.pending.push_back(Request {
                 features: features.to_vec(),
-                enqueued: Instant::now(),
+                enqueued_ns: self.shared.clock.now_ns(),
                 slot: Arc::clone(&slot),
             });
             self.shared.stats.set_queue_depth(queue.pending.len() as u64);
         }
         self.shared.available.notify_all();
         Ok(Ticket { slot })
+    }
+
+    /// Re-admits a request extracted from a dismantled sibling replica
+    /// (see [`Replica::dismantle`]). Bypasses [`ServeConfig::queue_cap`] —
+    /// the request was already admitted once and its [`Ticket`] must
+    /// resolve — and keeps the original enqueue timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Hands the request back if this replica is itself shutting down, so
+    /// the caller can try another sibling instead of losing the ticket.
+    pub fn inject(&self, req: PendingRequest) -> std::result::Result<(), PendingRequest> {
+        {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            if queue.shutdown {
+                return Err(req);
+            }
+            queue.pending.push_back(req.inner);
+            self.shared.stats.set_queue_depth(queue.pending.len() as u64);
+        }
+        self.shared.available.notify_all();
+        Ok(())
     }
 
     /// Pending (admitted, not yet drained) requests — the value the
@@ -387,6 +473,26 @@ impl Replica {
         self.shared.available.notify_all();
     }
 
+    /// Whether batch processing is currently paused — routing policies
+    /// must not steer new traffic at a paused replica while an active one
+    /// exists.
+    pub fn is_paused(&self) -> bool {
+        self.shared.queue.lock().expect("serve queue poisoned").paused
+    }
+
+    /// Current per-sample service-time EWMA in nanoseconds (`0` until the
+    /// first batch lands) — the latency-aware routing signal. Lock-free.
+    pub fn ewma_service_ns(&self) -> u64 {
+        self.shared.stats.ewma_service_ns()
+    }
+
+    /// Clears the service-time EWMA so the estimator re-learns from
+    /// scratch (rebalance actuation: a stale estimate should not keep
+    /// steering traffic after conditions changed).
+    pub fn reset_ewma(&self) {
+        self.shared.stats.reset_ewma()
+    }
+
     /// Snapshot of the throughput/latency counters.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats.snapshot()
@@ -404,6 +510,41 @@ impl Replica {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+
+    /// Tears the replica down **without** serving its backlog: stops
+    /// admission, extracts every still-pending request (their tickets
+    /// stay live) and joins the batcher threads, returning the extracted
+    /// requests for [`Replica::inject`]ion into sibling replicas plus the
+    /// replica's final counter snapshot (taken *after* the join, so an
+    /// in-flight batch's deliveries are included — a scale-down must not
+    /// make a model's cumulative counters go backwards).
+    ///
+    /// A batch already in flight when this is called completes and
+    /// delivers its tickets normally; the extraction happens under the
+    /// queue lock *before* the batchers are woken, so a request is either
+    /// in the returned set or delivered by this replica — never both,
+    /// never neither. This is the scale-down primitive: where `shutdown`
+    /// serves the backlog itself before exiting, `dismantle` hands it off
+    /// so capacity leaves the pool immediately, even mid-pause.
+    pub fn dismantle(mut self) -> Dismantled {
+        let pending: Vec<PendingRequest> = {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            queue.shutdown = true;
+            let drained: Vec<PendingRequest> =
+                queue.pending.drain(..).map(|inner| PendingRequest { inner }).collect();
+            self.shared.stats.set_queue_depth(0);
+            drained
+        };
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        let mut stats = self.shared.stats.snapshot();
+        // The EWMA is a routing signal for a live replica, not a counter;
+        // a dead replica must not keep steering anything.
+        stats.ewma_service_ns = 0;
+        Dismantled { pending, stats }
     }
 }
 
@@ -513,20 +654,26 @@ fn batcher_loop(shared: &Shared) {
         // iteration — with several workers, another batcher may drain the
         // request the previous deadline was keyed to, and a fresh arrival
         // deserves its own full coalescing window, not a stale (possibly
-        // expired) one.
+        // expired) one. Deadlines are clock timestamps; under a
+        // `VirtualClock` the condvar still sleeps real `remaining` spans,
+        // so deterministic virtual-time suites run with `max_wait: ZERO`
+        // (no coalescing window to wait out).
         while guard.pending.len() < shared.cfg.max_batch && !guard.shutdown && !guard.paused {
             let front = match guard.pending.front() {
                 Some(req) => req,
                 // Another worker drained the queue while we slept.
                 None => break,
             };
-            let deadline = front.enqueued + shared.cfg.max_wait;
-            let now = Instant::now();
-            if now >= deadline {
+            let deadline_ns = front
+                .enqueued_ns
+                .saturating_add(u64::try_from(shared.cfg.max_wait.as_nanos()).unwrap_or(u64::MAX));
+            let now_ns = shared.clock.now_ns();
+            if now_ns >= deadline_ns {
                 break;
             }
+            let remaining = Duration::from_nanos(deadline_ns - now_ns);
             let (g, _timeout) =
-                shared.available.wait_timeout(guard, deadline - now).expect("serve queue poisoned");
+                shared.available.wait_timeout(guard, remaining).expect("serve queue poisoned");
             guard = g;
         }
         // Paused mid-coalesce: leave the queue alone until resumed (the
@@ -563,17 +710,16 @@ fn run_batch(
     for (i, req) in batch.iter().enumerate() {
         batch_input.sample_mut(i).copy_from_slice(&req.features);
     }
-    let infer_start = Instant::now();
+    let infer_start_ns = shared.clock.now_ns();
     let logits = shared.net.infer_into(batch_input, scratch);
-    let infer_ns = infer_start.elapsed().as_nanos() as u64;
+    let infer_ns = shared.clock.now_ns().saturating_sub(infer_start_ns);
 
     // Record every counter BEFORE waking any ticket holder: a caller that
     // reads `stats()` right after its `wait` returns must see its own
     // request and its batch fully accounted.
-    let now = Instant::now();
+    let now_ns = shared.clock.now_ns();
     for req in batch {
-        let latency_ns = now.saturating_duration_since(req.enqueued).as_nanos() as u64;
-        shared.stats.record_request(latency_ns);
+        shared.stats.record_request(now_ns.saturating_sub(req.enqueued_ns));
     }
     shared.stats.record_batch(take as u64, take == shared.cfg.max_batch, infer_ns);
 
@@ -777,6 +923,118 @@ mod tests {
             let want = reference.infer(&sample(s));
             assert_eq!(t.wait().as_slice(), want.as_slice(), "sample {s}");
         }
+    }
+
+    #[test]
+    fn dismantle_hands_pending_to_a_sibling_same_tickets() {
+        let plan = Arc::new(tiny_plan());
+        let a = Replica::start(Arc::clone(&plan), ServeConfig::default());
+        let b = Replica::start(Arc::clone(&plan), ServeConfig::default());
+        a.pause();
+        b.pause();
+        let tickets: Vec<Ticket> =
+            (0..5).map(|s| a.submit(&sample(s)).expect("admitted")).collect();
+        assert_eq!(a.queue_depth(), 5);
+        // Tear a down mid-pause: its backlog moves to b, tickets intact.
+        let torn = a.dismantle();
+        assert_eq!(torn.pending.len(), 5);
+        assert_eq!(torn.stats.requests, 0, "paused: nothing delivered before teardown");
+        assert_eq!(torn.stats.queue_depth, 0, "extracted backlog left the gauge");
+        for req in torn.pending {
+            b.inject(req).expect("sibling accepts");
+        }
+        assert_eq!(b.queue_depth(), 5);
+        assert!(tickets.iter().all(|t| !t.is_ready()), "nothing served while paused");
+        b.resume();
+        let reference = tiny_plan();
+        for (s, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().as_slice(), reference.infer(&sample(s)).as_slice(), "ticket {s}");
+        }
+        assert_eq!(b.stats().requests, 5, "the sibling served the rerouted backlog");
+    }
+
+    #[test]
+    fn inject_bypasses_the_queue_cap_and_bounces_off_shutdown() {
+        let plan = Arc::new(tiny_plan());
+        let a = Replica::start(Arc::clone(&plan), ServeConfig::default());
+        let b = Replica::start(
+            Arc::clone(&plan),
+            ServeConfig { queue_cap: 1, ..ServeConfig::default() },
+        );
+        a.pause();
+        b.pause();
+        let _own = b.submit(&sample(9)).expect("fills b to its cap");
+        let tickets: Vec<Ticket> =
+            (0..3).map(|s| a.submit(&sample(s)).expect("admitted")).collect();
+        // b is at cap, but rerouted requests were already admitted once:
+        // they must land anyway (zero lost tickets beats the cap).
+        for req in a.dismantle().pending {
+            b.inject(req).expect("cap does not apply to rerouted requests");
+        }
+        assert_eq!(b.queue_depth(), 4);
+        b.resume();
+        let reference = tiny_plan();
+        for (s, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().as_slice(), reference.infer(&sample(s)).as_slice(), "ticket {s}");
+        }
+        // A shutting-down replica hands the request back instead of
+        // swallowing it.
+        let c = Replica::start(Arc::clone(&plan), ServeConfig::default());
+        c.pause();
+        let t = c.submit(&sample(7)).expect("admitted");
+        let mut d = Replica::start(Arc::clone(&plan), ServeConfig::default());
+        d.shutdown();
+        let mut bounced = Vec::new();
+        for req in c.dismantle().pending {
+            bounced.push(d.inject(req).expect_err("shut-down replica must refuse"));
+        }
+        assert_eq!(bounced.len(), 1);
+        let e = Replica::start(Arc::clone(&plan), ServeConfig::default());
+        for req in bounced {
+            e.inject(req).expect("live replica accepts the bounced request");
+        }
+        assert_eq!(t.wait().as_slice(), reference.infer(&sample(7)).as_slice());
+    }
+
+    #[test]
+    fn virtual_clock_freezes_latency_accounting() {
+        let clock = VirtualClock::shared();
+        let replica = Replica::start_with_clock(
+            Arc::new(tiny_plan()),
+            ServeConfig { max_wait: Duration::ZERO, ..ServeConfig::default() },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        replica.pause();
+        let t0 = replica.submit(&sample(0)).unwrap();
+        clock.advance(Duration::from_millis(3));
+        let t1 = replica.submit(&sample(1)).unwrap();
+        replica.resume();
+        t0.wait();
+        t1.wait();
+        let stats = replica.stats();
+        // All time flowed through the virtual clock: the first request
+        // aged exactly the scripted 3 ms, the second not at all, and the
+        // measured infer time is zero (the clock never moved during it).
+        assert_eq!(stats.max_latency, Duration::from_millis(3));
+        assert_eq!(stats.latency_sum, Duration::from_millis(3));
+        assert_eq!(stats.infer_time, Duration::ZERO);
+        assert_eq!(stats.ewma_service_ns, 0);
+        assert_eq!(replica.ewma_service_ns(), 0);
+    }
+
+    #[test]
+    fn ewma_surfaces_and_resets_through_the_replica() {
+        let replica = Replica::start(Arc::new(tiny_plan()), ServeConfig::default());
+        assert_eq!(replica.ewma_service_ns(), 0);
+        assert!(!replica.is_paused());
+        replica.submit(&sample(0)).unwrap().wait();
+        assert!(replica.ewma_service_ns() > 0, "a real batch seeds the estimator");
+        replica.reset_ewma();
+        assert_eq!(replica.ewma_service_ns(), 0);
+        replica.pause();
+        assert!(replica.is_paused());
+        replica.resume();
+        assert!(!replica.is_paused());
     }
 
     #[test]

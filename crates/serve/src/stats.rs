@@ -26,6 +26,50 @@ fn bucket_upper_ns(i: usize) -> u64 {
     }
 }
 
+/// Default smoothing factor for the per-replica service-time EWMA, in
+/// percent (`20` ⇒ α = 0.2: each new batch contributes a fifth of the
+/// estimate — responsive to drift, robust to one-off stalls).
+pub const DEFAULT_EWMA_ALPHA_PCT: u8 = 20;
+
+/// An exponentially-weighted moving average: `v' = α·x + (1−α)·v`, with
+/// `α` fixed at construction as a percentage in `[1, 100]`.
+///
+/// The estimator the latency-aware router routes on. Its two contracts
+/// (property-tested in `tests/ewma_prop.rs`):
+///
+/// * the estimate always lies within the closed min/max envelope of the
+///   observations so far (α = 100 degenerates to "latest sample");
+/// * on constant input it converges monotonically toward that constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha_pct: u8,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// A fresh estimator with smoothing `alpha_pct` clamped to `[1, 100]`.
+    pub fn new(alpha_pct: u8) -> Self {
+        Self { alpha_pct: alpha_pct.clamp(1, 100), value: None }
+    }
+
+    /// Folds one observation in and returns the updated estimate. The
+    /// first observation seeds the estimate exactly.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let alpha = f64::from(self.alpha_pct) / 100.0;
+        let v = match self.value {
+            None => x,
+            Some(v) => alpha * x + (1.0 - alpha) * v,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// The current estimate; `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
 /// Internal atomic counters, updated by the batcher threads.
 pub(crate) struct StatsInner {
     requests: AtomicU64,
@@ -38,10 +82,20 @@ pub(crate) struct StatsInner {
     latency_ns_max: AtomicU64,
     infer_ns_sum: AtomicU64,
     latency_hist: [AtomicU64; LATENCY_BUCKETS],
+    /// Per-sample service-time EWMA as f64 bits; `0` = no batch yet (a
+    /// genuine 0.0 estimate is stored as `-0.0` bits, numerically equal).
+    ewma_service_bits: AtomicU64,
+    ewma_alpha_pct: u8,
 }
 
 impl Default for StatsInner {
     fn default() -> Self {
+        Self::with_alpha(DEFAULT_EWMA_ALPHA_PCT)
+    }
+}
+
+impl StatsInner {
+    pub(crate) fn with_alpha(ewma_alpha_pct: u8) -> Self {
         Self {
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -53,11 +107,11 @@ impl Default for StatsInner {
             latency_ns_max: AtomicU64::new(0),
             infer_ns_sum: AtomicU64::new(0),
             latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            ewma_service_bits: AtomicU64::new(0),
+            ewma_alpha_pct: ewma_alpha_pct.clamp(1, 100),
         }
     }
-}
 
-impl StatsInner {
     pub(crate) fn record_request(&self, latency_ns: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.latency_ns_sum.fetch_add(latency_ns, Ordering::Relaxed);
@@ -72,6 +126,41 @@ impl StatsInner {
             self.full_batches.fetch_add(1, Ordering::Relaxed);
         }
         self.infer_ns_sum.fetch_add(infer_ns, Ordering::Relaxed);
+        if size > 0 {
+            self.record_service(infer_ns as f64 / size as f64);
+        }
+    }
+
+    /// Folds one per-sample service-time observation into the EWMA with a
+    /// CAS loop (several batcher threads may land batches concurrently).
+    fn record_service(&self, per_sample_ns: f64) {
+        let alpha_pct = self.ewma_alpha_pct;
+        let _ = self.ewma_service_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            let mut e = Ewma {
+                alpha_pct,
+                value: if bits == 0 { None } else { Some(f64::from_bits(bits)) },
+            };
+            let v = e.update(per_sample_ns);
+            Some(if v == 0.0 { (-0.0f64).to_bits() } else { v.to_bits() })
+        });
+    }
+
+    /// Current per-sample service-time EWMA in nanoseconds (rounded);
+    /// `0` until the first batch lands. Lock-free.
+    pub(crate) fn ewma_service_ns(&self) -> u64 {
+        let bits = self.ewma_service_bits.load(Ordering::Relaxed);
+        if bits == 0 {
+            0
+        } else {
+            f64::from_bits(bits).round().max(0.0) as u64
+        }
+    }
+
+    /// Clears the service-time EWMA so the estimator re-learns from
+    /// scratch (a rebalance actuation: stale estimates should not keep
+    /// steering traffic after conditions changed).
+    pub(crate) fn reset_ewma(&self) {
+        self.ewma_service_bits.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn record_shed(&self) {
@@ -110,6 +199,7 @@ impl StatsInner {
             max_latency: Duration::from_nanos(self.latency_ns_max.load(Ordering::Relaxed)),
             infer_time: Duration::from_nanos(self.infer_ns_sum.load(Ordering::Relaxed)),
             latency_hist: std::array::from_fn(|i| self.latency_hist[i].load(Ordering::Relaxed)),
+            ewma_service_ns: self.ewma_service_ns(),
         }
     }
 }
@@ -145,6 +235,11 @@ pub struct ServeStats {
     /// with latency in `[2^(i-1), 2^i)` ns (bucket 0: zero latency; the
     /// top bucket absorbs everything slower than its lower bound).
     pub latency_hist: [u64; LATENCY_BUCKETS],
+    /// Per-sample service-time EWMA in nanoseconds (`infer_time` of each
+    /// batch divided by its size, exponentially smoothed) — the signal
+    /// latency-aware routing scores replicas by. `0` until the first
+    /// batch lands; a gauge, not a cumulative counter.
+    pub ewma_service_ns: u64,
 }
 
 impl ServeStats {
@@ -223,9 +318,11 @@ impl ServeStats {
 
     /// Merges another snapshot into this one (counters add; gauges add —
     /// the merged `queue_depth` is the cluster-wide backlog; `max_latency`
-    /// takes the max). Used to aggregate per-replica stats into a
-    /// per-model view.
+    /// and `ewma_service_ns` take the max: the merged view reports the
+    /// *slowest* replica's estimate, the one an autoscaler cares about).
+    /// Used to aggregate per-replica stats into a per-model view.
     pub fn merge(&mut self, other: &ServeStats) {
+        self.ewma_service_ns = self.ewma_service_ns.max(other.ewma_service_ns);
         self.requests += other.requests;
         self.batches += other.batches;
         self.samples += other.samples;
@@ -253,6 +350,7 @@ impl ServeStats {
             max_latency: Duration::ZERO,
             infer_time: Duration::ZERO,
             latency_hist: [0; LATENCY_BUCKETS],
+            ewma_service_ns: 0,
         }
     }
 }
@@ -342,6 +440,45 @@ mod tests {
         assert_eq!(s.latency_percentile(1.0), Duration::from_nanos(1_000_000_000));
         assert!(s.p50_latency() <= s.p95_latency());
         assert!(s.p95_latency() <= s.p99_latency());
+    }
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        let mut e = Ewma::new(20);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(100.0), 100.0, "first observation seeds exactly");
+        // 0.2·200 + 0.8·100 = 120.
+        assert!((e.update(200.0) - 120.0).abs() < 1e-9);
+        let latest_only = Ewma::new(100).value;
+        assert_eq!(latest_only, None);
+        let mut latest = Ewma::new(100);
+        latest.update(5.0);
+        assert_eq!(latest.update(9.0), 9.0, "alpha=100% degenerates to the latest sample");
+        // Out-of-range alphas clamp instead of dividing by zero / freezing.
+        let mut z = Ewma::new(0);
+        z.update(3.0);
+        assert!((z.update(7.0) - (3.0 + 0.01 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_ewma_tracks_batches_and_resets() {
+        let inner = StatsInner::default();
+        assert_eq!(inner.ewma_service_ns(), 0, "no batch yet");
+        inner.record_batch(2, false, 2_000); // 1000 ns/sample seeds
+        assert_eq!(inner.ewma_service_ns(), 1_000);
+        inner.record_batch(1, false, 2_000); // 0.2·2000 + 0.8·1000 = 1200
+        assert_eq!(inner.ewma_service_ns(), 1_200);
+        assert_eq!(inner.snapshot().ewma_service_ns, 1_200);
+        inner.reset_ewma();
+        assert_eq!(inner.ewma_service_ns(), 0);
+        // A genuine zero-duration batch (virtual-clock runs) still counts
+        // as "seen": the gauge distinguishes it from "no data".
+        inner.record_batch(4, true, 0);
+        assert_eq!(inner.ewma_service_ns(), 0);
+        assert_ne!(inner.ewma_service_bits.load(Ordering::Relaxed), 0);
+        inner.record_batch(1, false, 1_000_000);
+        // Seeded at 0.0, so the million-ns batch pulls the EWMA up by α.
+        assert_eq!(inner.ewma_service_ns(), 200_000);
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Property tests for the service-time EWMA that latency-aware routing
+//! steers on: the estimate stays inside the envelope of observed samples
+//! and converges monotonically on constant input — for every admissible
+//! smoothing factor.
+
+use proptest::prelude::*;
+
+use scissor_serve::Ewma;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The estimate is always within `[min, max]` of the samples seen so
+    /// far: a convex combination can never overshoot its inputs.
+    #[test]
+    fn estimate_stays_inside_the_sample_envelope(
+        alpha_pct in 0u8..=120, // constructor clamps to [1, 100]
+        samples in proptest::collection::vec(0.0f64..1e12, 1..60),
+    ) {
+        let mut ewma = Ewma::new(alpha_pct);
+        prop_assert_eq!(ewma.value(), None, "no estimate before the first sample");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &s in &samples {
+            lo = lo.min(s);
+            hi = hi.max(s);
+            ewma.update(s);
+            let v = ewma.value().expect("seeded after first sample");
+            prop_assert!(v >= lo && v <= hi, "estimate {v} escaped envelope [{lo}, {hi}]");
+        }
+    }
+
+    /// On constant input the distance to that constant is monotonically
+    /// non-increasing (strictly decreasing while non-zero for alpha <
+    /// 100), from any starting estimate.
+    #[test]
+    fn converges_monotonically_on_constant_input(
+        alpha_pct in 1u8..=100,
+        seed in 0.0f64..1e9,
+        constant in 0.0f64..1e9,
+        steps in 1usize..200,
+    ) {
+        let mut ewma = Ewma::new(alpha_pct);
+        ewma.update(seed);
+        let mut dist = (ewma.value().unwrap() - constant).abs();
+        for _ in 0..steps {
+            ewma.update(constant);
+            let next = (ewma.value().unwrap() - constant).abs();
+            // One ulp-scale slack: once converged, the convex update may
+            // round the last bit either way.
+            let eps = constant.abs() * 1e-12 + 1e-12;
+            prop_assert!(next <= dist + eps, "distance grew: {next} > {dist}");
+            if alpha_pct == 100 {
+                prop_assert_eq!(next, 0.0, "alpha 100% must jump straight to the input");
+            }
+            dist = next;
+        }
+        // Geometric decay: after enough steps the estimate is close on
+        // the scale of the starting gap.
+        if steps >= 100 {
+            prop_assert!(dist <= (seed - constant).abs() * 0.5 + 1e-9);
+        }
+    }
+
+    /// The first sample seeds the estimate exactly — no bias toward an
+    /// implicit zero start.
+    #[test]
+    fn first_sample_seeds_exactly(alpha_pct in 0u8..=120, first in 0.0f64..1e12) {
+        let mut ewma = Ewma::new(alpha_pct);
+        ewma.update(first);
+        prop_assert_eq!(ewma.value(), Some(first));
+    }
+}

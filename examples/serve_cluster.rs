@@ -61,6 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_wait: Duration::from_millis(2),
             ..ServeConfig::default()
         },
+        ..ModelConfig::default()
     };
     router.register_shared("lenet", Arc::clone(&lenet), cfg)?;
     router.register_shared("convnet", Arc::clone(&convnet), cfg)?;
