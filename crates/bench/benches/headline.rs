@@ -3,9 +3,14 @@
 //!
 //! * crossbar area → 13.62 % (LeNet) / 51.81 % (ConvNet) after rank clipping
 //! * routing area → 8.1 % (LeNet) / 52.06 % (ConvNet) after group deletion
+//!
+//! With `GS_CIFAR_DIR` set (ideally together with `GS_PRESET=full`), a
+//! trained section follows: the ConvNet pipeline's accuracies measured on
+//! the real CIFAR-10 binary batches rather than the synthetic stand-in.
 
 use group_scissor::report::{pct, text_table};
 use group_scissor::{area_report_at_ranks, ModelKind};
+use scissor_bench::{pipeline_summary, Preset};
 use scissor_ncs::{mean_area_fraction, mean_wire_fraction, CrossbarSpec, RoutingAnalysis};
 
 fn main() {
@@ -54,4 +59,21 @@ fn main() {
     println!("{}", text_table(&["quantity", "reproduced", "paper"], &rows));
     println!("every row is exact because the area and routing models are deterministic;");
     println!("training-dependent analogues appear in table1/table3/fig* targets.");
+
+    if std::env::var_os("GS_CIFAR_DIR").is_some() {
+        let preset = Preset::from_env();
+        println!("\n== ConvNet accuracy on real CIFAR-10 ({} preset) ==\n", preset.tag());
+        let s = pipeline_summary(ModelKind::ConvNet, preset);
+        let acc = |a: f64| format!("{:.2}%", 100.0 * a);
+        let acc_rows = vec![
+            vec!["Original".into(), acc(s.baseline_accuracy)],
+            vec!["Direct LRA".into(), acc(s.direct_lra_accuracy)],
+            vec!["Rank clipping".into(), acc(s.clip_accuracy)],
+            vec!["+ group deletion".into(), acc(s.deletion_accuracy)],
+        ];
+        println!("{}", text_table(&["method", "accuracy"], &acc_rows));
+        println!("paper (full preset reference): original 81.53%, rank clipping 81.82%.");
+    } else {
+        println!("set GS_CIFAR_DIR=<cifar-10-batches-bin> for ConvNet accuracy on real data.");
+    }
 }

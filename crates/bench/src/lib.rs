@@ -9,7 +9,13 @@
 //! Environment knobs:
 //!
 //! * `GS_PRESET=fast|full` — config preset (default `fast`);
-//! * `GS_FRESH=1` — ignore caches.
+//! * `GS_FRESH=1` — ignore caches;
+//! * `GS_MNIST_DIR` / `GS_CIFAR_DIR` — train and report accuracy on the
+//!   real datasets instead of the synthetic stand-ins (LeNet reads the
+//!   MNIST IDX files, ConvNet the CIFAR-10 binary batches; anything
+//!   missing falls back to synth). Real-data artifacts cache under
+//!   source-tagged keys, so cached synthetic numbers are never served for
+//!   a real-data run or vice versa.
 
 #![forbid(unsafe_code)]
 
@@ -20,8 +26,8 @@ use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
 use group_scissor::{
-    area_report_at_ranks, run_pipeline_on, train_baseline, GroupScissorConfig, ModelKind,
-    PipelineOutcome,
+    area_report_at_ranks, run_pipeline_on, train_baseline, DataSource, GroupScissorConfig,
+    ModelKind, PipelineOutcome,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,6 +92,22 @@ impl Preset {
         }
         cfg
     }
+}
+
+/// Resolves the datasets for `cfg` honouring `GS_MNIST_DIR`/`GS_CIFAR_DIR`,
+/// and returns a cache-key suffix identifying the source (`""` for the
+/// synthetic stand-ins, so pre-existing synthetic caches keep working;
+/// `"_mnist"`/`"_cifar10"` for real data). The resolved source is echoed so
+/// accuracy tables are never misread as real-data numbers (or vice versa).
+pub fn resolved_datasets(cfg: &GroupScissorConfig) -> (Dataset, Dataset, &'static str) {
+    let (train, test, source) = cfg.datasets_from_env().expect("resolve datasets");
+    let suffix = match source {
+        DataSource::Synthetic => "",
+        DataSource::MnistIdx(_) => "_mnist",
+        DataSource::CifarBin(_) => "_cifar10",
+    };
+    eprintln!("[gs-bench] data source: {source}");
+    (train, test, suffix)
 }
 
 /// Cache directory (`target/gs-cache`), created on demand.
@@ -272,14 +294,14 @@ impl PipelineSummary {
 
 /// Runs (or loads from cache) the end-to-end pipeline for `model`.
 pub fn pipeline_summary(model: ModelKind, preset: Preset) -> PipelineSummary {
-    let key = format!("pipeline_{}_{}.json", model.name().to_lowercase(), preset.tag());
+    let cfg = preset.config(model);
+    let (train, test, src) = resolved_datasets(&cfg);
+    let key = format!("pipeline_{}_{}{src}.json", model.name().to_lowercase(), preset.tag());
     if let Some(summary) = load_json::<PipelineSummary>(&key) {
         eprintln!("[gs-bench] loaded cached {key}");
         return summary;
     }
     eprintln!("[gs-bench] running {} pipeline ({})…", model.name(), preset.tag());
-    let cfg = preset.config(model);
-    let (train, test) = cfg.datasets();
     let outcome = run_pipeline_on(&cfg, &train, &test).expect("pipeline run");
     let summary = PipelineSummary::from_outcome(&outcome, &cfg.spec);
     save_json(&key, &summary);
@@ -312,14 +334,14 @@ pub fn baseline_checkpoint(model: ModelKind, preset: Preset) -> (Vec<(String, Ma
         state: Vec<(String, Matrix)>,
         accuracy: f64,
     }
-    let key = format!("baseline_{}_{}.json", model.name().to_lowercase(), preset.tag());
+    let cfg = preset.config(model);
+    let (train, test, src) = resolved_datasets(&cfg);
+    let key = format!("baseline_{}_{}{src}.json", model.name().to_lowercase(), preset.tag());
     if let Some(cp) = load_json::<Checkpoint>(&key) {
         eprintln!("[gs-bench] loaded cached {key}");
         return (cp.state, cp.accuracy);
     }
     eprintln!("[gs-bench] training {} baseline ({})…", model.name(), preset.tag());
-    let cfg = preset.config(model);
-    let (train, test) = cfg.datasets();
     let mut rng = StdRng::seed_from_u64(cfg.init_seed);
     let mut net = model.build(&mut rng);
     let out = train_baseline(&mut net, &train, &test, &cfg.baseline);
@@ -347,8 +369,10 @@ pub struct EpsSweepPoint {
 
 /// Runs (or loads) one ε point of the Fig. 6 / Fig. 7 sweeps.
 pub fn eps_sweep_point(model: ModelKind, preset: Preset, eps: f64) -> EpsSweepPoint {
+    let cfg = preset.config(model);
+    let (train, test, src) = resolved_datasets(&cfg);
     let key = format!(
-        "eps_{}_{}_{}.json",
+        "eps_{}_{}_{}{src}.json",
         model.name().to_lowercase(),
         preset.tag(),
         format!("{eps:.4}").replace('.', "p")
@@ -358,8 +382,6 @@ pub fn eps_sweep_point(model: ModelKind, preset: Preset, eps: f64) -> EpsSweepPo
         return p;
     }
     eprintln!("[gs-bench] ε-sweep {} at ε={eps} ({})…", model.name(), preset.tag());
-    let cfg = preset.config(model);
-    let (train, test) = cfg.datasets();
     let (state, _) = baseline_checkpoint(model, preset);
     let mut rng = StdRng::seed_from_u64(cfg.init_seed);
     let mut net = model.build(&mut rng);
@@ -394,9 +416,11 @@ pub fn eps_grid(preset: Preset) -> Vec<f64> {
     }
 }
 
-/// Dataset pair for a model under a preset (convenience).
+/// Dataset pair for a model under a preset (convenience; honours
+/// `GS_MNIST_DIR`/`GS_CIFAR_DIR`).
 pub fn datasets(model: ModelKind, preset: Preset) -> (Dataset, Dataset) {
-    preset.config(model).datasets()
+    let (train, test, _) = resolved_datasets(&preset.config(model));
+    (train, test)
 }
 
 /// Cached rank-clipped checkpoint: ranks + state + accuracy (the starting
@@ -414,14 +438,14 @@ pub struct ClippedCheckpoint {
 /// Runs (or loads) rank clipping from the cached baseline and returns the
 /// clipped checkpoint.
 pub fn clipped_checkpoint(model: ModelKind, preset: Preset) -> ClippedCheckpoint {
-    let key = format!("clipped_{}_{}.json", model.name().to_lowercase(), preset.tag());
+    let cfg = preset.config(model);
+    let (train, test, src) = resolved_datasets(&cfg);
+    let key = format!("clipped_{}_{}{src}.json", model.name().to_lowercase(), preset.tag());
     if let Some(cp) = load_json::<ClippedCheckpoint>(&key) {
         eprintln!("[gs-bench] loaded cached {key}");
         return cp;
     }
     eprintln!("[gs-bench] rank-clipping {} ({})…", model.name(), preset.tag());
-    let cfg = preset.config(model);
-    let (train, test) = cfg.datasets();
     let (state, _) = baseline_checkpoint(model, preset);
     let mut rng = StdRng::seed_from_u64(cfg.init_seed);
     let mut net = model.build(&mut rng);
@@ -470,8 +494,10 @@ impl LambdaSweepPoint {
 
 /// Runs (or loads) one λ point of the Fig. 8 sweep.
 pub fn lambda_sweep_point(model: ModelKind, preset: Preset, lambda: f32) -> LambdaSweepPoint {
+    let cfg = preset.config(model);
+    let (train, test, src) = resolved_datasets(&cfg);
     let key = format!(
-        "lambda_{}_{}_{}.json",
+        "lambda_{}_{}_{}{src}.json",
         model.name().to_lowercase(),
         preset.tag(),
         format!("{lambda:.5}").replace('.', "p")
@@ -481,8 +507,6 @@ pub fn lambda_sweep_point(model: ModelKind, preset: Preset, lambda: f32) -> Lamb
         return p;
     }
     eprintln!("[gs-bench] λ-sweep {} at λ={lambda} ({})…", model.name(), preset.tag());
-    let cfg = preset.config(model);
-    let (train, test) = cfg.datasets();
     let cp = clipped_checkpoint(model, preset);
     let mut net = rebuild_clipped(model, &cp.ranks, &cp.state, cfg.init_seed);
     let reg = scissor_prune::GroupLassoRegularizer::auto_register(&net, &cfg.spec, lambda)
@@ -532,12 +556,13 @@ pub fn method_clip_point(
         LraMethod::Pca => "pca",
         LraMethod::Svd => "svd",
     };
-    let key = format!("method_{}_{}_{}.json", model.name().to_lowercase(), preset.tag(), tag);
+    let cfg = preset.config(model);
+    let (train, test, src) = resolved_datasets(&cfg);
+    let key = format!("method_{}_{}_{}{src}.json", model.name().to_lowercase(), preset.tag(), tag);
     if let Some(p) = load_json::<Point>(&key) {
         eprintln!("[gs-bench] loaded cached {key}");
         return (p.ranks, p.accuracy, p.area_ratio);
     }
-    let cfg = preset.config(model);
     if method == LraMethod::Pca {
         // The PCA run is exactly the clipped checkpoint — reuse it.
         let cp = clipped_checkpoint(model, preset);
@@ -547,7 +572,6 @@ pub fn method_clip_point(
         return (p.ranks, p.accuracy, p.area_ratio);
     }
     eprintln!("[gs-bench] {tag} clip on {} ({})…", model.name(), preset.tag());
-    let (train, test) = cfg.datasets();
     let (state, _) = baseline_checkpoint(model, preset);
     let mut rng = StdRng::seed_from_u64(cfg.init_seed);
     let mut net = model.build(&mut rng);

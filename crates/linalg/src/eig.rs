@@ -92,6 +92,19 @@ impl SymEig {
 /// # Ok::<(), scissor_linalg::LinalgError>(())
 /// ```
 pub fn sym_eig(a: &Matrix) -> Result<SymEig> {
+    sym_eig_impl(a, true)
+}
+
+/// Always-sequential reference implementation of [`sym_eig`].
+///
+/// Every rotation pass runs on the calling thread; [`sym_eig`] with the
+/// pool enabled must agree with this bitwise (the `spectral_agreement`
+/// proptests assert exact equality, as for the matmul kernels).
+pub fn sym_eig_serial(a: &Matrix) -> Result<SymEig> {
+    sym_eig_impl(a, false)
+}
+
+fn sym_eig_impl(a: &Matrix, allow_parallel: bool) -> Result<SymEig> {
     if a.rows() != a.cols() {
         return Err(LinalgError::ShapeMismatch {
             expected: (a.rows(), a.rows()),
@@ -106,14 +119,19 @@ pub fn sym_eig(a: &Matrix) -> Result<SymEig> {
             buf[i * n + j] = 0.5 * (a[(i, j)] as f64 + a[(j, i)] as f64);
         }
     }
-    let (values, vectors) = sym_eig_f64(&mut buf, n)?;
+    let (values, vectors) = sym_eig_f64(&mut buf, n, allow_parallel)?;
     Ok(SymEig { values, vectors: Matrix::from_f64_vec(n, n, &vectors) })
 }
 
 /// Jacobi eigendecomposition over a raw `f64` buffer (row-major `n × n`,
 /// destroyed in place). Returns `(eigenvalues desc, eigenvectors col-major as
-/// row-major n×n matrix)`.
-pub(crate) fn sym_eig_f64(a: &mut [f64], n: usize) -> Result<(Vec<f64>, Vec<f64>)> {
+/// row-major n×n matrix)`. `allow_parallel = false` forces every rotation
+/// pass onto the calling thread (bitwise-identical by the pass contracts).
+pub(crate) fn sym_eig_f64(
+    a: &mut [f64],
+    n: usize,
+    allow_parallel: bool,
+) -> Result<(Vec<f64>, Vec<f64>)> {
     let mut v = vec![0.0_f64; n * n];
     for i in 0..n {
         v[i * n + i] = 1.0;
@@ -145,7 +163,7 @@ pub(crate) fn sym_eig_f64(a: &mut [f64], n: usize) -> Result<(Vec<f64>, Vec<f64>
             return Ok(finish(a, v, n));
         }
         if use_rounds {
-            round_robin_sweep(a, &mut v, n, tol, &mut scratch);
+            round_robin_sweep(a, &mut v, n, tol, &mut scratch, allow_parallel);
         } else {
             row_cyclic_sweep(a, &mut v, n, tol);
         }
@@ -232,7 +250,9 @@ fn row_cyclic_sweep(a: &mut [f64], v: &mut [f64], n: usize, tol: f64) {
 /// Applies a set of pairwise-disjoint plane rotations on the right
 /// (`M ← M · J`), row by row. Rows are independent, so row blocks fan out
 /// across the pool when the pass is large enough to pay for dispatch.
-fn apply_plane_rotations(mat: &mut [f64], n: usize, rots: &[PlaneRot]) {
+fn apply_plane_rotations(mat: &mut [f64], n: usize, rots: &[PlaneRot], allow_parallel: bool) {
+    #[cfg(not(feature = "parallel"))]
+    let _ = allow_parallel;
     let rotate_rows = |rows: &mut [f64]| {
         for row in rows.chunks_mut(n) {
             for r in rots {
@@ -246,7 +266,7 @@ fn apply_plane_rotations(mat: &mut [f64], n: usize, rots: &[PlaneRot]) {
     #[cfg(feature = "parallel")]
     {
         let rows = mat.len() / n.max(1);
-        let threads = pass_threads(rows, rots.len());
+        let threads = if allow_parallel { pass_threads(rows, rots.len()) } else { 1 };
         if threads > 1 {
             let rows_per_task = rows.div_ceil(threads);
             mat.par_chunks_mut(rows_per_task * n).for_each(rotate_rows);
@@ -346,7 +366,16 @@ fn pass_threads(rows: usize, nrots: usize) -> usize {
 /// row-major streaming, no strided column walks. `V` accumulates `V ← V·J`
 /// with the same right pass. With the `parallel` feature and enough work,
 /// each pass fans out across rayon's persistent pool.
-fn round_robin_sweep(a: &mut [f64], v: &mut [f64], n: usize, tol: f64, scratch: &mut Vec<f64>) {
+fn round_robin_sweep(
+    a: &mut [f64],
+    v: &mut [f64],
+    n: usize,
+    tol: f64,
+    scratch: &mut Vec<f64>,
+    allow_parallel: bool,
+) {
+    #[cfg(not(feature = "parallel"))]
+    let _ = allow_parallel;
     // Tournament (circle-method) schedule over n players, padded to even
     // with a bye; n-1 rounds cover every unordered pair exactly once.
     let np = n + (n & 1);
@@ -372,11 +401,11 @@ fn round_robin_sweep(a: &mut [f64], v: &mut [f64], n: usize, tol: f64, scratch: 
         }
         if !rots.is_empty() {
             // C = A·J …
-            apply_plane_rotations(a, n, &rots);
+            apply_plane_rotations(a, n, &rots, allow_parallel);
             // … then A' = Jᵀ·C.
             #[cfg(feature = "parallel")]
             {
-                let threads = pass_threads(n, rots.len());
+                let threads = if allow_parallel { pass_threads(n, rots.len()) } else { 1 };
                 // Unlike the in-place serial pass (2·n elements per
                 // rotation), the out-of-place parallel pass streams the full
                 // n² matrix — untouched rows are copied — plus an n² copy
@@ -395,7 +424,7 @@ fn round_robin_sweep(a: &mut [f64], v: &mut [f64], n: usize, tol: f64, scratch: 
             #[cfg(not(feature = "parallel"))]
             left_apply_plane_rotations(a, n, &rots);
             // V = V·J.
-            apply_plane_rotations(v, n, &rots);
+            apply_plane_rotations(v, n, &rots, allow_parallel);
         }
         // Advance the schedule: hold ring[0], rotate the rest one step.
         let last = ring[np - 1];

@@ -55,7 +55,7 @@ pub use quant::{
     QuantActivations, QuantMatrix, ScaleAxis,
 };
 
-pub use eig::{sym_eig, SymEig};
+pub use eig::{sym_eig, sym_eig_serial, SymEig};
 pub use lowrank::{max_beneficial_rank, LowRank};
 pub use pca::Pca;
-pub use svd::{svd, Svd};
+pub use svd::{svd, svd_serial, Svd};

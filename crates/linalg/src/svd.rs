@@ -4,11 +4,33 @@
 //! clipping (finding it slightly inferior — crossbar area 32.97 % vs 13.62 %
 //! on LeNet). One-sided Jacobi orthogonalizes the columns of `A` directly and
 //! is both simple and accurate for the layer-sized matrices handled here.
+//!
+//! # Sweep ordering and parallelism
+//!
+//! A sweep visits every unordered column pair once, as `m - 1` *tournament
+//! rounds* (the circle-method round-robin schedule, shared with the
+//! two-sided Jacobi in [`crate::sym_eig`]): each round rotates `⌊m/2⌋`
+//! pairwise-disjoint column pairs. Disjoint pairs touch no common data, so
+//! the pairs of one round can run in any order — or concurrently — without
+//! changing a single bit of the result: each pair's Givens angle and both
+//! rotated columns depend only on that pair's round-start values, and every
+//! per-pair dot product is a single accumulator running in ascending index
+//! order. The round order itself is fixed, so the serial path and the
+//! pool-parallel path (feature `parallel`, rounds fanned out over
+//! [`rayon::scope`] when big enough to pay for dispatch) are **bitwise
+//! identical** — the same contract the matmul kernels and the eigensolver
+//! keep, enforced by the `spectral_agreement` proptests. [`svd_serial`] is
+//! the always-sequential reference entry point.
 
 use crate::error::{LinalgError, Result};
 use crate::Matrix;
 
 const MAX_SWEEPS: usize = 64;
+
+/// Minimum work per round (f64 elements read + written across all pairs)
+/// before the round is worth dispatching to the pool.
+#[cfg(feature = "parallel")]
+const PAR_ROUND_MIN_ELEMS: usize = 1 << 12;
 
 /// Thin SVD `A = U · diag(σ) · Vᵀ` with `U: n×r`, `V: m×r`, `r = min(n, m)`.
 ///
@@ -34,14 +56,8 @@ impl Svd {
         if k > self.sigma.len() {
             return Err(LinalgError::InvalidRank { requested: k, max: self.sigma.len() });
         }
-        let mut us = self.u.truncate_cols(k);
-        for j in 0..k {
-            let s = self.sigma[j] as f32;
-            for i in 0..us.rows() {
-                us[(i, j)] *= s;
-            }
-        }
-        Ok(us.matmul_nt(&self.v.truncate_cols(k)))
+        let scale: Vec<f32> = self.sigma[..k].iter().map(|&s| s as f32).collect();
+        Ok(scaled_truncate(&self.u, &scale).matmul_nt(&self.v.truncate_cols(k)))
     }
 
     /// Splits the rank-`k` approximation into crossbar-ready factors
@@ -58,18 +74,8 @@ impl Svd {
         if k > self.sigma.len() {
             return Err(LinalgError::InvalidRank { requested: k, max: self.sigma.len() });
         }
-        let mut u = self.u.truncate_cols(k);
-        let mut v = self.v.truncate_cols(k);
-        for j in 0..k {
-            let s = self.sigma[j].max(0.0).sqrt() as f32;
-            for i in 0..u.rows() {
-                u[(i, j)] *= s;
-            }
-            for i in 0..v.rows() {
-                v[(i, j)] *= s;
-            }
-        }
-        Ok((u, v))
+        let scale: Vec<f32> = self.sigma[..k].iter().map(|&s| (s.max(0.0).sqrt()) as f32).collect();
+        Ok((scaled_truncate(&self.u, &scale), scaled_truncate(&self.v, &scale)))
     }
 
     /// Relative reconstruction error of the rank-`k` truncation, computed
@@ -95,7 +101,113 @@ impl Svd {
     }
 }
 
+/// Copies the first `scale.len()` columns of `src` with column `j` scaled by
+/// `scale[j]`, fused into one row-major pass (no per-element `Index` calls,
+/// no second rescale walk over the truncated copy).
+fn scaled_truncate(src: &Matrix, scale: &[f32]) -> Matrix {
+    let k = scale.len();
+    let mut out = Matrix::zeros(src.rows(), k);
+    for i in 0..src.rows() {
+        let srow = &src.row(i)[..k];
+        for ((dst, &x), &s) in out.row_mut(i).iter_mut().zip(srow).zip(scale) {
+            *dst = x * s;
+        }
+    }
+    out
+}
+
+/// One tournament pair in flight: both data columns and both `V` columns are
+/// moved (three-word `Vec` moves, no copies) out of the column store for the
+/// duration of a round, making each pair an independently-owned unit of work
+/// with no aliasing to reason about.
+struct PairTask {
+    p: usize,
+    q: usize,
+    col_p: Vec<f64>,
+    col_q: Vec<f64>,
+    v_p: Vec<f64>,
+    v_q: Vec<f64>,
+    rotated: bool,
+}
+
+impl PairTask {
+    /// Decides and (if above threshold) applies the Givens rotation that
+    /// orthogonalizes this column pair. Runs identically on the serial and
+    /// parallel paths: three single-accumulator dot products in ascending
+    /// index order, then an in-place rotation of both columns — every
+    /// float operation is fully determined by this pair's own entries.
+    fn rotate(&mut self, tol: f64) {
+        self.rotated = false;
+        let mut alpha = 0.0_f64;
+        let mut beta = 0.0_f64;
+        let mut gamma = 0.0_f64;
+        for (x, y) in self.col_p.iter().zip(&self.col_q) {
+            alpha += x * x;
+            beta += y * y;
+            gamma += x * y;
+        }
+        if gamma.abs() <= tol || gamma.abs() <= 1e-15 * (alpha * beta).sqrt() {
+            return;
+        }
+        self.rotated = true;
+        let zeta = (beta - alpha) / (2.0 * gamma);
+        let t = if zeta >= 0.0 {
+            1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+        } else {
+            -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+        };
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        let s = c * t;
+        for (x, y) in self.col_p.iter_mut().zip(self.col_q.iter_mut()) {
+            let (xp, yq) = (*x, *y);
+            *x = c * xp - s * yq;
+            *y = s * xp + c * yq;
+        }
+        for (x, y) in self.v_p.iter_mut().zip(self.v_q.iter_mut()) {
+            let (xp, yq) = (*x, *y);
+            *x = c * xp - s * yq;
+            *y = s * xp + c * yq;
+        }
+    }
+}
+
+/// Rotates every pair of one tournament round, fanning out across the pool
+/// when the round carries enough work. The pairs are disjoint and each task
+/// owns its columns, so execution order — serial, or any interleaving across
+/// workers — cannot affect the result.
+fn run_round(tasks: &mut [PairTask], tol: f64, allow_parallel: bool) {
+    #[cfg(feature = "parallel")]
+    if allow_parallel && tasks.len() > 1 {
+        let n = tasks[0].col_p.len();
+        let mv = tasks[0].v_p.len();
+        let work = tasks.len() * 2 * (n + mv);
+        let threads = rayon::current_num_threads().min(16);
+        if threads > 1 && work >= PAR_ROUND_MIN_ELEMS {
+            let chunk = tasks.len().div_ceil(threads.min(tasks.len()));
+            rayon::scope(|s| {
+                for group in tasks.chunks_mut(chunk) {
+                    s.spawn(move |_| {
+                        for task in group.iter_mut() {
+                            task.rotate(tol);
+                        }
+                    });
+                }
+            });
+            return;
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = allow_parallel;
+    for task in tasks.iter_mut() {
+        task.rotate(tol);
+    }
+}
+
 /// Computes the thin SVD of `a` by one-sided Jacobi.
+///
+/// With the `parallel` feature, large factorizations fan each tournament
+/// round's disjoint column pairs out across the persistent pool; the result
+/// is bitwise identical to [`svd_serial`].
 ///
 /// # Errors
 ///
@@ -113,9 +225,22 @@ impl Svd {
 /// # Ok::<(), scissor_linalg::LinalgError>(())
 /// ```
 pub fn svd(a: &Matrix) -> Result<Svd> {
+    svd_impl(a, true)
+}
+
+/// Always-sequential reference implementation of [`svd`].
+///
+/// Rounds are processed pair by pair in schedule order on the calling
+/// thread; [`svd`] with the pool enabled must agree with this bitwise (the
+/// `spectral_agreement` proptests assert exact equality).
+pub fn svd_serial(a: &Matrix) -> Result<Svd> {
+    svd_impl(a, false)
+}
+
+fn svd_impl(a: &Matrix, allow_parallel: bool) -> Result<Svd> {
     // One-sided Jacobi wants n >= m; otherwise decompose the transpose and swap.
     if a.rows() < a.cols() {
-        let t = svd(&a.transpose())?;
+        let t = svd_impl(&a.transpose(), allow_parallel)?;
         return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
     }
     let (n, m) = a.shape();
@@ -123,13 +248,18 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
         return Ok(Svd { u: Matrix::zeros(n, 0), sigma: vec![], v: Matrix::zeros(m, 0) });
     }
 
-    // Work in f64 column-major: cols[j] is the j-th column of the evolving A·V.
+    // Work in f64 column-major: cols[j] is the j-th column of the evolving
+    // A·V; vcols[j] the j-th column of V. Column-major V keeps each pair's
+    // state in two independently-movable Vecs (see `PairTask`).
     let mut cols: Vec<Vec<f64>> =
         (0..m).map(|j| (0..n).map(|i| a[(i, j)] as f64).collect()).collect();
-    let mut v = vec![0.0_f64; m * m];
-    for j in 0..m {
-        v[j * m + j] = 1.0;
-    }
+    let mut vcols: Vec<Vec<f64>> = (0..m)
+        .map(|j| {
+            let mut col = vec![0.0_f64; m];
+            col[j] = 1.0;
+            col
+        })
+        .collect();
 
     let frob_sq: f64 = cols.iter().flatten().map(|x| x * x).sum();
     if frob_sq == 0.0 {
@@ -141,55 +271,54 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
     }
     let tol = 1e-14 * frob_sq;
 
+    // Tournament (circle-method) schedule over m columns, padded to even
+    // with a bye; m-1 rounds cover every unordered pair exactly once. The
+    // task vector doubles as the per-round scratch: its capacity — and the
+    // capacity of every Vec moved through it — persists across rounds and
+    // sweeps, so steady-state sweeps allocate nothing.
+    let np = m + (m & 1);
+    let mut ring: Vec<usize> = (0..np).collect();
+    let mut tasks: Vec<PairTask> = Vec::with_capacity(np / 2);
+
     let mut converged = false;
-    for _ in 0..MAX_SWEEPS {
-        let mut rotated = false;
-        for p in 0..m {
-            for q in (p + 1)..m {
-                let (alpha, beta, gamma) = {
-                    let (cp, cq) = (&cols[p], &cols[q]);
-                    let mut alpha = 0.0;
-                    let mut beta = 0.0;
-                    let mut gamma = 0.0;
-                    for i in 0..n {
-                        alpha += cp[i] * cp[i];
-                        beta += cq[i] * cq[i];
-                        gamma += cp[i] * cq[i];
-                    }
-                    (alpha, beta, gamma)
-                };
-                if gamma.abs() <= tol || gamma.abs() <= 1e-15 * (alpha * beta).sqrt() {
-                    continue;
-                }
-                rotated = true;
-                let zeta = (beta - alpha) / (2.0 * gamma);
-                let t = if zeta >= 0.0 {
-                    1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
-                } else {
-                    -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
-                };
-                let c = 1.0 / (1.0 + t * t).sqrt();
-                let s = c * t;
-                // Rotate the column pair.
-                let (head, tail) = cols.split_at_mut(q);
-                let cp = &mut head[p];
-                let cq = &mut tail[0];
-                for i in 0..n {
-                    let x = cp[i];
-                    let y = cq[i];
-                    cp[i] = c * x - s * y;
-                    cq[i] = s * x + c * y;
-                }
-                // Accumulate into V.
-                for i in 0..m {
-                    let x = v[i * m + p];
-                    let y = v[i * m + q];
-                    v[i * m + p] = c * x - s * y;
-                    v[i * m + q] = s * x + c * y;
-                }
-            }
+    for _sweep in 0..MAX_SWEEPS {
+        for (slot, idx) in ring.iter_mut().enumerate() {
+            *idx = slot;
         }
-        if !rotated {
+        let mut rotated_any = false;
+        for _round in 0..np - 1 {
+            for i in 0..np / 2 {
+                let (a, b) = (ring[i], ring[np - 1 - i]);
+                if a >= m || b >= m {
+                    continue; // bye slot on odd m
+                }
+                let (p, q) = if a < b { (a, b) } else { (b, a) };
+                tasks.push(PairTask {
+                    p,
+                    q,
+                    col_p: std::mem::take(&mut cols[p]),
+                    col_q: std::mem::take(&mut cols[q]),
+                    v_p: std::mem::take(&mut vcols[p]),
+                    v_q: std::mem::take(&mut vcols[q]),
+                    rotated: false,
+                });
+            }
+            run_round(&mut tasks, tol, allow_parallel);
+            for task in tasks.drain(..) {
+                rotated_any |= task.rotated;
+                cols[task.p] = task.col_p;
+                cols[task.q] = task.col_q;
+                vcols[task.p] = task.v_p;
+                vcols[task.q] = task.v_q;
+            }
+            // Advance the schedule: hold ring[0], rotate the rest one step.
+            let last = ring[np - 1];
+            for idx in (2..np).rev() {
+                ring[idx] = ring[idx - 1];
+            }
+            ring[1] = last;
+        }
+        if !rotated_any {
             converged = true;
             break;
         }
@@ -233,7 +362,7 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
             }
         }
         for i in 0..m {
-            vm[(i, new_j)] = v[i * m + old_j] as f32;
+            vm[(i, new_j)] = vcols[old_j][i] as f32;
         }
     }
     Ok(Svd { u, sigma, v: vm })
@@ -356,5 +485,34 @@ mod tests {
         assert!(d.sigma.iter().all(|&s| s == 0.0));
         let e = svd(&Matrix::zeros(0, 0)).unwrap();
         assert!(e.sigma.is_empty());
+    }
+
+    #[test]
+    fn serial_entry_point_matches_default_exactly() {
+        // The real cross-thread agreement lives in tests/spectral_agreement*;
+        // this pins the two entry points to one schedule on a tall, an odd-
+        // width (bye slot), and a wide (transpose path) matrix.
+        for (rows, cols) in [(24, 16), (21, 13), (6, 18)] {
+            let a = Matrix::from_fn(rows, cols, |i, j| {
+                ((i * 13 + j * 7) % 19) as f32 * 0.21 - 1.7 + (i as f32 * 0.3).sin()
+            });
+            let d = svd(&a).unwrap();
+            let s = svd_serial(&a).unwrap();
+            assert_eq!(d.u, s.u);
+            assert_eq!(d.v, s.v);
+            assert_eq!(d.sigma.len(), s.sigma.len());
+            assert!(d.sigma.iter().zip(&s.sigma).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn single_column_and_single_row() {
+        let col = Matrix::from_fn(5, 1, |i, _| i as f32 - 2.0);
+        let d = svd(&col).unwrap();
+        assert_eq!(d.sigma.len(), 1);
+        assert!(col.relative_error(&d.reconstruct(1).unwrap()) < 1e-9);
+        let row = Matrix::from_fn(1, 5, |_, j| j as f32 + 0.5);
+        let d = svd(&row).unwrap();
+        assert!(row.relative_error(&d.reconstruct(1).unwrap()) < 1e-9);
     }
 }

@@ -1,0 +1,66 @@
+//! Concurrent-compression determinism at the low-rank seam: several threads
+//! clipping layers through the pool-parallel spectral solvers at once must
+//! each produce factors bitwise identical to an undisturbed solo run. This
+//! is the property that lets an autoscaling fleet re-compress many models
+//! concurrently on one shared work-stealing pool without cross-model
+//! interference (ISSUE 8's end-to-end claim, pinned here at the `LraMethod`
+//! seam where the pipeline consumes SVD/PCA).
+
+use scissor_linalg::Matrix;
+use scissor_lra::LraMethod;
+use std::sync::Once;
+
+/// Runs before any pool use, so the lazily initialized global pool picks up
+/// a deterministic multi-worker size.
+fn init() {
+    static FORCE_THREADS: Once = Once::new();
+    FORCE_THREADS.call_once(|| {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    });
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i} differs: {x} vs {y}");
+    }
+}
+
+/// A layer-sized deterministic weight matrix, distinct per seed.
+fn weights(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i * 13 + j * 29 + seed * 7) % 31) as f32 * 0.11 - 1.6
+            + ((i + 2 * j + seed) as f32 * 0.25).sin()
+    })
+}
+
+#[test]
+fn concurrent_clips_match_solo_runs_bitwise() {
+    init();
+    // Solo references, computed with the pool otherwise idle.
+    let jobs: Vec<(LraMethod, Matrix, f64)> = vec![
+        (LraMethod::Svd, weights(200, 64, 1), 0.02),
+        (LraMethod::Pca, weights(160, 80, 2), 0.05),
+        (LraMethod::Svd, weights(150, 33, 3), 0.01),
+        (LraMethod::Pca, weights(96, 96, 4), 0.03),
+    ];
+    let solo: Vec<(usize, Matrix, Matrix)> =
+        jobs.iter().map(|(m, w, eps)| m.clip(w, *eps).expect("solo clip")).collect();
+
+    // The same four clips, three repetitions each, all in flight at once on
+    // the shared pool — every repetition must reproduce the solo factors
+    // exactly.
+    std::thread::scope(|s| {
+        for (job, reference) in jobs.iter().zip(&solo) {
+            for _rep in 0..3 {
+                s.spawn(move || {
+                    let (method, w, eps) = job;
+                    let (rank, u, v) = method.clip(w, *eps).expect("concurrent clip");
+                    assert_eq!(rank, reference.0, "rank drifted under concurrency");
+                    assert_bits_eq(&u, &reference.1, "U factor");
+                    assert_bits_eq(&v, &reference.2, "V factor");
+                });
+            }
+        }
+    });
+}

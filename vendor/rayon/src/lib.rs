@@ -4,30 +4,37 @@
 //! the subset of rayon's API the workspace uses — [`join`], [`scope`],
 //! [`current_num_threads`], and the parallel-slice combinators
 //! [`slice::ParallelSliceMut::par_chunks_mut`] + `enumerate` + `for_each` —
-//! on top of a **persistent worker pool** (see the [`mod@pool`]
-//! documentation for the design and its safety argument).
+//! on top of a **persistent work-stealing worker pool**: every worker owns
+//! a deque it pushes/pops LIFO, idle workers steal FIFO from victims, and a
+//! shared injector carries external (non-worker) submissions only. See the
+//! [`mod@pool`] documentation for the design and its safety argument.
 //!
 //! Differences from upstream rayon, deliberately accepted for a stand-in:
 //!
-//! * one global mutex/condvar injector queue instead of per-worker
-//!   work-stealing deques — fine at the panel/sweep job granularity this
-//!   workspace dispatches, wrong for fine-grained recursive splitting;
+//! * the per-worker deques are mutex-protected `VecDeque`s rather than
+//!   lock-free Chase–Lev buffers — uncontended except during steals, which
+//!   is all the job granularity here (panels, sweep rounds, recursive join
+//!   halves) requires;
 //! * no `ThreadPoolBuilder`; the pool size is `RAYON_NUM_THREADS` or the
 //!   machine's available parallelism, fixed at first use;
-//! * `join` publishes its second closure to the shared queue and retracts
-//!   it if no worker picks it up, rather than lifo-stealing.
+//! * `join` retracts its second closure from the deque it pushed it to if
+//!   no thief claimed it, rather than using upstream's leapfrogging;
+//! * [`pool_stats`] exposes work-distribution counters (local pushes/pops,
+//!   steals, injector traffic) that upstream has no equivalent for — the
+//!   stealing regression tests are built on them.
 //!
 //! What *is* preserved is the contract callers rely on: `join`/`scope` may
 //! borrow from the caller's stack, panics propagate to the caller after all
-//! sibling work has quiesced, and nested `join`/`scope` from inside worker
-//! threads cannot deadlock (waiting threads help drain the queue).
+//! sibling work has quiesced (including panics in *stolen* jobs), and
+//! nested `join`/`scope` from inside worker threads cannot deadlock
+//! (waiting threads help drain the queues).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod pool;
 
-pub use pool::{current_num_threads, join, scope, Scope};
+pub use pool::{current_num_threads, join, pool_stats, scope, PoolStats, Scope};
 
 /// Parallel slice extensions ([`slice::ParallelSliceMut`]).
 pub mod slice {

@@ -4,13 +4,25 @@
 //! # Design
 //!
 //! A lazily-initialized global pool owns `current_num_threads()` worker
-//! threads for the lifetime of the process. Work items flow through a single
-//! mutex-protected injector queue with a condvar for idle workers — at the
-//! job granularity this crate dispatches (row panels of a matmul, rotation
-//! passes of a Jacobi sweep) the queue lock is uncontended and a push/pop
-//! pair costs well under a microsecond, versus the tens of microseconds the
-//! previous scoped-thread stand-in paid to spawn and join OS threads on
-//! every call.
+//! threads for the lifetime of the process. Work is distributed by
+//! **work-stealing**: every worker owns a deque and operates its *back* end
+//! (push and pop LIFO, so the hottest, cache-resident job runs next), while
+//! idle threads steal from the *front* end of a victim's deque (FIFO, so
+//! thieves take the oldest — usually largest — piece of pending work). A
+//! shared **injector** queue carries only external submissions (jobs
+//! published from threads that are not pool workers); it is never touched
+//! by worker-to-worker traffic. This is what makes fine-grained recursive
+//! [`join`] scale: a worker splitting a problem pushes and pops its own
+//! deque without contending on any shared lock, and other workers peel off
+//! subtrees from the cold end only when they have nothing local to do.
+//!
+//! Each deque is a small mutex-protected `VecDeque` rather than a lock-free
+//! Chase–Lev buffer — at this workspace's job granularity (row panels of a
+//! matmul, rotation rounds of a Jacobi sweep, second halves of recursive
+//! joins) an uncontended mutex push/pop costs tens of nanoseconds, and the
+//! locks are per-worker so they are uncontended except during steals. The
+//! single shared point left on the publish path is the sleep lock (an
+//! epoch counter + idle-worker condvar), held for an increment.
 //!
 //! Blocking a pool on borrowed data requires two guarantees that shape the
 //! whole module:
@@ -18,21 +30,28 @@
 //! 1. **No queued job outlives its owner's stack frame.** [`join`] publishes
 //!    the second closure as a `StackJob` (a raw pointer to the caller's
 //!    stack) and does not return — even when unwinding — until it has either
-//!    *retracted* the job from the queue (removal happens under the same
-//!    lock workers pop under, so ownership is unambiguous) and run it
-//!    inline, or observed the executing worker set the job's completion
-//!    latch. [`scope`] heap-allocates its jobs but likewise refuses to
-//!    return until its pending-task count reaches zero.
-//! 2. **No waiting thread starves the queue.** A thread stuck in
-//!    [`scope`]'s exit barrier pops and executes queued jobs (its own or
-//!    anyone else's) while it waits, so nested scopes and joins issued from
-//!    worker threads always make progress even on a single-worker pool.
+//!    *retracted* the job from the queue it was pushed to (removal happens
+//!    under that queue's lock, the same lock pops and steals go through, so
+//!    ownership is unambiguous) and run it inline, or observed the stealing
+//!    thread set the job's completion latch. [`scope`] heap-allocates its
+//!    jobs but likewise refuses to return until its pending-task count
+//!    reaches zero.
+//! 2. **No waiting worker starves the queues.** A *worker* stuck in
+//!    [`scope`]'s exit barrier finds and executes queued work — its own
+//!    deque first, then the injector, then steals — while it waits, so
+//!    nested scopes and joins issued from worker threads always make
+//!    progress even on a single-worker pool. A *non-worker* caller simply
+//!    blocks until its scope drains (as in upstream rayon): with at least
+//!    one pool worker, every queued job is reachable by some worker, so
+//!    external helping is never needed for liveness — and on a single-CPU
+//!    host it would let the caller race the pool for its own jobs.
 //!
 //! Panics inside either closure of [`join`] or inside a spawned scope task
-//! are caught at the job boundary, carried back across the queue, and
-//! re-thrown on the thread that called [`join`]/[`scope`] once every
-//! sibling job has finished (first panic wins; later ones are dropped, as
-//! in upstream rayon).
+//! are caught at the job boundary — including jobs that were *stolen* onto
+//! another worker — carried back across the queue, and re-thrown on the
+//! thread that called [`join`]/[`scope`] once every sibling job has
+//! finished (first panic wins; later ones are dropped, as in upstream
+//! rayon).
 //!
 //! The pool size honours the `RAYON_NUM_THREADS` environment variable
 //! (read once, at first use) and otherwise defaults to
@@ -40,14 +59,28 @@
 
 #![allow(unsafe_code)]
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::time::Duration;
 
 /// A caught panic payload in flight between a worker and the owning caller.
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+thread_local! {
+    /// Index of the pool worker running on this thread, if any. Set once at
+    /// worker start-up; `None` on every other thread (callers, helpers).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Returns the deque index owned by the current thread, if it is a pool
+/// worker.
+fn current_worker() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
 
 /// Number of worker threads in the global pool.
 ///
@@ -75,7 +108,7 @@ struct JobRef {
 // SAFETY: a `JobRef` is only ever created for job types whose payloads are
 // `Send` (enforced by the bounds on `join`/`Scope::spawn`), and the raw
 // pointer is dereferenced by exactly one thread (queue removal is atomic
-// under the pool lock).
+// under the owning queue's lock).
 unsafe impl Send for JobRef {}
 
 impl JobRef {
@@ -87,47 +120,154 @@ impl JobRef {
     }
 }
 
-/// The global pool: injector queue + idle-worker condvar.
+/// Where [`Pool::push`] placed a job; [`Pool::retract`] must look in the
+/// same place.
+#[derive(Debug, Clone, Copy)]
+enum PushLoc {
+    /// A worker's own deque (pushed at the LIFO back end).
+    Deque(usize),
+    /// The shared external-submission queue.
+    Injector,
+}
+
+/// Cumulative work-distribution counters since process start; see
+/// [`pool_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs a worker pushed onto its own deque.
+    pub local_pushes: u64,
+    /// Jobs pushed onto the shared injector by non-worker threads.
+    pub injected: u64,
+    /// Jobs a worker popped from the back (LIFO end) of its own deque.
+    pub local_pops: u64,
+    /// Jobs taken from the front (FIFO end) of another worker's deque.
+    pub steals: u64,
+    /// Jobs taken from the front of the shared injector.
+    pub injector_pops: u64,
+}
+
+/// Snapshot of the pool's monotonic work-distribution counters.
+///
+/// A diagnostic extension over upstream rayon's API, used by the stealing
+/// regression tests: counters are incremented with relaxed atomics, so a
+/// snapshot is exact only for operations that have synchronized with the
+/// reading thread (e.g. after the `join`/`scope` that produced them has
+/// returned).
+///
+/// # Examples
+///
+/// ```
+/// let before = rayon::pool_stats();
+/// rayon::join(|| 1, || 2);
+/// let after = rayon::pool_stats();
+/// assert!(after.local_pushes + after.injected > before.local_pushes + before.injected);
+/// ```
+pub fn pool_stats() -> PoolStats {
+    let c = &global().counters;
+    PoolStats {
+        local_pushes: c.local_pushes.load(Ordering::Relaxed),
+        injected: c.injected.load(Ordering::Relaxed),
+        local_pops: c.local_pops.load(Ordering::Relaxed),
+        steals: c.steals.load(Ordering::Relaxed),
+        injector_pops: c.injector_pops.load(Ordering::Relaxed),
+    }
+}
+
+/// Relaxed atomic counters behind [`pool_stats`].
+#[derive(Default)]
+struct Counters {
+    local_pushes: AtomicU64,
+    injected: AtomicU64,
+    local_pops: AtomicU64,
+    steals: AtomicU64,
+    injector_pops: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Idle-worker bookkeeping plus the scope-barrier wakeup registry, all
+/// behind one mutex so a publish pays a single shared lock.
+struct SleepState {
+    /// Bumped on every push. A thread about to sleep snapshots it before
+    /// its final work scan and re-checks under the lock: a bump in between
+    /// means work arrived after the scan missed, so it rescans instead of
+    /// sleeping — the push cannot be lost.
+    epoch: u64,
+    /// Workers currently blocked on the idle condvar; a push only pays the
+    /// `notify_all` when this is nonzero.
+    sleepers: usize,
+    /// Scopes currently blocked in their exit barrier; each push pokes
+    /// every one so a helper learns about new work immediately instead of
+    /// on its timed fallback re-poll.
+    scope_waiters: Vec<Weak<ScopeState>>,
+}
+
+/// The global pool: per-worker deques, the external-submission injector,
+/// and the shared sleep/wake state.
 struct Pool {
-    queue: Mutex<VecDeque<JobRef>>,
+    /// One deque per worker. The owner pushes and pops at the back; every
+    /// other thread steals from the front.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// External submissions (pushes from non-worker threads) only.
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Mutex<SleepState>,
     work_available: Condvar,
-    /// Scopes currently blocked in their exit barrier. [`Pool::push`] pokes
-    /// each one so a helper thread learns about newly enqueued work
-    /// immediately instead of on its next timed re-poll.
-    scope_waiters: Mutex<Vec<Weak<ScopeState>>>,
     threads: usize,
+    counters: Counters,
 }
 
 impl Pool {
-    /// Enqueues a job, spawning the worker threads on the first real push —
+    /// Publishes a job, spawning the worker threads on the first real push —
     /// size-only queries ([`current_num_threads`]) never start threads.
-    fn push(&'static self, job: JobRef) {
+    ///
+    /// A pool worker pushes onto its own deque (LIFO end); any other thread
+    /// pushes onto the shared injector. Returns where the job went so
+    /// [`Pool::retract`] can look in the right queue.
+    fn push(&'static self, job: JobRef) -> PushLoc {
         WORKERS.get_or_init(|| {
             for idx in 0..self.threads {
                 std::thread::Builder::new()
                     .name(format!("rayon-worker-{idx}"))
-                    .spawn(move || worker_loop(self))
+                    .spawn(move || worker_loop(self, idx))
                     .expect("failed to spawn pool worker");
             }
         });
-        self.queue.lock().expect("pool queue poisoned").push_back(job);
-        self.work_available.notify_one();
-        self.wake_scope_waiters();
+        let loc = match current_worker() {
+            Some(idx) => {
+                self.deques[idx].lock().expect("pool deque poisoned").push_back(job);
+                Counters::bump(&self.counters.local_pushes);
+                PushLoc::Deque(idx)
+            }
+            None => {
+                self.injector.lock().expect("pool injector poisoned").push_back(job);
+                Counters::bump(&self.counters.injected);
+                PushLoc::Injector
+            }
+        };
+        self.announce_work();
+        loc
     }
 
-    /// Wakes every scope blocked in its exit barrier so it can claim newly
-    /// queued work. For each scope, the wake epoch is bumped and the notify
-    /// issued under that scope's `sync` mutex: a barrier thread either is
-    /// already on the condvar (the notify wakes it) or will re-check the
-    /// epoch under `sync` before sleeping (the bump diverts it back to the
-    /// queue) — so a push between its pop miss and its wait cannot strand
-    /// it for the full fallback timeout. Cost is one uncontended mutex when
-    /// no scope waits, O(blocked scopes) otherwise — each scope has exactly
-    /// one barrier thread, so the notify fan-out matches the waiter count.
-    /// Registrations of scopes that already exited are pruned in passing.
-    fn wake_scope_waiters(&self) {
-        let mut waiters = self.scope_waiters.lock().expect("pool waiters poisoned");
-        waiters.retain(|waiter| match waiter.upgrade() {
+    /// Publishes the arrival of new work: bumps the sleep epoch (so a
+    /// worker between its failed scan and its wait rescans instead of
+    /// sleeping), wakes sleeping workers if any, and pokes every scope
+    /// blocked in its exit barrier. For each scope, the wake epoch is
+    /// bumped and the notify issued under that scope's `sync` mutex: a
+    /// barrier thread either is already on the condvar (the notify wakes
+    /// it) or will re-check the epoch under `sync` before sleeping (the
+    /// bump diverts it back to the queues) — so a push between its scan
+    /// miss and its wait cannot strand it for the full fallback timeout.
+    fn announce_work(&self) {
+        let mut sleep = self.sleep.lock().expect("pool sleep poisoned");
+        sleep.epoch += 1;
+        if sleep.sleepers > 0 {
+            self.work_available.notify_all();
+        }
+        sleep.scope_waiters.retain(|waiter| match waiter.upgrade() {
             Some(state) => {
                 let mut sync = state.sync.lock().expect("scope poisoned");
                 sync.wake_epoch += 1;
@@ -139,24 +279,29 @@ impl Pool {
     }
 
     /// Registers a scope about to enter its exit barrier; see
-    /// [`Pool::wake_scope_waiters`].
+    /// [`Pool::announce_work`].
     fn register_scope_waiter(&self, state: &Arc<ScopeState>) {
-        self.scope_waiters.lock().expect("pool waiters poisoned").push(Arc::downgrade(state));
+        self.sleep.lock().expect("pool sleep poisoned").scope_waiters.push(Arc::downgrade(state));
     }
 
     /// Removes a scope whose exit barrier has drained.
     fn unregister_scope_waiter(&self, state: &Arc<ScopeState>) {
-        self.scope_waiters
+        self.sleep
             .lock()
-            .expect("pool waiters poisoned")
+            .expect("pool sleep poisoned")
+            .scope_waiters
             .retain(|waiter| !std::ptr::eq(waiter.as_ptr(), Arc::as_ptr(state)));
     }
 
-    /// Removes the job whose payload lives at `data` from the queue, if it
-    /// has not been claimed by a worker yet. Returns `true` on removal, in
-    /// which case the caller now exclusively owns the job.
-    fn retract(&self, data: *const ()) -> bool {
-        let mut queue = self.queue.lock().expect("pool queue poisoned");
+    /// Removes the job whose payload lives at `data` from the queue it was
+    /// pushed to, if no other thread has claimed it yet. Returns `true` on
+    /// removal, in which case the caller again exclusively owns the job.
+    fn retract(&self, loc: PushLoc, data: *const ()) -> bool {
+        let queue = match loc {
+            PushLoc::Deque(idx) => &self.deques[idx],
+            PushLoc::Injector => &self.injector,
+        };
+        let mut queue = queue.lock().expect("pool queue poisoned");
         match queue.iter().position(|j| std::ptr::eq(j.data, data)) {
             Some(idx) => {
                 queue.remove(idx);
@@ -166,10 +311,33 @@ impl Pool {
         }
     }
 
-    /// Claims an arbitrary queued job, used by threads that help while
-    /// blocked on a scope barrier.
-    fn pop_any(&self) -> Option<JobRef> {
-        self.queue.lock().expect("pool queue poisoned").pop_front()
+    /// Claims one unit of work for worker `me`, or `None` when every queue
+    /// is empty.
+    ///
+    /// The worker pops its own deque from the back first — LIFO, the most
+    /// recently published (hottest) job — then drains the injector, then
+    /// steals from the other workers' deques starting with its clockwise
+    /// neighbour. Steals always take the *front* of the victim's deque
+    /// (FIFO, the oldest job — in recursive splits the largest remaining
+    /// subtree).
+    fn find_work(&self, me: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[me].lock().expect("pool deque poisoned").pop_back() {
+            Counters::bump(&self.counters.local_pops);
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().expect("pool injector poisoned").pop_front() {
+            Counters::bump(&self.counters.injector_pops);
+            return Some(job);
+        }
+        for offset in 1..self.threads {
+            let victim = (me + offset) % self.threads;
+            if let Some(job) = self.deques[victim].lock().expect("pool deque poisoned").pop_front()
+            {
+                Counters::bump(&self.counters.steals);
+                return Some(job);
+            }
+        }
+        None
     }
 }
 
@@ -187,32 +355,50 @@ fn global() -> &'static Pool {
             .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
             .unwrap_or(1);
         Pool {
-            queue: Mutex::new(VecDeque::new()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Mutex::new(SleepState { epoch: 0, sleepers: 0, scope_waiters: Vec::new() }),
             work_available: Condvar::new(),
-            scope_waiters: Mutex::new(Vec::new()),
             threads,
+            counters: Counters::default(),
         }
     })
 }
 
-/// Body of every persistent worker: pop, run, park when idle. Never exits;
-/// the threads die with the process.
-fn worker_loop(pool: &'static Pool) {
-    let mut queue = pool.queue.lock().expect("pool queue poisoned");
+/// Body of every persistent worker: run local work LIFO, steal FIFO when
+/// out, park when the whole pool is idle. Never exits; the threads die with
+/// the process.
+fn worker_loop(pool: &'static Pool, index: usize) {
+    WORKER_INDEX.with(|cell| cell.set(Some(index)));
     loop {
-        match queue.pop_front() {
-            Some(job) => {
-                drop(queue);
-                // SAFETY: popping under the lock made this thread the job's
-                // sole owner; the publishing caller is blocked until the
-                // job's latch/counter fires, keeping the payload alive.
-                unsafe { job.run() };
-                queue = pool.queue.lock().expect("pool queue poisoned");
-            }
-            None => {
-                queue = pool.work_available.wait(queue).expect("pool queue poisoned");
-            }
+        // Hot path: as long as work is findable, never touch the sleep lock.
+        if let Some(job) = pool.find_work(index) {
+            // SAFETY: `find_work` removed the job under its queue's lock,
+            // making this thread the sole owner; the publishing caller is
+            // blocked until the job's latch/counter fires, keeping the
+            // payload alive.
+            unsafe { job.run() };
+            continue;
         }
+        // Sleep protocol: snapshot the epoch, re-scan, and go to sleep only
+        // if no push bumped the epoch in between — a push after the re-scan
+        // miss is caught by the epoch check under the sleep lock, so no
+        // wakeup can be lost.
+        let epoch = pool.sleep.lock().expect("pool sleep poisoned").epoch;
+        if let Some(job) = pool.find_work(index) {
+            // SAFETY: as above — sole ownership via queue removal.
+            unsafe { job.run() };
+            continue;
+        }
+        let mut sleep = pool.sleep.lock().expect("pool sleep poisoned");
+        if sleep.epoch != epoch {
+            continue;
+        }
+        sleep.sleepers += 1;
+        while sleep.epoch == epoch {
+            sleep = pool.work_available.wait(sleep).expect("pool sleep poisoned");
+        }
+        sleep.sleepers -= 1;
     }
 }
 
@@ -292,8 +478,10 @@ where
 
 /// Runs two closures, potentially in parallel, returning both results.
 ///
-/// `b` is published to the pool while the calling thread runs `a`. If no
-/// worker has claimed `b` by the time `a` finishes, the caller retracts it
+/// `b` is published — onto the calling worker's own deque (where an idle
+/// sibling can steal it FIFO) or onto the shared injector when the caller
+/// is not a pool worker — while the calling thread runs `a`. If no other
+/// thread has claimed `b` by the time `a` finishes, the caller retracts it
 /// and runs it inline — so `join` never blocks on an idle queue, nests
 /// safely on worker threads, and degenerates to plain sequential calls on a
 /// single-threaded pool. If either closure panics, the panic is re-thrown
@@ -329,16 +517,18 @@ where
 {
     let pool = global();
     let job_b = StackJob::new(b);
-    pool.push(job_b.as_job_ref());
+    let loc = pool.push(job_b.as_job_ref());
 
     let result_a = catch_unwind(AssertUnwindSafe(a));
 
-    if pool.retract(&job_b as *const _ as *const ()) {
+    if pool.retract(loc, &job_b as *const _ as *const ()) {
         // Still queued: we own it again; run inline.
         job_b.run_stored();
     } else {
-        // A worker claimed it; it will fire the latch when done. Waiting
-        // (rather than helping) is safe: the claimant is actively running.
+        // Another thread claimed it; it will fire the latch when done.
+        // Waiting (rather than helping) is safe: the claimant is actively
+        // running, and claims only happen to actively-executing threads, so
+        // the wait chain is well-founded.
         job_b.latch.wait();
     }
     let result_b = job_b.take_result();
@@ -356,19 +546,19 @@ struct ScopeState {
     sync: Mutex<ScopeSync>,
     /// Signalled when the barrier should recheck its state: by
     /// [`ScopeState::complete_one`] when `pending` hits zero, and by
-    /// [`Pool::wake_scope_waiters`] when new work lands in the queue.
+    /// [`Pool::announce_work`] when new work lands in any queue.
     wakeup: Condvar,
 }
 
 struct ScopeSync {
     pending: usize,
     panic: Option<PanicPayload>,
-    /// Bumped by [`Pool::wake_scope_waiters`] on every queue push. The
-    /// barrier snapshots it before `pop_any` and re-checks it before
-    /// sleeping: a bump in between means a job was pushed after the pop
-    /// missed, so the barrier retries the pop instead of waiting — the
-    /// notify itself can land before the barrier is on the condvar, but
-    /// the epoch it records under `sync` cannot be missed.
+    /// Bumped by [`Pool::announce_work`] on every push. The barrier
+    /// snapshots it before its work scan and re-checks it before sleeping:
+    /// a bump in between means a job was pushed after the scan missed, so
+    /// the barrier retries the scan instead of waiting — the notify itself
+    /// can land before the barrier is on the condvar, but the epoch it
+    /// records under `sync` cannot be missed.
     wake_epoch: u64,
 }
 
@@ -447,9 +637,10 @@ pub struct Scope<'scope> {
 
 impl<'scope> Scope<'scope> {
     /// Spawns a task that may borrow anything outliving the scope. The task
-    /// runs on a pool worker (or on a thread blocked in the scope barrier,
-    /// whichever claims it first) and may itself spawn further tasks onto
-    /// the same scope.
+    /// lands on the spawning worker's own deque (or the injector when
+    /// spawned from outside the pool), runs on whichever thread claims it
+    /// first — a pool worker, a thief, or a thread blocked in the scope
+    /// barrier — and may itself spawn further tasks onto the same scope.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
@@ -480,10 +671,12 @@ impl<'scope> Scope<'scope> {
 /// Creates a scope in which borrowed work can be spawned onto the pool.
 ///
 /// Returns only once every spawned task (including tasks spawned by other
-/// tasks) has finished. While waiting, the calling thread executes queued
-/// work, so scopes nest freely on worker threads. If the body or any task
-/// panics, every sibling still runs to completion and the first panic is
-/// then re-thrown from `scope` itself.
+/// tasks) has finished. While waiting, a calling *worker* executes queued
+/// work — its own deque LIFO, then the injector, then FIFO steals — so
+/// scopes nest freely on worker threads; a non-worker caller blocks and
+/// lets the pool drain the scope. If the body or any task panics, every
+/// sibling still runs to completion and the first panic is then re-thrown
+/// from `scope` itself.
 ///
 /// # Examples
 ///
@@ -505,44 +698,62 @@ where
     let scope = Scope { state: Arc::new(ScopeState::new()), _marker: PhantomData };
     let body_result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
 
-    // Exit barrier: help drain the queue until every task of this scope has
-    // completed. Registering with the pool makes `Pool::push` bump our wake
-    // epoch and signal our condvar whenever new work lands, so a helper
-    // blocked here claims it immediately; `complete_one` signals when the
-    // pending count hits zero. A push landing between our `pop_any` miss
-    // and the wait is caught by the epoch re-check below, so the timeout is
-    // a belt-and-braces fallback, not the primary wakeup path.
-    pool.register_scope_waiter(&scope.state);
-    loop {
-        let epoch = {
-            let sync = scope.state.sync.lock().expect("scope poisoned");
-            if sync.pending == 0 {
-                break;
+    match current_worker() {
+        // Worker exit barrier: help drain the queues until every task of
+        // this scope has completed. Registering with the pool makes
+        // `Pool::announce_work` bump our wake epoch and signal our condvar
+        // whenever work lands anywhere, so a helper blocked here claims it
+        // immediately; `complete_one` signals when the pending count hits
+        // zero. A push landing between our scan miss and the wait is caught
+        // by the epoch re-check below, so the timeout is a belt-and-braces
+        // fallback, not the primary wakeup path.
+        Some(me) => {
+            pool.register_scope_waiter(&scope.state);
+            loop {
+                let epoch = {
+                    let sync = scope.state.sync.lock().expect("scope poisoned");
+                    if sync.pending == 0 {
+                        break;
+                    }
+                    sync.wake_epoch
+                };
+                match pool.find_work(me) {
+                    // SAFETY: `find_work` transferred ownership of the job
+                    // to us.
+                    Some(job) => unsafe { job.run() },
+                    None => {
+                        let sync = scope.state.sync.lock().expect("scope poisoned");
+                        if sync.pending == 0 {
+                            break;
+                        }
+                        if sync.wake_epoch != epoch {
+                            // A job was pushed after our scan missed; retry
+                            // the scan rather than sleeping with runnable
+                            // work queued.
+                            continue;
+                        }
+                        let _ = scope
+                            .state
+                            .wakeup
+                            .wait_timeout(sync, Duration::from_millis(10))
+                            .expect("scope poisoned");
+                    }
+                }
             }
-            sync.wake_epoch
-        };
-        match pool.pop_any() {
-            // SAFETY: popping transferred ownership of the job to us.
-            Some(job) => unsafe { job.run() },
-            None => {
-                let sync = scope.state.sync.lock().expect("scope poisoned");
-                if sync.pending == 0 {
-                    break;
-                }
-                if sync.wake_epoch != epoch {
-                    // A job was pushed after our pop missed; retry the pop
-                    // rather than sleeping with runnable work queued.
-                    continue;
-                }
-                let _ = scope
-                    .state
-                    .wakeup
-                    .wait_timeout(sync, Duration::from_millis(10))
-                    .expect("scope poisoned");
+            pool.unregister_scope_waiter(&scope.state);
+        }
+        // Non-worker callers block instead of helping: every queued job is
+        // reachable by the pool's workers, and `complete_one` checks
+        // `pending` under the same lock we wait on, so the final notify
+        // cannot be missed. (Helping here would also let a single-CPU
+        // caller drain its own scope before the workers ever run.)
+        None => {
+            let mut sync = scope.state.sync.lock().expect("scope poisoned");
+            while sync.pending > 0 {
+                sync = scope.state.wakeup.wait(sync).expect("scope poisoned");
             }
         }
     }
-    pool.unregister_scope_waiter(&scope.state);
 
     let panic = scope.state.sync.lock().expect("scope poisoned").panic.take();
     match (body_result, panic) {

@@ -1,0 +1,89 @@
+//! Local-deque ordering observability: a worker consumes its own deque
+//! LIFO (hottest job first), while external submissions flow through the
+//! shared injector FIFO. These tests force a single-worker pool — with the
+//! caller parked outside the pool and exactly one worker, every claim is
+//! made by one thread and the observed execution order *is* the queue
+//! discipline. The steal-side ordering (FIFO from a victim's deque) lives
+//! in `stealing.rs`, which needs a two-worker pool; pool size is fixed per
+//! process, hence the separate file.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// Every test goes through here before touching the pool, so the lazily
+/// initialized global picks up a deterministic single-worker size.
+fn init() {
+    static FORCE_THREADS: Once = Once::new();
+    FORCE_THREADS.call_once(|| {
+        // Runs before any pool use (every test calls `init` first) and only
+        // once, so no reader can race the write.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+    });
+}
+
+/// Order observations need exclusive pool traffic; run one test at a time.
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn worker_pops_its_own_deque_lifo() {
+    init();
+    let _gate = gate();
+
+    // The join's second closure is claimed by the sole worker (the first
+    // closure spins until it has started, so it cannot be retracted and
+    // run inline by this thread). On the worker, the scope publishes
+    // T1..T4 onto the worker's *own* deque; its exit barrier then drains
+    // them from the back: most recently pushed first. Nobody else can
+    // interfere — this thread parks on the join latch without stealing.
+    let entered = AtomicBool::new(false);
+    let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let order_ref = &order;
+    rayon::join(
+        || {
+            while !entered.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        },
+        || {
+            entered.store(true, Ordering::SeqCst);
+            assert!(
+                std::thread::current().name().is_some_and(|n| n.starts_with("rayon-worker-")),
+                "choreography broke: the spied-on scope must run on the worker"
+            );
+            rayon::scope(|s| {
+                for i in 1..=4 {
+                    s.spawn(move |_| order_ref.lock().unwrap().push(i));
+                }
+            });
+        },
+    );
+
+    assert_eq!(*order.lock().unwrap(), vec![4, 3, 2, 1], "own-deque pops must be LIFO");
+}
+
+#[test]
+fn external_submissions_drain_the_injector_fifo() {
+    init();
+    let _gate = gate();
+    let before = rayon::pool_stats();
+
+    // Spawned from outside the pool, T1..T5 land on the shared injector in
+    // submission order; this thread then blocks in the external (non-
+    // helping) barrier, so the sole worker drains them front-first.
+    let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let order_ref = &order;
+    rayon::scope(|s| {
+        for i in 1..=5 {
+            s.spawn(move |_| order_ref.lock().unwrap().push(i));
+        }
+    });
+
+    assert_eq!(*order.lock().unwrap(), vec![1, 2, 3, 4, 5], "injector pops must be FIFO");
+    let after = rayon::pool_stats();
+    assert_eq!(after.injected - before.injected, 5, "external spawns go through the injector");
+    assert_eq!(after.injector_pops - before.injector_pops, 5);
+    assert_eq!(after.steals, before.steals, "a single-worker pool has nobody to steal from");
+}

@@ -1,0 +1,191 @@
+//! Work-stealing stress suite: FIFO steal order, panic propagation when the
+//! panicking job was *stolen*, and a two-worker recursive-`join` fanout
+//! guarded by the pool's elapsed-work counters (no timing asserts — every
+//! check is on order, identity, or counter deltas).
+//!
+//! The pool size is forced to 2 so "one busy worker + one thief" scenarios
+//! are exact: with the victim pinned and the caller blocked outside the
+//! pool, the single remaining worker is the only thread that can claim the
+//! staged jobs, making steal order deterministic. The LIFO-local ordering
+//! tests live in `lifo.rs` (they need a single-worker pool, and pool size
+//! is per-process).
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// Every test goes through here before touching the pool, so the lazily
+/// initialized global picks up a deterministic 2-thread size.
+fn init() {
+    static FORCE_THREADS: Once = Once::new();
+    FORCE_THREADS.call_once(|| {
+        // Runs before any pool use (every test calls `init` first) and only
+        // once, so no reader can race the write.
+        std::env::set_var("RAYON_NUM_THREADS", "2");
+    });
+}
+
+/// The counter-delta assertions need exclusive pool traffic, and the
+/// steal-order choreography needs both workers free, so the tests in this
+/// file run one at a time (the harness otherwise interleaves them).
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Spin until `cond` holds, yielding the CPU — on a single-core host the
+/// waited-on thread cannot make progress otherwise.
+fn spin_until(cond: impl Fn() -> bool) {
+    while !cond() {
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn steals_drain_a_victims_deque_in_fifo_order() {
+    init();
+    let _gate = gate();
+    let before = rayon::pool_stats();
+
+    // One worker (the victim) claims the blocker task from the injector,
+    // publishes S1..S4 onto its own deque, then pins itself until all four
+    // have run. The caller is blocked in the non-helping external barrier,
+    // so the only thread able to execute them is the other worker — which
+    // must steal from the *front* of the victim's deque: oldest first.
+    let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let ran = AtomicUsize::new(0);
+    let (order_ref, ran_ref) = (&order, &ran);
+    rayon::scope(|s| {
+        s.spawn(move |inner| {
+            for i in 1..=4 {
+                inner.spawn(move |_| {
+                    order_ref.lock().unwrap().push(i);
+                    ran_ref.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Pinning the victim *inside* the task (not in a barrier) keeps
+            // its deque out of its own reach: it never pops what it pushed.
+            spin_until(|| ran_ref.load(Ordering::SeqCst) == 4);
+        });
+    });
+
+    assert_eq!(*order.lock().unwrap(), vec![1, 2, 3, 4], "steals must take the FIFO end");
+    let delta_steals = rayon::pool_stats().steals - before.steals;
+    assert!(delta_steals >= 4, "all four staged jobs were stolen, counters saw {delta_steals}");
+}
+
+#[test]
+fn panic_in_a_stolen_join_closure_propagates_to_the_caller() {
+    init();
+    let _gate = gate();
+
+    // Choreography: the outer join's second closure is claimed by worker A
+    // (the caller spins until it has started, then parks on the latch — it
+    // cannot retract-and-inline it). Inside, worker A's inner join pushes
+    // the panicking closure onto A's own deque and spins in its first
+    // closure until the panicking job *starts* — which only worker B,
+    // stealing it, can make happen. The panic therefore crosses a steal
+    // boundary before reaching this thread.
+    let outer_entered = AtomicBool::new(false);
+    let inner_started = AtomicBool::new(false);
+    let victim_thread: Mutex<Option<String>> = Mutex::new(None);
+    let thief_thread: Mutex<Option<String>> = Mutex::new(None);
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rayon::join(
+            || spin_until(|| outer_entered.load(Ordering::SeqCst)),
+            || {
+                outer_entered.store(true, Ordering::SeqCst);
+                rayon::join(
+                    || {
+                        *victim_thread.lock().unwrap() =
+                            std::thread::current().name().map(String::from);
+                        spin_until(|| inner_started.load(Ordering::SeqCst));
+                    },
+                    || {
+                        *thief_thread.lock().unwrap() =
+                            std::thread::current().name().map(String::from);
+                        inner_started.store(true, Ordering::SeqCst);
+                        panic!("stolen boom");
+                    },
+                );
+            },
+        );
+    }));
+
+    let payload = result.expect_err("the stolen panic must reach the outermost caller");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "stolen boom");
+
+    // Prove the panicking job really was stolen: it ran on a pool worker
+    // distinct from the worker that owned the deque it was pushed to.
+    let victim = victim_thread.lock().unwrap().clone().expect("victim closure ran");
+    let thief = thief_thread.lock().unwrap().clone().expect("panicking closure ran");
+    assert!(victim.starts_with("rayon-worker-"), "inner join ran outside the pool: {victim}");
+    assert!(thief.starts_with("rayon-worker-"), "panicking job ran outside the pool: {thief}");
+    assert_ne!(victim, thief, "panicking job was retracted, not stolen");
+
+    // The pool survived the cross-thread unwind.
+    let (a, b) = rayon::join(|| 20, || 22);
+    assert_eq!(a + b, 42);
+}
+
+#[test]
+fn concurrent_recursive_joins_fan_out_across_both_workers() {
+    init();
+    let _gate = gate();
+
+    fn psum(xs: &[u64]) -> u64 {
+        if xs.len() <= 64 {
+            return xs.iter().sum();
+        }
+        let (lo, hi) = xs.split_at(xs.len() / 2);
+        let (a, b) = rayon::join(|| psum(lo), || psum(hi));
+        a + b
+    }
+
+    // Two scope tasks that refuse to proceed until both are running force
+    // one onto each worker; each then drives a recursive join over its
+    // half. Under the old single-injector pool every nested join serialized
+    // through one shared lock; here each worker splits on its own deque —
+    // which the elapsed-work counters below pin down structurally.
+    let data: Vec<u64> = (0..32768).collect();
+    let before = rayon::pool_stats();
+    let live = AtomicUsize::new(0);
+    let names: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+    let sums: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let (live_ref, names_ref, sums_ref, data_ref) = (&live, &names, &sums, &data);
+    rayon::scope(|s| {
+        for half in 0..2usize {
+            s.spawn(move |_| {
+                if let Some(name) = std::thread::current().name() {
+                    names_ref.lock().unwrap().insert(name.to_string());
+                }
+                live_ref.fetch_add(1, Ordering::SeqCst);
+                // Mutual rendezvous: if both tasks landed on one worker
+                // (or the pool serialized), this deadlocks and the harness
+                // times out — a liveness regression guard with no timing
+                // assert.
+                spin_until(|| live_ref.load(Ordering::SeqCst) == 2);
+                let chunk = data_ref.len() / 2;
+                sums_ref.lock().unwrap().push(psum(&data_ref[half * chunk..(half + 1) * chunk]));
+            });
+        }
+    });
+
+    assert_eq!(sums.lock().unwrap().iter().sum::<u64>(), 32767 * 32768 / 2);
+    let names = names.lock().unwrap();
+    assert_eq!(names.len(), 2, "both workers must participate, saw {names:?}");
+    assert!(names.iter().all(|n| n.starts_with("rayon-worker-")));
+
+    // Elapsed-work accounting: each half of 16384 elements with leaf 64
+    // splits into 256 leaves = 255 joins, every one executed on a worker
+    // thread, so every `b` closure lands on a *local* deque: exactly 510
+    // local pushes. The only injector traffic is the two scope tasks
+    // published by this (non-worker) thread.
+    let after = rayon::pool_stats();
+    assert_eq!(after.local_pushes - before.local_pushes, 510, "nested joins must push locally");
+    assert_eq!(after.injected - before.injected, 2, "only the scope tasks go through the injector");
+    assert_eq!(after.injector_pops - before.injector_pops, 2);
+}
