@@ -82,7 +82,10 @@ use crate::loss::{accuracy, argmax_rows_into};
 use crate::net::Network;
 use crate::tensor::{BatchView, Tensor4};
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use scissor_obs::{Profiler, StepSpec};
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Cache budget used when no cache topology is readable (a common
 /// private-L2 size; deliberately conservative — a too-small tile only
@@ -271,6 +274,18 @@ enum StepKind {
     Relu,
 }
 
+/// Stable kind label a [`StepSpec`] carries for a step.
+fn step_kind_label(kind: &StepKind) -> &'static str {
+    match kind {
+        StepKind::Conv { .. } => "conv",
+        StepKind::LowRankConv { .. } => "lowrank_conv",
+        StepKind::Linear { .. } => "linear",
+        StepKind::LowRankLinear { .. } => "lowrank_linear",
+        StepKind::MaxPool { .. } => "maxpool",
+        StepKind::Relu => "relu",
+    }
+}
+
 /// Int8 companions of a step's frozen weights ([`ServingForm::Int8`]
 /// plans only). The f32 weights are kept alongside so masks can be
 /// re-applied and the step re-quantized.
@@ -394,6 +409,15 @@ pub struct CompiledNet {
     /// [`CompiledNet::set_tile_config`] and
     /// [`CompiledNet::clear_tile_override`].
     tile_override: AtomicUsize,
+    /// Per-step profiler, built lazily on the first
+    /// [`CompiledNet::enable_profiling`] (its step specs snapshot the
+    /// footprint model once) and kept for the plan's lifetime so repeated
+    /// enable/disable cycles accumulate into the same slots.
+    profiler: OnceLock<Arc<Profiler>>,
+    /// Whether forwards record into the profiler. One relaxed load of
+    /// this flag is the *entire* disabled-path cost — regression-pinned
+    /// by `tests/profiler_off.rs`.
+    profile_on: AtomicBool,
 }
 
 /// Reusable per-thread workspace for [`CompiledNet::infer_into`].
@@ -498,8 +522,22 @@ impl CompiledNet {
             tile: TileConfig::untiled(),
             planned_tile: usize::MAX,
             tile_override: AtomicUsize::new(0),
+            profiler: OnceLock::new(),
+            profile_on: AtomicBool::new(false),
         };
         plan.set_tile_config(TileConfig::auto());
+        // `GS_OBS_PROFILE=1` (or `true`) turns per-step profiling on for
+        // every plan compiled in the process — the env knob for profiling
+        // a deployment without code changes.
+        if std::env::var("GS_OBS_PROFILE")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                v == "1" || v == "true"
+            })
+            .unwrap_or(false)
+        {
+            plan.enable_profiling();
+        }
         Ok(plan)
     }
 
@@ -902,10 +940,65 @@ impl CompiledNet {
         }
     }
 
+    /// Turns per-step profiling on and returns the profiler handle.
+    /// The profiler is built on the first call (snapshotting the step
+    /// specs and the tile planner's footprint model) and reused after —
+    /// repeated enable/disable cycles accumulate into the same slots.
+    /// Recording is relaxed atomics into preallocated slots, so even the
+    /// enabled warm path stays allocation-free.
+    pub fn enable_profiling(&self) -> Arc<Profiler> {
+        let profiler = self.profiler.get_or_init(|| Arc::new(Profiler::new(self.step_specs())));
+        self.profile_on.store(true, Ordering::Relaxed);
+        Arc::clone(profiler)
+    }
+
+    /// Turns per-step profiling off. Accumulated aggregates stay readable
+    /// through [`CompiledNet::profiler`]; the hot path reverts to one
+    /// relaxed load per sub-batch.
+    pub fn disable_profiling(&self) {
+        self.profile_on.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether forwards currently record per-step profiles.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profile_on.load(Ordering::Relaxed)
+    }
+
+    /// The profiler, if [`CompiledNet::enable_profiling`] was ever called
+    /// on this plan (it keeps accumulating only while enabled).
+    pub fn profiler(&self) -> Option<Arc<Profiler>> {
+        self.profiler.get().map(Arc::clone)
+    }
+
+    /// One [`StepSpec`] per step: name, kind label and the footprint
+    /// model's per-sample/fixed working-set bytes.
+    fn step_specs(&self) -> Vec<StepSpec> {
+        let mut footprints = Vec::with_capacity(self.steps.len());
+        self.for_each_footprint(|per_sample, fixed| footprints.push((per_sample, fixed)));
+        self.steps
+            .iter()
+            .zip(footprints)
+            .map(|(step, (per_sample, fixed))| StepSpec {
+                name: step.name.clone(),
+                kind: step_kind_label(&step.kind),
+                per_sample_bytes: per_sample as u64,
+                fixed_bytes: fixed as u64,
+            })
+            .collect()
+    }
+
     /// Runs every step over one contiguous NCHW sub-batch already in
     /// `src`, returning the index of the ping-pong buffer holding the
     /// logits.
     fn run_steps(&self, src: &[f32], b: usize, scratch: &mut InferScratch) -> usize {
+        // The disabled-path profiling cost is exactly this one relaxed
+        // load: the timed variant is a separate loop, not per-step
+        // branches inside the hot one.
+        if self.profile_on.load(Ordering::Relaxed) {
+            if let Some(profiler) = self.profiler.get() {
+                return self.run_steps_profiled(src, b, scratch, profiler);
+            }
+        }
         let (c, h, w) = self.input_shape;
         let mut shape = self.input_shape;
         let mut cur = 0usize;
@@ -934,6 +1027,53 @@ impl CompiledNet {
                 qt,
                 &mut scratch.qsrc,
             );
+            cur = 1 - cur;
+        }
+        cur
+    }
+
+    /// [`CompiledNet::run_steps`] with per-step wall-time recording — the
+    /// same step sequence with an `Instant` pair and three relaxed atomic
+    /// adds around each step (no locks, no allocation), so enabling the
+    /// profiler perturbs what it measures as little as possible.
+    fn run_steps_profiled(
+        &self,
+        src: &[f32],
+        b: usize,
+        scratch: &mut InferScratch,
+        profiler: &Profiler,
+    ) -> usize {
+        profiler.record_forward(b);
+        let (c, h, w) = self.input_shape;
+        let mut shape = self.input_shape;
+        let mut cur = 0usize;
+        scratch.act[cur].assign_from(b, c * h * w, src);
+        scratch.qa.resize_with(2 * self.steps.len(), QuantActivations::default);
+        for (idx, step) in self.steps.iter().enumerate() {
+            let (left, right) = scratch.act.split_at_mut(1);
+            let (src, dst) =
+                if cur == 0 { (&left[0], &mut right[0]) } else { (&right[0], &mut left[0]) };
+            let (qa, qt) = {
+                let pair = &mut scratch.qa[2 * idx..2 * idx + 2];
+                let (head, tail) = pair.split_at_mut(1);
+                (&mut head[0], &mut tail[0])
+            };
+            let step_start = std::time::Instant::now();
+            shape = run_step(
+                &step.kind,
+                step.quant.as_ref(),
+                src,
+                b,
+                shape,
+                dst,
+                &mut scratch.cols,
+                &mut scratch.rows,
+                &mut scratch.t,
+                qa,
+                qt,
+                &mut scratch.qsrc,
+            );
+            profiler.record_step(idx, step_start.elapsed().as_nanos() as u64);
             cur = 1 - cur;
         }
         cur

@@ -74,4 +74,5 @@ pub use loss::{
 pub use net::{Network, NetworkBuilder};
 pub use optim::{LrSchedule, Sgd};
 pub use param::Param;
+pub use scissor_obs::{ProfileSnapshot, Profiler, StepProfile, StepSpec};
 pub use tensor::{BatchView, Tensor4};

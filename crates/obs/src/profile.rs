@@ -1,0 +1,267 @@
+//! Per-step inference profiling: preallocated atomic slots the compiled
+//! net's hot loop can record into without locks or allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Serialize, Value};
+
+/// Static description of one compiled step, captured once when the
+/// profiler is built. `per_sample_bytes`/`fixed_bytes` reuse the tile
+/// planner's working-set footprint model, so the profile can report the
+/// bytes a step touches at any tile size without re-walking the net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepSpec {
+    /// Step name (layer name from the net definition).
+    pub name: String,
+    /// Step kind label: `conv`, `lowrank_conv`, `linear`,
+    /// `lowrank_linear`, `maxpool` or `relu`.
+    pub kind: &'static str,
+    /// Working-set bytes that scale with the number of samples in a tile.
+    pub per_sample_bytes: u64,
+    /// Working-set bytes independent of tile size (weights, bias).
+    pub fixed_bytes: u64,
+}
+
+/// One step's live accumulation slots.
+#[derive(Debug, Default)]
+struct StepSlot {
+    calls: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// An opt-in per-step profiler. All recording is relaxed atomics into
+/// slots preallocated at construction, so the *enabled* path is
+/// allocation-free; the disabled path never reaches this type at all
+/// (the compiled net guards with one relaxed load).
+#[derive(Debug)]
+pub struct Profiler {
+    specs: Vec<StepSpec>,
+    slots: Vec<StepSlot>,
+    forwards: AtomicU64,
+    samples: AtomicU64,
+    last_tile: AtomicU64,
+}
+
+impl Profiler {
+    /// A profiler with one slot per step spec.
+    pub fn new(specs: Vec<StepSpec>) -> Self {
+        let slots = specs.iter().map(|_| StepSlot::default()).collect();
+        Self {
+            specs,
+            slots,
+            forwards: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            last_tile: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of profiled steps.
+    pub fn step_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Records one forward pass over `tile` samples (the tile decision
+    /// actually taken, which may be smaller than the configured tile for
+    /// a short batch).
+    pub fn record_forward(&self, tile: usize) {
+        self.forwards.fetch_add(1, Ordering::Relaxed);
+        self.samples.fetch_add(tile as u64, Ordering::Relaxed);
+        self.last_tile.store(tile as u64, Ordering::Relaxed);
+    }
+
+    /// Folds one step execution in. `idx` must be a valid step index;
+    /// out-of-range records are ignored rather than panicking mid-inference.
+    pub fn record_step(&self, idx: usize, elapsed_ns: u64) {
+        let Some(slot) = self.slots.get(idx) else { return };
+        slot.calls.fetch_add(1, Ordering::Relaxed);
+        slot.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        slot.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
+    }
+
+    /// Zeroes every accumulator (step specs are static and kept).
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.calls.store(0, Ordering::Relaxed);
+            slot.total_ns.store(0, Ordering::Relaxed);
+            slot.max_ns.store(0, Ordering::Relaxed);
+        }
+        self.forwards.store(0, Ordering::Relaxed);
+        self.samples.store(0, Ordering::Relaxed);
+        self.last_tile.store(0, Ordering::Relaxed);
+    }
+
+    /// An immutable copy of the current aggregates.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let steps = self
+            .specs
+            .iter()
+            .zip(&self.slots)
+            .map(|(spec, slot)| StepProfile {
+                name: spec.name.clone(),
+                kind: spec.kind,
+                calls: slot.calls.load(Ordering::Relaxed),
+                total_ns: slot.total_ns.load(Ordering::Relaxed),
+                max_ns: slot.max_ns.load(Ordering::Relaxed),
+                per_sample_bytes: spec.per_sample_bytes,
+                fixed_bytes: spec.fixed_bytes,
+            })
+            .collect();
+        ProfileSnapshot {
+            forwards: self.forwards.load(Ordering::Relaxed),
+            samples: self.samples.load(Ordering::Relaxed),
+            last_tile: self.last_tile.load(Ordering::Relaxed) as usize,
+            steps,
+        }
+    }
+}
+
+/// One step's aggregates inside a [`ProfileSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepProfile {
+    /// Step name (layer name from the net definition).
+    pub name: String,
+    /// Step kind label (see [`StepSpec::kind`]).
+    pub kind: &'static str,
+    /// Times this step ran.
+    pub calls: u64,
+    /// Total wall nanoseconds across all calls.
+    pub total_ns: u64,
+    /// Slowest single call in nanoseconds.
+    pub max_ns: u64,
+    /// Working-set bytes that scale with tile size.
+    pub per_sample_bytes: u64,
+    /// Tile-independent working-set bytes.
+    pub fixed_bytes: u64,
+}
+
+impl StepProfile {
+    /// Mean nanoseconds per call (`0.0` when never called).
+    pub fn mean_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64
+        }
+    }
+
+    /// Working-set bytes this step touches at a given tile size, per the
+    /// tile planner's footprint model.
+    pub fn working_set_bytes(&self, tile: usize) -> u64 {
+        self.fixed_bytes + self.per_sample_bytes * tile as u64
+    }
+}
+
+impl Serialize for StepProfile {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("kind".to_string(), Value::Str(self.kind.to_string())),
+            ("calls".to_string(), Value::U64(self.calls)),
+            ("total_ns".to_string(), Value::U64(self.total_ns)),
+            ("mean_ns".to_string(), Value::F64(self.mean_ns())),
+            ("max_ns".to_string(), Value::U64(self.max_ns)),
+            ("per_sample_bytes".to_string(), Value::U64(self.per_sample_bytes)),
+            ("fixed_bytes".to_string(), Value::U64(self.fixed_bytes)),
+        ])
+    }
+}
+
+/// An immutable copy of a [`Profiler`] at sample time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSnapshot {
+    /// Forward passes (tiles) recorded.
+    pub forwards: u64,
+    /// Total samples across all forwards.
+    pub samples: u64,
+    /// Tile size of the most recent forward.
+    pub last_tile: usize,
+    /// Per-step aggregates, in execution order.
+    pub steps: Vec<StepProfile>,
+}
+
+impl ProfileSnapshot {
+    /// Total wall nanoseconds across every step call.
+    pub fn total_ns(&self) -> u64 {
+        self.steps.iter().map(|s| s.total_ns).sum()
+    }
+}
+
+impl Serialize for ProfileSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("forwards".to_string(), Value::U64(self.forwards)),
+            ("samples".to_string(), Value::U64(self.samples)),
+            ("last_tile".to_string(), Value::U64(self.last_tile as u64)),
+            ("total_ns".to_string(), Value::U64(self.total_ns())),
+            ("steps".to_string(), Value::Seq(self.steps.iter().map(|s| s.to_value()).collect())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_step() -> Profiler {
+        Profiler::new(vec![
+            StepSpec { name: "conv1".into(), kind: "conv", per_sample_bytes: 100, fixed_bytes: 40 },
+            StepSpec { name: "relu1".into(), kind: "relu", per_sample_bytes: 8, fixed_bytes: 0 },
+        ])
+    }
+
+    #[test]
+    fn aggregates_accumulate_and_reset() {
+        let p = two_step();
+        assert_eq!(p.step_count(), 2);
+        p.record_forward(4);
+        p.record_step(0, 100);
+        p.record_step(0, 300);
+        p.record_step(1, 10);
+        p.record_forward(2);
+        let snap = p.snapshot();
+        assert_eq!(snap.forwards, 2);
+        assert_eq!(snap.samples, 6);
+        assert_eq!(snap.last_tile, 2);
+        assert_eq!(snap.steps[0].calls, 2);
+        assert_eq!(snap.steps[0].total_ns, 400);
+        assert_eq!(snap.steps[0].max_ns, 300);
+        assert_eq!(snap.steps[0].mean_ns(), 200.0);
+        assert_eq!(snap.steps[1].calls, 1);
+        assert_eq!(snap.total_ns(), 410);
+        p.reset();
+        let snap = p.snapshot();
+        assert_eq!(snap.forwards, 0);
+        assert_eq!(snap.steps[0].calls, 0);
+        assert_eq!(snap.steps[0].name, "conv1", "specs survive reset");
+    }
+
+    #[test]
+    fn working_set_follows_the_footprint_model() {
+        let p = two_step();
+        let snap = p.snapshot();
+        assert_eq!(snap.steps[0].working_set_bytes(0), 40);
+        assert_eq!(snap.steps[0].working_set_bytes(8), 840);
+        assert_eq!(snap.steps[1].working_set_bytes(8), 64);
+    }
+
+    #[test]
+    fn out_of_range_records_are_ignored() {
+        let p = two_step();
+        p.record_step(99, 1);
+        assert_eq!(p.snapshot().steps.iter().map(|s| s.calls).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn snapshot_serializes_with_step_detail() {
+        let p = two_step();
+        p.record_forward(4);
+        p.record_step(0, 250);
+        let json = serde_json::to_string(&p.snapshot()).unwrap();
+        for needle in
+            ["\"forwards\":1", "\"name\":\"conv1\"", "\"kind\":\"conv\"", "\"total_ns\":250"]
+        {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+    }
+}

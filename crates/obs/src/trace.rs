@@ -1,0 +1,267 @@
+//! Request tracing: ids minted at admission, span records appended as a
+//! request moves queue → batch → execution.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Serialize, Value};
+
+/// A per-request identity, minted once at router admission and carried
+/// through the ticket, the replica queue and the batcher so every span
+/// of one request shares it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The raw id. Ids are sequential per [`TraceLog`], starting at 1.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The lifecycle stage a [`SpanRecord`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Admitted into a replica's queue. A request rerouted by a
+    /// scale-down gets a second `Queued` span on its new replica.
+    Queued,
+    /// Drained from the queue into a batch (timestamped at batch start).
+    Batched,
+    /// Inference finished and the ticket was filled.
+    Executed,
+}
+
+impl SpanKind {
+    /// Stable lowercase label used in JSON and log output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Queued => "queued",
+            SpanKind::Batched => "batched",
+            SpanKind::Executed => "executed",
+        }
+    }
+}
+
+impl std::fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One event in a request's lifecycle. Timestamps are whatever `Clock`
+/// the producer runs on — wall nanoseconds in production, exact virtual
+/// time under `VirtualClock` tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The request this span belongs to.
+    pub trace: TraceId,
+    /// Which lifecycle stage this marks.
+    pub kind: SpanKind,
+    /// Clock reading when the stage happened, in nanoseconds.
+    pub at_ns: u64,
+    /// Replica that held the request at this stage.
+    pub replica: u64,
+    /// Batch size at this stage (0 for `Queued` — not yet batched).
+    pub batch: usize,
+    /// Serving form label of the executing replica (e.g. `dense`, `int8`).
+    pub form: Arc<str>,
+}
+
+impl Serialize for SpanRecord {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("trace".to_string(), Value::U64(self.trace.0)),
+            ("kind".to_string(), Value::Str(self.kind.label().to_string())),
+            ("at_ns".to_string(), Value::U64(self.at_ns)),
+            ("replica".to_string(), Value::U64(self.replica)),
+            ("batch".to_string(), Value::U64(self.batch as u64)),
+            ("form".to_string(), Value::Str(self.form.to_string())),
+        ])
+    }
+}
+
+/// A bounded, shared span sink. Producers check [`TraceLog::is_enabled`]
+/// (one relaxed load) before building a span, and [`TraceLog::record`]
+/// re-checks, so a disabled log costs nothing but that load. When the
+/// ring is full the *oldest* span is dropped and counted — recent
+/// history wins, and the drop is visible in the snapshot.
+#[derive(Debug)]
+pub struct TraceLog {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    cap: usize,
+    spans: Mutex<VecDeque<SpanRecord>>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceLog {
+    /// A disabled log retaining at most `cap` spans (min 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            enabled: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            cap,
+            spans: Mutex::new(VecDeque::with_capacity(cap.min(1024))),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts recording spans.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording spans (already-retained spans stay readable).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether spans are currently recorded — the one-relaxed-load guard
+    /// producers use to skip span construction entirely.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Mints the next sequential [`TraceId`]. Ids are minted even while
+    /// disabled so a request admitted just before `enable()` still has a
+    /// stable identity.
+    pub fn mint(&self) -> TraceId {
+        TraceId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Appends a span if enabled; evicts the oldest span when full.
+    pub fn record(&self, span: SpanRecord) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut spans = self.spans.lock().expect("trace log poisoned");
+        if spans.len() == self.cap {
+            spans.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        spans.push_back(span);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// All retained spans, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("trace log poisoned").iter().cloned().collect()
+    }
+
+    /// Removes and returns all retained spans, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("trace log poisoned").drain(..).collect()
+    }
+
+    /// Total ids handed out by [`TraceLog::mint`].
+    pub fn minted(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Total spans accepted (including ones since evicted).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Maximum spans retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(log: &TraceLog, id: TraceId, kind: SpanKind, at_ns: u64) -> SpanRecord {
+        let _ = log;
+        SpanRecord { trace: id, kind, at_ns, replica: 0, batch: 1, form: Arc::from("dense") }
+    }
+
+    #[test]
+    fn ids_are_sequential_and_spans_ordered() {
+        let log = TraceLog::new(16);
+        log.enable();
+        let a = log.mint();
+        let b = log.mint();
+        assert_eq!(a.as_u64(), 1);
+        assert_eq!(b.as_u64(), 2);
+        assert_eq!(log.minted(), 2);
+        log.record(span(&log, a, SpanKind::Queued, 10));
+        log.record(span(&log, a, SpanKind::Batched, 20));
+        log.record(span(&log, a, SpanKind::Executed, 30));
+        let spans = log.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(
+            spans.iter().map(|s| s.kind).collect::<Vec<_>>(),
+            vec![SpanKind::Queued, SpanKind::Batched, SpanKind::Executed]
+        );
+        assert!(spans.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(format!("{a}"), "t1");
+        assert_eq!(format!("{}", SpanKind::Batched), "batched");
+    }
+
+    #[test]
+    fn disabled_log_records_nothing_but_still_mints() {
+        let log = TraceLog::new(4);
+        assert!(!log.is_enabled());
+        let id = log.mint();
+        log.record(span(&log, id, SpanKind::Queued, 1));
+        assert!(log.spans().is_empty());
+        assert_eq!(log.recorded(), 0);
+        assert_eq!(log.minted(), 1);
+        log.enable();
+        log.record(span(&log, id, SpanKind::Queued, 2));
+        assert_eq!(log.recorded(), 1);
+        log.disable();
+        log.record(span(&log, id, SpanKind::Executed, 3));
+        assert_eq!(log.spans().len(), 1, "disable stops recording, keeps history");
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts() {
+        let log = TraceLog::new(2);
+        log.enable();
+        let id = log.mint();
+        for t in 1..=3u64 {
+            log.record(span(&log, id, SpanKind::Queued, t));
+        }
+        let spans = log.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].at_ns, 2, "oldest span evicted first");
+        assert_eq!(spans[1].at_ns, 3);
+        assert_eq!(log.recorded(), 3);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.capacity(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.spans().is_empty());
+    }
+
+    #[test]
+    fn spans_serialize_with_stable_field_names() {
+        let log = TraceLog::new(4);
+        let id = log.mint();
+        let s = span(&log, id, SpanKind::Executed, 99);
+        let json = serde_json::to_string(&s).unwrap();
+        for needle in ["\"trace\":1", "\"kind\":\"executed\"", "\"at_ns\":99", "\"form\":\"dense\""]
+        {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+    }
+}

@@ -60,6 +60,21 @@ pub enum ScalingAction {
     NoAction,
 }
 
+impl ScalingAction {
+    /// Stable snake_case label — the suffix of the supervisor's
+    /// `ctrl.decisions.*` registry counters (the `ResizeHighWater`
+    /// payload is dropped; the counter tracks the action kind).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScalingAction::ScaleUp => "scale_up",
+            ScalingAction::ScaleDown => "scale_down",
+            ScalingAction::Rebalance => "rebalance",
+            ScalingAction::ResizeHighWater { .. } => "resize_high_water",
+            ScalingAction::NoAction => "no_action",
+        }
+    }
+}
+
 /// One supervisor decision: which model, what action, why, when.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScalingDecision {
@@ -373,6 +388,7 @@ impl Supervisor {
     /// the tile from fresh measurements after latency drift.
     pub fn tick(&mut self) -> Vec<ScalingDecision> {
         let mut out = Vec::new();
+        let registry = self.router.registry();
         for model in self.router.models() {
             let Some(obs) = self.observe(&model) else { continue };
             let state = match self.states.entry(model.clone()) {
@@ -393,6 +409,15 @@ impl Supervisor {
             }
             let decision =
                 ScalingDecision { model, action, reason, at_ns: self.router.clock().now_ns() };
+            // Every decision (heartbeats included) lands in the router's
+            // registry, so `observability_snapshot()` exposes how often
+            // each actuator fired and why the last one did.
+            registry.counter(&format!("ctrl.decisions.{}", decision.action.label())).inc();
+            if decision.action != ScalingAction::NoAction {
+                registry
+                    .text("ctrl.last_action")
+                    .set(format!("{}: {}", decision.model, decision.reason));
+            }
             out.push(decision.clone());
             self.log.push(decision);
         }

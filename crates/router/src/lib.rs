@@ -85,17 +85,38 @@ mod error;
 
 pub use error::RouterError;
 pub use scissor_nn::ServingForm;
-pub use scissor_serve::{Clock, MonotonicClock, ServeConfig, ServeStats, Ticket, VirtualClock};
+pub use scissor_obs::{Registry, Snapshot};
+pub use scissor_serve::{
+    Clock, MonotonicClock, ServeConfig, ServeStats, SpanKind, SpanRecord, Ticket, TraceId,
+    TraceLog, TraceSink, VirtualClock,
+};
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use scissor_nn::{CompiledNet, Tensor4};
-use scissor_serve::{PendingRequest, Replica};
+use scissor_serve::{bucket_upper_ns, PendingRequest, Replica};
+use serde::{Serialize, Value};
 
 /// Convenience alias for router results.
 pub type Result<T> = std::result::Result<T, RouterError>;
+
+/// Spans retained by the router's trace ring when `GS_OBS_TRACE_CAP` is
+/// unset.
+const DEFAULT_TRACE_CAP: usize = 4096;
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|s| s.trim().parse::<usize>().ok())
+}
+
+/// `1`/`true` (case-insensitive) opt-in flag — the same convention as
+/// `GS_OBS_PROFILE` in the compiler.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true"))
+        .unwrap_or(false)
+}
 
 /// Replica-selection policy for [`Router::submit`].
 ///
@@ -312,6 +333,22 @@ pub struct Router {
     /// so latency/EWMA numbers are comparable across replicas — and a
     /// [`VirtualClock`] here puts the entire serving tier on test time.
     clock: Arc<dyn Clock>,
+    /// The router-wide metrics registry. Producers across the stack
+    /// (admission gate, supervisor, tile calibration) register named
+    /// counters/gauges here; [`Router::observability_snapshot`] folds a
+    /// reading of it into the one-document export.
+    registry: Arc<Registry>,
+    /// The router-wide span sink. Every replica the router spawns carries
+    /// a [`TraceSink`] into this log, so one request's spans line up
+    /// across reroutes and scale events. Disabled (one relaxed load per
+    /// submission) unless `GS_OBS_TRACE` or [`Router::enable_tracing`]
+    /// turns it on.
+    trace: Arc<TraceLog>,
+    /// Monotonic replica-id allocator: ids are unique across models and
+    /// scale-up/scale-down churn for the router's lifetime, so a span's
+    /// `replica` field is never ambiguous between a torn-down replica and
+    /// a later-spawned one.
+    next_replica_id: AtomicU64,
 }
 
 impl Default for Router {
@@ -329,13 +366,66 @@ impl Router {
 
     /// An empty router with an explicit time source (a [`VirtualClock`]
     /// makes every latency/EWMA observation deterministic in tests).
+    ///
+    /// Tracing starts disabled unless `GS_OBS_TRACE` is `1`/`true`; the
+    /// span ring retains `GS_OBS_TRACE_CAP` spans (default 4096).
     pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
-        Self { models: RwLock::new(HashMap::new()), shutting_down: AtomicBool::new(false), clock }
+        let trace =
+            Arc::new(TraceLog::new(env_usize("GS_OBS_TRACE_CAP").unwrap_or(DEFAULT_TRACE_CAP)));
+        if env_flag("GS_OBS_TRACE") {
+            trace.enable();
+        }
+        Self {
+            models: RwLock::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+            clock,
+            registry: Arc::new(Registry::new()),
+            trace,
+            next_replica_id: AtomicU64::new(0),
+        }
     }
 
     /// The router's time source (shared with every replica it spawns).
     pub fn clock(&self) -> Arc<dyn Clock> {
         Arc::clone(&self.clock)
+    }
+
+    /// The router-wide metrics registry — the sink every producer in the
+    /// serving stack (admission gate, supervisor, tile calibration)
+    /// publishes named counters and gauges into. Shared so callers can
+    /// attach their own metrics or take [`Registry::snapshot`]s for
+    /// interval deltas.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The router-wide trace log every replica's spans land in.
+    pub fn trace_log(&self) -> Arc<TraceLog> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Starts recording request spans (Queued → Batched → Executed) into
+    /// [`Router::trace_log`]. Equivalent to launching with `GS_OBS_TRACE=1`.
+    pub fn enable_tracing(&self) {
+        self.trace.enable();
+    }
+
+    /// Stops recording spans; already-retained spans stay readable.
+    pub fn disable_tracing(&self) {
+        self.trace.disable();
+    }
+
+    /// Whether request tracing is currently recording.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Spawns one traced replica over `plan`, stamped with the next
+    /// router-unique replica id. The single spawn path for registration
+    /// and scale-up, so every replica is guaranteed a [`TraceSink`].
+    fn spawn_replica(&self, plan: Arc<CompiledNet>, cfg: ServeConfig) -> Replica {
+        let id = self.next_replica_id.fetch_add(1, Ordering::Relaxed);
+        Replica::start_traced(plan, cfg, self.clock(), TraceSink::new(self.trace_log(), id))
     }
 
     /// Registers `plan` under `model` and spawns its replicas.
@@ -381,9 +471,8 @@ impl Router {
         if models.contains_key(model) {
             return Err(RouterError::DuplicateModel { model: model.to_string() });
         }
-        let replicas = (0..cfg.replicas)
-            .map(|_| Replica::start_with_clock(Arc::clone(&plan), replica_cfg, self.clock()))
-            .collect();
+        let replicas =
+            (0..cfg.replicas).map(|_| self.spawn_replica(Arc::clone(&plan), replica_cfg)).collect();
         models.insert(
             model.to_string(),
             ModelEntry {
@@ -558,8 +647,7 @@ impl Router {
         let entry = models
             .get_mut(model)
             .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
-        let replica =
-            Replica::start_with_clock(Arc::clone(&entry.plan), entry.replica_cfg, self.clock());
+        let replica = self.spawn_replica(Arc::clone(&entry.plan), entry.replica_cfg);
         if entry.paused.load(Ordering::Relaxed) {
             replica.pause();
         }
@@ -677,7 +765,13 @@ impl Router {
         };
         // Calibration runs real timed forwards; do it outside the
         // registry lock so it never stalls submissions.
-        Ok(plan.calibrate_tile(batch, rounds))
+        let cal = plan.calibrate_tile(batch, rounds);
+        self.registry.counter("tile.calibrations").inc();
+        self.registry.gauge(&format!("tile.{model}.chosen")).set(cal.chosen as u64);
+        if let Some(winner) = cal.timings.iter().find(|t| t.tile == cal.chosen) {
+            self.registry.gauge(&format!("tile.{model}.best_ns")).set(winner.best_ns);
+        }
+        Ok(cal)
     }
 
     /// Number of replicas currently serving `model`, if registered.
@@ -691,6 +785,109 @@ impl Router {
     pub fn replica_ewma_service_ns(&self, model: &str) -> Option<Vec<u64>> {
         let models = self.models.read().expect("router registry poisoned");
         models.get(model).map(|e| e.replicas.iter().map(Replica::ewma_service_ns).collect())
+    }
+
+    /// One JSON document covering the whole serving stack:
+    ///
+    /// * `models.<name>.serve` — merged replica counters with the full
+    ///   latency picture (mean/max, p50/p95/p99/p99.9 and the sparse log₂
+    ///   histogram with true bucket bounds; the open-ended top bucket
+    ///   reports `upper_ns: null`);
+    /// * `models.<name>.router` — admission-gate sheds, per-replica queue
+    ///   depths and service-time EWMAs (the routing signals);
+    /// * `models.<name>.profile` — per-step time/working-set aggregates
+    ///   when the plan's profiler is built (`GS_OBS_PROFILE=1` or
+    ///   [`scissor_nn::CompiledNet::enable_profiling`]), else `null`;
+    /// * `pool` — the work-stealing scheduler's cumulative counters;
+    /// * `trace` — the span ring's health (enabled/minted/recorded/dropped);
+    /// * `metrics` — a reading of every metric in [`Router::registry`],
+    ///   which includes the supervisor's `ctrl.decisions.*` counters and
+    ///   the `tile.*` calibration gauges.
+    ///
+    /// Before the `metrics` reading is taken, the registry's `serve.*`,
+    /// `pool.*` and `trace.*` gauges are synced to the same values the
+    /// document reports, so interval deltas via [`Snapshot::delta_since`]
+    /// line up with the export.
+    pub fn observability_snapshot(&self) -> Value {
+        // One pass under the read lock to collect raw per-model data;
+        // everything else (gauge sync, JSON assembly) runs lock-free.
+        let mut readings: Vec<ModelReading> = {
+            let models = self.models.read().expect("router registry poisoned");
+            models
+                .iter()
+                .map(|(name, e)| ModelReading {
+                    name: name.clone(),
+                    stats: e.stats(),
+                    depths: e.replicas.iter().map(Replica::queue_depth).collect(),
+                    ewma: e.replicas.iter().map(Replica::ewma_service_ns).collect(),
+                    profile: e.plan.profiler().map(|p| p.snapshot().to_value()),
+                })
+                .collect()
+        };
+        readings.sort_by(|a, b| a.name.cmp(&b.name));
+
+        let pool = rayon::pool_stats();
+        for r in &readings {
+            let name = &r.name;
+            let stats = &r.stats;
+            let gauge =
+                |key: &str, v: u64| self.registry.gauge(&format!("serve.{name}.{key}")).set(v);
+            gauge("requests", stats.serve.requests);
+            gauge("shed_total", stats.total_shed());
+            gauge("queue_depth", stats.serve.queue_depth);
+            gauge("replicas", stats.replicas as u64);
+            gauge("p50_ns", stats.serve.p50_latency().as_nanos() as u64);
+            gauge("p99_ns", stats.serve.p99_latency().as_nanos() as u64);
+            gauge("p999_ns", stats.serve.p999_latency().as_nanos() as u64);
+            gauge("ewma_ns", stats.serve.ewma_service_ns);
+        }
+        let pool_gauge = |key: &str, v: u64| self.registry.gauge(&format!("pool.{key}")).set(v);
+        pool_gauge("local_pushes", pool.local_pushes);
+        pool_gauge("injected", pool.injected);
+        pool_gauge("local_pops", pool.local_pops);
+        pool_gauge("steals", pool.steals);
+        pool_gauge("injector_pops", pool.injector_pops);
+        let trace_gauge = |key: &str, v: u64| self.registry.gauge(&format!("trace.{key}")).set(v);
+        trace_gauge("minted", self.trace.minted());
+        trace_gauge("recorded", self.trace.recorded());
+        trace_gauge("dropped", self.trace.dropped());
+
+        let models_value = Value::Map(
+            readings
+                .into_iter()
+                .map(|r| (r.name, model_value(&r.stats, &r.depths, &r.ewma, r.profile)))
+                .collect(),
+        );
+        Value::Map(vec![
+            ("models".to_string(), models_value),
+            (
+                "pool".to_string(),
+                Value::Map(vec![
+                    ("local_pushes".to_string(), Value::U64(pool.local_pushes)),
+                    ("injected".to_string(), Value::U64(pool.injected)),
+                    ("local_pops".to_string(), Value::U64(pool.local_pops)),
+                    ("steals".to_string(), Value::U64(pool.steals)),
+                    ("injector_pops".to_string(), Value::U64(pool.injector_pops)),
+                ]),
+            ),
+            (
+                "trace".to_string(),
+                Value::Map(vec![
+                    ("enabled".to_string(), Value::Bool(self.trace.is_enabled())),
+                    ("capacity".to_string(), Value::U64(self.trace.capacity() as u64)),
+                    ("minted".to_string(), Value::U64(self.trace.minted())),
+                    ("recorded".to_string(), Value::U64(self.trace.recorded())),
+                    ("dropped".to_string(), Value::U64(self.trace.dropped())),
+                ]),
+            ),
+            ("metrics".to_string(), self.registry.snapshot().to_value()),
+        ])
+    }
+
+    /// [`Router::observability_snapshot`] rendered as a JSON string.
+    pub fn observability_json(&self) -> String {
+        serde_json::to_string(&self.observability_snapshot())
+            .expect("encoding an in-memory Value cannot fail")
     }
 
     /// Stops admission, then drains and joins every replica: all admitted
@@ -708,6 +905,88 @@ impl Router {
             }
         }
     }
+}
+
+/// Raw per-model data collected under the registry read lock, rendered
+/// lock-free afterwards by [`model_value`].
+struct ModelReading {
+    name: String,
+    stats: ModelStats,
+    depths: Vec<usize>,
+    ewma: Vec<u64>,
+    profile: Option<Value>,
+}
+
+/// Builds one model's section of [`Router::observability_snapshot`].
+fn model_value(
+    stats: &ModelStats,
+    depths: &[usize],
+    ewma: &[u64],
+    profile: Option<Value>,
+) -> Value {
+    let s = &stats.serve;
+    // Sparse histogram: only populated buckets, each with its true
+    // `[lower, upper)` nanosecond bounds; the open-ended top bucket
+    // reports `upper_ns: null` instead of a fabricated bound.
+    let hist: Vec<Value> = s
+        .latency_hist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &count)| count > 0)
+        .map(|(i, &count)| {
+            let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+            Value::Map(vec![
+                ("lower_ns".to_string(), Value::U64(lower)),
+                ("upper_ns".to_string(), bucket_upper_ns(i).map_or(Value::Null, Value::U64)),
+                ("count".to_string(), Value::U64(count)),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        ("form".to_string(), Value::Str(stats.form.to_string())),
+        ("replicas".to_string(), Value::U64(stats.replicas as u64)),
+        ("queue_high_water".to_string(), Value::U64(stats.queue_high_water as u64)),
+        (
+            "router".to_string(),
+            Value::Map(vec![
+                ("shed".to_string(), Value::U64(stats.shed)),
+                (
+                    "queue_depths".to_string(),
+                    Value::Seq(depths.iter().map(|&d| Value::U64(d as u64)).collect()),
+                ),
+                (
+                    "ewma_service_ns".to_string(),
+                    Value::Seq(ewma.iter().map(|&e| Value::U64(e)).collect()),
+                ),
+            ]),
+        ),
+        (
+            "serve".to_string(),
+            Value::Map(vec![
+                ("requests".to_string(), Value::U64(s.requests)),
+                ("batches".to_string(), Value::U64(s.batches)),
+                ("samples".to_string(), Value::U64(s.samples)),
+                ("full_batches".to_string(), Value::U64(s.full_batches)),
+                ("shed".to_string(), Value::U64(s.shed)),
+                ("queue_depth".to_string(), Value::U64(s.queue_depth)),
+                ("mean_batch_size".to_string(), Value::F64(s.mean_batch_size())),
+                (
+                    "latency".to_string(),
+                    Value::Map(vec![
+                        ("mean_ns".to_string(), Value::U64(s.mean_latency().as_nanos() as u64)),
+                        ("max_ns".to_string(), Value::U64(s.max_latency.as_nanos() as u64)),
+                        ("p50_ns".to_string(), Value::U64(s.p50_latency().as_nanos() as u64)),
+                        ("p95_ns".to_string(), Value::U64(s.p95_latency().as_nanos() as u64)),
+                        ("p99_ns".to_string(), Value::U64(s.p99_latency().as_nanos() as u64)),
+                        ("p999_ns".to_string(), Value::U64(s.p999_latency().as_nanos() as u64)),
+                    ]),
+                ),
+                ("latency_hist".to_string(), Value::Seq(hist)),
+                ("ewma_service_ns".to_string(), Value::U64(s.ewma_service_ns)),
+            ]),
+        ),
+        ("profile".to_string(), profile.unwrap_or(Value::Null)),
+    ])
 }
 
 /// Hands one already-admitted request to the least-loaded surviving
@@ -923,6 +1202,51 @@ mod tests {
         ));
         // Idempotent.
         router.shutdown();
+    }
+
+    #[test]
+    fn observability_snapshot_covers_the_stack() {
+        let router = Router::new();
+        router.register("m", tiny_plan(8, 3), ModelConfig::with_replicas(2)).unwrap();
+        for s in 0..4 {
+            router.submit("m", &sample(s)).unwrap().wait();
+        }
+        let json = router.observability_json();
+        for needle in [
+            "\"models\"",
+            "\"form\":\"f32\"",
+            "\"replicas\":2",
+            "\"queue_depths\"",
+            "\"p999_ns\"",
+            "\"latency_hist\"",
+            "\"profile\":null",
+            "\"pool\"",
+            "\"local_pushes\"",
+            "\"trace\"",
+            "\"enabled\":false",
+            "\"metrics\"",
+            "\"serve.m.requests\":4",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+    }
+
+    #[test]
+    fn tracing_spans_flow_from_submissions() {
+        let router = Router::new();
+        assert!(!router.tracing_enabled());
+        router.enable_tracing();
+        router.register("m", tiny_plan(9, 3), ModelConfig::with_replicas(1)).unwrap();
+        let t = router.submit("m", &sample(0)).unwrap();
+        let id = t.trace_id().expect("tracing on: ticket carries its id");
+        t.wait();
+        let spans = router.trace_log().spans();
+        let kinds: Vec<SpanKind> = spans.iter().filter(|s| s.trace == id).map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SpanKind::Queued, SpanKind::Batched, SpanKind::Executed]);
+        router.disable_tracing();
+        let t = router.submit("m", &sample(1)).unwrap();
+        assert!(t.trace_id().is_none(), "tracing off: no id minted");
+        t.wait();
     }
 
     #[test]

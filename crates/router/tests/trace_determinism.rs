@@ -1,0 +1,179 @@
+//! Request-trace determinism under a [`VirtualClock`]: span timestamps
+//! come from the router's clock, Queued spans are recorded under the
+//! replica queue lock in admission order, and reroutes add a second
+//! Queued span — so an entire burst's trace is asserted span-by-span on
+//! exact virtual timestamps, and every admitted id is conserved through
+//! to exactly one Executed span.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scissor_nn::{CompiledNet, NetworkBuilder, Tensor4};
+use scissor_router::{Clock, ModelConfig, Router, SpanKind, SpanRecord, TraceId, VirtualClock};
+
+const MS: u64 = 1_000_000;
+
+fn tiny_plan(seed: u64) -> CompiledNet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NetworkBuilder::new((1, 4, 4))
+        .conv("conv1", 2, 3, 1, 0, &mut rng)
+        .relu()
+        .linear("fc", 3, &mut rng)
+        .build()
+        .compile()
+        .expect("compile")
+}
+
+fn sample(seed: usize) -> Tensor4 {
+    Tensor4::from_vec(
+        1,
+        1,
+        4,
+        4,
+        (0..16).map(|i| ((i * 7 + seed * 13) % 23) as f32 * 0.1 - 1.0).collect(),
+    )
+}
+
+/// Spans of one trace, in recording order.
+fn by_trace(spans: &[SpanRecord]) -> BTreeMap<TraceId, Vec<&SpanRecord>> {
+    let mut m: BTreeMap<TraceId, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        m.entry(s.trace).or_default().push(s);
+    }
+    m
+}
+
+#[test]
+fn burst_on_two_replicas_traces_an_exact_span_sequence() {
+    let vclock = VirtualClock::shared();
+    let router = Router::with_clock(Arc::clone(&vclock) as Arc<dyn Clock>);
+    router.enable_tracing();
+    router.register("m", tiny_plan(1), ModelConfig::with_replicas(2)).unwrap();
+    router.pause("m").unwrap();
+
+    // Six submissions, the clock stepping 1 ms before each: admission
+    // timestamps are exactly 1 ms, 2 ms, … 6 ms of virtual time.
+    let mut tickets = Vec::new();
+    for s in 0..6 {
+        vclock.advance(Duration::from_millis(1));
+        tickets.push(router.submit("m", &sample(s)).unwrap());
+    }
+    let ids: Vec<TraceId> =
+        tickets.iter().map(|t| t.trace_id().expect("tracing on: every ticket has an id")).collect();
+    assert_eq!(
+        ids.iter().map(TraceId::as_u64).collect::<Vec<_>>(),
+        vec![1, 2, 3, 4, 5, 6],
+        "ids are minted sequentially in admission order"
+    );
+
+    // Paused replicas: the log holds exactly the six Queued spans, in
+    // admission order, each at its exact virtual timestamp.
+    let queued = router.trace_log().spans();
+    assert_eq!(queued.len(), 6);
+    for (i, span) in queued.iter().enumerate() {
+        assert_eq!(span.trace, ids[i], "Queued spans appear in admission order");
+        assert_eq!(span.kind, SpanKind::Queued);
+        assert_eq!(span.at_ns, (i as u64 + 1) * MS, "admission stamped the virtual clock");
+        assert_eq!(span.batch, 0, "not yet batched");
+        assert_eq!(&*span.form, "f32");
+    }
+
+    // Freeze the clock at 10 ms and drain: both replicas flush their
+    // whole 3-deep queue as one batch, so every Batched and Executed
+    // span lands at exactly 10 ms with batch size 3.
+    vclock.set_ns(10 * MS);
+    router.resume("m").unwrap();
+    for t in tickets {
+        t.wait();
+    }
+    let spans = router.trace_log().spans();
+    assert_eq!(spans.len(), 18, "three spans per request");
+    let log = router.trace_log();
+    assert_eq!(log.minted(), 6);
+    assert_eq!(log.recorded(), 18);
+    assert_eq!(log.dropped(), 0);
+
+    let traces = by_trace(&spans);
+    assert_eq!(
+        traces.keys().copied().collect::<Vec<_>>(),
+        ids,
+        "every admitted id — and nothing else — completed"
+    );
+    let mut per_replica: BTreeMap<u64, usize> = BTreeMap::new();
+    for (id, spans) in &traces {
+        let kinds: Vec<SpanKind> = spans.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SpanKind::Queued, SpanKind::Batched, SpanKind::Executed],
+            "{id}: full lifecycle, each stage exactly once"
+        );
+        assert!(
+            spans.iter().all(|s| s.replica == spans[0].replica),
+            "{id}: never left its replica"
+        );
+        assert_eq!(spans[1].at_ns, 10 * MS, "{id}: batched at the frozen clock");
+        assert_eq!(spans[2].at_ns, 10 * MS, "{id}: executed at the frozen clock");
+        assert_eq!(spans[1].batch, 3, "{id}: the replica drained its queue as one batch");
+        assert_eq!(spans[2].batch, 3);
+        *per_replica.entry(spans[0].replica).or_default() += 1;
+    }
+    assert_eq!(
+        per_replica.values().copied().collect::<Vec<_>>(),
+        vec![3, 3],
+        "least-loaded routing split the burst evenly across the two replicas"
+    );
+}
+
+#[test]
+fn scale_down_reroutes_record_a_second_queued_span_and_conserve_ids() {
+    let vclock = VirtualClock::shared();
+    let router = Router::with_clock(Arc::clone(&vclock) as Arc<dyn Clock>);
+    router.enable_tracing();
+    router.register("m", tiny_plan(2), ModelConfig::with_replicas(2)).unwrap();
+    router.pause("m").unwrap();
+
+    let mut tickets = Vec::new();
+    for s in 0..4 {
+        vclock.advance(Duration::from_millis(1));
+        tickets.push(router.submit("m", &sample(s)).unwrap());
+    }
+    let admitted: BTreeSet<TraceId> = tickets.iter().map(|t| t.trace_id().unwrap()).collect();
+    assert_eq!(admitted.len(), 4);
+
+    // Tear one replica down at t = 20 ms: its two pending requests are
+    // rerouted into the survivor, each recording a second Queued span
+    // stamped with the reroute time and the surviving replica's id.
+    vclock.set_ns(20 * MS);
+    assert_eq!(router.scale_down("m").unwrap(), 1);
+    let spans = router.trace_log().spans();
+    let rerouted: Vec<&SpanRecord> =
+        spans.iter().filter(|s| s.kind == SpanKind::Queued && s.at_ns == 20 * MS).collect();
+    assert_eq!(rerouted.len(), 2, "the victim's two pending requests re-queued");
+
+    vclock.set_ns(30 * MS);
+    router.resume("m").unwrap();
+    for t in tickets {
+        t.wait();
+    }
+
+    let spans = router.trace_log().spans();
+    let traces = by_trace(&spans);
+    assert_eq!(traces.keys().copied().collect::<BTreeSet<_>>(), admitted, "no id lost or minted");
+    let mut twice_queued = 0;
+    for (id, spans) in &traces {
+        let queued = spans.iter().filter(|s| s.kind == SpanKind::Queued).count();
+        let executed = spans.iter().filter(|s| s.kind == SpanKind::Executed).count();
+        assert!(queued == 1 || queued == 2, "{id}: queued once, or twice after a reroute");
+        assert_eq!(executed, 1, "{id}: rerouted or not, executed exactly once");
+        let exec = spans.iter().find(|s| s.kind == SpanKind::Executed).unwrap();
+        assert_eq!(exec.at_ns, 30 * MS, "{id}: executed at the frozen clock");
+        assert_eq!(exec.batch, 4, "the survivor drained all four as one batch");
+        if queued == 2 {
+            twice_queued += 1;
+        }
+    }
+    assert_eq!(twice_queued, 2, "exactly the victim's backlog was rerouted");
+}

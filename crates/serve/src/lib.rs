@@ -98,7 +98,8 @@ mod stats;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use error::ServeError;
-pub use stats::{Ewma, ServeStats, DEFAULT_EWMA_ALPHA_PCT, LATENCY_BUCKETS};
+pub use scissor_obs::{SpanKind, SpanRecord, TraceId, TraceLog};
+pub use stats::{bucket_upper_ns, Ewma, ServeStats, DEFAULT_EWMA_ALPHA_PCT, LATENCY_BUCKETS};
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -149,12 +150,42 @@ impl Default for ServeConfig {
     }
 }
 
+/// This replica's connection to a shared [`TraceLog`]: the log plus the
+/// replica id spans are stamped with. Built by the owner (the router
+/// assigns router-wide unique ids) and passed to
+/// [`Replica::start_traced`]; a replica without one records no spans.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    log: Arc<TraceLog>,
+    replica: u64,
+}
+
+impl TraceSink {
+    /// A sink stamping spans with `replica`.
+    pub fn new(log: Arc<TraceLog>, replica: u64) -> Self {
+        Self { log, replica }
+    }
+
+    /// The replica id spans are stamped with.
+    pub fn replica_id(&self) -> u64 {
+        self.replica
+    }
+
+    /// The shared span log.
+    pub fn log(&self) -> &Arc<TraceLog> {
+        &self.log
+    }
+}
+
 /// A single queued inference request.
 struct Request {
     features: Vec<f32>,
     /// Clock timestamp at admission ([`Clock::now_ns`]).
     enqueued_ns: u64,
     slot: Arc<Slot>,
+    /// Trace identity, when the replica traces and tracing was enabled at
+    /// admission. Travels with the request through `dismantle`/`inject`.
+    trace: Option<TraceId>,
 }
 
 /// An admitted-but-not-yet-served request extracted from a replica by
@@ -219,15 +250,25 @@ struct Slot {
 /// replica. Dropping a ticket abandons the result (the batch still runs).
 pub struct Ticket {
     slot: Arc<Slot>,
+    trace: Option<TraceId>,
 }
 
 impl std::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ticket").field("ready", &self.is_ready()).finish()
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .field("trace", &self.trace)
+            .finish()
     }
 }
 
 impl Ticket {
+    /// The request's trace identity, when the serving replica traces and
+    /// tracing was enabled at admission.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.trace
+    }
+
     /// Blocks until the logits arrive and returns them.
     ///
     /// # Panics
@@ -282,6 +323,12 @@ struct Shared {
     available: Condvar,
     stats: StatsInner,
     clock: Arc<dyn Clock>,
+    /// Span sink, when the owner traces this replica. Producers check
+    /// `is_enabled` (one relaxed load) before building any span.
+    trace: Option<TraceSink>,
+    /// The plan's serving-form label, rendered once so per-span stamping
+    /// is an `Arc` clone, not a format.
+    form_label: Arc<str>,
 }
 
 /// One batching replica: a bounded request queue plus batcher threads over
@@ -323,9 +370,37 @@ impl Replica {
         cfg: ServeConfig,
         clock: Arc<dyn Clock>,
     ) -> Self {
+        Self::start_inner(net, cfg, clock, None)
+    }
+
+    /// [`Replica::start_with_clock`] plus a [`TraceSink`]: every request
+    /// admitted while the sink's log is enabled gets a [`TraceId`] and
+    /// queued/batched/executed [`SpanRecord`]s stamped with the sink's
+    /// replica id. With the log disabled the only cost is one relaxed
+    /// load per submission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.max_batch`, `cfg.workers` or `cfg.queue_cap` is zero.
+    pub fn start_traced(
+        net: Arc<CompiledNet>,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+        sink: TraceSink,
+    ) -> Self {
+        Self::start_inner(net, cfg, clock, Some(sink))
+    }
+
+    fn start_inner(
+        net: Arc<CompiledNet>,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+        trace: Option<TraceSink>,
+    ) -> Self {
         assert!(cfg.max_batch > 0, "max_batch must be positive");
         assert!(cfg.workers > 0, "workers must be positive");
         assert!(cfg.queue_cap > 0, "queue_cap must be positive");
+        let form_label: Arc<str> = Arc::from(net.serving_form().to_string().as_str());
         let shared = Arc::new(Shared {
             net,
             cfg,
@@ -337,6 +412,8 @@ impl Replica {
             available: Condvar::new(),
             stats: StatsInner::with_alpha(cfg.ewma_alpha_pct),
             clock,
+            trace,
+            form_label,
         });
         let handles = (0..cfg.workers)
             .map(|i| {
@@ -405,6 +482,7 @@ impl Replica {
             });
         }
         let slot = Arc::new(Slot { done: Mutex::new(SlotState::Pending), cv: Condvar::new() });
+        let trace;
         {
             let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
             if queue.shutdown {
@@ -416,15 +494,36 @@ impl Replica {
                 self.shared.stats.record_shed();
                 return Err(ServeError::Overloaded { depth, cap: self.shared.cfg.queue_cap });
             }
+            let enqueued_ns = self.shared.clock.now_ns();
+            // Mint the id and record the Queued span under the queue lock:
+            // span order then matches admission order exactly, which the
+            // VirtualClock determinism suite asserts. The trace mutex is a
+            // leaf (never taken while holding it), so no lock-order risk.
+            trace = match &self.shared.trace {
+                Some(sink) if sink.log.is_enabled() => {
+                    let id = sink.log.mint();
+                    sink.log.record(SpanRecord {
+                        trace: id,
+                        kind: SpanKind::Queued,
+                        at_ns: enqueued_ns,
+                        replica: sink.replica,
+                        batch: 0,
+                        form: Arc::clone(&self.shared.form_label),
+                    });
+                    Some(id)
+                }
+                _ => None,
+            };
             queue.pending.push_back(Request {
                 features: features.to_vec(),
-                enqueued_ns: self.shared.clock.now_ns(),
+                enqueued_ns,
                 slot: Arc::clone(&slot),
+                trace,
             });
             self.shared.stats.set_queue_depth(queue.pending.len() as u64);
         }
         self.shared.available.notify_all();
-        Ok(Ticket { slot })
+        Ok(Ticket { slot, trace })
     }
 
     /// Re-admits a request extracted from a dismantled sibling replica
@@ -441,6 +540,21 @@ impl Replica {
             let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
             if queue.shutdown {
                 return Err(req);
+            }
+            // A rerouted traced request gets a second Queued span on its
+            // new replica, timestamped at reroute time (the original
+            // admission span keeps the original timestamp).
+            if let (Some(id), Some(sink)) = (req.inner.trace, &self.shared.trace) {
+                if sink.log.is_enabled() {
+                    sink.log.record(SpanRecord {
+                        trace: id,
+                        kind: SpanKind::Queued,
+                        at_ns: self.shared.clock.now_ns(),
+                        replica: sink.replica,
+                        batch: 0,
+                        form: Arc::clone(&self.shared.form_label),
+                    });
+                }
             }
             queue.pending.push_back(req.inner);
             self.shared.stats.set_queue_depth(queue.pending.len() as u64);
@@ -722,6 +836,34 @@ fn run_batch(
         shared.stats.record_request(now_ns.saturating_sub(req.enqueued_ns));
     }
     shared.stats.record_batch(take as u64, take == shared.cfg.max_batch, infer_ns);
+
+    // Span recording follows the same rule as the counters above: all
+    // spans land before any ticket holder wakes, so a caller that reads
+    // the trace log right after `wait` returns sees its own request's
+    // full lifecycle.
+    if let Some(sink) = &shared.trace {
+        if sink.log.is_enabled() {
+            for req in batch {
+                let Some(id) = req.trace else { continue };
+                sink.log.record(SpanRecord {
+                    trace: id,
+                    kind: SpanKind::Batched,
+                    at_ns: infer_start_ns,
+                    replica: sink.replica,
+                    batch: take,
+                    form: Arc::clone(&shared.form_label),
+                });
+                sink.log.record(SpanRecord {
+                    trace: id,
+                    kind: SpanKind::Executed,
+                    at_ns: now_ns,
+                    replica: sink.replica,
+                    batch: take,
+                    form: Arc::clone(&shared.form_label),
+                });
+            }
+        }
+    }
 
     for (i, req) in batch.iter().enumerate() {
         // Fill under the slot lock and notify before releasing it, so the

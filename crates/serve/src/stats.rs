@@ -17,12 +17,18 @@ fn latency_bucket(ns: u64) -> usize {
     ((u64::BITS - ns.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
 }
 
-/// Upper bound (exclusive, in nanoseconds) of histogram bucket `i`.
-fn bucket_upper_ns(i: usize) -> u64 {
-    if i == 0 {
-        0
+/// Upper bound (exclusive, in nanoseconds) of latency-histogram bucket
+/// `i`, or `None` for the top bucket — it absorbs everything from
+/// `2^(LATENCY_BUCKETS-2)` ns up, so it has no true upper bound and
+/// reporting `2^39` for it would silently understate slow tails.
+/// Bucket 0 counts exact zero-latency requests (bound 1 ns).
+pub fn bucket_upper_ns(i: usize) -> Option<u64> {
+    if i >= LATENCY_BUCKETS - 1 {
+        None
+    } else if i == 0 {
+        Some(1)
     } else {
-        1u64 << i
+        Some(1u64 << i)
     }
 }
 
@@ -266,7 +272,11 @@ impl ServeStats {
     /// The latency quantile `q ∈ [0, 1]` read off the fixed-bucket
     /// histogram, reported as the containing bucket's upper bound (clamped
     /// to [`ServeStats::max_latency`], which also bounds every quantile) —
-    /// with log₂ buckets the true quantile is at most 2× smaller. Returns
+    /// with log₂ buckets the true quantile is at most 2× smaller. A
+    /// quantile landing in the unbounded top bucket reports
+    /// `max_latency` itself — the bucket has no true upper bound
+    /// ([`bucket_upper_ns`] returns `None`), and reporting its lower
+    /// bound's neighbor `2^39 ns` would understate a slow tail. Returns
     /// `Duration::ZERO` when no request has been recorded.
     pub fn latency_percentile(&self, q: f64) -> Duration {
         let total: u64 = self.latency_hist.iter().sum();
@@ -278,7 +288,10 @@ impl ServeStats {
         for (i, &count) in self.latency_hist.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return Duration::from_nanos(bucket_upper_ns(i)).min(self.max_latency);
+                return match bucket_upper_ns(i) {
+                    Some(upper) => Duration::from_nanos(upper).min(self.max_latency),
+                    None => self.max_latency,
+                };
             }
         }
         self.max_latency
@@ -297,6 +310,13 @@ impl ServeStats {
     /// 99th-percentile submit→delivery latency.
     pub fn p99_latency(&self) -> Duration {
         self.latency_percentile(0.99)
+    }
+
+    /// 99.9th-percentile submit→delivery latency — the tail the
+    /// observability snapshot reports (at ≥1000 requests it resolves
+    /// beyond p99; below that it reads as the max-ish tail).
+    pub fn p999_latency(&self) -> Duration {
+        self.latency_percentile(0.999)
     }
 
     /// Batches flushed by the `max_wait` timer (or the shutdown drain)
@@ -412,8 +432,11 @@ mod tests {
         assert_eq!(latency_bucket(1 << 38), LATENCY_BUCKETS - 1);
         // Past the top bucket everything clamps.
         assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
-        assert_eq!(bucket_upper_ns(0), 0);
-        assert_eq!(bucket_upper_ns(3), 8);
+        assert_eq!(bucket_upper_ns(0), Some(1));
+        assert_eq!(bucket_upper_ns(3), Some(8));
+        // The top bucket is unbounded: it has no honest upper bound.
+        assert_eq!(bucket_upper_ns(LATENCY_BUCKETS - 1), None);
+        assert_eq!(bucket_upper_ns(LATENCY_BUCKETS - 2), Some(1u64 << (LATENCY_BUCKETS - 2)));
     }
 
     #[test]
@@ -440,6 +463,42 @@ mod tests {
         assert_eq!(s.latency_percentile(1.0), Duration::from_nanos(1_000_000_000));
         assert!(s.p50_latency() <= s.p95_latency());
         assert!(s.p95_latency() <= s.p99_latency());
+        assert!(s.p99_latency() <= s.p999_latency());
+    }
+
+    #[test]
+    fn p999_resolves_a_one_in_a_thousand_tail() {
+        let inner = StatsInner::default();
+        // 900 fast requests and exactly one slow one (rank ceil(0.999·901)
+        // = 901): p99 stays in the fast bucket, p99.9 must reach the slow
+        // one.
+        for _ in 0..900 {
+            inner.record_request(1_000);
+        }
+        inner.record_request(1_000_000);
+        let s = inner.snapshot();
+        assert_eq!(s.p99_latency(), Duration::from_nanos(1024));
+        // Bucket upper 2^20 ns clamps to the observed max (1 ms).
+        assert_eq!(s.p999_latency(), Duration::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn top_bucket_quantiles_report_max_not_a_fabricated_bound() {
+        let inner = StatsInner::default();
+        // A ~17.5 min latency lands in the unbounded top bucket, well past
+        // its lower bound of 2^38 ns. The old rendering clamped the
+        // quantile to bucket "upper" 2^39 ≈ 9.2 min; the true bound is the
+        // observed max.
+        let slow_ns = 1_050_000_000_000u64; // > 2^39
+        assert_eq!(latency_bucket(slow_ns), LATENCY_BUCKETS - 1);
+        for _ in 0..9 {
+            inner.record_request(1_000);
+        }
+        inner.record_request(slow_ns);
+        let s = inner.snapshot();
+        assert_eq!(s.latency_percentile(1.0), Duration::from_nanos(slow_ns));
+        assert_eq!(s.p999_latency(), Duration::from_nanos(slow_ns));
+        assert!(s.latency_percentile(1.0) > Duration::from_nanos(1u64 << 39));
     }
 
     #[test]

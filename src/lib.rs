@@ -19,6 +19,7 @@
 //! | [`pipeline`] | model zoo + end-to-end orchestration |
 //! | [`serve`] | micro-batching inference replicas over compiled plans |
 //! | [`router`] | sharded multi-model, multi-replica serving router |
+//! | [`obs`] | metrics registry, request tracing, per-step profiling |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +30,7 @@ pub use scissor_linalg as linalg;
 pub use scissor_lra as lra;
 pub use scissor_ncs as ncs;
 pub use scissor_nn as nn;
+pub use scissor_obs as obs;
 pub use scissor_prune as prune;
 pub use scissor_router as router;
 pub use scissor_serve as serve;

@@ -34,7 +34,7 @@
 
 pub mod pool;
 
-pub use pool::{current_num_threads, join, pool_stats, scope, PoolStats, Scope};
+pub use pool::{current_num_threads, join, pool_stats, pool_stats_delta, scope, PoolStats, Scope};
 
 /// Parallel slice extensions ([`slice::ParallelSliceMut`]).
 pub mod slice {

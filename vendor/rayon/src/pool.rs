@@ -146,6 +146,29 @@ pub struct PoolStats {
     pub injector_pops: u64,
 }
 
+impl PoolStats {
+    /// The counter increments between `baseline` (an earlier
+    /// [`pool_stats`] reading) and `self` (a later one), field-wise.
+    /// Saturating, so a mismatched baseline — e.g. one captured from a
+    /// different process run and deserialized — degrades to zeros instead
+    /// of wrapping to astronomical values.
+    pub fn delta_since(&self, baseline: &PoolStats) -> PoolStats {
+        PoolStats {
+            local_pushes: self.local_pushes.saturating_sub(baseline.local_pushes),
+            injected: self.injected.saturating_sub(baseline.injected),
+            local_pops: self.local_pops.saturating_sub(baseline.local_pops),
+            steals: self.steals.saturating_sub(baseline.steals),
+            injector_pops: self.injector_pops.saturating_sub(baseline.injector_pops),
+        }
+    }
+
+    /// Total jobs entering the pool (local pushes + injected) — the
+    /// denominator for steal-ratio style diagnostics.
+    pub fn total_pushes(&self) -> u64 {
+        self.local_pushes + self.injected
+    }
+}
+
 /// Snapshot of the pool's monotonic work-distribution counters.
 ///
 /// A diagnostic extension over upstream rayon's API, used by the stealing
@@ -171,6 +194,28 @@ pub fn pool_stats() -> PoolStats {
         steals: c.steals.load(Ordering::Relaxed),
         injector_pops: c.injector_pops.load(Ordering::Relaxed),
     }
+}
+
+/// Reads the current counters, returns the increments since `*baseline`,
+/// and advances `*baseline` to the current reading — so repeated calls
+/// with the same baseline variable yield consecutive per-interval deltas
+/// without manual subtraction. The pool's counters themselves are never
+/// reset (they are process-global and shared by every reader).
+///
+/// # Examples
+///
+/// ```
+/// let mut baseline = rayon::pool_stats();
+/// rayon::join(|| 1, || 2);
+/// let interval = rayon::pool_stats_delta(&mut baseline);
+/// assert!(interval.total_pushes() > 0);
+/// // `baseline` now holds the current reading for the next interval.
+/// ```
+pub fn pool_stats_delta(baseline: &mut PoolStats) -> PoolStats {
+    let now = pool_stats();
+    let delta = now.delta_since(baseline);
+    *baseline = now;
+    delta
 }
 
 /// Relaxed atomic counters behind [`pool_stats`].

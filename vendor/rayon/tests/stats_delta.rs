@@ -1,0 +1,49 @@
+//! `PoolStats` interval-delta helpers: pure subtraction math plus the
+//! snapshot-advancing `pool_stats_delta` against the live global pool.
+
+use rayon::{pool_stats, pool_stats_delta, PoolStats};
+
+#[test]
+fn delta_since_subtracts_field_wise() {
+    let earlier =
+        PoolStats { local_pushes: 10, injected: 20, local_pops: 8, steals: 3, injector_pops: 19 };
+    let later =
+        PoolStats { local_pushes: 25, injected: 21, local_pops: 30, steals: 3, injector_pops: 40 };
+    let d = later.delta_since(&earlier);
+    assert_eq!(
+        d,
+        PoolStats { local_pushes: 15, injected: 1, local_pops: 22, steals: 0, injector_pops: 21 }
+    );
+    assert_eq!(d.total_pushes(), 16);
+    // Identity: a snapshot minus itself is all zeros.
+    assert_eq!(later.delta_since(&later), PoolStats::default());
+}
+
+#[test]
+fn delta_since_saturates_on_a_mismatched_baseline() {
+    let earlier = PoolStats { local_pushes: 100, ..PoolStats::default() };
+    let later = PoolStats { local_pushes: 40, injected: 5, ..PoolStats::default() };
+    let d = later.delta_since(&earlier);
+    assert_eq!(d.local_pushes, 0, "saturates instead of wrapping");
+    assert_eq!(d.injected, 5);
+}
+
+#[test]
+fn pool_stats_delta_advances_the_baseline() {
+    // The global pool is shared by every test in the process, so other
+    // threads may add counts concurrently — assert lower bounds only,
+    // plus the baseline-advancing contract.
+    let mut baseline = pool_stats();
+    rayon::join(|| std::hint::black_box(1), || std::hint::black_box(2));
+    let first = pool_stats_delta(&mut baseline);
+    assert!(first.total_pushes() > 0, "the join's jobs are visible in the interval");
+    // The baseline advanced: it now equals a reading at least as new as
+    // the one `first` was computed against.
+    let now = pool_stats();
+    assert!(now.local_pushes >= baseline.local_pushes);
+    assert!(now.injected >= baseline.injected);
+    // A second interval only contains work after the first call.
+    rayon::join(|| std::hint::black_box(3), || std::hint::black_box(4));
+    let second = pool_stats_delta(&mut baseline);
+    assert!(second.total_pushes() > 0);
+}

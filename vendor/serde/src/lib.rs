@@ -107,6 +107,12 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// Conversion from the [`Value`] data model.
 pub trait Deserialize: Sized {
     /// Reconstructs `Self` from a [`Value`] tree.
