@@ -711,6 +711,9 @@ impl CompiledNet {
     /// configured/planned tile — either way clamped to the batch. A
     /// result equal to `batch` means the pass runs untiled.
     pub fn plan_tile(&self, batch: usize) -> usize {
+        // ordering: Relaxed — the override is a plain usize hint with no
+        // attached payload; any forward may use the old or new tile, both
+        // of which are correct (tiling never changes results).
         let t = match self.tile_override.load(Ordering::Relaxed) {
             0 => self.planned_tile,
             t => t,
@@ -719,6 +722,7 @@ impl CompiledNet {
     }
 
     /// The measured tile override currently installed, if any.
+    // ordering: Relaxed — see `plan_tile`: a self-contained hint value.
     pub fn tile_override(&self) -> Option<usize> {
         match self.tile_override.load(Ordering::Relaxed) {
             0 => None,
@@ -728,6 +732,7 @@ impl CompiledNet {
 
     /// Removes the measured tile override; forwards fall back to the
     /// planned tile from the active [`TileConfig`].
+    // ordering: Relaxed — see `plan_tile`: a self-contained hint value.
     pub fn clear_tile_override(&self) {
         self.tile_override.store(0, Ordering::Relaxed);
     }
@@ -772,6 +777,9 @@ impl CompiledNet {
 
         let mut timings = Vec::with_capacity(candidates.len());
         for &tile in &candidates {
+            // ordering: Relaxed — see `plan_tile`: the calibration loop
+            // reads its own store program-order; concurrent forwards may
+            // run with either tile, all of which compute identical results.
             self.tile_override.store(tile, Ordering::Relaxed);
             self.infer_into(&input, &mut scratch); // warm-up, untimed
             let mut best = u64::MAX;
@@ -790,6 +798,7 @@ impl CompiledNet {
             .max_by_key(|t| (std::cmp::Reverse(t.best_ns), t.tile))
             .map(|t| t.tile)
             .unwrap_or(planned);
+        // ordering: Relaxed — see `plan_tile`: a self-contained hint value.
         self.tile_override.store(chosen, Ordering::Relaxed);
         TileCalibration { batch, timings, chosen }
     }
@@ -948,6 +957,10 @@ impl CompiledNet {
     /// enabled warm path stays allocation-free.
     pub fn enable_profiling(&self) -> Arc<Profiler> {
         let profiler = self.profiler.get_or_init(|| Arc::new(Profiler::new(self.step_specs())));
+        // ordering: Relaxed — the flag is advisory; the profiler itself
+        // is published by the OnceLock's own Acquire/Release pair, and a
+        // forward that sees the flag early but not the profiler yet just
+        // takes the unprofiled path (see `run_steps`).
         self.profile_on.store(true, Ordering::Relaxed);
         Arc::clone(profiler)
     }
@@ -955,11 +968,15 @@ impl CompiledNet {
     /// Turns per-step profiling off. Accumulated aggregates stay readable
     /// through [`CompiledNet::profiler`]; the hot path reverts to one
     /// relaxed load per sub-batch.
+    // ordering: Relaxed — advisory flag; a forward missing the toggle
+    // for a few loads records a few extra/fewer steps, which profiling
+    // semantics allow.
     pub fn disable_profiling(&self) {
         self.profile_on.store(false, Ordering::Relaxed);
     }
 
     /// Whether forwards currently record per-step profiles.
+    // ordering: Relaxed — see `disable_profiling`; advisory flag.
     pub fn profiling_enabled(&self) -> bool {
         self.profile_on.load(Ordering::Relaxed)
     }
@@ -994,6 +1011,9 @@ impl CompiledNet {
         // The disabled-path profiling cost is exactly this one relaxed
         // load: the timed variant is a separate loop, not per-step
         // branches inside the hot one.
+        // ordering: Relaxed — advisory flag; the profiler handle is
+        // published by the OnceLock's Acquire on `get`, so a stale read
+        // here only mis-routes between the two (identical-result) loops.
         if self.profile_on.load(Ordering::Relaxed) {
             if let Some(profiler) = self.profiler.get() {
                 return self.run_steps_profiled(src, b, scratch, profiler);

@@ -104,6 +104,9 @@ pub fn argmax_rows(logits: &Matrix) -> Vec<usize> {
 
 /// [`argmax_rows`] appending into a caller-owned vector — allocation-free
 /// when `out` has spare capacity for `logits.rows()` more entries.
+// lint: allow(no-alloc-hot-path): the push appends into caller-reserved
+// capacity (serving scratch pre-reserves max_batch entries); the append
+// API is the contract here, and a grow only happens on caller misuse.
 pub fn argmax_rows_into(logits: &Matrix, out: &mut Vec<usize>) {
     for i in 0..logits.rows() {
         out.push(argmax_slice(logits.row(i)));

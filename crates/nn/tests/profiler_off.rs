@@ -28,9 +28,14 @@ static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 /// window.
 static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+// ordering: Relaxed — audit downgrade from SeqCst: the measured paths run
+// on the thread that reads the before/after counts (SERIAL serializes the
+// tests and the shapes stay below the parallel dispatch threshold), so
+// program order alone makes the deltas exact; no cross-thread edge — let
+// alone a total order — is needed.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
@@ -39,7 +44,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -69,6 +74,7 @@ fn input(batch: usize) -> Tensor4 {
     )
 }
 
+// ordering: Relaxed — same-thread counter delta; see `CountingAlloc`.
 #[test]
 fn warm_forward_with_profiling_never_enabled_allocates_nothing() {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
@@ -77,14 +83,15 @@ fn warm_forward_with_profiling_never_enabled_allocates_nothing() {
     assert!(plan.profiler().is_none(), "no profiler is even built until enabled");
     let x = input(4);
     let mut scratch = plan.warm_scratch(4);
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..8 {
         let _ = plan.infer_into(&x, &mut scratch);
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "profiling-off warm forwards must not allocate");
 }
 
+// ordering: Relaxed — same-thread counter delta; see `CountingAlloc`.
 #[test]
 fn warm_forward_after_enable_then_disable_allocates_nothing() {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
@@ -95,11 +102,11 @@ fn warm_forward_after_enable_then_disable_allocates_nothing() {
     let x = input(4);
     let mut scratch = plan.warm_scratch(4);
     let forwards_before = profiler.snapshot().forwards;
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..8 {
         let _ = plan.infer_into(&x, &mut scratch);
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "disabled-after-enable warm forwards must not allocate");
     assert_eq!(
         profiler.snapshot().forwards,
@@ -108,6 +115,7 @@ fn warm_forward_after_enable_then_disable_allocates_nothing() {
     );
 }
 
+// ordering: Relaxed — same-thread counter delta; see `CountingAlloc`.
 #[test]
 fn warm_forward_with_profiling_enabled_allocates_nothing() {
     // The *enabled* path's claim: recording is relaxed atomics into
@@ -118,15 +126,16 @@ fn warm_forward_with_profiling_enabled_allocates_nothing() {
     let x = input(4);
     let mut scratch = plan.warm_scratch(4);
     let _ = plan.infer_into(&x, &mut scratch);
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..8 {
         let _ = plan.infer_into(&x, &mut scratch);
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "profiling-on warm forwards must not allocate");
     assert!(profiler.snapshot().forwards >= 8);
 }
 
+// ordering: Relaxed — same-thread counter delta; see `CountingAlloc`.
 #[test]
 fn profiler_counts_match_the_plan() {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
@@ -162,6 +171,7 @@ fn profiler_counts_match_the_plan() {
     assert_eq!(profiler.snapshot().forwards, 0);
 }
 
+// ordering: Relaxed — same-thread counter delta; see `CountingAlloc`.
 #[test]
 fn disabled_profiling_adds_no_measurable_per_step_cost() {
     // Timing guard for the one-relaxed-load claim. Min-over-rounds is the

@@ -64,6 +64,9 @@ impl Profiler {
     /// Records one forward pass over `tile` samples (the tile decision
     /// actually taken, which may be smaller than the configured tile for
     /// a short batch).
+    // ordering: Relaxed — independent stat counters; no reader derives a
+    // cross-field invariant, and the snapshot path tolerates tearing
+    // between forwards/samples/last_tile by design.
     pub fn record_forward(&self, tile: usize) {
         self.forwards.fetch_add(1, Ordering::Relaxed);
         self.samples.fetch_add(tile as u64, Ordering::Relaxed);
@@ -72,6 +75,9 @@ impl Profiler {
 
     /// Folds one step execution in. `idx` must be a valid step index;
     /// out-of-range records are ignored rather than panicking mid-inference.
+    // ordering: Relaxed — per-slot stat accumulators (calls/total/max);
+    // each is monotone and independently meaningful, so no
+    // happens-before edge between them is required.
     pub fn record_step(&self, idx: usize, elapsed_ns: u64) {
         let Some(slot) = self.slots.get(idx) else { return };
         slot.calls.fetch_add(1, Ordering::Relaxed);
@@ -80,6 +86,9 @@ impl Profiler {
     }
 
     /// Zeroes every accumulator (step specs are static and kept).
+    // ordering: Relaxed — zeroing stat counters; a concurrent recorder
+    // may interleave with the reset (some of its increments survive,
+    // some are wiped), which is acceptable for profiling data.
     pub fn reset(&self) {
         for slot in &self.slots {
             slot.calls.store(0, Ordering::Relaxed);
@@ -92,6 +101,9 @@ impl Profiler {
     }
 
     /// An immutable copy of the current aggregates.
+    // ordering: Relaxed — a statistical snapshot: loads may tear across
+    // fields (a forward counted whose samples are not yet added), which
+    // the consumers (reports, autoscaler hints) tolerate.
     pub fn snapshot(&self) -> ProfileSnapshot {
         let steps = self
             .specs

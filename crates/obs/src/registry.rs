@@ -38,11 +38,14 @@ impl Counter {
     }
 
     /// Adds `n`.
+    // ordering: Relaxed — a monotone event counter; scrapes only need an
+    // eventually-consistent total, never a happens-before edge.
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
+    // ordering: Relaxed — see `add`; a scrape may lag in-flight bumps.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -60,11 +63,14 @@ impl Gauge {
     }
 
     /// Sets the value.
+    // ordering: Relaxed — last-write-wins instantaneous value; the gauge
+    // carries no payload another location must observe first.
     pub fn set(&self, v: u64) {
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
+    // ordering: Relaxed — see `set`; readers accept any recent value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -132,6 +138,9 @@ impl Histogram {
     }
 
     /// Folds one observation in.
+    // ordering: Relaxed — bucket/count/sum/max are independent stat
+    // accumulators; a scrape may see the bucket bump before the count
+    // bump (off-by-one across fields), which histogram consumers accept.
     pub fn record(&self, v: u64) {
         let inner = &*self.0;
         inner.buckets[hist_bucket(v)].fetch_add(1, Ordering::Relaxed);
@@ -141,6 +150,8 @@ impl Histogram {
     }
 
     /// An immutable copy of the current distribution.
+    // ordering: Relaxed — statistical snapshot; tearing between fields
+    // is tolerated (see `record`).
     pub fn value(&self) -> HistogramValue {
         let inner = &*self.0;
         HistogramValue {

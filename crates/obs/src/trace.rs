@@ -117,17 +117,23 @@ impl TraceLog {
     }
 
     /// Starts recording spans.
+    // ordering: Relaxed — the enabled flag is advisory: a producer that
+    // misses the toggle for a few loads records (or skips) a handful of
+    // spans, which the sampling semantics allow. Span data itself is
+    // published under the `spans` mutex, not through this flag.
     pub fn enable(&self) {
         self.enabled.store(true, Ordering::Relaxed);
     }
 
     /// Stops recording spans (already-retained spans stay readable).
+    // ordering: Relaxed — see `enable`; the flag is advisory.
     pub fn disable(&self) {
         self.enabled.store(false, Ordering::Relaxed);
     }
 
     /// Whether spans are currently recorded — the one-relaxed-load guard
     /// producers use to skip span construction entirely.
+    // ordering: Relaxed — see `enable`; the flag is advisory.
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
     }
@@ -136,10 +142,14 @@ impl TraceLog {
     /// disabled so a request admitted just before `enable()` still has a
     /// stable identity.
     pub fn mint(&self) -> TraceId {
+        // ordering: Relaxed — uniqueness comes from the atomic RMW
+        // itself; no other memory is published with the id.
         TraceId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
     /// Appends a span if enabled; evicts the oldest span when full.
+    // ordering: Relaxed — recorded/dropped are stat counters; the span
+    // payload is synchronized by the `spans` mutex held here.
     pub fn record(&self, span: SpanRecord) {
         if !self.is_enabled() {
             return;
@@ -164,16 +174,19 @@ impl TraceLog {
     }
 
     /// Total ids handed out by [`TraceLog::mint`].
+    // ordering: Relaxed — stat counter read; may lag in-flight mints.
     pub fn minted(&self) -> u64 {
         self.next_id.load(Ordering::Relaxed)
     }
 
     /// Total spans accepted (including ones since evicted).
+    // ordering: Relaxed — stat counter read; may lag in-flight records.
     pub fn recorded(&self) -> u64 {
         self.recorded.load(Ordering::Relaxed)
     }
 
     /// Spans evicted because the ring was full.
+    // ordering: Relaxed — stat counter read; may lag in-flight evictions.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }

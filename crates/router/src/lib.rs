@@ -297,6 +297,9 @@ impl ModelEntry {
             })
             .collect();
         let total = snaps.iter().map(|s| s.depth).sum();
+        // ordering: Relaxed — round-robin origin; any interleaving of the
+        // RMW across submitters still spreads starts, and no other data
+        // rides on it.
         let start = self.rr.fetch_add(1, Ordering::Relaxed);
         let best = select_replica(self.policy, start, &snaps)
             .expect("a registered model has at least one replica");
@@ -304,6 +307,9 @@ impl ModelEntry {
     }
 
     fn high_water(&self) -> usize {
+        // ordering: Relaxed — admission threshold read as a plain value;
+        // a submitter racing a threshold change may use either bound,
+        // both of which were valid moments apart.
         self.high_water.load(Ordering::Relaxed)
     }
 
@@ -314,6 +320,8 @@ impl ModelEntry {
         }
         ModelStats {
             serve,
+            // ordering: Relaxed — stat counter snapshot; may lag
+            // in-flight sheds.
             shed: self.shed.load(Ordering::Relaxed),
             replicas: self.replicas.len(),
             queue_high_water: self.high_water(),
@@ -424,6 +432,8 @@ impl Router {
     /// router-unique replica id. The single spawn path for registration
     /// and scale-up, so every replica is guaranteed a [`TraceSink`].
     fn spawn_replica(&self, plan: Arc<CompiledNet>, cfg: ServeConfig) -> Replica {
+        // ordering: Relaxed — id uniqueness comes from the RMW itself;
+        // the replica is published via the registry's RwLock, not here.
         let id = self.next_replica_id.fetch_add(1, Ordering::Relaxed);
         Replica::start_traced(plan, cfg, self.clock(), TraceSink::new(self.trace_log(), id))
     }
@@ -542,6 +552,8 @@ impl Router {
         let (best, depth) = entry.route();
         let high_water = entry.high_water();
         if depth >= high_water {
+            // ordering: Relaxed — stat counter; no reader pairs it with
+            // other memory.
             entry.shed.fetch_add(1, Ordering::Relaxed);
             return Err(RouterError::Overloaded { model: model.to_string(), depth, high_water });
         }
@@ -620,6 +632,10 @@ impl Router {
         let entry = models
             .get(model)
             .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
+        // ordering: Relaxed — the flag only preserves pause state for
+        // replicas spawned later (read under the registry write lock in
+        // `scale_up`, which orders it); replicas present now are
+        // paused/resumed directly via `f` below.
         entry.paused.store(paused, Ordering::Relaxed);
         for r in &entry.replicas {
             f(r);
@@ -648,6 +664,9 @@ impl Router {
             .get_mut(model)
             .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
         let replica = self.spawn_replica(Arc::clone(&entry.plan), entry.replica_cfg);
+        // ordering: Relaxed — read under the registry write lock, which
+        // already orders it against `for_model`'s store (the lock pair is
+        // the happens-before edge; the atomic just avoids &mut plumbing).
         if entry.paused.load(Ordering::Relaxed) {
             replica.pause();
         }
@@ -718,6 +737,8 @@ impl Router {
             .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
         let depth: usize = entry.replicas.iter().map(Replica::queue_depth).sum();
         let effective = requested.max(depth).max(1);
+        // ordering: Relaxed — see `high_water`: a plain threshold value;
+        // racing submitters may gate on either bound.
         entry.high_water.store(effective, Ordering::Relaxed);
         Ok(effective)
     }
@@ -735,6 +756,8 @@ impl Router {
         let entry = models
             .get(model)
             .ok_or_else(|| RouterError::UnknownModel { model: model.to_string() })?;
+        // ordering: Relaxed — resets the round-robin origin; see `route`,
+        // the counter is a spread heuristic with no attached data.
         entry.rr.store(0, Ordering::Relaxed);
         for r in &entry.replicas {
             r.reset_ewma();

@@ -522,6 +522,11 @@ impl Replica {
             });
             self.shared.stats.set_queue_depth(queue.pending.len() as u64);
         }
+        // lint: allow(notify-under-lock): deliberate notify-after-unlock
+        // hoist. The condvar lives in the Arc'd `Shared` (kept alive by
+        // this handle and every batcher), so it cannot be freed under the
+        // notify, and waiters re-check queue state under the lock --
+        // unlike the stack-resident Latch this rule exists for.
         self.shared.available.notify_all();
         Ok(Ticket { slot, trace })
     }
@@ -559,6 +564,11 @@ impl Replica {
             queue.pending.push_back(req.inner);
             self.shared.stats.set_queue_depth(queue.pending.len() as u64);
         }
+        // lint: allow(notify-under-lock): deliberate notify-after-unlock
+        // hoist. The condvar lives in the Arc'd `Shared` (kept alive by
+        // this handle and every batcher), so it cannot be freed under the
+        // notify, and waiters re-check queue state under the lock --
+        // unlike the stack-resident Latch this rule exists for.
         self.shared.available.notify_all();
         Ok(())
     }
@@ -584,6 +594,11 @@ impl Replica {
             let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
             queue.paused = false;
         }
+        // lint: allow(notify-under-lock): deliberate notify-after-unlock
+        // hoist. The condvar lives in the Arc'd `Shared` (kept alive by
+        // this handle and every batcher), so it cannot be freed under the
+        // notify, and waiters re-check queue state under the lock --
+        // unlike the stack-resident Latch this rule exists for.
         self.shared.available.notify_all();
     }
 
@@ -620,6 +635,11 @@ impl Replica {
             let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
             queue.shutdown = true;
         }
+        // lint: allow(notify-under-lock): deliberate notify-after-unlock
+        // hoist. The condvar lives in the Arc'd `Shared` (kept alive by
+        // this handle and every batcher), so it cannot be freed under the
+        // notify, and waiters re-check queue state under the lock --
+        // unlike the stack-resident Latch this rule exists for.
         self.shared.available.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -650,6 +670,11 @@ impl Replica {
             self.shared.stats.set_queue_depth(0);
             drained
         };
+        // lint: allow(notify-under-lock): deliberate notify-after-unlock
+        // hoist. The condvar lives in the Arc'd `Shared` (kept alive by
+        // this handle and every batcher), so it cannot be freed under the
+        // notify, and waiters re-check queue state under the lock --
+        // unlike the stack-resident Latch this rule exists for.
         self.shared.available.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();

@@ -118,6 +118,8 @@ impl StatsInner {
         }
     }
 
+    // ordering: Relaxed — independent stat accumulators; the snapshot
+    // path documents and tolerates cross-field tearing.
     pub(crate) fn record_request(&self, latency_ns: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.latency_ns_sum.fetch_add(latency_ns, Ordering::Relaxed);
@@ -125,6 +127,8 @@ impl StatsInner {
         self.latency_hist[latency_bucket(latency_ns)].fetch_add(1, Ordering::Relaxed);
     }
 
+    // ordering: Relaxed — independent stat accumulators; see `snapshot`
+    // for the tearing discussion.
     pub(crate) fn record_batch(&self, size: u64, full: bool, infer_ns: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.samples.fetch_add(size, Ordering::Relaxed);
@@ -139,6 +143,9 @@ impl StatsInner {
 
     /// Folds one per-sample service-time observation into the EWMA with a
     /// CAS loop (several batcher threads may land batches concurrently).
+    // ordering: Relaxed — the CAS loop only needs atomicity of the
+    // single u64 cell (lost-update prevention); the EWMA value is
+    // self-contained and readers take any recent estimate.
     fn record_service(&self, per_sample_ns: f64) {
         let alpha_pct = self.ewma_alpha_pct;
         let _ = self.ewma_service_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
@@ -153,6 +160,7 @@ impl StatsInner {
 
     /// Current per-sample service-time EWMA in nanoseconds (rounded);
     /// `0` until the first batch lands. Lock-free.
+    // ordering: Relaxed — self-contained estimate; see `record_service`.
     pub(crate) fn ewma_service_ns(&self) -> u64 {
         let bits = self.ewma_service_bits.load(Ordering::Relaxed);
         if bits == 0 {
@@ -165,25 +173,33 @@ impl StatsInner {
     /// Clears the service-time EWMA so the estimator re-learns from
     /// scratch (a rebalance actuation: stale estimates should not keep
     /// steering traffic after conditions changed).
+    // ordering: Relaxed — see `record_service`: the cell is
+    // self-contained; a racing CAS may legitimately land after the reset.
     pub(crate) fn reset_ewma(&self) {
         self.ewma_service_bits.store(0, Ordering::Relaxed);
     }
 
+    // ordering: Relaxed — stat counter.
     pub(crate) fn record_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Sets the queue-depth gauge; called while the queue lock is held so
     /// the gauge tracks the queue exactly at mutation points.
+    // ordering: Relaxed — writers are serialized by the queue lock; the
+    // lock-free readers (routing heuristics) accept any recent depth.
     pub(crate) fn set_queue_depth(&self, depth: u64) {
         self.queue_depth.store(depth, Ordering::Relaxed);
     }
 
     /// Current queue-depth gauge (cheap, lock-free read).
+    // ordering: Relaxed — see `set_queue_depth`; advisory gauge read.
     pub(crate) fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
     }
 
+    // ordering: Relaxed — statistical snapshot; the comment below spells
+    // out the tolerated cross-field tearing.
     pub(crate) fn snapshot(&self) -> ServeStats {
         // Counters are read individually (no global lock), so a snapshot
         // taken mid-batch can tear — e.g. observe a batch's `full_batches`

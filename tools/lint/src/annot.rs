@@ -1,0 +1,236 @@
+//! Annotation markers and their scope: how a `// ordering:` or
+//! `// SAFETY:` comment (or an explicit `// lint: allow(rule)` waiver)
+//! gets associated with the code it justifies.
+//!
+//! Two association forms are recognized:
+//!
+//! * **same line** — a trailing comment on the flagged token's line;
+//! * **preceding comment** — a comment block immediately above a
+//!   statement or item covers that whole statement/item: coverage starts
+//!   at the first code token after the comment and ends at the first `;`
+//!   or closing `}` that returns to (or below) the brace depth where it
+//!   started. A comment above a `fn` therefore covers the function body;
+//!   a comment above a `let` covers exactly that statement.
+//!
+//! This is deliberately coarser than per-token annotation — a snapshot
+//! function whose body is ten relaxed loads carries one justification,
+//! not ten — while staying local enough that a justification cannot leak
+//! past the item it was written for.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::HashMap;
+
+/// One recognized annotation marker inside a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Marker {
+    /// `ordering:` — justifies `Ordering::Relaxed`/`SeqCst` sites.
+    Ordering,
+    /// `SAFETY:` / `Safety:` — justifies `unsafe` sites.
+    Safety,
+    /// `lint: allow(<rule>)` — rule-specific waiver; must carry its
+    /// justification in the same comment (reviewed in diffs, greppable).
+    Allow(String),
+}
+
+/// Extracts every marker from one comment's text.
+pub fn markers_in(text: &str) -> Vec<Marker> {
+    let lower = text.to_lowercase();
+    let mut out = Vec::new();
+    if lower.contains("ordering:") {
+        out.push(Marker::Ordering);
+    }
+    if lower.contains("safety:") {
+        out.push(Marker::Safety);
+    }
+    let mut rest = lower.as_str();
+    while let Some(pos) = rest.find("lint: allow(") {
+        let after = &rest[pos + "lint: allow(".len()..];
+        if let Some(end) = after.find(')') {
+            out.push(Marker::Allow(after[..end].trim().to_string()));
+            rest = &after[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// An active preceding-comment coverage region.
+struct Coverage {
+    marker: Marker,
+    /// Brace depth at the first covered code token; the region ends at
+    /// the first `;` or `}` returning to this depth or below.
+    d0: i32,
+}
+
+/// Streaming tracker a rule advances token-by-token. Call
+/// [`Tracker::observe`] before inspecting a token and
+/// [`Tracker::finish`] after, in source order.
+pub struct Tracker {
+    by_line: HashMap<u32, Vec<Marker>>,
+    depth: i32,
+    pending: Vec<Marker>,
+    active: Vec<Coverage>,
+}
+
+impl Tracker {
+    /// Builds the same-line marker index for a token stream.
+    pub fn new(toks: &[Tok]) -> Self {
+        let mut by_line: HashMap<u32, Vec<Marker>> = HashMap::new();
+        for t in toks {
+            if t.kind == TokKind::Comment {
+                let ms = markers_in(&t.text);
+                if !ms.is_empty() {
+                    // A block comment may span lines; index it at every
+                    // line it touches so a trailing `/* ordering: .. */`
+                    // matches wherever the flagged token sits.
+                    let extra = t.text.matches('\n').count() as u32;
+                    for line in t.line..=t.line + extra {
+                        by_line.entry(line).or_default().extend(ms.iter().cloned());
+                    }
+                }
+            }
+        }
+        Tracker { by_line, depth: 0, pending: Vec::new(), active: Vec::new() }
+    }
+
+    /// Feeds the next token, attaching any pending comment markers to it.
+    pub fn observe(&mut self, t: &Tok) {
+        if t.kind == TokKind::Comment {
+            self.pending.extend(markers_in(&t.text));
+            return;
+        }
+        if !self.pending.is_empty() {
+            let d0 = self.depth;
+            for marker in self.pending.drain(..) {
+                self.active.push(Coverage { marker, d0 });
+            }
+        }
+    }
+
+    /// Completes the token: updates brace depth and retires coverages
+    /// whose statement/item just ended.
+    pub fn finish(&mut self, t: &Tok) {
+        if t.kind != TokKind::Punct {
+            return;
+        }
+        match t.text.as_bytes().first() {
+            Some(b'{') => self.depth += 1,
+            Some(b'}') => {
+                self.depth -= 1;
+                let depth = self.depth;
+                self.active.retain(|c| depth > c.d0);
+            }
+            Some(b';') => {
+                let depth = self.depth;
+                self.active.retain(|c| depth > c.d0);
+            }
+            _ => {}
+        }
+    }
+
+    /// Current brace depth (after the tokens finished so far).
+    pub fn depth(&self) -> i32 {
+        self.depth
+    }
+
+    fn line_has(&self, line: u32, pred: impl Fn(&Marker) -> bool) -> bool {
+        self.by_line.get(&line).is_some_and(|ms| ms.iter().any(&pred))
+    }
+
+    /// Whether an `ordering:` justification applies at `line`.
+    pub fn justified_ordering(&self, line: u32) -> bool {
+        self.line_has(line, |m| *m == Marker::Ordering)
+            || self.active.iter().any(|c| c.marker == Marker::Ordering)
+    }
+
+    /// Whether a `SAFETY:` justification applies at `line`.
+    pub fn justified_safety(&self, line: u32) -> bool {
+        self.line_has(line, |m| *m == Marker::Safety)
+            || self.active.iter().any(|c| c.marker == Marker::Safety)
+    }
+
+    /// Whether a `lint: allow(rule)` waiver applies at `line`.
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        let is_waiver = |m: &Marker| matches!(m, Marker::Allow(r) if r == rule);
+        self.line_has(line, is_waiver) || self.active.iter().any(|c| is_waiver(&c.marker))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn markers_are_extracted() {
+        assert_eq!(markers_in("// ordering: counter"), vec![Marker::Ordering]);
+        assert_eq!(markers_in("// SAFETY: pointer is live"), vec![Marker::Safety]);
+        assert_eq!(
+            markers_in("// lint: allow(panic-surface): reason"),
+            vec![Marker::Allow("panic-surface".into())]
+        );
+        assert!(markers_in("// plain comment").is_empty());
+    }
+
+    #[test]
+    fn preceding_comment_covers_one_statement() {
+        let src = "
+fn f() {
+    // ordering: justified here
+    a.load(Ordering::Relaxed);
+    b.load(Ordering::Relaxed);
+}
+";
+        let toks = lex(src);
+        let mut tracker = Tracker::new(&toks);
+        let mut verdicts = Vec::new();
+        for t in &toks {
+            tracker.observe(t);
+            if t.is_ident("Relaxed") {
+                verdicts.push(tracker.justified_ordering(t.line));
+            }
+            tracker.finish(t);
+        }
+        assert_eq!(verdicts, [true, false]);
+    }
+
+    #[test]
+    fn preceding_comment_covers_whole_fn() {
+        let src = "
+// ordering: whole-snapshot justification
+fn snapshot() {
+    a.load(Ordering::Relaxed);
+    { b.load(Ordering::Relaxed); }
+}
+fn other() {
+    c.load(Ordering::Relaxed);
+}
+";
+        let toks = lex(src);
+        let mut tracker = Tracker::new(&toks);
+        let mut verdicts = Vec::new();
+        for t in &toks {
+            tracker.observe(t);
+            if t.is_ident("Relaxed") {
+                verdicts.push(tracker.justified_ordering(t.line));
+            }
+            tracker.finish(t);
+        }
+        assert_eq!(verdicts, [true, true, false]);
+    }
+
+    #[test]
+    fn same_line_comment_justifies() {
+        let src = "x.load(Ordering::Relaxed); // ordering: stat only";
+        let toks = lex(src);
+        let mut tracker = Tracker::new(&toks);
+        for t in &toks {
+            tracker.observe(t);
+            if t.is_ident("Relaxed") {
+                assert!(tracker.justified_ordering(t.line));
+            }
+            tracker.finish(t);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Checked-in lint configuration: the hot-path registry
+//! (`tools/lint/hotpaths.toml`) and the ordering allowlist
+//! (`tools/lint/ordering.allow`). Both are parsed with purpose-built
+//! line parsers — the formats are deliberately restricted so the tool
+//! stays dependency-free.
+
+/// Parsed configuration handed to the rules.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Function-name patterns from `hotpaths.toml`; `*` matches any
+    /// (possibly empty) substring, everything else is literal.
+    pub hotpaths: Vec<String>,
+    /// `(path, line)` entries from `ordering.allow`; `line == 0` means
+    /// the whole file is allowed.
+    pub ordering_allow: Vec<(String, u32)>,
+}
+
+impl Config {
+    /// Parses `hotpaths.toml`. The accepted grammar is a single
+    /// `functions = [ "...", ... ]` array (possibly multi-line) plus
+    /// `#` comments; anything else is an error so a typo cannot
+    /// silently disable the rule.
+    pub fn parse_hotpaths(&mut self, text: &str) -> Result<(), String> {
+        let mut in_array = false;
+        let mut seen_array = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let mut rest = line.as_str();
+            if !in_array {
+                let Some(after) = rest.strip_prefix("functions") else {
+                    return Err(format!("hotpaths.toml:{}: expected `functions = [`", idx + 1));
+                };
+                let Some(after) = after.trim_start().strip_prefix('=') else {
+                    return Err(format!(
+                        "hotpaths.toml:{}: expected `=` after `functions`",
+                        idx + 1
+                    ));
+                };
+                let Some(after) = after.trim_start().strip_prefix('[') else {
+                    return Err(format!("hotpaths.toml:{}: expected `[`", idx + 1));
+                };
+                in_array = true;
+                seen_array = true;
+                rest = after;
+            }
+            let mut rest = rest.trim();
+            loop {
+                if rest.is_empty() {
+                    break;
+                }
+                if let Some(after) = rest.strip_prefix(']') {
+                    in_array = false;
+                    if !after.trim().is_empty() {
+                        return Err(format!("hotpaths.toml:{}: trailing text after `]`", idx + 1));
+                    }
+                    break;
+                }
+                if let Some(after) = rest.strip_prefix(',') {
+                    rest = after.trim_start();
+                    continue;
+                }
+                let Some(after) = rest.strip_prefix('"') else {
+                    return Err(format!("hotpaths.toml:{}: expected a quoted pattern", idx + 1));
+                };
+                let Some(end) = after.find('"') else {
+                    return Err(format!("hotpaths.toml:{}: unterminated string", idx + 1));
+                };
+                self.hotpaths.push(after[..end].to_string());
+                rest = after[end + 1..].trim_start();
+            }
+        }
+        if in_array {
+            return Err("hotpaths.toml: unterminated `functions` array".to_string());
+        }
+        if !seen_array {
+            return Err("hotpaths.toml: missing `functions = [...]` array".to_string());
+        }
+        Ok(())
+    }
+
+    /// Parses `ordering.allow`: one `path[:line]` entry per line, `#`
+    /// comments. Policy (enforced by review, stated in the file header):
+    /// the list only shrinks — new `Relaxed`/`SeqCst` sites get
+    /// `// ordering:` comments at the site instead.
+    pub fn parse_ordering_allow(&mut self, text: &str) -> Result<(), String> {
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            match line.rsplit_once(':') {
+                Some((path, ln)) if ln.chars().all(|c| c.is_ascii_digit()) && !ln.is_empty() => {
+                    let n: u32 = ln
+                        .parse()
+                        .map_err(|_| format!("ordering.allow:{}: bad line number", idx + 1))?;
+                    self.ordering_allow.push((path.trim().to_string(), n));
+                }
+                _ => self.ordering_allow.push((line.to_string(), 0)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `name` matches a registered hot-path pattern.
+    pub fn is_hotpath(&self, name: &str) -> bool {
+        self.hotpaths.iter().any(|p| glob_match(p, name))
+    }
+
+    /// Whether an allowlist entry covers `(rel, line)`.
+    pub fn ordering_allowed(&self, rel: &str, line: u32) -> bool {
+        self.ordering_allow.iter().any(|(p, n)| p == rel && (*n == 0 || *n == line))
+    }
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // Good enough for this grammar: patterns never contain `#`.
+    line.split('#').next().unwrap_or("")
+}
+
+/// Minimal `*`-only glob match (no `?`, no character classes).
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    match pattern.split_once('*') {
+        None => pattern == text,
+        Some((prefix, rest)) => {
+            let Some(tail) = text.strip_prefix(prefix) else { return false };
+            // Try every split point for the `*`.
+            (0..=tail.len()).any(|k| glob_match(rest, &tail[k..]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("matmul_q8_*", "matmul_q8_rowmajor"));
+        assert!(glob_match("infer_into", "infer_into"));
+        assert!(!glob_match("infer_into", "infer_into_with_threads"));
+        assert!(glob_match("*_into", "matmul_into"));
+        assert!(glob_match("a*b*c", "aXbYc"));
+        assert!(!glob_match("a*b*c", "aXc"));
+    }
+
+    #[test]
+    fn hotpaths_parse_multiline() {
+        let mut cfg = Config::default();
+        cfg.parse_hotpaths(
+            "# registry\nfunctions = [\n  \"infer_into\", # warm path\n  \"matmul_q8_*\",\n]\n",
+        )
+        .expect("parses");
+        assert!(cfg.is_hotpath("infer_into"));
+        assert!(cfg.is_hotpath("matmul_q8_colmajor"));
+        assert!(!cfg.is_hotpath("train_step"));
+    }
+
+    #[test]
+    fn hotpaths_reject_garbage() {
+        let mut cfg = Config::default();
+        assert!(cfg.parse_hotpaths("funcs = [\"x\"]").is_err());
+        assert!(cfg.parse_hotpaths("functions = [\"x\"").is_err());
+    }
+
+    #[test]
+    fn ordering_allow_entries() {
+        let mut cfg = Config::default();
+        cfg.parse_ordering_allow("# header\ncrates/x/src/lib.rs:42\ncrates/y/src/lib.rs\n")
+            .expect("parses");
+        assert!(cfg.ordering_allowed("crates/x/src/lib.rs", 42));
+        assert!(!cfg.ordering_allowed("crates/x/src/lib.rs", 43));
+        assert!(cfg.ordering_allowed("crates/y/src/lib.rs", 7));
+    }
+}

@@ -1,0 +1,445 @@
+//! A lightweight Rust lexer: the token stream every rule walks.
+//!
+//! Deliberately not a parser — the rules need exactly three things a
+//! `grep` cannot give them: (1) comments, strings and char/lifetime
+//! syntax stripped out of the code stream (so `"unwrap()"` inside a
+//! string literal or a doc example never fires a rule), (2) line numbers
+//! on every token (so diagnostics point at real locations), and (3) a
+//! token sequence precise enough to do brace/scope tracking. Everything
+//! heavier (types, name resolution) is out of scope by design; the rules
+//! are heuristic backstops over this stream, documented as such.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `notify_all`, ...).
+    Ident,
+    /// Single punctuation character (`{`, `}`, `.`, `:`, `!`, ...).
+    Punct,
+    /// String/char/byte/numeric literal, lexed and skipped as one unit.
+    Literal,
+    /// Line (`//`, `///`, `//!`) or block (`/* */`) comment, with its
+    /// full text retained so annotation markers can be matched.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text. For comments this is the raw comment including
+    /// its delimiters; for literals it may be truncated to the opening
+    /// delimiter (rules never inspect literal bodies).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated constructs
+/// degrade to consuming the rest of the file, which is the right behavior
+/// for a lint that must not crash on a syntactically broken tree.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: chars[start..i.min(chars.len())].iter().collect(),
+                    line: start_line,
+                });
+                continue;
+            }
+        }
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br".., b'x'.
+        if (c == 'r' || c == 'b') && i + 1 < chars.len() {
+            let mut j = i + 1;
+            if c == 'b' && j < chars.len() && chars[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < chars.len() && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            let is_raw = c == 'r' || (c == 'b' && chars[i + 1] == 'r');
+            if j < chars.len() && chars[j] == '"' && (is_raw || hashes == 0) {
+                // Raw or plain (byte) string starting at j.
+                if is_raw {
+                    i = j + 1;
+                    // Scan for `"` followed by `hashes` hash marks.
+                    loop {
+                        if i >= chars.len() {
+                            break;
+                        }
+                        if chars[i] == '\n' {
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if chars[i] == '"' {
+                            let mut k = i + 1;
+                            let mut seen = 0usize;
+                            while k < chars.len() && chars[k] == '#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                i = k;
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                    toks.push(Tok { kind: TokKind::Literal, text: String::from("r\""), line });
+                    continue;
+                }
+                // b"...": fall through to plain string handling below by
+                // consuming the prefix.
+                i = j;
+                // Handled by the string branch on the next loop entry.
+                let start_line = line;
+                i += 1; // opening quote
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::from("b\""),
+                    line: start_line,
+                });
+                continue;
+            }
+            if c == 'b' && i + 1 < chars.len() && chars[i + 1] == '\'' {
+                // Byte char b'x' or b'\n'.
+                i += 2;
+                if i < chars.len() && chars[i] == '\\' {
+                    i += 1;
+                }
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                toks.push(Tok { kind: TokKind::Literal, text: String::from("b'"), line });
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Tok { kind: TokKind::Literal, text: String::from("\""), line: start_line });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(_) => after == Some('\''),
+                None => false,
+            };
+            if is_char {
+                i += 1;
+                if chars.get(i) == Some(&'\\') {
+                    i += 1;
+                }
+                i += 1; // the (escaped) character
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1; // unicode escapes like '\u{1F600}'
+                }
+                i += 1; // closing quote
+                toks.push(Tok { kind: TokKind::Literal, text: String::from("'"), line });
+            } else {
+                // Lifetime: skip the quote and its identifier.
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Literal, text: String::from("'a"), line });
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: chars[start..i].iter().collect(), line });
+            continue;
+        }
+        // Numbers (enough precision to not split `1_000` or `0xFF`; a
+        // trailing `.` of a range like `0..n` is left to the punct path).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            toks.push(Tok { kind: TokKind::Literal, text: chars[start..i].iter().collect(), line });
+            continue;
+        }
+        toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    toks
+}
+
+/// Removes every `#[cfg(test)]`-gated item (attribute through the end of
+/// the following item) from the stream: the repo's contracts govern
+/// production code, and test modules legitimately use patterns the rules
+/// ban (bare `unwrap`, `SeqCst` counting allocators).
+pub fn strip_cfg_test(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && matches_cfg_test(&toks, i) {
+            i = skip_gated_item(&toks, i);
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Whether the `#` at `at` begins exactly `#[cfg(test)]`.
+fn matches_cfg_test(toks: &[Tok], at: usize) -> bool {
+    let t = |off: usize| toks.get(at + off);
+    t(1).is_some_and(|t| t.is_punct('['))
+        && t(2).is_some_and(|t| t.is_ident("cfg"))
+        && t(3).is_some_and(|t| t.is_punct('('))
+        && t(4).is_some_and(|t| t.is_ident("test"))
+        && t(5).is_some_and(|t| t.is_punct(')'))
+        && t(6).is_some_and(|t| t.is_punct(']'))
+}
+
+/// Skips from the `#` of a gating attribute past the end of the item it
+/// gates (further attributes and doc comments included). Returns the
+/// index of the first token after the item.
+fn skip_gated_item(toks: &[Tok], at: usize) -> usize {
+    let mut i = at;
+    // Skip attributes (`#[...]`, bracket-balanced) and comments.
+    loop {
+        match toks.get(i) {
+            Some(t) if t.kind == TokKind::Comment => i += 1,
+            Some(t) if t.is_punct('#') => {
+                i += 1;
+                if toks.get(i).is_some_and(|t| t.is_punct('[')) {
+                    let mut depth = 0i32;
+                    while let Some(t) = toks.get(i) {
+                        if t.is_punct('[') {
+                            depth += 1;
+                        } else if t.is_punct(']') {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    // Consume the item: everything up to the first `;` or brace-balanced
+    // `{...}` at nesting level zero (parens/brackets tracked so a
+    // `#[cfg(test)] fn f(x: [u8; 2]);` style signature cannot confuse it).
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(i) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'{') | Some(b'(') | Some(b'[') => depth += 1,
+                Some(b'}') | Some(b')') | Some(b']') => {
+                    depth -= 1;
+                    if depth == 0 && t.is_punct('}') {
+                        return i + 1;
+                    }
+                }
+                Some(b';') if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r#"
+            // notify_all in a comment
+            let s = "unwrap() Ordering::Relaxed";
+            let r = r#unused; /* unsafe */
+            call();
+        "#;
+        let ids = idents(src);
+        assert!(ids.contains(&"call".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"notify_all".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(ids, ["fn", "f", "x", "str", "str", "x"]);
+    }
+
+    #[test]
+    fn char_literals_are_single_tokens() {
+        let ids = idents("let c = 'x'; let q = '\\''; done()");
+        assert!(ids.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ids = idents(r##"let s = r#"has "quotes" and unsafe"#; end()"##);
+        assert!(ids.contains(&"end".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let src = "
+            fn keep() {}
+            #[cfg(test)]
+            mod tests {
+                fn gone() { x.unwrap(); }
+            }
+            fn also_keep() {}
+        ";
+        let ids: Vec<String> = strip_cfg_test(lex(src))
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert!(ids.contains(&"keep".to_string()));
+        assert!(ids.contains(&"also_keep".to_string()));
+        assert!(!ids.contains(&"gone".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_fn_with_more_attributes_is_stripped() {
+        let src = "
+            #[cfg(test)]
+            #[allow(dead_code)]
+            fn gone() {}
+            fn kept() {}
+        ";
+        let ids: Vec<String> = strip_cfg_test(lex(src))
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert!(!ids.contains(&"gone".to_string()));
+        assert!(ids.contains(&"kept".to_string()));
+    }
+}

@@ -1,0 +1,75 @@
+//! CLI for `scissor-lint`.
+//!
+//! ```text
+//! cargo run -p scissor-lint            # human diagnostics, exit 1 on findings
+//! cargo run -p scissor-lint -- --json  # JSON findings array for CI artifacts
+//! cargo run -p scissor-lint -- --root /path/to/workspace
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = environment/usage error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match argv.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("scissor-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: scissor-lint [--json] [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("scissor-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace containing this tool (works both from
+    // a checkout and from CI, where cwd is the workspace root).
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or_else(|| {
+            // ordering of fallbacks: manifest-relative, then cwd.
+            PathBuf::from(".")
+        })
+    });
+
+    let findings = match scissor_lint::run(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("scissor-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", scissor_lint::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            eprintln!("scissor-lint: workspace clean (0 findings)");
+        } else {
+            eprintln!("scissor-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -102,6 +102,10 @@ pub fn current_num_threads() -> usize {
 /// (reclaimed by its `execute` call).
 struct JobRef {
     data: *const (),
+    // SAFETY: callers of this fn pointer must uphold the per-type
+    // `execute` contract: `data` still points at a live job of the type
+    // the pointer was monomorphized for, and this is the last `JobRef`
+    // to it (see `JobRef::run`, the single call site).
     execute: unsafe fn(*const ()),
 }
 
@@ -185,6 +189,9 @@ impl PoolStats {
 /// let after = rayon::pool_stats();
 /// assert!(after.local_pushes + after.injected > before.local_pushes + before.injected);
 /// ```
+// ordering: Relaxed — diagnostic counters: each cell is independently
+// meaningful and the doc contract only promises eventually-consistent
+// totals, never a happens-before edge with the work they count.
 pub fn pool_stats() -> PoolStats {
     let c = &global().counters;
     PoolStats {
@@ -229,6 +236,7 @@ struct Counters {
 }
 
 impl Counters {
+    // ordering: Relaxed — diagnostic counter bump; see `pool_stats`.
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }

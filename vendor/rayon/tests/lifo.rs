@@ -43,12 +43,17 @@ fn worker_pops_its_own_deque_lifo() {
     let order_ref = &order;
     rayon::join(
         || {
-            while !entered.load(Ordering::SeqCst) {
+            // ordering: Acquire — audit downgrade from SeqCst: pairs with
+            // the Release store below; the gate publishes only "the spied
+            // closure started", so one-sided acquire/release is enough
+            // and no total order across unrelated atomics is required.
+            while !entered.load(Ordering::Acquire) {
                 std::thread::yield_now();
             }
         },
         || {
-            entered.store(true, Ordering::SeqCst);
+            // ordering: Release — pairs with the Acquire spin above.
+            entered.store(true, Ordering::Release);
             assert!(
                 std::thread::current().name().is_some_and(|n| n.starts_with("rayon-worker-")),
                 "choreography broke: the spied-on scope must run on the worker"

@@ -58,6 +58,9 @@ fn join_runs_closures_on_multiple_threads_eventually() {
     assert!(seen.lock().unwrap().len() >= 2, "no join closure ever ran off the calling thread");
 }
 
+// ordering: Relaxed — tally counter: the scope exit barrier (latch
+// mutex/condvar handoff) is the happens-before edge that publishes every
+// increment before the post-scope read; the RMW only needs atomicity.
 #[test]
 fn scope_tasks_can_spawn_from_worker_threads() {
     init();
@@ -80,6 +83,9 @@ fn scope_tasks_can_spawn_from_worker_threads() {
     assert_eq!(count.into_inner(), 8 + 8 * 4);
 }
 
+// ordering: Relaxed — tally counter: the scope exit barrier (latch
+// mutex/condvar handoff) is the happens-before edge that publishes every
+// increment before the post-scope read; the RMW only needs atomicity.
 #[test]
 fn nested_scopes_inside_scope_tasks_complete() {
     init();
@@ -103,6 +109,9 @@ fn nested_scopes_inside_scope_tasks_complete() {
     assert_eq!(total.into_inner(), 16);
 }
 
+// ordering: Relaxed — tally counter: the scope exit barrier (latch
+// mutex/condvar handoff) is the happens-before edge that publishes every
+// increment before the post-scope read; the RMW only needs atomicity.
 #[test]
 fn join_latch_survives_rapid_churn_across_threads() {
     init();
@@ -126,6 +135,9 @@ fn join_latch_survives_rapid_churn_across_threads() {
     assert_eq!(total.into_inner(), 4 * 500 * 3);
 }
 
+// ordering: Relaxed — tally counter: the scope exit barrier (latch
+// mutex/condvar handoff) is the happens-before edge that publishes every
+// increment before the post-scope read; the RMW only needs atomicity.
 #[test]
 fn join_propagates_panic_from_first_closure() {
     init();
@@ -145,6 +157,9 @@ fn join_propagates_panic_from_second_closure() {
     assert_eq!(msg, "right boom");
 }
 
+// ordering: Relaxed — tally counter: the scope exit barrier (latch
+// mutex/condvar handoff) is the happens-before edge that publishes every
+// increment before the post-scope read; the RMW only needs atomicity.
 #[test]
 fn scope_propagates_task_panic_after_siblings_finish() {
     init();

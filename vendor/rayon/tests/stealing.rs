@@ -61,12 +61,17 @@ fn steals_drain_a_victims_deque_in_fifo_order() {
             for i in 1..=4 {
                 inner.spawn(move |_| {
                     order_ref.lock().unwrap().push(i);
-                    ran_ref.fetch_add(1, Ordering::SeqCst);
+                    // ordering: Release — audit downgrade from SeqCst:
+                    // pairs with the Acquire spin below; the order entries
+                    // themselves travel through the mutex.
+                    ran_ref.fetch_add(1, Ordering::Release);
                 });
             }
             // Pinning the victim *inside* the task (not in a barrier) keeps
             // its deque out of its own reach: it never pops what it pushed.
-            spin_until(|| ran_ref.load(Ordering::SeqCst) == 4);
+            // ordering: Acquire — pairs with the Release bumps above; a
+            // count of 4 is the only fact the spin consumes.
+            spin_until(|| ran_ref.load(Ordering::Acquire) == 4);
         });
     });
 
@@ -94,19 +99,25 @@ fn panic_in_a_stolen_join_closure_propagates_to_the_caller() {
 
     let result = catch_unwind(AssertUnwindSafe(|| {
         rayon::join(
-            || spin_until(|| outer_entered.load(Ordering::SeqCst)),
+            // ordering: Acquire/Release pairs — audit downgrade from
+            // SeqCst: each gate publishes only "that closure started", so
+            // one-sided edges suffice; no order across the two gates or
+            // other atomics is consumed anywhere.
+            || spin_until(|| outer_entered.load(Ordering::Acquire)),
             || {
-                outer_entered.store(true, Ordering::SeqCst);
+                outer_entered.store(true, Ordering::Release);
                 rayon::join(
                     || {
                         *victim_thread.lock().unwrap() =
                             std::thread::current().name().map(String::from);
-                        spin_until(|| inner_started.load(Ordering::SeqCst));
+                        // ordering: Acquire — pairs with the Release below.
+                        spin_until(|| inner_started.load(Ordering::Acquire));
                     },
                     || {
                         *thief_thread.lock().unwrap() =
                             std::thread::current().name().map(String::from);
-                        inner_started.store(true, Ordering::SeqCst);
+                        // ordering: Release — pairs with the Acquire spin.
+                        inner_started.store(true, Ordering::Release);
                         panic!("stolen boom");
                     },
                 );
@@ -162,12 +173,16 @@ fn concurrent_recursive_joins_fan_out_across_both_workers() {
                 if let Some(name) = std::thread::current().name() {
                     names_ref.lock().unwrap().insert(name.to_string());
                 }
-                live_ref.fetch_add(1, Ordering::SeqCst);
+                // ordering: AcqRel — audit downgrade from SeqCst: the
+                // mutual rendezvous only needs each side to observe the
+                // other's increment, a pairwise acquire/release property.
+                live_ref.fetch_add(1, Ordering::AcqRel);
                 // Mutual rendezvous: if both tasks landed on one worker
                 // (or the pool serialized), this deadlocks and the harness
                 // times out — a liveness regression guard with no timing
                 // assert.
-                spin_until(|| live_ref.load(Ordering::SeqCst) == 2);
+                // ordering: Acquire — pairs with the AcqRel bumps above.
+                spin_until(|| live_ref.load(Ordering::Acquire) == 2);
                 let chunk = data_ref.len() / 2;
                 sums_ref.lock().unwrap().push(psum(&data_ref[half * chunk..(half + 1) * chunk]));
             });
